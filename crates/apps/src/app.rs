@@ -1,0 +1,153 @@
+//! The application abstraction the tuner optimizes.
+//!
+//! An [`Application`] instance binds a code to a concrete *task* (problem
+//! instance) on a concrete *machine allocation*; the tuner varies only
+//! the tuning parameters. Evaluations can fail (the paper's out-of-memory
+//! example) — failures are first-class results, recorded in the database
+//! and excluded from surrogate fitting.
+
+use crowdtune_db::ParamMap;
+use crowdtune_space::{Space, Value};
+use rand::RngCore;
+
+/// Why an evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalFailure {
+    /// The configuration exhausted node memory.
+    OutOfMemory,
+    /// The configuration was structurally invalid (e.g. a process grid
+    /// larger than the allocation).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalFailure::OutOfMemory => write!(f, "out of memory"),
+            EvalFailure::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+/// A tunable application bound to a task and machine.
+pub trait Application: Send + Sync {
+    /// Tuning problem name (namespaces database records).
+    fn name(&self) -> &str;
+
+    /// The tuning parameter space.
+    fn tuning_space(&self) -> Space;
+
+    /// The task parameters of this instance, for database records.
+    fn task_parameters(&self) -> ParamMap;
+
+    /// Name of the optimized output (`"runtime"` for every paper app).
+    fn output_name(&self) -> &str {
+        "runtime"
+    }
+
+    /// Run the application with `x` (a point in [`Self::tuning_space`])
+    /// and measure the objective. `rng` models run-to-run system noise.
+    fn evaluate(&self, x: &[Value], rng: &mut dyn RngCore) -> Result<f64, EvalFailure>;
+
+    /// Structural validity of a configuration, checkable *without*
+    /// running the application (GPTune's `constraints`): e.g. a process
+    /// grid must fit the allocation. The tuner filters proposals with
+    /// this; genuinely unpredictable failures (OOM) still surface through
+    /// [`Self::evaluate`].
+    fn validate_config(&self, _x: &[Value]) -> bool {
+        true
+    }
+}
+
+/// Multiplicative log-normal measurement noise with relative spread
+/// `sigma` (e.g. 0.03 for ~3% run-to-run variation) — the standard model
+/// for timing jitter on shared HPC systems.
+pub fn timing_noise(rng: &mut dyn RngCore, sigma: f64) -> f64 {
+    // Box-Muller on two uniforms from the raw RNG (keeps the trait object
+    // dyn-compatible without rand_distr's generic bounds).
+    let u1 = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    let u2 = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Extract an integer tuning parameter by position, panicking with a
+/// clear message when the caller passed the wrong point shape (these are
+/// internal errors, not user errors).
+pub(crate) fn int_param(x: &[Value], idx: usize, name: &str) -> i64 {
+    match &x[idx] {
+        Value::Int(v) => *v,
+        other => panic!("parameter '{name}' must be an integer, got {other:?}"),
+    }
+}
+
+/// Extract a real tuning parameter by position.
+pub(crate) fn real_param(x: &[Value], idx: usize, name: &str) -> f64 {
+    match &x[idx] {
+        Value::Real(v) => *v,
+        Value::Int(v) => *v as f64,
+        other => panic!("parameter '{name}' must be numeric, got {other:?}"),
+    }
+}
+
+/// Extract a categorical tuning parameter index by position.
+pub(crate) fn cat_param(x: &[Value], idx: usize, name: &str) -> usize {
+    match &x[idx] {
+        Value::Cat(v) => *v,
+        other => panic!("parameter '{name}' must be categorical, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn timing_noise_centered_near_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..4000).map(|_| timing_noise(&mut rng, 0.05)).collect();
+        let mean = crowdtune_linalg_stats_mean(&samples);
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn timing_noise_scales_with_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tight: Vec<f64> = (0..2000).map(|_| timing_noise(&mut rng, 0.01)).collect();
+        let wide: Vec<f64> = (0..2000).map(|_| timing_noise(&mut rng, 0.2)).collect();
+        let spread = |v: &[f64]| {
+            let m = crowdtune_linalg_stats_mean(v);
+            v.iter().map(|x| (x - m).abs()).sum::<f64>() / v.len() as f64
+        };
+        assert!(spread(&wide) > 5.0 * spread(&tight));
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(timing_noise(&mut rng, 0.0), 1.0);
+    }
+
+    fn crowdtune_linalg_stats_mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn param_extractors() {
+        let x = vec![Value::Int(4), Value::Real(0.5), Value::Cat(2)];
+        assert_eq!(int_param(&x, 0, "a"), 4);
+        assert_eq!(real_param(&x, 1, "b"), 0.5);
+        assert_eq!(real_param(&x, 0, "a"), 4.0);
+        assert_eq!(cat_param(&x, 2, "c"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer")]
+    fn wrong_kind_panics() {
+        let x = vec![Value::Real(0.5)];
+        let _ = int_param(&x, 0, "a");
+    }
+}

@@ -1,0 +1,37 @@
+//! # crowdtune-apps
+//!
+//! Simulated HPC applications and machines — the stand-ins for the
+//! paper's evaluation targets (see DESIGN.md §1 for the substitution
+//! rationale):
+//!
+//! - [`machine`] — Cori Haswell / KNL allocation models with the
+//!   architectural coefficients the cost models consume.
+//! - [`app`] — the [`Application`] trait the tuner optimizes, with
+//!   first-class evaluation failures (OOM, invalid configurations).
+//! - [`synthetic`] — the GPTune demo function and the task-parameterized
+//!   Branin function (paper §VI-A).
+//! - [`pdgeqrf`] — ScaLAPACK distributed QR cost model (paper §VI-B).
+//! - [`nimrod`] — NIMROD MHD time-marching cost model with SuperLU 3D
+//!   inner solves and an OOM failure region (paper §VI-C).
+//! - [`superlu`] — 2D SuperLU_DIST cost model whose sensitivity
+//!   structure reproduces Table IV (paper §VI-D).
+//! - [`hypre`] — Hypre GMRES+BoomerAMG 12-parameter cost model whose
+//!   sensitivity structure reproduces Table V (paper §VI-E).
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod hypre;
+pub mod machine;
+pub mod nimrod;
+pub mod pdgeqrf;
+pub mod superlu;
+pub mod synthetic;
+
+pub use app::{timing_noise, Application, EvalFailure};
+pub use hypre::{HypreAmg, HypreConfig, COARSEN_TYPES, INTERP_TYPES, RELAX_TYPES, SMOOTH_TYPES};
+pub use machine::{MachineModel, NodeArch};
+pub use nimrod::Nimrod;
+pub use pdgeqrf::Pdgeqrf;
+pub use superlu::{SparseMatrix, SuperLuDist, COLPERM_CHOICES};
+pub use synthetic::{BraninFunction, DemoFunction};

@@ -1,0 +1,269 @@
+//! Performance model of the 2D SuperLU_DIST sparse direct solver — the
+//! paper's §VI-D sensitivity-analysis case study.
+//!
+//! Task: a sparse matrix (the paper uses PARSEC matrices Si5H12 and H2O,
+//! which share a sparsity-pattern family — the premise for transferring
+//! sensitivity conclusions between them). Tuning parameters:
+//!
+//! | name        | meaning                                   | domain |
+//! |-------------|-------------------------------------------|--------|
+//! | `COLPERM`   | column permutation (fill-reducing order)  | 4 choices |
+//! | `LOOKAHEAD` | pipeline depth of the factorization       | [5,20) |
+//! | `nprows`    | process-grid rows (cols = P / rows)       | [1,P) |
+//! | `NSUP`      | max supernode size                        | [30,300) |
+//! | `NREL`      | relaxed supernode bound                   | [10,40) |
+//!
+//! The model is built so the *sensitivity structure* of the paper's
+//! Table IV emerges from cost terms: `COLPERM` controls fill (and the
+//! factorization is fill-dominated → highest S1/ST), `nprows` controls
+//! the communication aspect ratio (second), `NSUP` the BLAS-3 efficiency
+//! (moderate), `LOOKAHEAD` and `NREL` only polish the pipeline (near
+//! zero).
+
+use crate::app::{cat_param, int_param, timing_noise, Application, EvalFailure};
+use crate::machine::MachineModel;
+use crowdtune_db::ParamMap;
+use crowdtune_space::{Param, Space, Value};
+use rand::RngCore;
+
+/// Column-permutation choices (SuperLU_DIST's options).
+pub const COLPERM_CHOICES: [&str; 4] =
+    ["NATURAL", "MMD_ATA", "MMD_AT_PLUS_A", "METIS_AT_PLUS_A"];
+
+/// A sparse-matrix task descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    /// Matrix name (e.g. `"Si5H12"`).
+    pub name: String,
+    /// Dimension.
+    pub n: u64,
+    /// Nonzeros.
+    pub nnz: u64,
+    /// Relative fill factor per COLPERM choice (same order as
+    /// [`COLPERM_CHOICES`]); pattern-family property.
+    pub fill_factors: [f64; 4],
+}
+
+impl SparseMatrix {
+    /// The PARSEC matrix Si5H12 (quantum chemistry), used for the paper's
+    /// sensitivity analysis.
+    pub fn si5h12() -> Self {
+        SparseMatrix {
+            name: "Si5H12".into(),
+            n: 19_896,
+            nnz: 738_598,
+            fill_factors: [5.0, 2.2, 1.8, 1.0],
+        }
+    }
+
+    /// The PARSEC matrix H2O, used for the paper's reduced-space tuning
+    /// (same pattern family as Si5H12, so the same parameters matter).
+    pub fn h2o() -> Self {
+        SparseMatrix {
+            name: "H2O".into(),
+            n: 67_024,
+            nnz: 2_216_736,
+            fill_factors: [5.2, 2.3, 1.9, 1.0],
+        }
+    }
+}
+
+/// SuperLU_DIST bound to a matrix and machine allocation.
+#[derive(Debug, Clone)]
+pub struct SuperLuDist {
+    /// The input matrix.
+    pub matrix: SparseMatrix,
+    /// The machine allocation.
+    pub machine: MachineModel,
+    /// Relative timing-noise level.
+    pub noise_sigma: f64,
+}
+
+impl SuperLuDist {
+    /// New instance.
+    pub fn new(matrix: SparseMatrix, machine: MachineModel) -> Self {
+        SuperLuDist { matrix, machine, noise_sigma: 0.02 }
+    }
+
+    /// Deterministic cost model (no noise).
+    pub fn model_runtime(
+        &self,
+        colperm: usize,
+        lookahead: i64,
+        nprows: i64,
+        nsup: i64,
+        nrel: i64,
+    ) -> Result<f64, EvalFailure> {
+        let mach = &self.machine;
+        let p_total = mach.total_cores() as i64;
+        if nprows > p_total {
+            return Err(EvalFailure::InvalidConfig(format!(
+                "nprows = {nprows} exceeds {p_total} ranks"
+            )));
+        }
+        let npcols = (p_total / nprows).max(1);
+        let p_used = (nprows * npcols) as f64;
+
+        let n = self.matrix.n as f64;
+        let nnz = self.matrix.nnz as f64;
+        let fill = self.matrix.fill_factors[colperm] * nnz * (n.ln());
+        // Factorization flops grow superlinearly with fill (~fill^1.5 for
+        // supernodal LU), which is what makes COLPERM dominate.
+        let flops = 40.0 * fill.powf(1.5) / n.powf(0.1);
+
+        // Supernode BLAS-3 efficiency: interior optimum near ~120.
+        let e_sup = 1.0 / (1.0 + 0.65 * ((nsup as f64) / 120.0).ln().powi(2));
+        // Relaxed supernodes: tiny effect, optimum ~22.
+        let e_rel = 1.0 / (1.0 + 0.012 * ((nrel as f64) / 22.0).ln().powi(2));
+        // Lookahead pipelining: hides some panel communication; diminishing
+        // returns; tiny effect overall.
+        let e_look = 1.0 + 0.03 / (1.0 + 0.4 * lookahead as f64);
+
+        let rate = mach.gflops_per_core * 1e9 * 0.30;
+        let t_comp = flops / (p_used * rate * e_sup * e_rel) * e_look;
+
+        // Communication: 2D block-cyclic panel broadcasts. Row- and
+        // column-volumes split by the grid shape; the sparse pattern gives
+        // an optimal aspect somewhat wider than square.
+        let bw = mach.net_bw_gbs * 1e9 / 8.0;
+        let vol = fill * 2.2;
+        let t_comm = (vol / nprows as f64 + 1.8 * vol / npcols as f64) * 8.0 / bw
+            + (n / (nsup as f64)) * mach.net_latency_us * 1e-6 * (p_used.log2());
+
+        Ok(t_comp + t_comm)
+    }
+}
+
+impl Application for SuperLuDist {
+    fn name(&self) -> &str {
+        "SuperLU_DIST"
+    }
+
+    fn tuning_space(&self) -> Space {
+        let p_total = self.machine.total_cores() as i64;
+        Space::new(vec![
+            Param::categorical("COLPERM", COLPERM_CHOICES),
+            Param::integer("LOOKAHEAD", 5, 20),
+            Param::integer("nprows", 1, p_total),
+            Param::integer("NSUP", 30, 300),
+            Param::integer("NREL", 10, 40),
+        ])
+        .expect("static space")
+    }
+
+    fn task_parameters(&self) -> ParamMap {
+        let mut t = ParamMap::new();
+        t.insert("matrix".into(), crowdtune_db::Scalar::Str(self.matrix.name.clone()));
+        t.insert("n".into(), crowdtune_db::Scalar::Int(self.matrix.n as i64));
+        t.insert("nnz".into(), crowdtune_db::Scalar::Int(self.matrix.nnz as i64));
+        t
+    }
+
+    fn validate_config(&self, x: &[Value]) -> bool {
+        int_param(x, 2, "nprows") <= self.machine.total_cores() as i64
+    }
+
+    fn evaluate(&self, x: &[Value], rng: &mut dyn RngCore) -> Result<f64, EvalFailure> {
+        let colperm = cat_param(x, 0, "COLPERM");
+        let lookahead = int_param(x, 1, "LOOKAHEAD");
+        let nprows = int_param(x, 2, "nprows");
+        let nsup = int_param(x, 3, "NSUP");
+        let nrel = int_param(x, 4, "NREL");
+        let t = self.model_runtime(colperm, lookahead, nprows, nsup, nrel)?;
+        Ok(t * timing_noise(rng, self.noise_sigma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> SuperLuDist {
+        SuperLuDist::new(SparseMatrix::si5h12(), MachineModel::cori_haswell(4))
+    }
+
+    #[test]
+    fn colperm_dominates() {
+        // METIS (best fill) must strongly beat NATURAL at any reasonable
+        // configuration — this is what makes COLPERM the top parameter.
+        let a = app();
+        let natural = a.model_runtime(0, 10, 8, 120, 20).unwrap();
+        let metis = a.model_runtime(3, 10, 8, 120, 20).unwrap();
+        assert!(natural > 3.0 * metis, "NATURAL {natural} vs METIS {metis}");
+    }
+
+    #[test]
+    fn nprows_matters_moderately() {
+        let a = app();
+        let t = |r: i64| a.model_runtime(3, 10, r, 120, 20).unwrap();
+        let best = [1i64, 2, 4, 8, 16, 32, 64, 128]
+            .into_iter()
+            .min_by(|&x, &y| t(x).partial_cmp(&t(y)).unwrap())
+            .unwrap();
+        assert!(best > 1 && best < 128, "best nprows = {best}");
+        // Worst-to-best spread is meaningful but below COLPERM's.
+        let spread = t(128) / t(best);
+        assert!(spread > 1.05, "spread {spread}");
+    }
+
+    #[test]
+    fn lookahead_and_nrel_are_nearly_irrelevant() {
+        let a = app();
+        let t0 = a.model_runtime(3, 5, 8, 120, 20).unwrap();
+        let t1 = a.model_runtime(3, 19, 8, 120, 20).unwrap();
+        assert!((t0 / t1 - 1.0).abs() < 0.05, "LOOKAHEAD effect too big: {t0} vs {t1}");
+        let r0 = a.model_runtime(3, 10, 8, 120, 10).unwrap();
+        let r1 = a.model_runtime(3, 10, 8, 120, 39).unwrap();
+        assert!((r0 / r1 - 1.0).abs() < 0.05, "NREL effect too big: {r0} vs {r1}");
+    }
+
+    #[test]
+    fn nsup_moderate_interior_optimum() {
+        let a = app();
+        let t = |s: i64| a.model_runtime(3, 10, 8, s, 20).unwrap();
+        let best = (30..300).step_by(10).map(t).fold(f64::INFINITY, f64::min);
+        assert!(t(30) / best > 1.05, "NSUP=30 should cost something");
+        assert!(t(290) / best > 1.02);
+        // But well below COLPERM's effect.
+        assert!(t(30) / best < 3.0);
+    }
+
+    #[test]
+    fn h2o_larger_than_si5h12() {
+        let small = app();
+        let large = SuperLuDist::new(SparseMatrix::h2o(), MachineModel::cori_haswell(4));
+        let ts = small.model_runtime(3, 10, 8, 120, 20).unwrap();
+        let tl = large.model_runtime(3, 10, 8, 120, 20).unwrap();
+        assert!(tl > ts, "{tl} vs {ts}");
+    }
+
+    #[test]
+    fn pattern_family_transfers() {
+        // Si5H12 and H2O must agree on which parameter matters most:
+        // the COLPERM spread dwarfs the NSUP spread on both.
+        for m in [SparseMatrix::si5h12(), SparseMatrix::h2o()] {
+            let a = SuperLuDist::new(m, MachineModel::cori_haswell(4));
+            let colperm_spread = a.model_runtime(0, 10, 8, 120, 20).unwrap()
+                / a.model_runtime(3, 10, 8, 120, 20).unwrap();
+            let nsup_spread = a.model_runtime(3, 10, 8, 30, 20).unwrap()
+                / a.model_runtime(3, 10, 8, 120, 20).unwrap();
+            assert!(colperm_spread > 2.0 * nsup_spread);
+        }
+    }
+
+    #[test]
+    fn invalid_grid_fails() {
+        let a = app();
+        assert!(matches!(
+            a.model_runtime(3, 10, 1000, 120, 20),
+            Err(EvalFailure::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn space_matches_spec() {
+        let s = app().tuning_space();
+        assert_eq!(s.names(), vec!["COLPERM", "LOOKAHEAD", "nprows", "NSUP", "NREL"]);
+        assert_eq!(s.params()[0].domain.cardinality(), Some(4));
+    }
+}

@@ -1,0 +1,240 @@
+//! The two synthetic objective functions of the paper's §VI-A: the
+//! GPTune "demo" function and a task-parameterized Branin function.
+//!
+//! Both are deterministic (no machine noise), cheap, and have task
+//! parameters that move the optimum smoothly — exactly what a controlled
+//! comparison of transfer-learning algorithms needs.
+
+use crate::app::{real_param, Application, EvalFailure};
+use crowdtune_db::ParamMap;
+use crowdtune_space::{Param, Space, Value};
+use rand::RngCore;
+
+/// The GPTune demo function:
+///
+/// `y(t, x) = 1 + e^{-(x+1)^{t+1}} * cos(2 pi x) * sum_{i=1}^{3} sin(2 pi x (t+2)^i)`
+///
+/// with one task parameter `t in [0, 10)` and one tuning parameter
+/// `x in [0, 1)`.
+#[derive(Debug, Clone)]
+pub struct DemoFunction {
+    /// Task parameter `t`.
+    pub t: f64,
+}
+
+impl DemoFunction {
+    /// Instance for task `t`.
+    pub fn new(t: f64) -> Self {
+        assert!((0.0..10.0).contains(&t), "t must be in [0, 10)");
+        DemoFunction { t }
+    }
+
+    /// The raw objective.
+    pub fn value(t: f64, x: f64) -> f64 {
+        let envelope = (-(x + 1.0).powf(t + 1.0)).exp();
+        let osc: f64 =
+            (1..=3).map(|i| (2.0 * std::f64::consts::PI * x * (t + 2.0).powi(i)).sin()).sum();
+        1.0 + envelope * (2.0 * std::f64::consts::PI * x).cos() * osc
+    }
+}
+
+impl Application for DemoFunction {
+    fn name(&self) -> &str {
+        "demo"
+    }
+
+    fn tuning_space(&self) -> Space {
+        Space::new(vec![Param::real("x", 0.0, 1.0)]).expect("static space")
+    }
+
+    fn task_parameters(&self) -> ParamMap {
+        let mut m = ParamMap::new();
+        m.insert("t".into(), crowdtune_db::Scalar::Real(self.t));
+        m
+    }
+
+    fn output_name(&self) -> &str {
+        "y"
+    }
+
+    fn evaluate(&self, x: &[Value], _rng: &mut dyn RngCore) -> Result<f64, EvalFailure> {
+        Ok(Self::value(self.t, real_param(x, 0, "x")))
+    }
+}
+
+/// The Branin function with all coefficients treated as task parameters
+/// (following the paper: six task parameters `a, b, c, r, s, t`, two
+/// tuning parameters `x1, x2`):
+///
+/// `y = a (x2 - b x1^2 + c x1 - r)^2 + s (1 - t) cos(x1) + s`
+#[derive(Debug, Clone)]
+pub struct BraninFunction {
+    /// Coefficient `a`.
+    pub a: f64,
+    /// Coefficient `b`.
+    pub b: f64,
+    /// Coefficient `c`.
+    pub c: f64,
+    /// Coefficient `r`.
+    pub r: f64,
+    /// Coefficient `s`.
+    pub s: f64,
+    /// Coefficient `t`.
+    pub t: f64,
+}
+
+impl BraninFunction {
+    /// The canonical Branin coefficients.
+    pub fn standard() -> Self {
+        BraninFunction {
+            a: 1.0,
+            b: 5.1 / (4.0 * std::f64::consts::PI * std::f64::consts::PI),
+            c: 5.0 / std::f64::consts::PI,
+            r: 6.0,
+            s: 10.0,
+            t: 1.0 / (8.0 * std::f64::consts::PI),
+        }
+    }
+
+    /// A randomized task near the canonical coefficients: each coefficient
+    /// is scaled by a factor in `[1 - spread, 1 + spread]`, which is how
+    /// the paper's Branin experiments draw their random source and target
+    /// tasks (S1–S3, T1–T2).
+    pub fn random_task(rng: &mut dyn RngCore, spread: f64) -> Self {
+        let std = Self::standard();
+        let mut jitter = |v: f64| {
+            let u = (rng.next_u64() as f64) / (u64::MAX as f64);
+            v * (1.0 + spread * (2.0 * u - 1.0))
+        };
+        BraninFunction {
+            a: jitter(std.a),
+            b: jitter(std.b),
+            c: jitter(std.c),
+            r: jitter(std.r),
+            s: jitter(std.s),
+            t: jitter(std.t),
+        }
+    }
+
+    /// The raw objective.
+    pub fn value(&self, x1: f64, x2: f64) -> f64 {
+        self.a * (x2 - self.b * x1 * x1 + self.c * x1 - self.r).powi(2)
+            + self.s * (1.0 - self.t) * x1.cos()
+            + self.s
+    }
+}
+
+impl Application for BraninFunction {
+    fn name(&self) -> &str {
+        "branin"
+    }
+
+    fn tuning_space(&self) -> Space {
+        Space::new(vec![Param::real("x1", -5.0, 10.0), Param::real("x2", 0.0, 15.0)])
+            .expect("static space")
+    }
+
+    fn task_parameters(&self) -> ParamMap {
+        let mut m = ParamMap::new();
+        for (name, v) in
+            [("a", self.a), ("b", self.b), ("c", self.c), ("r", self.r), ("s", self.s), ("t", self.t)]
+        {
+            m.insert(name.into(), crowdtune_db::Scalar::Real(v));
+        }
+        m
+    }
+
+    fn output_name(&self) -> &str {
+        "y"
+    }
+
+    fn evaluate(&self, x: &[Value], _rng: &mut dyn RngCore) -> Result<f64, EvalFailure> {
+        Ok(self.value(real_param(x, 0, "x1"), real_param(x, 1, "x2")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn demo_matches_formula_spot_checks() {
+        // t = 0, x = 0: envelope e^{-1}, cos(0)=1, sum sin(0)=0 => y = 1.
+        assert!((DemoFunction::value(0.0, 0.0) - 1.0).abs() < 1e-12);
+        // Any (t, x): finite and within a loose envelope.
+        for t in [0.0, 0.8, 1.0, 1.2, 5.0] {
+            for x in [0.0, 0.25, 0.5, 0.75, 0.99] {
+                let y = DemoFunction::value(t, x);
+                assert!(y.is_finite());
+                assert!(y > -3.0 && y < 5.0, "y({t},{x}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn demo_tasks_nearby_are_correlated() {
+        // Objective curves for t=0.8 and t=1.0 should be highly correlated
+        // across x — this is what makes transfer learning work in Fig 3.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let y1: Vec<f64> = xs.iter().map(|&x| DemoFunction::value(0.8, x)).collect();
+        let y2: Vec<f64> = xs.iter().map(|&x| DemoFunction::value(1.0, x)).collect();
+        // The paper's own Fig 3(a) setting (source t=0.8, target t=1.0)
+        // gives partial correlation — enough for transfer to help, which
+        // is the point.
+        let corr = pearson(&y1, &y2);
+        assert!(corr > 0.3, "correlation = {corr}");
+    }
+
+    #[test]
+    fn branin_standard_minima() {
+        // The canonical Branin has three global minima with value ~0.3979
+        // ... our parameterization adds +s and uses s(1-t)cos(x1), which
+        // at the standard coefficients matches the classic function.
+        let b = BraninFunction::standard();
+        for (x1, x2) in [(-std::f64::consts::PI, 12.275), (std::f64::consts::PI, 2.275), (9.42478, 2.475)] {
+            let y = b.value(x1, x2);
+            assert!((y - 0.397887).abs() < 1e-3, "y({x1},{x2}) = {y}");
+        }
+    }
+
+    #[test]
+    fn branin_random_tasks_stay_near_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = BraninFunction::random_task(&mut rng, 0.1);
+        let s = BraninFunction::standard();
+        assert!((t.a - s.a).abs() <= 0.1 * s.a + 1e-12);
+        assert!((t.s - s.s).abs() <= 0.1 * s.s + 1e-12);
+        // Distinct tasks from distinct draws.
+        let t2 = BraninFunction::random_task(&mut rng, 0.1);
+        assert_ne!(t.a, t2.a);
+    }
+
+    #[test]
+    fn application_trait_wiring() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let demo = DemoFunction::new(1.0);
+        let space = demo.tuning_space();
+        assert_eq!(space.dim(), 1);
+        let y = demo.evaluate(&[Value::Real(0.5)], &mut rng).unwrap();
+        assert!((y - DemoFunction::value(1.0, 0.5)).abs() < 1e-12);
+        assert_eq!(demo.task_parameters().len(), 1);
+
+        let branin = BraninFunction::standard();
+        assert_eq!(branin.tuning_space().dim(), 2);
+        assert_eq!(branin.task_parameters().len(), 6);
+        let y = branin.evaluate(&[Value::Real(0.0), Value::Real(0.0)], &mut rng).unwrap();
+        assert!(y.is_finite());
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va * vb).sqrt()
+    }
+}

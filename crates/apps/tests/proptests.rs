@@ -1,0 +1,106 @@
+//! Property-based tests across all simulated applications: every valid
+//! configuration yields a positive, finite, deterministic runtime (or a
+//! well-typed failure), and the Application-trait wiring is consistent.
+
+use crowdtune_apps::{
+    Application, BraninFunction, DemoFunction, HypreAmg, MachineModel, Nimrod, Pdgeqrf,
+    SparseMatrix, SuperLuDist,
+};
+use crowdtune_space::sample_uniform;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(Pdgeqrf::new(10_000, 8_000, MachineModel::cori_haswell(8))),
+        Box::new(Nimrod::new(5, 7, 1, MachineModel::cori_haswell(32))),
+        Box::new(Nimrod::new(5, 4, 1, MachineModel::cori_knl(32))),
+        Box::new(SuperLuDist::new(SparseMatrix::si5h12(), MachineModel::cori_haswell(4))),
+        Box::new(SuperLuDist::new(SparseMatrix::h2o(), MachineModel::cori_haswell(4))),
+        Box::new(HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1))),
+        Box::new(DemoFunction::new(1.0)),
+        Box::new(BraninFunction::standard()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Valid configurations never produce NaN/inf/negative runtimes, and
+    /// failures (when they happen) are typed, not panics.
+    #[test]
+    fn evaluations_are_finite_or_typed_failures(seed in 0u64..10_000) {
+        for app in apps() {
+            let space = app.tuning_space();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for p in sample_uniform(&space, 6, &mut rng) {
+                if !app.validate_config(&p) {
+                    continue;
+                }
+                match app.evaluate(&p, &mut rng) {
+                    Ok(y) => {
+                        prop_assert!(y.is_finite(), "{}: y = {y}", app.name());
+                        // Synthetic functions may go negative (Branin/demo);
+                        // runtime-valued apps must stay positive.
+                        if app.output_name() == "runtime" {
+                            prop_assert!(y > 0.0, "{}: runtime {y} <= 0", app.name());
+                        }
+                    }
+                    Err(e) => {
+                        let msg = e.to_string();
+                        prop_assert!(!msg.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// With the same RNG stream, evaluation is deterministic.
+    #[test]
+    fn evaluation_deterministic_given_rng(seed in 0u64..10_000) {
+        for app in apps() {
+            let space = app.tuning_space();
+            let mut sample_rng = StdRng::seed_from_u64(seed);
+            let p = sample_uniform(&space, 1, &mut sample_rng).pop().unwrap();
+            if !app.validate_config(&p) {
+                continue;
+            }
+            let a = app.evaluate(&p, &mut StdRng::seed_from_u64(7));
+            let b = app.evaluate(&p, &mut StdRng::seed_from_u64(7));
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", app.name()),
+                (Err(_), Err(_)) => {}
+                other => prop_assert!(false, "{}: nondeterministic {:?}", app.name(), other),
+            }
+        }
+    }
+
+    /// Trait wiring: spaces are non-empty, task parameters recorded, and
+    /// validate_config agrees with evaluate on structural failures.
+    #[test]
+    fn validate_config_consistent_with_evaluate(seed in 0u64..10_000) {
+        for app in apps() {
+            let space = app.tuning_space();
+            prop_assert!(space.dim() >= 1, "{}", app.name());
+            let mut rng = StdRng::seed_from_u64(seed);
+            for p in sample_uniform(&space, 6, &mut rng) {
+                if app.validate_config(&p) {
+                    // Valid configs may still fail (OOM), but never with
+                    // an "invalid configuration" message.
+                    if let Err(e) = app.evaluate(&p, &mut rng) {
+                        prop_assert!(
+                            !e.to_string().contains("invalid configuration"),
+                            "{}: validate_config passed but evaluate says {e}",
+                            app.name()
+                        );
+                    }
+                } else {
+                    // Invalid configs must be refused by evaluate too.
+                    let r = app.evaluate(&p, &mut rng);
+                    prop_assert!(r.is_err(), "{}: invalid config evaluated fine", app.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Criterion micro-benchmarks of the performance-critical substrates:
+//! Cholesky factorization, GP fitting/prediction, LCM multitask fitting,
+//! acquisition search, Saltelli/Sobol estimation, and database queries.
+//!
+//! Run: `cargo bench -p crowdtune-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use crowdtune_core::acquisition::{propose_ei, SearchOptions};
+use crowdtune_db::{parse_query, DocumentStore, EvalOutcome, FunctionEvaluation};
+use crowdtune_gp::{Gp, GpConfig, Lcm, LcmConfig, TaskData};
+use crowdtune_linalg::{Cholesky, Matrix};
+use crowdtune_sensitivity::{sobol_indices, SaltelliDesign};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn spd_matrix(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() - 0.5);
+    let mut a = b.gram();
+    for i in 0..n {
+        a[(i, i)] += n as f64 * 0.1;
+    }
+    a
+}
+
+fn unit_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect()
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = spd_matrix(n, 1);
+        group.bench_with_input(BenchmarkId::new("factor", n), &a, |b, a| {
+            b.iter(|| Cholesky::new(a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let x = unit_points(n, 4, 2);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).sin() + p[1] * p[2]).collect();
+        let mut config = GpConfig::continuous(4);
+        config.restarts = 0;
+        config.max_opt_iter = 25;
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(3),
+                |mut rng| Gp::fit(&x, &y, &config, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let gp = Gp::fit(&x, &y, &config, &mut rng).unwrap();
+        let q = unit_points(64, 4, 4);
+        group.bench_with_input(BenchmarkId::new("predict64", n), &n, |b, _| {
+            b.iter(|| gp.predict_batch(&q));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcm");
+    group.sample_size(10);
+    for n_src in [40usize, 80] {
+        let xs = unit_points(n_src, 3, 5);
+        let src = TaskData {
+            y: xs.iter().map(|p| p[0] + p[1] * 2.0).collect(),
+            x: xs,
+        };
+        let xt = unit_points(8, 3, 6);
+        let tgt = TaskData {
+            y: xt.iter().map(|p| p[0] + p[1] * 2.0 + 0.5).collect(),
+            x: xt,
+        };
+        let mut config = LcmConfig::continuous(3);
+        config.restarts = 0;
+        config.max_opt_iter = 15;
+        group.bench_with_input(BenchmarkId::new("fit_src+8tgt", n_src), &n_src, |b, _| {
+            b.iter_batched(
+                || (vec![src.clone(), tgt.clone()], StdRng::seed_from_u64(7)),
+                |(tasks, mut rng)| Lcm::fit(&tasks, &config, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquisition");
+    group.sample_size(20);
+    let x = unit_points(64, 4, 8);
+    let y: Vec<f64> = x.iter().map(|p| p.iter().sum()).collect();
+    let mut config = GpConfig::continuous(4);
+    config.restarts = 0;
+    config.max_opt_iter = 20;
+    let mut rng = StdRng::seed_from_u64(9);
+    let gp = Gp::fit(&x, &y, &config, &mut rng).unwrap();
+    let surrogate = |q: &[f64]| {
+        let p = gp.predict(q);
+        (p.mean, p.std)
+    };
+    let opts = SearchOptions::default();
+    group.bench_function("propose_ei_320cand", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(10),
+            |mut rng| {
+                propose_ei(&surrogate, 4, Some((&x[0], y[0])), &x, &opts, &mut rng)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_sobol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sobol");
+    group.sample_size(10);
+    let design = SaltelliDesign::generate(6, 512, 0);
+    group.bench_function("saltelli_eval_512x8", |b| {
+        b.iter(|| design.evaluate(|p| p.iter().map(|v| v * v).sum()));
+    });
+    let ev = design.evaluate(|p| p.iter().map(|v| v * v).sum());
+    group.bench_function("indices_with_bootstrap", |b| {
+        b.iter(|| sobol_indices(&ev, 1));
+    });
+    group.finish();
+}
+
+fn bench_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db");
+    group.sample_size(20);
+    let store = DocumentStore::new();
+    for i in 0..5_000i64 {
+        store.insert(
+            FunctionEvaluation::new(if i % 5 == 0 { "P" } else { "Q" }, "alice")
+                .task("m", i % 100)
+                .param("mb", i % 16)
+                .outcome(EvalOutcome::single("runtime", (i % 37) as f64)),
+        );
+    }
+    let filter = parse_query("task.m BETWEEN 10 AND 60 AND output.runtime < 20").unwrap();
+    group.bench_function("query_problem_indexed_1k_of_5k", |b| {
+        b.iter(|| store.query_problem("P", &filter, None));
+    });
+    group.bench_function("query_fullscan_5k", |b| {
+        b.iter(|| store.count(&filter, None));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_gp,
+    bench_lcm,
+    bench_acquisition,
+    bench_sobol,
+    bench_db
+);
+criterion_main!(benches);

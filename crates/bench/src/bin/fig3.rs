@@ -1,0 +1,82 @@
+//! Figure 3 (a–f): comparison of every TLA algorithm (plus NoTLA and the
+//! two naive ensembles) on the demo and Branin synthetic functions.
+//!
+//! Paper setup: 200 random samples per source task; 5 repetitions per
+//! tuner; best-so-far curves over 20 function evaluations.
+//!
+//! - (a) demo: source t=0.8, target t=1.0
+//! - (b) demo: source t=0.8, target t=1.2
+//! - (c), (d) Branin: one random source task, two random targets
+//! - (e), (f) Branin: three random source tasks, two random targets
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin fig3 [--quick]`
+
+use crowdtune_apps::{Application, BraninFunction, DemoFunction};
+use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::{quick_mode, run_comparison, source_task_from_app, Scenario, TunerSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = quick_mode();
+    let (n_src, repeats, budget) = if quick { (60, 2, 8) } else { (200, 5, 20) };
+    // The joint LCM subsamples each task to this cap (the cached source
+    // GPs still see all samples); keeps the 3-source panels tractable on
+    // one core without changing who-wins shapes.
+    let lcm_cap = 60;
+    let lineup = TunerSpec::all();
+
+    // --- (a), (b): demo function ---------------------------------------
+    let demo_src = DemoFunction::new(0.8);
+    let demo_sources = vec![source_task_from_app(&demo_src, "t=0.8", n_src, 100)];
+    for (panel, t_target) in [("(a)", 1.0), ("(b)", 1.2)] {
+        let target = DemoFunction::new(t_target);
+        let scenario = Scenario {
+            label: format!("Fig 3 {panel} demo: source t=0.8 -> target t={t_target}"),
+            target: &target,
+            sources: demo_sources.clone(),
+            budget,
+            repeats,
+            seed: 1000,
+            max_lcm_samples: lcm_cap,
+        };
+        let curves = run_comparison(&scenario, &lineup);
+        print_curves(&scenario.label, &curves);
+        print_speedups(&curves, budget.min(10));
+    }
+
+    // --- (c)-(f): Branin -------------------------------------------------
+    // Random source/target tasks near the canonical coefficients, as the
+    // paper's S1-S3 / T1-T2.
+    let mut task_rng = StdRng::seed_from_u64(777);
+    let s: Vec<BraninFunction> =
+        (0..3).map(|_| BraninFunction::random_task(&mut task_rng, 0.15)).collect();
+    let t: Vec<BraninFunction> =
+        (0..2).map(|_| BraninFunction::random_task(&mut task_rng, 0.15)).collect();
+
+    let one_source: Vec<_> =
+        vec![source_task_from_app(&s[0], "S1", n_src, 200)];
+    let three_sources: Vec<_> = (0..3)
+        .map(|i| source_task_from_app(&s[i], format!("S{}", i + 1).as_str(), n_src, 200 + i as u64))
+        .collect();
+
+    for (panel, target, sources) in [
+        ("(c) 1 source, T1", &t[0], &one_source),
+        ("(d) 1 source, T2", &t[1], &one_source),
+        ("(e) 3 sources, T1", &t[0], &three_sources),
+        ("(f) 3 sources, T2", &t[1], &three_sources),
+    ] {
+        let scenario = Scenario {
+            label: format!("Fig 3 {panel} Branin"),
+            target: target as &dyn Application,
+            sources: sources.clone(),
+            budget,
+            repeats,
+            seed: 2000,
+            max_lcm_samples: lcm_cap,
+        };
+        let curves = run_comparison(&scenario, &lineup);
+        print_curves(&scenario.label, &curves);
+        print_speedups(&curves, budget.min(10));
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 4 (a–b): transfer learning for ScaLAPACK's PDGEQRF on 8 Cori
+//! Haswell nodes (256 cores).
+//!
+//! Paper setup: (a) one source task m=n=10000, (b) three source tasks
+//! m=n=10000/8000/6000; 100 random samples per source; target task tuned
+//! for 10 evaluations; 3 repetitions. The target here is m=n=12000 —
+//! the paper tunes "another task" of the same family.
+//!
+//! This figure exercises the full crowd pipeline: source data is
+//! *uploaded* to the shared database and re-queried through the
+//! meta-description path before tuning.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin fig4 [--quick]`
+
+use crowdtune_apps::{Application, MachineModel, Pdgeqrf};
+use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::{
+    quick_mode, run_comparison, source_task_from_db, upload_source_data, Scenario, TunerSpec,
+};
+use crowdtune_db::HistoryDb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = quick_mode();
+    let (n_src, repeats, budget) = if quick { (40, 2, 6) } else { (100, 3, 10) };
+    let lineup = TunerSpec::application_lineup();
+    let machine = MachineModel::cori_haswell(8);
+
+    // The crowd database: one registered user uploading source data.
+    let db = HistoryDb::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let key = db.register_user("bench", "bench@crowdtune.dev", true, &mut rng).unwrap();
+
+    let sizes = [10_000u64, 8_000, 6_000];
+    let mut all_sources = Vec::new();
+    for (i, &s) in sizes.iter().enumerate() {
+        let app = Pdgeqrf::new(s, s, machine.clone());
+        let ok = upload_source_data(&db, &key, &app, n_src, 300 + i as u64);
+        eprintln!("uploaded {ok}/{n_src} successful source samples for m=n={s}");
+        // Each size is its own problem namespace entry per task params; we
+        // re-query per task by matching the task parameter m.
+        let records = db
+            .query(
+                &key,
+                &crowdtune_db::QuerySpec::all_of("PDGEQRF").with_filter(
+                    crowdtune_db::parse_query(&format!("task.m = {s}")).unwrap(),
+                ),
+            )
+            .unwrap();
+        let space = app.tuning_space();
+        let (ds, _) = crowdtune_core::records_to_dataset(&records, &space, "runtime");
+        let dims = crowdtune_core::dims_of(&space);
+        let mut fit_rng = StdRng::seed_from_u64(0xF17 + i as u64);
+        all_sources.push(
+            crowdtune_core::SourceTask::fit(format!("m=n={s}"), ds, &dims, &mut fit_rng)
+                .expect("source fit"),
+        );
+    }
+    // Also demonstrate the plain round-trip helper on the first source.
+    let _ = source_task_from_db(&db, &key, &Pdgeqrf::new(10_000, 10_000, machine.clone()), "rt");
+
+    let target = Pdgeqrf::new(12_000, 12_000, machine.clone());
+
+    for (panel, n_sources) in [("(a) 1 source (m=n=10000)", 1usize), ("(b) 3 sources", 3)] {
+        let scenario = Scenario {
+            label: format!("Fig 4 {panel}: PDGEQRF target m=n=12000, 8 Haswell nodes"),
+            target: &target,
+            sources: all_sources[..n_sources].to_vec(),
+            budget,
+            repeats,
+            seed: 4000,
+            max_lcm_samples: 80,
+        };
+        let curves = run_comparison(&scenario, &lineup);
+        print_curves(&scenario.label, &curves);
+        print_speedups(&curves, budget.min(10));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 5 (a–c): transfer learning for NIMROD.
+//!
+//! Source: 500 random samples of {mx:5, my:7, lphi:1} on 32 Cori Haswell
+//! nodes. Targets:
+//!
+//! - (a) same problem on **64 Haswell nodes** (different node count),
+//! - (b) {mx:5, my:4, lphi:1} on **32 KNL nodes** (different architecture
+//!   and problem size),
+//! - (c) {mx:6, my:8, lphi:1} on 64 Haswell nodes (larger problem; bad
+//!   `npz` choices fail with OOM — the scenario where failures hurt
+//!   NoTLA most).
+//!
+//! 10 evaluations per run, 3 repetitions.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin fig5 [--quick]`
+
+use crowdtune_apps::{MachineModel, Nimrod};
+use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::{quick_mode, run_comparison, source_task_from_app, Scenario, TunerSpec};
+
+fn main() {
+    let quick = quick_mode();
+    let (n_src, repeats, budget) = if quick { (80, 2, 6) } else { (500, 3, 10) };
+    let lineup = TunerSpec::application_lineup();
+
+    let source_app = Nimrod::new(5, 7, 1, MachineModel::cori_haswell(32));
+    let sources = vec![source_task_from_app(&source_app, "mx5-my7-32hsw", n_src, 500)];
+    eprintln!("source dataset: {} successful samples", sources[0].data.len());
+
+    let targets: Vec<(&str, Nimrod)> = vec![
+        (
+            "(a) same problem, 64 Haswell nodes",
+            Nimrod::new(5, 7, 1, MachineModel::cori_haswell(64)),
+        ),
+        (
+            "(b) {mx:5,my:4}, 32 KNL nodes",
+            Nimrod::new(5, 4, 1, MachineModel::cori_knl(32)),
+        ),
+        (
+            "(c) {mx:6,my:8}, 64 Haswell nodes (OOM region)",
+            Nimrod::new(6, 8, 1, MachineModel::cori_haswell(64)),
+        ),
+    ];
+
+    for (panel, target) in &targets {
+        let scenario = Scenario {
+            label: format!("Fig 5 {panel}"),
+            target,
+            sources: sources.clone(),
+            budget,
+            repeats,
+            seed: 5000,
+            max_lcm_samples: 100,
+        };
+        let curves = run_comparison(&scenario, &lineup);
+        print_curves(&scenario.label, &curves);
+        print_speedups(&curves, budget.min(10));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 6: benefit of sensitivity-driven search-space reduction for
+//! SuperLU_DIST.
+//!
+//! The Table-IV analysis (on Si5H12) says LOOKAHEAD and NREL are nearly
+//! inert; this experiment tunes the *different* matrix H2O (same PARSEC
+//! pattern family) on 4 Haswell nodes, comparing the original 5-parameter
+//! space against the reduced 3-parameter space with LOOKAHEAD and NREL
+//! pinned at their defaults. 3 repetitions.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin fig6 [--quick]`
+
+use crowdtune_apps::{Application, MachineModel, SparseMatrix, SuperLuDist};
+use crowdtune_bench::{arg_value, quick_mode};
+use crowdtune_core::tuner::{tune_notla, TuneConfig};
+use crowdtune_linalg::stats;
+use crowdtune_space::{Point, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Map a log-space best-so-far curve back to runtimes.
+fn unlog(curve: Vec<Option<f64>>) -> Vec<Option<f64>> {
+    curve.into_iter().map(|v| v.map(f64::exp)).collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let repeats: usize = arg_value("--repeats").and_then(|v| v.parse().ok()).unwrap_or(if quick { 2 } else { 3 });
+    let budget = if quick { 6 } else { 15 };
+
+    let app = SuperLuDist::new(SparseMatrix::h2o(), MachineModel::cori_haswell(4));
+    let full_space = app.tuning_space();
+    // Reduced space: tune COLPERM, nprows, NSUP; pin LOOKAHEAD=10, NREL=20
+    // (SuperLU_DIST defaults), per the paper's §VI-D reduction.
+    let reduced = full_space
+        .reduce(
+            &["COLPERM", "nprows", "NSUP"],
+            &[("LOOKAHEAD", Value::Int(10)), ("NREL", Value::Int(20))],
+        )
+        .expect("reduction");
+
+    let mut rows: Vec<(String, Vec<Vec<Option<f64>>>)> = Vec::new();
+
+    // Original space.
+    let mut runs = Vec::new();
+    for rep in 0..repeats {
+        let seed = 6000 + rep as u64 * 7919;
+        let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
+        // Runtimes span ~an order of magnitude across COLPERM choices;
+        // fitting the GP on log-runtime (standard for runtime objectives)
+        // keeps the smaller NSUP/nprows effects visible to the surrogate.
+        let mut obj = |p: &Point| {
+            app.evaluate(p, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+        };
+        // GPTune-style initialization: d+1 space-filling samples before
+        // BO starts — the real cost of a larger space.
+        let config = TuneConfig {
+            budget,
+            seed,
+            n_init: full_space.dim() + 1,
+            ..Default::default()
+        };
+        runs.push(unlog(tune_notla(&full_space, &mut obj, &config).best_so_far()));
+    }
+    rows.push(("original (5 params)".into(), runs));
+
+    // Reduced space.
+    let mut runs = Vec::new();
+    for rep in 0..repeats {
+        let seed = 6000 + rep as u64 * 7919;
+        let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
+        let mut obj = |p: &Point| {
+            let full = reduced.expand(p).expect("expansion");
+            app.evaluate(&full, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+        };
+        let config = TuneConfig {
+            budget,
+            seed,
+            n_init: reduced.sub_space().dim() + 1,
+            ..Default::default()
+        };
+        runs.push(unlog(tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far()));
+    }
+    rows.push(("reduced (3 params)".into(), runs));
+
+    println!("\n=== Fig 6: SuperLU_DIST (H2O) — original vs reduced tuning space ===");
+    println!("{:>4}  {:>24}  {:>24}", "eval", rows[0].0, rows[1].0);
+    for k in 0..budget {
+        print!("{:>4}", k + 1);
+        for (_, runs) in &rows {
+            let vals: Vec<f64> =
+                runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+            if vals.len() == runs.len() {
+                print!("  {:>15.4} ±{:>7.4}", stats::mean(&vals), stats::std_dev(&vals));
+            } else {
+                print!("  {:>24}", "-");
+            }
+        }
+        println!();
+    }
+    let at = |rows_idx: usize, k: usize| -> Option<f64> {
+        let runs = &rows[rows_idx].1;
+        let vals: Vec<f64> =
+            runs.iter().filter_map(|r| r.get(k - 1).copied().flatten()).collect();
+        (vals.len() == runs.len()).then(|| stats::mean(&vals))
+    };
+    let k = budget.min(10);
+    if let (Some(orig), Some(red)) = (at(0, k), at(1, k)) {
+        println!(
+            "\nreduced-space gain at evaluation {k}: {:.2}x ({:.1}% better) — paper reports 1.17x",
+            orig / red,
+            (1.0 - red / orig) * 100.0
+        );
+    }
+}

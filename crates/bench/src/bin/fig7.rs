@@ -1,0 +1,120 @@
+//! Figure 7: benefit of sensitivity-driven search-space reduction for
+//! Hypre (IJ interface, GMRES + BoomerAMG).
+//!
+//! Per the paper's §VI-E: the reduced problem tunes only the three most
+//! sensitive parameters (smooth_type, smooth_num_levels, agg_num_levels),
+//! pins the five parameters with known defaults (strong_threshold,
+//! trunc_factor, P_max_elmts, coarsen_type, relax_type — interp_type is
+//! also pinned, being inert), and draws *random* values for Px, Py and
+//! Nproc, whose defaults are unknown. Budget 20 evaluations, 5 runs.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin fig7 [--quick]`
+
+use crowdtune_apps::{Application, HypreAmg, MachineModel};
+use crowdtune_bench::{arg_value, quick_mode};
+use crowdtune_core::tuner::{tune_notla, TuneConfig};
+use crowdtune_linalg::stats;
+use crowdtune_space::{Point, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Map a log-space best-so-far curve back to runtimes.
+fn unlog(curve: Vec<Option<f64>>) -> Vec<Option<f64>> {
+    curve.into_iter().map(|v| v.map(f64::exp)).collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let repeats: usize = arg_value("--repeats").and_then(|v| v.parse().ok()).unwrap_or(if quick { 2 } else { 5 });
+    let budget = if quick { 6 } else { 20 };
+
+    let app = HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1));
+    let full_space = app.tuning_space();
+
+    let mut original_runs = Vec::new();
+    let mut reduced_runs = Vec::new();
+    for rep in 0..repeats {
+        let seed = 7000 + rep as u64 * 7919;
+        // --- original space --------------------------------------------
+        {
+            let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
+            // Log-runtime objective: see fig6 for the rationale.
+            let mut obj = |p: &Point| {
+                app.evaluate(p, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+            };
+            // GPTune-style initialization: d+1 space-filling samples
+            // before BO starts — the real cost of a larger space.
+            let config = TuneConfig {
+                budget,
+                seed,
+                n_init: full_space.dim() + 1,
+                ..Default::default()
+            };
+            original_runs.push(unlog(tune_notla(&full_space, &mut obj, &config).best_so_far()));
+        }
+        // --- reduced space ----------------------------------------------
+        {
+            // Random values for Px, Py, Nproc (defaults unknown), drawn
+            // once per run, as in the paper.
+            let mut pick = StdRng::seed_from_u64(seed ^ 0x9999);
+            let px = pick.gen_range(1..32i64);
+            let py = pick.gen_range(1..32i64);
+            let nproc = pick.gen_range(1..32i64);
+            let reduced = full_space
+                .reduce(
+                    &["smooth_type", "smooth_num_levels", "agg_num_levels"],
+                    &[
+                        ("Px", Value::Int(px)),
+                        ("Py", Value::Int(py)),
+                        ("Nproc", Value::Int(nproc)),
+                        ("strong_threshold", Value::Real(0.25)),
+                        ("trunc_factor", Value::Real(0.0)),
+                        ("P_max_elmts", Value::Int(4)),
+                        ("coarsen_type", Value::Cat(2)),  // falgout (default)
+                        ("relax_type", Value::Cat(3)),    // hybrid-gs (default)
+                        ("interp_type", Value::Cat(0)),   // classical
+                    ],
+                )
+                .expect("reduction");
+            let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
+            let mut obj = |p: &Point| {
+                let full = reduced.expand(p).expect("expansion");
+                app.evaluate(&full, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+            };
+            let config = TuneConfig {
+                budget,
+                seed,
+                n_init: reduced.sub_space().dim() + 1,
+                ..Default::default()
+            };
+            reduced_runs.push(unlog(tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far()));
+        }
+    }
+
+    println!("\n=== Fig 7: Hypre — original (12 params) vs reduced (3 params) ===");
+    println!("{:>4}  {:>24}  {:>24}", "eval", "original (12 params)", "reduced (3 params)");
+    let summarize = |runs: &[Vec<Option<f64>>], k: usize| -> Option<(f64, f64)> {
+        let vals: Vec<f64> = runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+        (vals.len() == runs.len()).then(|| (stats::mean(&vals), stats::std_dev(&vals)))
+    };
+    for k in 0..budget {
+        print!("{:>4}", k + 1);
+        for runs in [&original_runs, &reduced_runs] {
+            match summarize(runs, k) {
+                Some((m, s)) => print!("  {:>15.4} ±{:>7.4}", m, s),
+                None => print!("  {:>24}", "-"),
+            }
+        }
+        println!();
+    }
+    let k = budget.min(10);
+    if let (Some((orig, _)), Some((red, _))) =
+        (summarize(&original_runs, k - 1), summarize(&reduced_runs, k - 1))
+    {
+        println!(
+            "\nreduced-space gain at evaluation {k}: {:.2}x ({:.1}% better) — paper reports 1.35x",
+            orig / red,
+            (1.0 - red / orig) * 100.0
+        );
+    }
+}

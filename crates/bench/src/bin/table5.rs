@@ -1,0 +1,76 @@
+//! Table V: Sobol sensitivity analysis of Hypre's 12 tuning parameters
+//! (GMRES + BoomerAMG, 3-D Poisson, nx=ny=nz=100), using 1000 samples
+//! collected on one Cori Haswell node.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin table5 [--quick]`
+
+use crowdtune_apps::{HypreAmg, MachineModel};
+use crowdtune_bench::{arg_value, quick_mode, upload_source_data};
+use crowdtune_core::{query_sensitivity_analysis, CrowdSession};
+use crowdtune_db::HistoryDb;
+use crowdtune_sensitivity::AnalysisConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = quick_mode();
+    let n_samples: usize = arg_value("--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 200 } else { 1000 });
+    let n_sobol = if quick { 256 } else { 1024 };
+
+    let app = HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1));
+    let db = HistoryDb::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let key = db.register_user("bench", "bench@crowdtune.dev", true, &mut rng).unwrap();
+    let ok = upload_source_data(&db, &key, &app, n_samples, 700);
+    eprintln!("uploaded {ok}/{n_samples} Hypre samples");
+
+    let cats = |list: &[&str]| -> String {
+        let quoted: Vec<String> = list.iter().map(|c| format!("\"{c}\"")).collect();
+        quoted.join(", ")
+    };
+    let meta = format!(
+        r#"{{
+        "api_key": "{key}",
+        "tuning_problem_name": "Hypre",
+        "problem_space": {{
+            "input_space": [],
+            "parameter_space": [
+                {{"name": "Px", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "Py", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "Nproc", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "strong_threshold", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}},
+                {{"name": "trunc_factor", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}},
+                {{"name": "P_max_elmts", "type": "integer", "lower_bound": 1, "upper_bound": 12}},
+                {{"name": "coarsen_type", "type": "categorical", "categories": [{coarsen}]}},
+                {{"name": "relax_type", "type": "categorical", "categories": [{relax}]}},
+                {{"name": "smooth_type", "type": "categorical", "categories": [{smooth}]}},
+                {{"name": "smooth_num_levels", "type": "integer", "lower_bound": 0, "upper_bound": 5}},
+                {{"name": "interp_type", "type": "categorical", "categories": [{interp}]}},
+                {{"name": "agg_num_levels", "type": "integer", "lower_bound": 0, "upper_bound": 5}}
+            ],
+            "output_space": [{{"name": "runtime", "type": "real"}}]
+        }},
+        "sync_crowd_repo": "no"
+    }}"#,
+        coarsen = cats(&crowdtune_apps::COARSEN_TYPES),
+        relax = cats(&crowdtune_apps::RELAX_TYPES),
+        smooth = cats(&crowdtune_apps::SMOOTH_TYPES),
+        interp = cats(&crowdtune_apps::INTERP_TYPES),
+    );
+    let session = CrowdSession::open(&db, &meta).expect("session");
+    let result = query_sensitivity_analysis(
+        &session,
+        &AnalysisConfig { n_samples: n_sobol, seed: 0 },
+        0,
+    )
+    .expect("sensitivity analysis");
+
+    println!("\n=== Table V: Hypre sensitivity (nx=ny=nz=100, {n_samples} samples) ===");
+    print!("{}", result.to_table());
+    println!("\ninfluential (ST > 0.1), ranked: {:?}", result.influential_names(0.1));
+    println!(
+        "paper Table V shape: smooth_type & agg_num_levels high; smooth_num_levels, Py, Nproc moderate; rest ~ 0"
+    );
+}

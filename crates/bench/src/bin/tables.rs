@@ -1,0 +1,64 @@
+//! Tables I–III: the paper's descriptive tables, printed from the live
+//! implementation so they stay in sync with the code.
+//!
+//! - Table I: the TLA algorithm pool.
+//! - Table II: PDGEQRF tuning parameters.
+//! - Table III: NIMROD tuning parameters.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin tables [-- table1|table2|table3]`
+
+use crowdtune_apps::{Application, MachineModel, Nimrod, Pdgeqrf};
+use crowdtune_bench::TunerSpec;
+use crowdtune_space::Domain;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "all" || which == "table1" {
+        table1();
+    }
+    if which == "all" || which == "table2" {
+        table2();
+    }
+    if which == "all" || which == "table3" {
+        table3();
+    }
+}
+
+fn table1() {
+    println!("\n=== Table I: the TLA algorithm pool ===");
+    let descr = [
+        (TunerSpec::MultitaskPs, "LCM multitask learning on pseudo samples from source surrogate models", "GPTune 2021 [11]"),
+        (TunerSpec::MultitaskTs, "LCM multitask learning on true source samples (unequal counts per task)", "GPTuneCrowd"),
+        (TunerSpec::WeightedEqual, "Weighted sum of per-task surrogates, static/equal weights", "HiPerBOt [6]"),
+        (TunerSpec::WeightedDynamic, "Weighted sum with per-iteration NNLS-regressed weights", "GPTuneCrowd"),
+        (TunerSpec::Stacking, "Residual-model stacking over sources ordered by sample count", "Vizier [12]"),
+        (TunerSpec::EnsembleProposed, "Per-evaluation algorithm selection: Eq.3 PDF + Eq.4 exploration", "GPTuneCrowd"),
+    ];
+    for (spec, what, who) in descr {
+        println!("  {:<22} {:<72} {}", spec.name(), what, who);
+    }
+}
+
+fn print_space(app: &dyn Application) {
+    let space = app.tuning_space();
+    for p in space.params() {
+        let dom = match &p.domain {
+            Domain::Integer { lo, hi } => format!("Integer [{lo},{hi})"),
+            Domain::Real { lo, hi } => format!("Real [{lo},{hi})"),
+            Domain::Categorical { categories } => {
+                format!("Categorical {} choices: {:?}", categories.len(), categories)
+            }
+        };
+        println!("  {:<18} {dom}", p.name);
+    }
+}
+
+fn table2() {
+    println!("\n=== Table II: PDGEQRF tuning parameters (8 Haswell nodes) ===");
+    print_space(&Pdgeqrf::new(10_000, 10_000, MachineModel::cori_haswell(8)));
+}
+
+fn table3() {
+    println!("\n=== Table III: NIMROD tuning parameters ===");
+    print_space(&Nimrod::new(5, 7, 1, MachineModel::cori_haswell(32)));
+}

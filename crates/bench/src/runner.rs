@@ -1,0 +1,323 @@
+//! The tuner-comparison runner: run a grid of (tuner × seed) on one
+//! target task, aggregate best-so-far curves, and print them in the
+//! paper's figure shape (mean ± std per evaluation count).
+
+use crowdtune_apps::Application;
+use crowdtune_core::tuner::{tune_notla_constrained, tune_tla_constrained, TuneConfig};
+use crowdtune_core::{
+    Ensemble, EnsemblePolicy, MultitaskPs, MultitaskTs, SourceTask, Stacking, TlaStrategy,
+    WeightedSum,
+};
+use crowdtune_linalg::stats;
+use crowdtune_space::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Which tuner to run (factory: strategies are stateful, so each run
+/// builds a fresh instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerSpec {
+    /// Single-task BO baseline.
+    NoTla,
+    /// `Multitask(PS)`.
+    MultitaskPs,
+    /// `Multitask(TS)`.
+    MultitaskTs,
+    /// `WeightedSum(equal)`.
+    WeightedEqual,
+    /// `WeightedSum(dynamic)`.
+    WeightedDynamic,
+    /// `Stacking`.
+    Stacking,
+    /// `Ensemble(proposed)`.
+    EnsembleProposed,
+    /// `Ensemble(toggling)`.
+    EnsembleToggling,
+    /// `Ensemble(prob)`.
+    EnsembleProb,
+}
+
+impl TunerSpec {
+    /// Table-I-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TunerSpec::NoTla => "NoTLA",
+            TunerSpec::MultitaskPs => "Multitask(PS)",
+            TunerSpec::MultitaskTs => "Multitask(TS)",
+            TunerSpec::WeightedEqual => "WeightedSum(equal)",
+            TunerSpec::WeightedDynamic => "WeightedSum(dynamic)",
+            TunerSpec::Stacking => "Stacking",
+            TunerSpec::EnsembleProposed => "Ensemble(proposed)",
+            TunerSpec::EnsembleToggling => "Ensemble(toggling)",
+            TunerSpec::EnsembleProb => "Ensemble(prob)",
+        }
+    }
+
+    /// The full 9-tuner lineup of the paper's Fig. 3.
+    pub fn all() -> Vec<TunerSpec> {
+        vec![
+            TunerSpec::NoTla,
+            TunerSpec::MultitaskPs,
+            TunerSpec::MultitaskTs,
+            TunerSpec::WeightedEqual,
+            TunerSpec::WeightedDynamic,
+            TunerSpec::Stacking,
+            TunerSpec::EnsembleProposed,
+            TunerSpec::EnsembleToggling,
+            TunerSpec::EnsembleProb,
+        ]
+    }
+
+    /// The reduced lineup of the real-application figures (Figs. 4–5).
+    pub fn application_lineup() -> Vec<TunerSpec> {
+        vec![
+            TunerSpec::NoTla,
+            TunerSpec::MultitaskTs,
+            TunerSpec::WeightedDynamic,
+            TunerSpec::Stacking,
+            TunerSpec::EnsembleProposed,
+        ]
+    }
+
+    fn build_strategy(&self) -> Option<Box<dyn TlaStrategy>> {
+        Some(match self {
+            TunerSpec::NoTla => return None,
+            TunerSpec::MultitaskPs => Box::new(MultitaskPs::new()),
+            TunerSpec::MultitaskTs => Box::new(MultitaskTs::new()),
+            TunerSpec::WeightedEqual => Box::new(WeightedSum::equal()),
+            TunerSpec::WeightedDynamic => Box::new(WeightedSum::dynamic()),
+            TunerSpec::Stacking => Box::new(Stacking::new()),
+            TunerSpec::EnsembleProposed => Box::new(Ensemble::proposed_default()),
+            TunerSpec::EnsembleToggling => Box::new(Ensemble::new(
+                vec![
+                    Box::new(MultitaskTs::new()),
+                    Box::new(WeightedSum::dynamic()),
+                    Box::new(Stacking::new()),
+                ],
+                EnsemblePolicy::Toggling,
+            )),
+            TunerSpec::EnsembleProb => Box::new(Ensemble::new(
+                vec![
+                    Box::new(MultitaskTs::new()),
+                    Box::new(WeightedSum::dynamic()),
+                    Box::new(Stacking::new()),
+                ],
+                EnsemblePolicy::ProbOnly,
+            )),
+        })
+    }
+}
+
+/// An aggregated best-so-far curve for one tuner.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Tuner name.
+    pub tuner: &'static str,
+    /// Mean best-so-far at each evaluation count (NaN where no run had a
+    /// success yet — the paper omits those points).
+    pub mean: Vec<f64>,
+    /// Standard deviation across seeds.
+    pub std: Vec<f64>,
+    /// Number of runs (seeds) with at least one success at each step.
+    pub n_ok: Vec<usize>,
+}
+
+impl Curve {
+    /// Mean best-so-far at evaluation `k` (1-based), if defined.
+    pub fn at(&self, k: usize) -> Option<f64> {
+        let v = *self.mean.get(k.checked_sub(1)?)?;
+        v.is_finite().then_some(v)
+    }
+}
+
+/// One comparison scenario: a target application, pre-collected sources,
+/// a budget and a number of repetitions.
+pub struct Scenario<'a> {
+    /// Display label (paper subplot id, e.g. `"(a) target t=1.0"`).
+    pub label: String,
+    /// The target application instance.
+    pub target: &'a dyn Application,
+    /// Pre-collected source tasks.
+    pub sources: Vec<SourceTask>,
+    /// Evaluation budget `NS`.
+    pub budget: usize,
+    /// Number of tuning repetitions (seeds).
+    pub repeats: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Per-task sample cap for LCM fitting. The cached source GPs (and
+    /// hence the weighted-sum / stacking algorithms) always use the full
+    /// source data; only the joint LCM subsamples, bounding its O(N^3)
+    /// cost. 0 means the tuner default.
+    pub max_lcm_samples: usize,
+}
+
+/// Run every tuner in `lineup` on the scenario and aggregate curves.
+pub fn run_comparison(scenario: &Scenario<'_>, lineup: &[TunerSpec]) -> Vec<Curve> {
+    lineup
+        .iter()
+        .map(|spec| {
+            // Seeds run in parallel (each run is fully deterministic).
+            let runs: Vec<Vec<Option<f64>>> = (0..scenario.repeats)
+                .into_par_iter()
+                .map(|rep| {
+                    let seed = scenario.seed.wrapping_add(rep as u64 * 7919);
+                    run_once(scenario, *spec, seed)
+                })
+                .collect();
+            aggregate(spec.name(), scenario.budget, &runs)
+        })
+        .collect()
+}
+
+fn run_once(scenario: &Scenario<'_>, spec: TunerSpec, seed: u64) -> Vec<Option<f64>> {
+    let space = scenario.target.tuning_space();
+    // Independent noise stream for the application's timing jitter.
+    let mut noise_rng = StdRng::seed_from_u64(seed ^ 0xAB0BA);
+    let mut objective = |p: &Point| {
+        scenario.target.evaluate(p, &mut noise_rng).map_err(|e| e.to_string())
+    };
+    let mut config = TuneConfig { budget: scenario.budget, seed, ..Default::default() };
+    if scenario.max_lcm_samples > 0 {
+        config.max_lcm_samples = scenario.max_lcm_samples;
+    }
+    // GPTune's documented default spends NS1 = NS/2 evaluations on random
+    // initialization before Bayesian optimization starts; the paper's
+    // NoTLA baseline inherits that. (The TLA loop ignores n_init — its
+    // prior comes from the sources.)
+    config.n_init = (scenario.budget / 2).max(2);
+    // Structural constraints are known without running the app; OOM-style
+    // failures still reach the tuner through the objective.
+    let constraint = |p: &crowdtune_space::Point| scenario.target.validate_config(p);
+    let result = match spec.build_strategy() {
+        None => tune_notla_constrained(&space, &mut objective, &config, Some(&constraint)),
+        Some(mut strategy) => tune_tla_constrained(
+            &space,
+            &mut objective,
+            &scenario.sources,
+            strategy.as_mut(),
+            &config,
+            Some(&constraint),
+        ),
+    };
+    result.best_so_far()
+}
+
+fn aggregate(tuner: &'static str, budget: usize, runs: &[Vec<Option<f64>>]) -> Curve {
+    let mut mean = Vec::with_capacity(budget);
+    let mut std = Vec::with_capacity(budget);
+    let mut n_ok = Vec::with_capacity(budget);
+    for k in 0..budget {
+        let vals: Vec<f64> = runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+        n_ok.push(vals.len());
+        // The paper draws a point only when every repetition has a
+        // successful evaluation by step k (failures push curves right).
+        if vals.len() == runs.len() && !vals.is_empty() {
+            mean.push(stats::mean(&vals));
+            std.push(stats::std_dev(&vals));
+        } else {
+            mean.push(f64::NAN);
+            std.push(f64::NAN);
+        }
+    }
+    Curve { tuner, mean, std, n_ok }
+}
+
+/// Print curves as an aligned table: one row per evaluation count, one
+/// `mean±std` column per tuner — the textual equivalent of the paper's
+/// line charts.
+pub fn print_curves(label: &str, curves: &[Curve]) {
+    println!("\n=== {label} ===");
+    print!("{:>4}", "eval");
+    for c in curves {
+        print!("  {:>22}", c.tuner);
+    }
+    println!();
+    let budget = curves.first().map(|c| c.mean.len()).unwrap_or(0);
+    for k in 0..budget {
+        print!("{:>4}", k + 1);
+        for c in curves {
+            if c.mean[k].is_finite() {
+                print!("  {:>13.4} ±{:>6.4}", c.mean[k], c.std[k]);
+            } else {
+                print!("  {:>22}", "-");
+            }
+        }
+        println!();
+    }
+}
+
+/// Report the paper's headline ratio: tuned performance of each tuner
+/// relative to `NoTLA` at evaluation `k` (values > 1 mean the tuner's
+/// configuration is that many times faster).
+pub fn print_speedups(curves: &[Curve], k: usize) {
+    let Some(base) = curves.iter().find(|c| c.tuner == "NoTLA").and_then(|c| c.at(k)) else {
+        println!("(no NoTLA baseline value at evaluation {k})");
+        return;
+    };
+    println!("-- speedup over NoTLA at evaluation {k} (NoTLA best-so-far {base:.4}) --");
+    for c in curves {
+        if c.tuner == "NoTLA" {
+            continue;
+        }
+        match c.at(k) {
+            Some(v) => println!("  {:>22}: {:.2}x", c.tuner, base / v),
+            None => println!("  {:>22}: (no point)", c.tuner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_apps::DemoFunction;
+    use crate::sources::source_task_from_app;
+
+    #[test]
+    fn comparison_runs_and_aggregates() {
+        let target = DemoFunction::new(1.0);
+        let src_app = DemoFunction::new(0.8);
+        let sources = vec![source_task_from_app(&src_app, "t=0.8", 30, 1)];
+        let scenario = Scenario {
+            label: "test".into(),
+            target: &target,
+            sources,
+            budget: 4,
+            repeats: 2,
+            seed: 0,
+            max_lcm_samples: 0,
+        };
+        let curves =
+            run_comparison(&scenario, &[TunerSpec::NoTla, TunerSpec::WeightedDynamic]);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].mean.len(), 4);
+        // Demo function never fails: every step has all runs succeeding.
+        assert!(curves.iter().all(|c| c.n_ok.iter().all(|&n| n == 2)));
+        assert!(curves[0].at(4).is_some());
+        // Monotone non-increasing means.
+        for c in &curves {
+            for w in c.mean.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn curves_deterministic_for_seed() {
+        let target = DemoFunction::new(1.2);
+        let sources = vec![source_task_from_app(&DemoFunction::new(0.8), "s", 25, 3)];
+        let mk = || Scenario {
+            label: "det".into(),
+            target: &target,
+            sources: sources.clone(),
+            budget: 3,
+            repeats: 2,
+            seed: 42,
+            max_lcm_samples: 0,
+        };
+        let a = run_comparison(&mk(), &[TunerSpec::Stacking]);
+        let b = run_comparison(&mk(), &[TunerSpec::Stacking]);
+        assert_eq!(a[0].mean, b[0].mean);
+    }
+}

@@ -1,0 +1,297 @@
+//! Crowd-data analytics beyond the four §IV-B utilities:
+//!
+//! - [`loo_validation`] — leave-one-out cross-validation of a surrogate
+//!   over crowd data, the standard answer to "can I trust
+//!   `QueryPredictOutput` here?".
+//! - [`morris_screening_of_session`] — Morris elementary-effects
+//!   screening as a cheaper companion to `QuerySensitivityAnalysis`.
+//! - [`detect_variability`] — the paper's stated *future work*
+//!   ("detecting/diagnosing performance variability of performance
+//!   samples caused by system noise"): find configurations whose
+//!   repeated measurements disagree by more than the crowd's typical
+//!   run-to-run spread.
+
+use crate::data::records_to_dataset;
+use crate::meta::{CrowdSession, MetaError};
+use crate::tuner::dims_of;
+use crate::utilities::query_surrogate_model;
+use crowdtune_gp::{Gp, GpConfig};
+use crowdtune_linalg::stats;
+use crowdtune_sensitivity::{morris_screening, MorrisResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Result of a leave-one-out validation run.
+#[derive(Debug, Clone)]
+pub struct LooValidation {
+    /// Root-mean-square error of the held-out predictions.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Fraction of held-out truths inside the predicted 95% interval
+    /// (`mean ± 1.96 std`) — calibration check.
+    pub coverage_95: f64,
+    /// Number of points validated.
+    pub n: usize,
+}
+
+/// Leave-one-out cross-validation of a GP surrogate over the session's
+/// crowd data. `max_folds` bounds the cost (folds are strided evenly
+/// across the dataset); each fold refits the surrogate without the
+/// held-out point.
+pub fn loo_validation(
+    session: &CrowdSession<'_>,
+    max_folds: usize,
+    seed: u64,
+) -> Result<LooValidation, MetaError> {
+    let records = session.query_function_evaluations()?;
+    let (ds, _) =
+        records_to_dataset(&records, &session.tuning_space, session.meta.objective_name());
+    if ds.len() < 3 {
+        return Err(MetaError::BadField(
+            "leave-one-out validation needs at least 3 usable samples".into(),
+        ));
+    }
+    let folds = max_folds.max(1).min(ds.len());
+    let stride = ds.len() as f64 / folds as f64;
+    let dims = dims_of(&session.tuning_space);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sq_err = 0.0;
+    let mut abs_err = 0.0;
+    let mut covered = 0usize;
+    let mut n = 0usize;
+    for k in 0..folds {
+        let held = (k as f64 * stride) as usize;
+        let mut x = ds.x.clone();
+        let mut y = ds.y.clone();
+        let x_held = x.remove(held);
+        let y_held = y.remove(held);
+        let mut config = GpConfig::new(dims.clone());
+        config.restarts = 0;
+        config.max_opt_iter = 30;
+        let Ok(gp) = Gp::fit(&x, &y, &config, &mut rng) else {
+            continue;
+        };
+        let p = gp.predict(&x_held);
+        let err = p.mean - y_held;
+        sq_err += err * err;
+        abs_err += err.abs();
+        if err.abs() <= 1.96 * p.std {
+            covered += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err(MetaError::BadField("every LOO fold failed to fit".into()));
+    }
+    Ok(LooValidation {
+        rmse: (sq_err / n as f64).sqrt(),
+        mae: abs_err / n as f64,
+        coverage_95: covered as f64 / n as f64,
+        n,
+    })
+}
+
+/// Morris elementary-effects screening of the session's surrogate: a
+/// cheap first pass before the full Sobol analysis. `r` trajectories of
+/// `d + 1` model evaluations each.
+pub fn morris_screening_of_session(
+    session: &CrowdSession<'_>,
+    r: usize,
+    seed: u64,
+) -> Result<(Vec<String>, MorrisResult), MetaError> {
+    let model = query_surrogate_model(session, seed)?;
+    let space = session.tuning_space.clone();
+    let result = morris_screening(space.dim(), r, seed, |u| {
+        let mut v = u.to_vec();
+        space.snap_unit(&mut v);
+        model.predict_unit(&v).0
+    });
+    let names = session.tuning_space.names().into_iter().map(str::to_string).collect();
+    Ok((names, result))
+}
+
+/// A configuration whose repeated measurements disagree suspiciously.
+#[derive(Debug, Clone)]
+pub struct VariabilityReport {
+    /// Canonical key of the configuration (serialized tuning parameters).
+    pub config_key: String,
+    /// Number of repeated measurements.
+    pub n_repeats: usize,
+    /// Mean measured output.
+    pub mean: f64,
+    /// Relative spread (std / mean).
+    pub rel_spread: f64,
+}
+
+/// Detect performance variability across repeated measurements of
+/// identical configurations (the paper's future-work item). Groups the
+/// session's records by exact tuning-parameter values and flags groups
+/// whose relative spread (std/mean) exceeds `threshold` (e.g. 0.15 =
+/// 15%, well above healthy timing jitter). Returns flagged groups,
+/// worst first.
+pub fn detect_variability(
+    session: &CrowdSession<'_>,
+    threshold: f64,
+) -> Result<Vec<VariabilityReport>, MetaError> {
+    let records = session.query_function_evaluations()?;
+    let objective = session.meta.objective_name();
+    let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for rec in &records {
+        let Some(y) = rec.result.output(objective) else { continue };
+        let key = serde_json::to_string(&rec.tuning_parameters).unwrap_or_default();
+        groups.entry(key).or_default().push(y);
+    }
+    let mut out: Vec<VariabilityReport> = groups
+        .into_iter()
+        .filter(|(_, ys)| ys.len() >= 2)
+        .filter_map(|(config_key, ys)| {
+            let mean = stats::mean(&ys);
+            if mean.abs() < 1e-300 {
+                return None;
+            }
+            let rel_spread = stats::std_dev(&ys) / mean.abs();
+            (rel_spread > threshold).then_some(VariabilityReport {
+                config_key,
+                n_repeats: ys.len(),
+                mean,
+                rel_spread,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.rel_spread.partial_cmp(&a.rel_spread).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_db::{EvalOutcome, FunctionEvaluation, HistoryDb};
+    use rand::Rng;
+
+    const META: &str = r#"{
+        "api_key": "KEY",
+        "tuning_problem_name": "an",
+        "problem_space": {
+            "input_space": [],
+            "parameter_space": [
+                {"name": "a", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0},
+                {"name": "b", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}
+            ],
+            "output_space": [{"name": "runtime", "type": "real"}]
+        },
+        "sync_crowd_repo": "no"
+    }"#;
+
+    fn db_with(f: impl Fn(f64, f64) -> f64, n: usize, seed: u64) -> (HistoryDb, String) {
+        let db = HistoryDb::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = db.register_user("u", "u@x.org", true, &mut rng).unwrap();
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            let eval = FunctionEvaluation::new("an", "u")
+                .param("a", a)
+                .param("b", b)
+                .outcome(EvalOutcome::single("runtime", f(a, b)));
+            db.submit(&key, eval).unwrap();
+        }
+        (db, key)
+    }
+
+    #[test]
+    fn loo_validation_on_smooth_function_is_accurate_and_calibrated() {
+        let (db, key) = db_with(|a, b| 3.0 * a + b, 40, 1);
+        let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
+        let v = loo_validation(&session, 12, 0).unwrap();
+        assert_eq!(v.n, 12);
+        assert!(v.rmse < 0.3, "rmse = {}", v.rmse);
+        assert!(v.mae <= v.rmse + 1e-12);
+        assert!(v.coverage_95 > 0.6, "coverage = {}", v.coverage_95);
+    }
+
+    #[test]
+    fn loo_needs_enough_data() {
+        let (db, key) = db_with(|a, _| a, 2, 2);
+        let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
+        assert!(loo_validation(&session, 5, 0).is_err());
+    }
+
+    #[test]
+    fn morris_screening_ranks_dominant_parameter() {
+        let (db, key) = db_with(|a, b| 5.0 * a + 0.1 * b, 60, 3);
+        let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
+        let (names, result) = morris_screening_of_session(&session, 20, 0).unwrap();
+        assert_eq!(names, vec!["a", "b"]);
+        let rank = result.ranking();
+        assert_eq!(rank[0], 0, "a must dominate: {:?}", result.params);
+    }
+
+    #[test]
+    fn variability_detector_flags_noisy_configs() {
+        let db = HistoryDb::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = db.register_user("u", "u@x.org", true, &mut rng).unwrap();
+        // A stable config measured 3 times and a flaky one measured 3 times.
+        for y in [10.0, 10.1, 9.9] {
+            db.submit(
+                &key,
+                FunctionEvaluation::new("an", "u")
+                    .param("a", 0.5)
+                    .param("b", 0.5)
+                    .outcome(EvalOutcome::single("runtime", y)),
+            )
+            .unwrap();
+        }
+        for y in [10.0, 20.0, 5.0] {
+            db.submit(
+                &key,
+                FunctionEvaluation::new("an", "u")
+                    .param("a", 0.9)
+                    .param("b", 0.1)
+                    .outcome(EvalOutcome::single("runtime", y)),
+            )
+            .unwrap();
+        }
+        // A singleton config: never flagged (no repeats).
+        db.submit(
+            &key,
+            FunctionEvaluation::new("an", "u")
+                .param("a", 0.1)
+                .param("b", 0.9)
+                .outcome(EvalOutcome::single("runtime", 42.0)),
+        )
+        .unwrap();
+
+        let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
+        let reports = detect_variability(&session, 0.15).unwrap();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert!(reports[0].config_key.contains("0.9"));
+        assert_eq!(reports[0].n_repeats, 3);
+        assert!(reports[0].rel_spread > 0.4);
+    }
+
+    #[test]
+    fn variability_threshold_respected() {
+        let db = HistoryDb::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = db.register_user("u", "u@x.org", true, &mut rng).unwrap();
+        for y in [10.0, 10.5] {
+            db.submit(
+                &key,
+                FunctionEvaluation::new("an", "u")
+                    .param("a", 0.5)
+                    .param("b", 0.5)
+                    .outcome(EvalOutcome::single("runtime", y)),
+            )
+            .unwrap();
+        }
+        let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
+        // ~3.4% spread: above a 1% threshold, below a 10% one.
+        assert_eq!(detect_variability(&session, 0.10).unwrap().len(), 0);
+        assert_eq!(detect_variability(&session, 0.01).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # crowdtune-core
+//!
+//! The crowd-tuning autotuner — the paper's primary contribution:
+//!
+//! - [`tuner`] — the Bayesian-optimization drivers: the `NoTLA` baseline
+//!   and the transfer-learning loop hosting any pool algorithm.
+//! - [`tla`] — the TLA algorithm pool (paper Table I): `Multitask(PS)`,
+//!   `Multitask(TS)`, `WeightedSum(static/equal/dynamic)`, `Stacking`,
+//!   and the `Ensemble(proposed/toggling/prob)` selector.
+//! - [`acquisition`] — Expected Improvement / LCB and the candidate
+//!   search all strategies share.
+//! - [`meta`] — the meta-description interface (paper §IV-A): one JSON
+//!   document binds a tuning problem to the shared database.
+//! - [`utilities`] — `QueryFunctionEvaluations`, `QuerySurrogateModel`,
+//!   `QueryPredictOutput`, `QuerySensitivityAnalysis` (paper §IV-B).
+//! - [`analytics`] — leave-one-out surrogate validation, Morris
+//!   screening, and performance-variability detection (the paper's
+//!   stated future work).
+//! - [`data`] — dataset plumbing between database records, spaces, and
+//!   the GP stack.
+
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod analytics;
+pub mod data;
+pub mod meta;
+pub mod tla;
+pub mod tuner;
+pub mod utilities;
+
+pub use acquisition::{
+    expected_improvement, lower_confidence_bound, AcquisitionKind, SearchOptions, Surrogate,
+};
+pub use analytics::{
+    detect_variability, loo_validation, morris_screening_of_session, LooValidation,
+    VariabilityReport,
+};
+pub use data::{records_to_dataset, Dataset};
+pub use meta::{CrowdSession, MetaDescription, MetaError};
+pub use tla::ensemble::{Ensemble, EnsemblePolicy};
+pub use tla::multitask::{MultitaskPs, MultitaskTs};
+pub use tla::stacking::Stacking;
+pub use tla::weighted::WeightedSum;
+pub use tla::{SourceTask, TlaContext, TlaStrategy};
+pub use tuner::{
+    dims_of, tune_notla, tune_notla_constrained, tune_tla, tune_tla_constrained, Constraint,
+    EvalRecord, TuneConfig, TuneResult,
+};
+pub use utilities::{
+    query_predict_output, query_sensitivity_analysis, query_surrogate_model,
+    query_surrogate_model_with, SurrogateKind, SurrogateModelHandle,
+};

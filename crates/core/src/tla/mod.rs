@@ -1,0 +1,166 @@
+//! The pool of Transfer-Learning-for-Autotuning (TLA) algorithms
+//! (paper §V, Table I).
+//!
+//! Every algorithm consumes the same context — pre-collected *source
+//! task* datasets (with a cached per-source GP) plus the live *target
+//! task* history — and proposes the next unit-cube configuration to
+//! evaluate. The tuner (see [`crate::tuner`]) owns the evaluate-update
+//! loop and feeds observations back via [`TlaStrategy::observe`], which
+//! the ensemble uses for its attribution bookkeeping.
+
+pub mod ensemble;
+pub mod multitask;
+pub mod stacking;
+pub mod weighted;
+
+use crate::acquisition::{SearchOptions, ValidityFn};
+use crate::data::Dataset;
+use crowdtune_gp::{DimKind, Gp, GpConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source task: its collected data and a GP fitted once on that data.
+#[derive(Debug, Clone)]
+pub struct SourceTask {
+    /// Label for diagnostics (e.g. `"m=n=10000"`).
+    pub name: String,
+    /// The collected samples (unit cube + objective).
+    pub data: Dataset,
+    /// Surrogate fitted on `data` (cached; source data never changes
+    /// during a tuning run).
+    pub gp: Gp,
+}
+
+impl SourceTask {
+    /// Fit the cached source GP and build the task.
+    pub fn fit<R: Rng>(
+        name: impl Into<String>,
+        data: Dataset,
+        dims: &[DimKind],
+        rng: &mut R,
+    ) -> Result<Self, crowdtune_gp::GpError> {
+        let mut config = GpConfig::new(dims.to_vec());
+        config.restarts = 1;
+        config.max_opt_iter = 50;
+        let gp = Gp::fit(&data.x, &data.y, &config, rng)?;
+        Ok(SourceTask { name: name.into(), data, gp })
+    }
+}
+
+/// Everything a TLA algorithm sees when proposing the next configuration.
+pub struct TlaContext<'a> {
+    /// Per-dimension kinds of the tuning space.
+    pub dims: &'a [DimKind],
+    /// The source tasks.
+    pub sources: &'a [SourceTask],
+    /// The target task's history so far (successful evaluations only).
+    pub target: &'a Dataset,
+    /// Acquisition search options.
+    pub search: &'a SearchOptions,
+    /// Cap on per-task samples fed to the LCM (cost control; the full
+    /// source data still backs the cached GPs).
+    pub max_lcm_samples: usize,
+    /// Optional constraint predicate over unit-cube candidates (problem
+    /// constraints such as process-grid feasibility).
+    pub valid: Option<&'a ValidityFn<'a>>,
+    /// Unit points of *failed* target evaluations (excluded from models,
+    /// avoided by the candidate search).
+    pub failed: &'a [Vec<f64>],
+}
+
+impl TlaContext<'_> {
+    /// Incumbent `(x, y)` of the target task.
+    pub fn incumbent(&self) -> Option<(&[f64], f64)> {
+        let best = self.target.best()?;
+        let idx = self.target.y.iter().position(|&v| v == best)?;
+        Some((&self.target.x[idx], best))
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// A transfer-learning proposal strategy.
+pub trait TlaStrategy: Send {
+    /// Human-readable algorithm name (Table I naming).
+    fn name(&self) -> &str;
+
+    /// Propose the next unit-cube point for the target task.
+    fn propose(&mut self, ctx: &TlaContext<'_>, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Feed back the observed objective for the last proposal (`None`
+    /// when the evaluation failed). Default: stateless.
+    fn observe(&mut self, _x: &[f64], _y: Option<f64>) {}
+}
+
+/// A uniform-random fallback proposal (used internally by strategies when
+/// a model cannot be fitted, and as a baseline).
+pub fn random_proposal(dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen::<f64>()).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A 1-D quadratic family: source minimized at 0.3, target at 0.4 —
+    /// correlated tasks with shifted optima, the canonical TLA test bed.
+    pub fn quad_source_target(n_src: usize, n_tgt: usize) -> (Vec<SourceTask>, Dataset) {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut src = Dataset::default();
+        for i in 0..n_src {
+            let x = (i as f64 + 0.5) / n_src as f64;
+            src.push(vec![x], 2.0 + 10.0 * (x - 0.3) * (x - 0.3));
+        }
+        let dims = vec![DimKind::Continuous];
+        let source = SourceTask::fit("src", src, &dims, &mut rng).unwrap();
+        let mut tgt = Dataset::default();
+        for i in 0..n_tgt {
+            let x = (i as f64 + 0.7) / (n_tgt as f64 + 1.0);
+            tgt.push(vec![x], 3.0 + 10.0 * (x - 0.4) * (x - 0.4));
+        }
+        (vec![source], tgt)
+    }
+
+    pub fn target_objective(x: f64) -> f64 {
+        3.0 + 10.0 * (x - 0.4) * (x - 0.4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn source_task_fit_and_incumbent() {
+        let (sources, target) = testutil::quad_source_target(20, 3);
+        assert_eq!(sources[0].data.len(), 20);
+        let opts = SearchOptions::default();
+        let ctx = TlaContext {
+            dims: &[DimKind::Continuous],
+            sources: &sources,
+            target: &target,
+            search: &opts,
+            max_lcm_samples: 100,
+            valid: None,
+            failed: &[],
+        };
+        let (x, y) = ctx.incumbent().unwrap();
+        assert_eq!(y, *target.y.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+        assert_eq!(x.len(), 1);
+    }
+
+    #[test]
+    fn random_proposal_in_cube() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let p = random_proposal(4, &mut rng);
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+    }
+}

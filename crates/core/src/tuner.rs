@@ -1,0 +1,451 @@
+//! The tuning drivers: the non-transfer Bayesian-optimization baseline
+//! (`NoTLA`) and the transfer-learning loop that hosts any
+//! [`TlaStrategy`] from the pool.
+//!
+//! Both share the same mechanics, mirroring GPTune's: propose a
+//! configuration, evaluate the application, record the result (failures
+//! are kept in the history but excluded from surrogate fitting), update
+//! the model, repeat until the budget `NS` is spent. For TLA runs the
+//! very first evaluation uses `WeightedSum(equal)` (the paper's §VI-A
+//! note: with no target data there is nothing for dynamic weights or the
+//! LCM to use).
+
+use crate::acquisition::{propose_ei_failure_aware, SearchOptions, ValidityFn};
+use crate::data::Dataset;
+use crate::tla::weighted::WeightedSum;
+use crate::tla::{SourceTask, TlaContext, TlaStrategy};
+use crowdtune_gp::{DimKind, Gp, GpConfig};
+use crowdtune_space::{sample_lhs, Domain, Point, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tuning configuration.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Evaluation budget `NS`.
+    pub budget: usize,
+    /// Initial space-filling samples for `NoTLA` (the TLA loop needs
+    /// none; its prior comes from the sources).
+    pub n_init: usize,
+    /// Random seed (drives everything: sampling, model restarts, noise).
+    pub seed: u64,
+    /// Acquisition search options.
+    pub search: SearchOptions,
+    /// Per-task sample cap for LCM fitting.
+    pub max_lcm_samples: usize,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            budget: 20,
+            n_init: 2,
+            seed: 0,
+            search: SearchOptions::default(),
+            max_lcm_samples: 150,
+        }
+    }
+}
+
+/// One evaluation in the tuning history.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// The evaluated configuration (space values).
+    pub point: Point,
+    /// The same configuration in unit-cube coordinates.
+    pub unit: Vec<f64>,
+    /// Measured objective or failure reason.
+    pub result: Result<f64, String>,
+    /// Which algorithm proposed it (diagnostics).
+    pub proposed_by: String,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, Default)]
+pub struct TuneResult {
+    /// Every evaluation, in order.
+    pub history: Vec<EvalRecord>,
+}
+
+impl TuneResult {
+    /// The best successful configuration and its objective.
+    pub fn best(&self) -> Option<(&Point, f64)> {
+        self.history
+            .iter()
+            .filter_map(|r| r.result.as_ref().ok().map(|&y| (&r.point, y)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Best-so-far objective after each evaluation (`None` until the
+    /// first success) — the paper's y-axis in every tuning figure.
+    pub fn best_so_far(&self) -> Vec<Option<f64>> {
+        let mut best: Option<f64> = None;
+        self.history
+            .iter()
+            .map(|r| {
+                if let Ok(y) = r.result {
+                    best = Some(match best {
+                        Some(b) => b.min(y),
+                        None => y,
+                    });
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Number of failed evaluations.
+    pub fn failures(&self) -> usize {
+        self.history.iter().filter(|r| r.result.is_err()).count()
+    }
+}
+
+/// The black-box objective the tuner minimizes: a configuration in space
+/// values, returning the measured objective or a failure reason.
+pub type Objective<'a> = dyn FnMut(&Point) -> Result<f64, String> + 'a;
+
+/// Per-dimension kernel kinds implied by a space (categoricals get the
+/// indicator distance).
+pub fn dims_of(space: &Space) -> Vec<DimKind> {
+    space
+        .params()
+        .iter()
+        .map(|p| match p.domain {
+            Domain::Categorical { .. } => DimKind::Categorical,
+            _ => DimKind::Continuous,
+        })
+        .collect()
+}
+
+/// A problem constraint over concrete configurations (GPTune's
+/// `constraints` mechanism): configurations failing it are never even
+/// proposed — e.g. "the process grid must fit the allocation".
+pub type Constraint<'a> = dyn Fn(&Point) -> bool + Sync + 'a;
+
+/// Tune with plain single-task Bayesian optimization (the paper's
+/// `NoTLA` baseline: GPTune without transfer learning).
+pub fn tune_notla(space: &Space, objective: &mut Objective, config: &TuneConfig) -> TuneResult {
+    tune_notla_constrained(space, objective, config, None)
+}
+
+/// [`tune_notla`] with a problem constraint.
+pub fn tune_notla_constrained(
+    space: &Space,
+    objective: &mut Objective,
+    config: &TuneConfig,
+    constraint: Option<&Constraint<'_>>,
+) -> TuneResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dims = dims_of(space);
+    // Snap acquisition candidates to the space's discrete cell centers.
+    let mut search = config.search.clone();
+    search.cells = space.cell_counts();
+    let mut result = TuneResult::default();
+    let mut observed = Dataset::default();
+    let mut evaluated_units: Vec<Vec<f64>> = Vec::new();
+    let mut failed_units: Vec<Vec<f64>> = Vec::new();
+    // Unit-space view of the constraint for the acquisition search.
+    let valid_holder = constraint.map(|c| make_unit_validity(space, c));
+    let valid: Option<&ValidityFn<'_>> =
+        valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
+
+    let mut init_points = sample_lhs(space, config.n_init.min(config.budget), &mut rng);
+    if let Some(c) = constraint {
+        // Re-draw infeasible initial points uniformly (bounded tries).
+        for p in init_points.iter_mut() {
+            let mut tries = 0;
+            while !c(p) && tries < 256 {
+                *p = crowdtune_space::sample_uniform(space, 1, &mut rng)
+                    .pop()
+                    .expect("one point");
+                tries += 1;
+            }
+        }
+    }
+    for i in 0..config.budget {
+        let unit = if i < init_points.len() {
+            space.to_unit(&init_points[i]).expect("sampled point valid")
+        } else if observed.is_empty() {
+            // All initial samples failed: keep space-filling.
+            let p = sample_lhs(space, 1, &mut rng).pop().expect("one point");
+            space.to_unit(&p).expect("sampled point valid")
+        } else {
+            let mut gp_config = GpConfig::new(dims.clone());
+            gp_config.restarts = 1;
+            gp_config.max_opt_iter = 40;
+            match Gp::fit(&observed.x, &observed.y, &gp_config, &mut rng) {
+                Ok(gp) => {
+                    let surrogate = |x: &[f64]| {
+                        let p = gp.predict(x);
+                        (p.mean, p.std)
+                    };
+                    let best = observed.best().expect("non-empty");
+                    let idx = observed.y.iter().position(|&v| v == best).expect("best");
+                    propose_ei_failure_aware(
+                        &surrogate,
+                        space.dim(),
+                        Some((&observed.x[idx], best)),
+                        &evaluated_units,
+                        &failed_units,
+                        &search,
+                        valid,
+                        &mut rng,
+                    )
+                }
+                Err(_) => crate::tla::random_proposal(space.dim(), &mut rng),
+            }
+        };
+        let proposed_by =
+            if i < init_points.len() { "LHS-init" } else { "NoTLA" }.to_string();
+        let y = step(
+            space, objective, unit, proposed_by, &mut observed, &mut evaluated_units, &mut result,
+        );
+        if y.is_none() {
+            failed_units.push(result.history.last().expect("just pushed").unit.clone());
+        }
+    }
+    result
+}
+
+/// Tune the target task with a TLA strategy and pre-collected sources.
+pub fn tune_tla(
+    space: &Space,
+    objective: &mut Objective,
+    sources: &[SourceTask],
+    strategy: &mut dyn TlaStrategy,
+    config: &TuneConfig,
+) -> TuneResult {
+    tune_tla_constrained(space, objective, sources, strategy, config, None)
+}
+
+/// [`tune_tla`] with a problem constraint.
+pub fn tune_tla_constrained(
+    space: &Space,
+    objective: &mut Objective,
+    sources: &[SourceTask],
+    strategy: &mut dyn TlaStrategy,
+    config: &TuneConfig,
+    constraint: Option<&Constraint<'_>>,
+) -> TuneResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dims = dims_of(space);
+    let mut search = config.search.clone();
+    search.cells = space.cell_counts();
+    let mut result = TuneResult::default();
+    let mut target = Dataset::default();
+    let mut evaluated_units: Vec<Vec<f64>> = Vec::new();
+    let mut failed_units: Vec<Vec<f64>> = Vec::new();
+    let valid_holder = constraint.map(|c| make_unit_validity(space, c));
+    let valid: Option<&ValidityFn<'_>> =
+        valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
+    // The cold-start strategy for evaluations with no target data yet.
+    let mut cold_start = WeightedSum::equal();
+
+    for _ in 0..config.budget {
+        let unit = {
+            let ctx = TlaContext {
+                dims: &dims,
+                sources,
+                target: &target,
+                search: &search,
+                max_lcm_samples: config.max_lcm_samples,
+                valid,
+                failed: &failed_units,
+            };
+            if target.is_empty() {
+                cold_start.propose(&ctx, &mut rng)
+            } else {
+                strategy.propose(&ctx, &mut rng)
+            }
+        };
+        let proposed_by = if target.is_empty() {
+            cold_start.name().to_string()
+        } else {
+            strategy.name().to_string()
+        };
+        let was_cold = target.is_empty();
+        let y =
+            step(space, objective, unit.clone(), proposed_by, &mut target, &mut evaluated_units, &mut result);
+        if y.is_none() {
+            failed_units.push(result.history.last().expect("just pushed").unit.clone());
+        }
+        if !was_cold {
+            strategy.observe(&unit, y);
+        }
+    }
+    result
+}
+
+/// Build a unit-space validity closure from a point-space constraint.
+fn make_unit_validity<'a>(
+    space: &'a Space,
+    constraint: &'a Constraint<'a>,
+) -> impl Fn(&[f64]) -> bool + Sync + 'a {
+    move |u: &[f64]| match space.from_unit(u) {
+        Ok(p) => constraint(&p),
+        Err(_) => false,
+    }
+}
+
+/// Evaluate one proposal and update all bookkeeping. Returns the
+/// successful objective value, if any.
+fn step(
+    space: &Space,
+    objective: &mut Objective,
+    unit: Vec<f64>,
+    proposed_by: String,
+    observed: &mut Dataset,
+    evaluated_units: &mut Vec<Vec<f64>>,
+    result: &mut TuneResult,
+) -> Option<f64> {
+    let point = space.from_unit(&unit).expect("unit vector of space dim");
+    // Snap the unit coordinates to the cell the point actually maps to,
+    // so dedup works in the discrete space.
+    let unit_snapped = space.to_unit(&point).expect("point from space");
+    let res = objective(&point);
+    evaluated_units.push(unit_snapped.clone());
+    let y = res.as_ref().ok().copied();
+    if let Ok(y) = res {
+        observed.push(unit_snapped.clone(), y);
+    }
+    result.history.push(EvalRecord { point, unit: unit_snapped, result: res, proposed_by });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tla::testutil::quad_source_target;
+    use crowdtune_space::{Param, Value};
+
+    fn quad_space() -> Space {
+        Space::new(vec![Param::real("x", 0.0, 1.0)]).unwrap()
+    }
+
+    fn quad_objective(p: &Point) -> Result<f64, String> {
+        match &p[0] {
+            Value::Real(x) => Ok(3.0 + 10.0 * (x - 0.4) * (x - 0.4)),
+            _ => Err("bad".into()),
+        }
+    }
+
+    #[test]
+    fn notla_converges_on_smooth_1d() {
+        let space = quad_space();
+        let mut obj = quad_objective;
+        let config = TuneConfig { budget: 15, seed: 42, ..Default::default() };
+        let res = tune_notla(&space, &mut obj, &config);
+        assert_eq!(res.history.len(), 15);
+        let (_, best) = res.best().unwrap();
+        assert!(best < 3.2, "best = {best}");
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let space = quad_space();
+        let mut obj = quad_objective;
+        let config = TuneConfig { budget: 10, seed: 7, ..Default::default() };
+        let res = tune_notla(&space, &mut obj, &config);
+        let bsf = res.best_so_far();
+        let vals: Vec<f64> = bsf.iter().filter_map(|v| *v).collect();
+        for w in vals.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tla_uses_cold_start_then_strategy() {
+        let space = quad_space();
+        let (sources, _) = quad_source_target(25, 0);
+        let mut obj = quad_objective;
+        let mut strategy = crate::tla::multitask::MultitaskTs::new();
+        let config = TuneConfig { budget: 5, seed: 3, ..Default::default() };
+        let res = tune_tla(&space, &mut obj, &sources, &mut strategy, &config);
+        assert_eq!(res.history[0].proposed_by, "WeightedSum(equal)");
+        assert_eq!(res.history[1].proposed_by, "Multitask(TS)");
+    }
+
+    #[test]
+    fn tla_beats_notla_at_tiny_budget_on_correlated_source() {
+        // The core claim of the paper in miniature: with a correlated
+        // source and budget 4, transfer finds a better config than NoTLA.
+        let space = quad_space();
+        let (sources, _) = quad_source_target(40, 0);
+        let mut best_tla: f64 = f64::INFINITY;
+        let mut best_notla: f64 = f64::INFINITY;
+        for seed in 0..3 {
+            let config = TuneConfig { budget: 4, seed, ..Default::default() };
+            let mut obj = quad_objective;
+            let mut strategy = WeightedSum::dynamic();
+            let r1 = tune_tla(&space, &mut obj, &sources, &mut strategy, &config);
+            best_tla = best_tla.min(r1.best().unwrap().1);
+            let mut obj = quad_objective;
+            let r2 = tune_notla(&space, &mut obj, &config);
+            best_notla = best_notla.min(r2.best().unwrap().1);
+        }
+        // TLA should be at least as good (the source optimum at 0.3 is
+        // close to the target's 0.4).
+        assert!(best_tla <= best_notla + 0.3, "tla {best_tla} vs notla {best_notla}");
+    }
+
+    #[test]
+    fn failures_recorded_but_not_fitted() {
+        let space = quad_space();
+        let mut calls = 0;
+        let mut obj = |p: &Point| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err("OOM".to_string())
+            } else {
+                quad_objective(p)
+            }
+        };
+        let config = TuneConfig { budget: 8, seed: 11, ..Default::default() };
+        let res = tune_notla(&space, &mut obj, &config);
+        assert_eq!(res.history.len(), 8);
+        assert_eq!(res.failures(), 4);
+        assert!(res.best().is_some());
+        // best_so_far is None until the first success, then monotone.
+        let bsf = res.best_so_far();
+        assert!(bsf[0].is_some()); // first call succeeds (calls=1)
+    }
+
+    #[test]
+    fn all_failures_still_terminates() {
+        let space = quad_space();
+        let mut obj = |_: &Point| Err::<f64, String>("always fails".into());
+        let config = TuneConfig { budget: 6, seed: 0, ..Default::default() };
+        let res = tune_notla(&space, &mut obj, &config);
+        assert_eq!(res.history.len(), 6);
+        assert_eq!(res.failures(), 6);
+        assert!(res.best().is_none());
+        assert!(res.best_so_far().iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = quad_space();
+        let config = TuneConfig { budget: 6, seed: 9, ..Default::default() };
+        let mut obj1 = quad_objective;
+        let r1 = tune_notla(&space, &mut obj1, &config);
+        let mut obj2 = quad_objective;
+        let r2 = tune_notla(&space, &mut obj2, &config);
+        for (a, b) in r1.history.iter().zip(&r2.history) {
+            assert_eq!(a.point, b.point);
+        }
+    }
+
+    #[test]
+    fn dims_of_maps_categoricals() {
+        let s = Space::new(vec![
+            Param::integer("i", 0, 4),
+            Param::categorical("c", ["a", "b"]),
+            Param::real("r", 0.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(
+            dims_of(&s),
+            vec![DimKind::Continuous, DimKind::Categorical, DimKind::Continuous]
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! The performance-data document model.
+//!
+//! The paper's shared database stores every performance sample as a JSON
+//! document with three mandatory parts — *task parameters*, *tuning
+//! parameters* and the *evaluation result* — plus reproducibility metadata
+//! (machine and software configuration) and ownership/accessibility
+//! information. This module defines those documents as typed Rust structs
+//! that serialize to exactly that JSON shape.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A scalar parameter value inside a stored document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Scalar {
+    /// Integer parameter (e.g. a block size).
+    Int(i64),
+    /// Real parameter (e.g. a threshold).
+    Real(f64),
+    /// String parameter (e.g. a categorical label or a file name).
+    Str(String),
+}
+
+impl Scalar {
+    /// Numeric view (strings return `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Real(v) => Some(*v),
+            Scalar::Str(_) => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Real(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_string())
+    }
+}
+
+/// Ordered name → value map used for task and tuning parameters.
+pub type ParamMap = BTreeMap<String, Scalar>;
+
+/// The outcome of one function evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "lowercase")]
+pub enum EvalOutcome {
+    /// Successful run: named outputs (e.g. `{"runtime": 3.65}`).
+    Ok {
+        /// Output name → measured value.
+        outputs: BTreeMap<String, f64>,
+    },
+    /// Failed run (e.g. out-of-memory from a bad configuration). The
+    /// paper's tuner drops these from surrogate fitting but the database
+    /// still records them.
+    Failed {
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl EvalOutcome {
+    /// Convenience constructor for a single-output success.
+    pub fn single(name: &str, value: f64) -> Self {
+        let mut outputs = BTreeMap::new();
+        outputs.insert(name.to_string(), value);
+        EvalOutcome::Ok { outputs }
+    }
+
+    /// The value of the named output, if this run succeeded.
+    pub fn output(&self, name: &str) -> Option<f64> {
+        match self {
+            EvalOutcome::Ok { outputs } => outputs.get(name).copied(),
+            EvalOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True for successful runs.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok { .. })
+    }
+}
+
+/// Machine configuration recorded with each sample (what the paper's
+/// automatic Slurm parsing produces).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MachineConfig {
+    /// Canonical machine name (e.g. `"cori"`).
+    pub machine_name: String,
+    /// Node type / partition (e.g. `"haswell"`, `"knl"`).
+    pub node_type: String,
+    /// Number of nodes used.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+}
+
+impl MachineConfig {
+    /// New machine configuration.
+    pub fn new(machine: &str, node_type: &str, nodes: u32, cores_per_node: u32) -> Self {
+        MachineConfig {
+            machine_name: machine.to_string(),
+            node_type: node_type.to_string(),
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.cores_per_node as u64
+    }
+}
+
+/// A software component recorded with each sample (what the paper's
+/// automatic Spack parsing produces).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareConfig {
+    /// Canonical package name (e.g. `"superlu-dist"`).
+    pub name: String,
+    /// Semantic version triple.
+    pub version: [u32; 3],
+    /// Compiler name and version, when known.
+    pub compiler: Option<(String, [u32; 3])>,
+    /// Build variants (e.g. `"+openmp"`).
+    pub variants: Vec<String>,
+}
+
+impl SoftwareConfig {
+    /// New software entry without compiler/variants.
+    pub fn new(name: &str, version: [u32; 3]) -> Self {
+        SoftwareConfig { name: name.to_string(), version, compiler: None, variants: Vec::new() }
+    }
+}
+
+/// Who may read a stored sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "level", rename_all = "lowercase")]
+pub enum Access {
+    /// Anyone (including anonymous queries) may read.
+    Public,
+    /// Only the owner may read.
+    Private,
+    /// The owner plus an explicit list of usernames may read.
+    Shared {
+        /// Usernames granted read access.
+        with: Vec<String>,
+    },
+}
+
+impl Default for Access {
+    fn default() -> Self {
+        Access::Public
+    }
+}
+
+/// One stored performance-data sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionEvaluation {
+    /// Store-assigned document id (0 until inserted).
+    #[serde(default)]
+    pub id: u64,
+    /// Tuning problem name (namespaces the data, e.g. `"PDGEQRF"`).
+    pub problem: String,
+    /// Task parameters: what problem instance was run.
+    pub task_parameters: ParamMap,
+    /// Tuning parameters: the configuration that was evaluated.
+    pub tuning_parameters: ParamMap,
+    /// Evaluation outcome.
+    pub result: EvalOutcome,
+    /// Machine configuration.
+    pub machine: MachineConfig,
+    /// Software stack.
+    pub software: Vec<SoftwareConfig>,
+    /// Owning username.
+    pub owner: String,
+    /// Read accessibility.
+    #[serde(default)]
+    pub access: Access,
+    /// Logical insertion timestamp (store-assigned, monotonic).
+    #[serde(default)]
+    pub logical_time: u64,
+}
+
+impl FunctionEvaluation {
+    /// Builder-style constructor with the mandatory parts.
+    pub fn new(problem: &str, owner: &str) -> Self {
+        FunctionEvaluation {
+            id: 0,
+            problem: problem.to_string(),
+            task_parameters: ParamMap::new(),
+            tuning_parameters: ParamMap::new(),
+            result: EvalOutcome::Failed { reason: "not yet evaluated".into() },
+            machine: MachineConfig::default(),
+            software: Vec::new(),
+            owner: owner.to_string(),
+            access: Access::Public,
+            logical_time: 0,
+        }
+    }
+
+    /// Set a task parameter (builder style).
+    pub fn task(mut self, name: &str, value: impl Into<Scalar>) -> Self {
+        self.task_parameters.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Set a tuning parameter (builder style).
+    pub fn param(mut self, name: &str, value: impl Into<Scalar>) -> Self {
+        self.tuning_parameters.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Set the outcome (builder style).
+    pub fn outcome(mut self, outcome: EvalOutcome) -> Self {
+        self.result = outcome;
+        self
+    }
+
+    /// Set the machine configuration (builder style).
+    pub fn on_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Add a software entry (builder style).
+    pub fn with_software(mut self, sw: SoftwareConfig) -> Self {
+        self.software.push(sw);
+        self
+    }
+
+    /// Set accessibility (builder style).
+    pub fn with_access(mut self, access: Access) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Look up a dotted field path for the generic query language:
+    /// `problem`, `owner`, `task.<name>`, `param.<name>`, `output.<name>`,
+    /// `machine.name`, `machine.node_type`, `machine.nodes`,
+    /// `machine.cores`, `software.<pkg>.version_major`.
+    pub fn field(&self, path: &str) -> Option<Scalar> {
+        let mut parts = path.splitn(3, '.');
+        let head = parts.next()?;
+        match head {
+            "problem" => Some(Scalar::Str(self.problem.clone())),
+            "owner" => Some(Scalar::Str(self.owner.clone())),
+            "status" => Some(Scalar::Str(
+                if self.result.is_ok() { "ok" } else { "failed" }.to_string(),
+            )),
+            "task" => self.task_parameters.get(parts.next()?).cloned(),
+            "param" => self.tuning_parameters.get(parts.next()?).cloned(),
+            "output" => self.result.output(parts.next()?).map(Scalar::Real),
+            "machine" => match parts.next()? {
+                "name" => Some(Scalar::Str(self.machine.machine_name.clone())),
+                "node_type" => Some(Scalar::Str(self.machine.node_type.clone())),
+                "nodes" => Some(Scalar::Int(self.machine.nodes as i64)),
+                "cores" => Some(Scalar::Int(self.machine.cores_per_node as i64)),
+                _ => None,
+            },
+            "software" => {
+                let pkg = parts.next()?;
+                let sub = parts.next().unwrap_or("version_major");
+                let sw = self.software.iter().find(|s| s.name == pkg)?;
+                match sub {
+                    "version_major" => Some(Scalar::Int(sw.version[0] as i64)),
+                    "version_minor" => Some(Scalar::Int(sw.version[1] as i64)),
+                    "version_patch" => Some(Scalar::Int(sw.version[2] as i64)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True when `user` (or anonymous, `None`) may read this document.
+    pub fn readable_by(&self, user: Option<&str>) -> bool {
+        match &self.access {
+            Access::Public => true,
+            Access::Private => user == Some(self.owner.as_str()),
+            Access::Shared { with } => match user {
+                Some(u) => u == self.owner || with.iter().any(|w| w == u),
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FunctionEvaluation {
+        FunctionEvaluation::new("PDGEQRF", "alice")
+            .task("m", 10_000i64)
+            .task("n", 10_000i64)
+            .param("mb", 4i64)
+            .param("nb", 8i64)
+            .outcome(EvalOutcome::single("runtime", 3.65))
+            .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+            .with_software(SoftwareConfig::new("scalapack", [2, 1, 0]))
+    }
+
+    #[test]
+    fn json_roundtrip_matches() {
+        let e = sample();
+        let json = serde_json::to_string_pretty(&e).unwrap();
+        let back: FunctionEvaluation = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        // JSON carries the paper's three mandatory parts.
+        assert!(json.contains("task_parameters"));
+        assert!(json.contains("tuning_parameters"));
+        assert!(json.contains("result"));
+    }
+
+    #[test]
+    fn field_paths_resolve() {
+        let e = sample();
+        assert_eq!(e.field("problem"), Some(Scalar::Str("PDGEQRF".into())));
+        assert_eq!(e.field("task.m"), Some(Scalar::Int(10_000)));
+        assert_eq!(e.field("param.nb"), Some(Scalar::Int(8)));
+        assert_eq!(e.field("output.runtime"), Some(Scalar::Real(3.65)));
+        assert_eq!(e.field("machine.name"), Some(Scalar::Str("cori".into())));
+        assert_eq!(e.field("machine.nodes"), Some(Scalar::Int(8)));
+        assert_eq!(e.field("software.scalapack.version_major"), Some(Scalar::Int(2)));
+        assert_eq!(e.field("status"), Some(Scalar::Str("ok".into())));
+        assert_eq!(e.field("task.zzz"), None);
+        assert_eq!(e.field("nonsense"), None);
+    }
+
+    #[test]
+    fn failed_outcome_has_no_outputs() {
+        let e = sample().outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        assert!(!e.result.is_ok());
+        assert_eq!(e.field("output.runtime"), None);
+        assert_eq!(e.field("status"), Some(Scalar::Str("failed".into())));
+    }
+
+    #[test]
+    fn access_control_semantics() {
+        let mut e = sample();
+        assert!(e.readable_by(None));
+        assert!(e.readable_by(Some("bob")));
+
+        e.access = Access::Private;
+        assert!(!e.readable_by(None));
+        assert!(!e.readable_by(Some("bob")));
+        assert!(e.readable_by(Some("alice")));
+
+        e.access = Access::Shared { with: vec!["bob".into()] };
+        assert!(!e.readable_by(None));
+        assert!(e.readable_by(Some("bob")));
+        assert!(e.readable_by(Some("alice")));
+        assert!(!e.readable_by(Some("carol")));
+    }
+
+    #[test]
+    fn scalar_views() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Real(2.5).as_f64(), Some(2.5));
+        assert_eq!(Scalar::Str("x".into()).as_f64(), None);
+        assert_eq!(Scalar::Str("x".into()).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn machine_total_cores() {
+        assert_eq!(MachineConfig::new("cori", "haswell", 8, 32).total_cores(), 256);
+    }
+}

@@ -1,0 +1,35 @@
+//! # crowdtune-db
+//!
+//! The shared crowd-tuning performance database — the in-process
+//! equivalent of the paper's MongoDB-backed `gptune.lbl.gov` repository:
+//!
+//! - [`document`] — JSON performance-sample documents (task parameters,
+//!   tuning parameters, evaluation result) plus reproducibility metadata
+//!   (machine and software configuration) and per-record access control.
+//! - [`store`] — the embedded document store: indexed by problem,
+//!   thread-safe, JSON-file persistent.
+//! - [`query`] — a typed filter AST and the SQL-like text query language
+//!   (`task.m BETWEEN 1000 AND 20000 AND machine.name = 'cori'`).
+//! - [`access`] — registered users, plain and keypair-style API keys.
+//! - [`env`] — automatic environment parsing (Spack specs, Slurm job
+//!   environments) and machine/software tag normalization.
+//! - [`repo`] — the [`HistoryDb`] facade: authenticated submit, meta-
+//!   description-shaped queries (problem space + configuration space).
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod document;
+pub mod env;
+pub mod query;
+pub mod repo;
+pub mod store;
+
+pub use access::{AuthError, KeyRecord, User, UserRegistry};
+pub use document::{
+    Access, EvalOutcome, FunctionEvaluation, MachineConfig, ParamMap, Scalar, SoftwareConfig,
+};
+pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
+pub use query::{parse_query, Filter, ParseError};
+pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
+pub use store::{DocumentStore, StoreError};

@@ -1,0 +1,520 @@
+//! Typed query filters and the SQL-like text query language.
+//!
+//! The paper emphasizes a *programmable* interface: "users can write an
+//! SQL-like query to retrieve relevant performance data". This module
+//! provides both layers — a composable [`Filter`] AST for Rust callers,
+//! and a parser for text like
+//!
+//! ```text
+//! problem = 'PDGEQRF' AND task.m BETWEEN 1000 AND 20000
+//!   AND machine.name IN ('cori', 'perlmutter') AND NOT status = 'failed'
+//! ```
+//!
+//! Field paths are the dotted paths understood by
+//! [`FunctionEvaluation::field`](crate::document::FunctionEvaluation::field).
+
+use crate::document::{FunctionEvaluation, Scalar};
+
+/// A query filter over stored documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches everything.
+    True,
+    /// Field equals value (numeric coercion; case-insensitive strings).
+    Eq(String, Scalar),
+    /// Field differs from value.
+    Ne(String, Scalar),
+    /// Numeric field strictly less than.
+    Lt(String, f64),
+    /// Numeric field less than or equal.
+    Le(String, f64),
+    /// Numeric field strictly greater than.
+    Gt(String, f64),
+    /// Numeric field greater than or equal.
+    Ge(String, f64),
+    /// Numeric field in `[lo, hi)` — the paper's half-open bound style.
+    Between(String, f64, f64),
+    /// Field equals any of the listed values.
+    In(String, Vec<Scalar>),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// Any sub-filter matches.
+    Or(Vec<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+fn scalar_eq(a: &Scalar, b: &Scalar) -> bool {
+    match (a, b) {
+        (Scalar::Str(x), Scalar::Str(y)) => x.eq_ignore_ascii_case(y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+impl Filter {
+    /// Evaluate the filter against a document. Missing fields never match
+    /// (except under `Not`).
+    pub fn matches(&self, e: &FunctionEvaluation) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::Eq(path, v) => e.field(path).is_some_and(|f| scalar_eq(&f, v)),
+            Filter::Ne(path, v) => e.field(path).is_some_and(|f| !scalar_eq(&f, v)),
+            Filter::Lt(path, v) => num(e, path).is_some_and(|f| f < *v),
+            Filter::Le(path, v) => num(e, path).is_some_and(|f| f <= *v),
+            Filter::Gt(path, v) => num(e, path).is_some_and(|f| f > *v),
+            Filter::Ge(path, v) => num(e, path).is_some_and(|f| f >= *v),
+            Filter::Between(path, lo, hi) => num(e, path).is_some_and(|f| f >= *lo && f < *hi),
+            Filter::In(path, vs) => {
+                e.field(path).is_some_and(|f| vs.iter().any(|v| scalar_eq(&f, v)))
+            }
+            Filter::And(fs) => fs.iter().all(|f| f.matches(e)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(e)),
+            Filter::Not(f) => !f.matches(e),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Filter) -> Filter {
+        match self {
+            Filter::And(mut fs) => {
+                fs.push(other);
+                Filter::And(fs)
+            }
+            f => Filter::And(vec![f, other]),
+        }
+    }
+}
+
+fn num(e: &FunctionEvaluation, path: &str) -> Option<f64> {
+    e.field(path).and_then(|s| s.as_f64())
+}
+
+/// Parse error for the text query language.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Op(&'static str),
+    LParen,
+    RParen,
+    Comma,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+}
+
+fn lex(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' => {
+                out.push((Token::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, start));
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let s0 = i;
+                while i < bytes.len() && bytes[i] as char != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        position: start,
+                    });
+                }
+                out.push((Token::Str(input[s0..i].to_string()), start));
+                i += 1;
+            }
+            '=' => {
+                out.push((Token::Op("="), start));
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push((Token::Op("!="), start));
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push((Token::Op("<="), start));
+                    i += 2;
+                } else {
+                    out.push((Token::Op("<"), start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push((Token::Op(">="), start));
+                    i += 2;
+                } else {
+                    out.push((Token::Op(">"), start));
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || ((bytes[j] == b'-' || bytes[j] == b'+')
+                            && (bytes[j - 1] == b'e' || bytes[j - 1] == b'E')))
+                {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad number '{text}'"),
+                    position: start,
+                })?;
+                out.push((Token::Num(v), start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let tok = match word.to_ascii_uppercase().as_str() {
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    "IN" => Token::In,
+                    "BETWEEN" => Token::Between,
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push((tok, start));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{other}'"),
+                    position: start,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.here().min(1 << 20) }
+    }
+
+    fn parse_or(&mut self) -> Result<Filter, ParseError> {
+        let mut terms = vec![self.parse_and()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.next();
+            terms.push(self.parse_and()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Filter::Or(terms) })
+    }
+
+    fn parse_and(&mut self) -> Result<Filter, ParseError> {
+        let mut terms = vec![self.parse_unary()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.next();
+            terms.push(self.parse_unary()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Filter::And(terms) })
+    }
+
+    fn parse_unary(&mut self) -> Result<Filter, ParseError> {
+        if matches!(self.peek(), Some(Token::Not)) {
+            self.next();
+            return Ok(Filter::Not(Box::new(self.parse_unary()?)));
+        }
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.next();
+            let inner = self.parse_or()?;
+            match self.next() {
+                Some(Token::RParen) => return Ok(inner),
+                _ => return Err(self.err("expected ')'")),
+            }
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_value(&mut self) -> Result<Scalar, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Scalar::Str(s)),
+            Some(Token::Num(v)) => {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    Ok(Scalar::Int(v as i64))
+                } else {
+                    Ok(Scalar::Real(v))
+                }
+            }
+            Some(Token::Ident(s)) => Ok(Scalar::Str(s)), // bare words as strings
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Num(v)) => Ok(v),
+            _ => Err(self.err("expected a number")),
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Filter, ParseError> {
+        let path = match self.next() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.err("expected a field path")),
+        };
+        match self.next() {
+            Some(Token::Op(op)) => {
+                let v = self.parse_value()?;
+                Ok(match op {
+                    "=" => Filter::Eq(path, v),
+                    "!=" => Filter::Ne(path, v),
+                    _ => {
+                        let num = v.as_f64().ok_or_else(|| {
+                            self.err(format!("operator '{op}' needs a numeric value"))
+                        })?;
+                        match op {
+                            "<" => Filter::Lt(path, num),
+                            "<=" => Filter::Le(path, num),
+                            ">" => Filter::Gt(path, num),
+                            ">=" => Filter::Ge(path, num),
+                            _ => unreachable!(),
+                        }
+                    }
+                })
+            }
+            Some(Token::In) => {
+                if !matches!(self.next(), Some(Token::LParen)) {
+                    return Err(self.err("expected '(' after IN"));
+                }
+                let mut values = vec![self.parse_value()?];
+                loop {
+                    match self.next() {
+                        Some(Token::Comma) => values.push(self.parse_value()?),
+                        Some(Token::RParen) => break,
+                        _ => return Err(self.err("expected ',' or ')' in IN list")),
+                    }
+                }
+                Ok(Filter::In(path, values))
+            }
+            Some(Token::Between) => {
+                let lo = self.parse_number()?;
+                if !matches!(self.next(), Some(Token::And)) {
+                    return Err(self.err("expected AND in BETWEEN"));
+                }
+                let hi = self.parse_number()?;
+                Ok(Filter::Between(path, lo, hi))
+            }
+            _ => Err(self.err("expected a comparison operator")),
+        }
+    }
+}
+
+/// Parse a text query into a [`Filter`].
+pub fn parse_query(input: &str) -> Result<Filter, ParseError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Ok(Filter::True);
+    }
+    let tokens = lex(trimmed)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{EvalOutcome, MachineConfig};
+
+    fn doc() -> FunctionEvaluation {
+        FunctionEvaluation::new("PDGEQRF", "alice")
+            .task("m", 10_000i64)
+            .task("n", 8_000i64)
+            .param("mb", 4i64)
+            .outcome(EvalOutcome::single("runtime", 3.65))
+            .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+    }
+
+    #[test]
+    fn basic_comparisons() {
+        let e = doc();
+        assert!(Filter::Eq("problem".into(), "pdgeqrf".into()).matches(&e)); // case-insensitive
+        assert!(Filter::Ge("task.m".into(), 10_000.0).matches(&e));
+        assert!(!Filter::Gt("task.m".into(), 10_000.0).matches(&e));
+        assert!(Filter::Between("task.n".into(), 8_000.0, 8_001.0).matches(&e));
+        assert!(!Filter::Between("task.n".into(), 0.0, 8_000.0).matches(&e)); // half-open
+        assert!(Filter::In(
+            "machine.name".into(),
+            vec!["perlmutter".into(), "cori".into()]
+        )
+        .matches(&e));
+    }
+
+    #[test]
+    fn missing_fields_never_match_positively() {
+        let e = doc();
+        assert!(!Filter::Eq("task.zzz".into(), Scalar::Int(1)).matches(&e));
+        assert!(!Filter::Lt("task.zzz".into(), 100.0).matches(&e));
+        // But NOT of a missing-field comparison does match.
+        assert!(Filter::Not(Box::new(Filter::Eq("task.zzz".into(), Scalar::Int(1)))).matches(&e));
+    }
+
+    #[test]
+    fn numeric_coercion_int_real() {
+        let e = doc();
+        assert!(Filter::Eq("task.m".into(), Scalar::Real(10_000.0)).matches(&e));
+        assert!(Filter::Eq("output.runtime".into(), Scalar::Real(3.65)).matches(&e));
+    }
+
+    #[test]
+    fn parse_simple_equality() {
+        let f = parse_query("problem = 'PDGEQRF'").unwrap();
+        assert_eq!(f, Filter::Eq("problem".into(), Scalar::Str("PDGEQRF".into())));
+        assert!(f.matches(&doc()));
+    }
+
+    #[test]
+    fn parse_conjunction_and_ranges() {
+        let f = parse_query(
+            "problem = 'PDGEQRF' AND task.m >= 1000 AND task.n BETWEEN 1 AND 20000",
+        )
+        .unwrap();
+        assert!(f.matches(&doc()));
+        let g = parse_query("problem = 'PDGEQRF' AND task.m < 1000").unwrap();
+        assert!(!g.matches(&doc()));
+    }
+
+    #[test]
+    fn parse_in_list_and_not() {
+        let f = parse_query(
+            "machine.name IN ('cori', 'perlmutter') AND NOT status = 'failed'",
+        )
+        .unwrap();
+        assert!(f.matches(&doc()));
+        let failed = doc().outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        assert!(!f.matches(&failed));
+    }
+
+    #[test]
+    fn parse_or_with_parens() {
+        let f = parse_query("(task.m = 10000 OR task.m = 99) AND param.mb <= 4").unwrap();
+        assert!(f.matches(&doc()));
+        let g = parse_query("task.m = 99 OR param.mb > 100").unwrap();
+        assert!(!g.matches(&doc()));
+    }
+
+    #[test]
+    fn parse_precedence_and_binds_tighter_than_or() {
+        // a OR b AND c  ==  a OR (b AND c)
+        let f = parse_query("task.m = 1 OR task.m = 10000 AND param.mb = 4").unwrap();
+        assert!(f.matches(&doc()));
+        match f {
+            Filter::Or(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(terms[1], Filter::And(_)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("problem = ").is_err());
+        assert!(parse_query("problem == 'x'").is_err());
+        assert!(parse_query("(problem = 'x'").is_err());
+        assert!(parse_query("problem = 'x' extra").is_err());
+        assert!(parse_query("task.m BETWEEN 1 2").is_err());
+        assert!(parse_query("task.m < 'abc'").is_err());
+        assert!(parse_query("problem = 'unterminated").is_err());
+        assert!(parse_query("task.m # 3").is_err());
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        assert_eq!(parse_query("").unwrap(), Filter::True);
+        assert!(parse_query("  ").unwrap().matches(&doc()));
+    }
+
+    #[test]
+    fn bare_word_values_parse_as_strings() {
+        let f = parse_query("machine.node_type = haswell").unwrap();
+        assert!(f.matches(&doc()));
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let f = parse_query("output.runtime < 1e3").unwrap();
+        assert!(f.matches(&doc()));
+        let g = parse_query("output.runtime < 1.0e-2").unwrap();
+        assert!(!g.matches(&doc()));
+    }
+}

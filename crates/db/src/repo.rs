@@ -1,0 +1,549 @@
+//! The shared crowd-tuning repository: the facade combining the document
+//! store, the user registry, and tag normalization into the interface the
+//! tuner programs against.
+//!
+//! This is the in-process equivalent of the paper's `gptune.lbl.gov`
+//! service: authenticated uploads, meta-description-shaped queries
+//! (problem space + configuration space), automatic environment
+//! normalization, and per-record access control.
+
+use crate::access::{AuthError, UserRegistry};
+use crate::document::{FunctionEvaluation, MachineConfig, SoftwareConfig};
+use crate::env::TagRegistry;
+use crate::query::Filter;
+use crate::store::{DocumentStore, StoreError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Errors from repository operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Authentication failed.
+    Auth(AuthError),
+    /// Store-level failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Auth(e) => write!(f, "database auth error: {e}"),
+            DbError::Store(e) => write!(f, "database store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<AuthError> for DbError {
+    fn from(e: AuthError) -> Self {
+        DbError::Auth(e)
+    }
+}
+
+impl From<StoreError> for DbError {
+    fn from(e: StoreError) -> Self {
+        DbError::Store(e)
+    }
+}
+
+/// Machine constraint of a configuration-space query: any listed machine
+/// matches; `node_type`/`nodes` further restrict when present.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineFilter {
+    /// Machine name (normalized against the tag registry before matching).
+    pub machine_name: String,
+    /// Required node type, if any.
+    pub node_type: Option<String>,
+    /// Inclusive node-count range, if any.
+    pub nodes: Option<(u32, u32)>,
+}
+
+impl MachineFilter {
+    /// Match any configuration on the named machine.
+    pub fn named(machine: &str) -> Self {
+        MachineFilter { machine_name: machine.to_string(), node_type: None, nodes: None }
+    }
+
+    /// Restrict to a node type.
+    pub fn node_type(mut self, t: &str) -> Self {
+        self.node_type = Some(t.to_string());
+        self
+    }
+
+    /// Restrict to an inclusive node-count range.
+    pub fn nodes(mut self, lo: u32, hi: u32) -> Self {
+        self.nodes = Some((lo, hi));
+        self
+    }
+
+    fn matches(&self, m: &MachineConfig, tags: &TagRegistry) -> bool {
+        if tags.canonical_machine(&self.machine_name) != m.machine_name {
+            return false;
+        }
+        if let Some(t) = &self.node_type {
+            if !t.eq_ignore_ascii_case(&m.node_type) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.nodes {
+            if m.nodes < lo || m.nodes > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Software constraint: the record must carry the named package with a
+/// version in `[version_from, version_to)` — the meta description's
+/// `software_configurations` semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareFilter {
+    /// Package name (normalized before matching).
+    pub name: String,
+    /// Inclusive minimum version.
+    pub version_from: [u32; 3],
+    /// Exclusive maximum version.
+    pub version_to: [u32; 3],
+}
+
+impl SoftwareFilter {
+    /// New software filter.
+    pub fn new(name: &str, version_from: [u32; 3], version_to: [u32; 3]) -> Self {
+        SoftwareFilter { name: name.to_string(), version_from, version_to }
+    }
+
+    fn matches(&self, sw_list: &[SoftwareConfig], tags: &TagRegistry) -> bool {
+        let want = tags.canonical_software(&self.name);
+        sw_list.iter().any(|sw| {
+            // Either the package itself, or the compiler it was built with
+            // (the paper's example constraint is "GCC in [8.0.0, 9.0.0)").
+            (sw.name == want
+                && TagRegistry::version_in_range(sw.version, self.version_from, self.version_to))
+                || sw.compiler.as_ref().is_some_and(|(cname, cver)| {
+                    tags.canonical_software(cname) == want
+                        && TagRegistry::version_in_range(*cver, self.version_from, self.version_to)
+                })
+        })
+    }
+}
+
+/// The configuration-space part of a meta-description query: which
+/// environments' data the user is willing to download.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationQuery {
+    /// Acceptable machines (empty = any machine).
+    pub machines: Vec<MachineFilter>,
+    /// Required software constraints (all must hold).
+    pub software: Vec<SoftwareFilter>,
+    /// Trusted uploaders (empty = any user).
+    pub users: Vec<String>,
+}
+
+impl ConfigurationQuery {
+    /// Accept anything.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    fn matches(&self, e: &FunctionEvaluation, tags: &TagRegistry) -> bool {
+        if !self.machines.is_empty() && !self.machines.iter().any(|m| m.matches(&e.machine, tags))
+        {
+            return false;
+        }
+        for sf in &self.software {
+            if !sf.matches(&e.software, tags) {
+                return false;
+            }
+        }
+        if !self.users.is_empty() && !self.users.iter().any(|u| *u == e.owner) {
+            return false;
+        }
+        true
+    }
+}
+
+/// A complete query: problem name, a task/parameter filter (typed or
+/// parsed from the SQL-like language), and a configuration query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Tuning problem name.
+    pub problem: String,
+    /// Filter over task/tuning parameters and outputs.
+    pub filter: Filter,
+    /// Environment constraints.
+    pub configuration: ConfigurationQuery,
+    /// Include failed evaluations (default: false — surrogate fitting
+    /// drops failures, but data analysis may want them).
+    pub include_failures: bool,
+}
+
+impl QuerySpec {
+    /// Query everything for a problem.
+    pub fn all_of(problem: &str) -> Self {
+        QuerySpec {
+            problem: problem.to_string(),
+            filter: Filter::True,
+            configuration: ConfigurationQuery::any(),
+            include_failures: false,
+        }
+    }
+
+    /// Set the filter (builder style).
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Set the configuration query (builder style).
+    pub fn with_configuration(mut self, configuration: ConfigurationQuery) -> Self {
+        self.configuration = configuration;
+        self
+    }
+
+    /// Include failed evaluations (builder style).
+    pub fn including_failures(mut self) -> Self {
+        self.include_failures = true;
+        self
+    }
+}
+
+/// The shared crowd-tuning database.
+pub struct HistoryDb {
+    store: DocumentStore,
+    users: UserRegistry,
+    tags: TagRegistry,
+}
+
+impl Default for HistoryDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryDb {
+    /// A database with the built-in tag registry.
+    pub fn new() -> Self {
+        HistoryDb {
+            store: DocumentStore::new(),
+            users: UserRegistry::new(),
+            tags: TagRegistry::with_builtin_entries(),
+        }
+    }
+
+    /// Access the user registry (registration, key management).
+    pub fn users(&self) -> &UserRegistry {
+        &self.users
+    }
+
+    /// Access the tag registry.
+    pub fn tags(&self) -> &TagRegistry {
+        &self.tags
+    }
+
+    /// Register a user and return a fresh API key in one step.
+    pub fn register_user<R: Rng>(
+        &self,
+        username: &str,
+        email: &str,
+        public_profile: bool,
+        rng: &mut R,
+    ) -> Result<String, DbError> {
+        self.users.register(username, email, public_profile)?;
+        Ok(self.users.create_api_key(username, rng)?)
+    }
+
+    /// Submit one evaluation. The API key identifies the owner; machine
+    /// and software tags are normalized before storage. Returns the
+    /// assigned document id.
+    pub fn submit(&self, api_key: &str, mut eval: FunctionEvaluation) -> Result<u64, DbError> {
+        let owner = self.users.authenticate(api_key)?;
+        eval.owner = owner;
+        self.tags.normalize_machine(&mut eval.machine);
+        for sw in &mut eval.software {
+            self.tags.normalize_software(sw);
+        }
+        Ok(self.store.insert(eval))
+    }
+
+    /// Submit a batch of evaluations.
+    pub fn submit_batch(
+        &self,
+        api_key: &str,
+        evals: Vec<FunctionEvaluation>,
+    ) -> Result<Vec<u64>, DbError> {
+        evals.into_iter().map(|e| self.submit(api_key, e)).collect()
+    }
+
+    /// Query with an API key (sees public + own + shared-with-user data).
+    pub fn query(&self, api_key: &str, spec: &QuerySpec) -> Result<Vec<FunctionEvaluation>, DbError> {
+        let user = self.users.authenticate(api_key)?;
+        Ok(self.query_as(Some(&user), spec))
+    }
+
+    /// Query anonymously (public data only).
+    pub fn query_public(&self, spec: &QuerySpec) -> Vec<FunctionEvaluation> {
+        self.query_as(None, spec)
+    }
+
+    fn query_as(&self, user: Option<&str>, spec: &QuerySpec) -> Vec<FunctionEvaluation> {
+        self.store
+            .query_problem(&spec.problem, &spec.filter, user)
+            .into_iter()
+            .filter(|e| spec.include_failures || e.result.is_ok())
+            .filter(|e| spec.configuration.matches(e, &self.tags))
+            .collect()
+    }
+
+    /// The `k` best (lowest-output) configurations matching a query —
+    /// what the paper's web tools surface as "best known configuration"
+    /// for a problem. Ties broken by insertion order.
+    pub fn best_configurations(
+        &self,
+        api_key: &str,
+        spec: &QuerySpec,
+        output: &str,
+        k: usize,
+    ) -> Result<Vec<(FunctionEvaluation, f64)>, DbError> {
+        let mut rows: Vec<(FunctionEvaluation, f64)> = self
+            .query(api_key, spec)?
+            .into_iter()
+            .filter_map(|e| e.result.output(output).map(|y| (e, y)))
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows.truncate(k);
+        Ok(rows)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Distinct problems with data.
+    pub fn problems(&self) -> Vec<String> {
+        self.store.problems()
+    }
+
+    /// Persist the document collection to a JSON file. (User records are
+    /// credentials and deliberately not serialized.)
+    pub fn save_documents(&self, path: &std::path::Path) -> Result<(), DbError> {
+        Ok(self.store.save(path)?)
+    }
+
+    /// Export the records a query matches as a JSON array — the
+    /// repository-to-repository data-exchange format (human-readable,
+    /// per the paper's "the data can be used for various autotuning
+    /// frameworks").
+    pub fn export_json(&self, api_key: &str, spec: &QuerySpec) -> Result<String, DbError> {
+        let records = self.query(api_key, spec)?;
+        serde_json::to_string_pretty(&records)
+            .map_err(|e| DbError::Store(crate::store::StoreError::Json(e)))
+    }
+
+    /// Import records from an [`HistoryDb::export_json`]-shaped JSON
+    /// array, re-owned by the importing user and re-normalized against
+    /// this repository's tag registry. Returns the number imported.
+    pub fn import_json(&self, api_key: &str, json: &str) -> Result<usize, DbError> {
+        let records: Vec<FunctionEvaluation> = serde_json::from_str(json)
+            .map_err(|e| DbError::Store(crate::store::StoreError::Json(e)))?;
+        let n = records.len();
+        for mut rec in records {
+            rec.id = 0;
+            rec.logical_time = 0;
+            self.submit(api_key, rec)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{Access, EvalOutcome};
+    use crate::env::parse_spack_spec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (HistoryDb, String, String) {
+        let db = HistoryDb::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let alice = db.register_user("alice", "a@x.org", true, &mut rng).unwrap();
+        let bob = db.register_user("bob", "b@x.org", true, &mut rng).unwrap();
+        (db, alice, bob)
+    }
+
+    fn pdgeqrf_eval(m: i64, runtime: f64, nodes: u32, node_type: &str) -> FunctionEvaluation {
+        FunctionEvaluation::new("PDGEQRF", "ignored")
+            .task("m", m)
+            .param("mb", 4i64)
+            .outcome(EvalOutcome::single("runtime", runtime))
+            .on_machine(MachineConfig::new("NERSC Cori", node_type, nodes, 32))
+            .with_software(parse_spack_spec("scalapack@2.1.0%gcc@8.3.0").unwrap())
+    }
+
+    #[test]
+    fn submit_normalizes_and_sets_owner() {
+        let (db, alice, _) = setup();
+        let id = db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "Haswell")).unwrap();
+        assert!(id > 0);
+        let hits = db.query_public(&QuerySpec::all_of("PDGEQRF"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].owner, "alice");
+        assert_eq!(hits[0].machine.machine_name, "cori"); // normalized
+        assert_eq!(hits[0].machine.node_type, "haswell");
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let (db, _, _) = setup();
+        assert!(matches!(
+            db.submit("not-a-key", pdgeqrf_eval(1, 1.0, 1, "haswell")),
+            Err(DbError::Auth(AuthError::InvalidKey))
+        ));
+    }
+
+    #[test]
+    fn machine_filter_with_nodes_and_type() {
+        let (db, alice, _) = setup();
+        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap();
+        db.submit(&alice, pdgeqrf_eval(1000, 4.0, 32, "knl")).unwrap();
+        let spec = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
+            machines: vec![MachineFilter::named("Cori").node_type("haswell").nodes(1, 16)],
+            software: vec![],
+            users: vec![],
+        });
+        let hits = db.query_public(&spec);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].machine.nodes, 8);
+    }
+
+    #[test]
+    fn software_version_range_filter() {
+        let (db, alice, _) = setup();
+        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap(); // gcc 8.3.0
+        let mut e = pdgeqrf_eval(1000, 4.0, 8, "haswell");
+        e.software = vec![parse_spack_spec("scalapack@2.1.0%gcc@10.1.0").unwrap()];
+        db.submit(&alice, e).unwrap();
+
+        // Paper's example: GCC in [8.0.0, 9.0.0).
+        let spec = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
+            machines: vec![],
+            software: vec![SoftwareFilter::new("scalapack", [2, 0, 0], [3, 0, 0])],
+            users: vec![],
+        });
+        assert_eq!(db.query_public(&spec).len(), 2);
+
+        let spec2 = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
+            machines: vec![],
+            software: vec![SoftwareFilter::new("gcc", [8, 0, 0], [9, 0, 0])],
+            users: vec![],
+        });
+        // The compiler recorded on the scalapack entry satisfies the GCC
+        // constraint for the first record only (the paper's §IV-A example).
+        assert_eq!(db.query_public(&spec2).len(), 1);
+    }
+
+    #[test]
+    fn user_trust_filter() {
+        let (db, alice, bob) = setup();
+        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell")).unwrap();
+        db.submit(&bob, pdgeqrf_eval(2, 2.0, 8, "haswell")).unwrap();
+        let spec = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
+            machines: vec![],
+            software: vec![],
+            users: vec!["bob".into()],
+        });
+        let hits = db.query_public(&spec);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].owner, "bob");
+    }
+
+    #[test]
+    fn failures_excluded_by_default() {
+        let (db, alice, _) = setup();
+        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell")).unwrap();
+        let failed = pdgeqrf_eval(2, 0.0, 8, "haswell")
+            .outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        db.submit(&alice, failed).unwrap();
+        assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF")).len(), 1);
+        assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF").including_failures()).len(), 2);
+    }
+
+    #[test]
+    fn private_data_invisible_to_others() {
+        let (db, alice, bob) = setup();
+        let e = pdgeqrf_eval(1, 1.0, 8, "haswell").with_access(Access::Private);
+        db.submit(&alice, e).unwrap();
+        assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF")).len(), 0);
+        assert_eq!(db.query(&bob, &QuerySpec::all_of("PDGEQRF")).unwrap().len(), 0);
+        assert_eq!(db.query(&alice, &QuerySpec::all_of("PDGEQRF")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn export_import_roundtrip_between_repositories() {
+        let (db_a, alice, _) = setup();
+        db_a.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap();
+        db_a.submit(&alice, pdgeqrf_eval(2000, 4.0, 8, "knl")).unwrap();
+        let json = db_a.export_json(&alice, &QuerySpec::all_of("PDGEQRF")).unwrap();
+        assert!(json.contains("task_parameters"));
+
+        // A second repository, a different user.
+        let db_b = HistoryDb::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let bob = db_b.register_user("bob", "b@y.org", true, &mut rng).unwrap();
+        let n = db_b.import_json(&bob, &json).unwrap();
+        assert_eq!(n, 2);
+        let hits = db_b.query_public(&QuerySpec::all_of("PDGEQRF"));
+        assert_eq!(hits.len(), 2);
+        // Re-owned by the importer, fresh ids/timestamps.
+        assert!(hits.iter().all(|h| h.owner == "bob"));
+        assert!(hits.iter().all(|h| h.id > 0));
+        // Bad JSON is an error, not a partial import.
+        assert!(db_b.import_json(&bob, "not-json").is_err());
+    }
+
+    #[test]
+    fn best_configurations_sorted_and_truncated() {
+        let (db, alice, _) = setup();
+        for (m, rt) in [(1i64, 5.0), (2, 1.0), (3, 3.0), (4, 2.0)] {
+            db.submit(&alice, pdgeqrf_eval(m, rt, 8, "haswell")).unwrap();
+        }
+        // A failed run never appears.
+        db.submit(
+            &alice,
+            pdgeqrf_eval(5, 0.0, 8, "haswell")
+                .outcome(EvalOutcome::Failed { reason: "OOM".into() }),
+        )
+        .unwrap();
+        let best = db
+            .best_configurations(&alice, &QuerySpec::all_of("PDGEQRF"), "runtime", 2)
+            .unwrap();
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].1, 1.0);
+        assert_eq!(best[1].1, 2.0);
+        // Unknown output name: empty.
+        let none = db
+            .best_configurations(&alice, &QuerySpec::all_of("PDGEQRF"), "memory", 2)
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn text_filter_composes_with_configuration() {
+        let (db, alice, _) = setup();
+        for m in [1000i64, 5000, 10000, 20000] {
+            db.submit(&alice, pdgeqrf_eval(m, m as f64 / 1000.0, 8, "haswell")).unwrap();
+        }
+        let filter = crate::query::parse_query("task.m BETWEEN 2000 AND 15000").unwrap();
+        let spec = QuerySpec::all_of("PDGEQRF").with_filter(filter);
+        let hits = db.query_public(&spec);
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! The embedded document store backing the shared database.
+//!
+//! Stands in for the paper's MongoDB deployment: JSON documents grouped by
+//! tuning problem, a secondary index on the problem name, monotonically
+//! increasing ids and logical timestamps, filter-based queries, and JSON
+//! file persistence. Thread-safe behind a `parking_lot::RwLock` so that
+//! concurrent tuner instances (the "crowd") can submit and query at once.
+
+use crate::document::FunctionEvaluation;
+use crate::query::Filter;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure during persistence.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Json(e) => write!(f, "store JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct Inner {
+    docs: Vec<FunctionEvaluation>,
+    next_id: u64,
+    clock: u64,
+    /// problem name -> doc indexes (not ids), rebuilt on load.
+    #[serde(skip)]
+    by_problem: HashMap<String, Vec<usize>>,
+}
+
+impl Inner {
+    fn rebuild_index(&mut self) {
+        self.by_problem.clear();
+        for (i, d) in self.docs.iter().enumerate() {
+            self.by_problem.entry(d.problem.clone()).or_default().push(i);
+        }
+    }
+}
+
+/// An in-memory (optionally file-persisted) document store.
+#[derive(Default)]
+pub struct DocumentStore {
+    inner: RwLock<Inner>,
+}
+
+impl DocumentStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a document; returns the assigned id.
+    pub fn insert(&self, mut doc: FunctionEvaluation) -> u64 {
+        let mut inner = self.inner.write();
+        inner.next_id += 1;
+        inner.clock += 1;
+        doc.id = inner.next_id;
+        doc.logical_time = inner.clock;
+        let idx = inner.docs.len();
+        inner.by_problem.entry(doc.problem.clone()).or_default().push(idx);
+        inner.docs.push(doc);
+        inner.next_id
+    }
+
+    /// Insert many documents; returns the assigned ids.
+    pub fn insert_batch(&self, docs: Vec<FunctionEvaluation>) -> Vec<u64> {
+        docs.into_iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Total number of stored documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: u64) -> Option<FunctionEvaluation> {
+        let inner = self.inner.read();
+        inner.docs.iter().find(|d| d.id == id).cloned()
+    }
+
+    /// All documents for a problem (uses the secondary index), filtered by
+    /// `filter` and readable by `user`.
+    pub fn query_problem(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> Vec<FunctionEvaluation> {
+        let inner = self.inner.read();
+        match inner.by_problem.get(problem) {
+            Some(idxs) => idxs
+                .iter()
+                .map(|&i| &inner.docs[i])
+                .filter(|d| d.readable_by(user) && filter.matches(d))
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Full-collection query (no problem restriction).
+    pub fn query(&self, filter: &Filter, user: Option<&str>) -> Vec<FunctionEvaluation> {
+        let inner = self.inner.read();
+        inner
+            .docs
+            .iter()
+            .filter(|d| d.readable_by(user) && filter.matches(d))
+            .cloned()
+            .collect()
+    }
+
+    /// Count of matching documents without cloning them.
+    pub fn count(&self, filter: &Filter, user: Option<&str>) -> usize {
+        let inner = self.inner.read();
+        inner.docs.iter().filter(|d| d.readable_by(user) && filter.matches(d)).count()
+    }
+
+    /// Distinct problem names present in the store.
+    pub fn problems(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut names: Vec<String> = inner.by_problem.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Delete documents matching the filter owned by `owner`; returns the
+    /// number removed. (Only the owner may delete their data.)
+    pub fn delete_owned(&self, owner: &str, filter: &Filter) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.docs.len();
+        inner.docs.retain(|d| !(d.owner == owner && filter.matches(d)));
+        let removed = before - inner.docs.len();
+        if removed > 0 {
+            inner.rebuild_index();
+        }
+        removed
+    }
+
+    /// Persist the whole store to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let inner = self.inner.read();
+        let json = serde_json::to_string(&*inner)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Load a store from a JSON file produced by [`DocumentStore::save`].
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let json = std::fs::read_to_string(path)?;
+        let mut inner: Inner = serde_json::from_str(&json)?;
+        inner.rebuild_index();
+        Ok(DocumentStore { inner: RwLock::new(inner) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{Access, EvalOutcome, MachineConfig};
+    use crate::query::parse_query;
+
+    fn eval(problem: &str, owner: &str, m: i64, runtime: f64) -> FunctionEvaluation {
+        FunctionEvaluation::new(problem, owner)
+            .task("m", m)
+            .param("mb", 4i64)
+            .outcome(EvalOutcome::single("runtime", runtime))
+            .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids_and_clock() {
+        let store = DocumentStore::new();
+        let id1 = store.insert(eval("P", "alice", 100, 1.0));
+        let id2 = store.insert(eval("P", "alice", 200, 2.0));
+        assert!(id2 > id1);
+        let d1 = store.get(id1).unwrap();
+        let d2 = store.get(id2).unwrap();
+        assert!(d2.logical_time > d1.logical_time);
+    }
+
+    #[test]
+    fn problem_index_scopes_queries() {
+        let store = DocumentStore::new();
+        store.insert(eval("P1", "alice", 100, 1.0));
+        store.insert(eval("P2", "alice", 100, 2.0));
+        store.insert(eval("P1", "bob", 200, 3.0));
+        assert_eq!(store.query_problem("P1", &Filter::True, None).len(), 2);
+        assert_eq!(store.query_problem("P2", &Filter::True, None).len(), 1);
+        assert_eq!(store.query_problem("P3", &Filter::True, None).len(), 0);
+        assert_eq!(store.problems(), vec!["P1".to_string(), "P2".to_string()]);
+    }
+
+    #[test]
+    fn filters_apply() {
+        let store = DocumentStore::new();
+        for m in [100i64, 200, 300, 400] {
+            store.insert(eval("P", "alice", m, m as f64 / 100.0));
+        }
+        let f = parse_query("task.m BETWEEN 150 AND 350").unwrap();
+        let hits = store.query_problem("P", &f, None);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(store.count(&f, None), 2);
+    }
+
+    #[test]
+    fn access_control_enforced_on_query() {
+        let store = DocumentStore::new();
+        store.insert(eval("P", "alice", 1, 1.0)); // public
+        store.insert(eval("P", "alice", 2, 2.0).with_access(Access::Private));
+        store.insert(
+            eval("P", "alice", 3, 3.0).with_access(Access::Shared { with: vec!["bob".into()] }),
+        );
+        assert_eq!(store.query_problem("P", &Filter::True, None).len(), 1);
+        assert_eq!(store.query_problem("P", &Filter::True, Some("bob")).len(), 2);
+        assert_eq!(store.query_problem("P", &Filter::True, Some("alice")).len(), 3);
+        assert_eq!(store.query_problem("P", &Filter::True, Some("carol")).len(), 1);
+    }
+
+    #[test]
+    fn delete_owned_respects_ownership() {
+        let store = DocumentStore::new();
+        store.insert(eval("P", "alice", 1, 1.0));
+        store.insert(eval("P", "bob", 1, 2.0));
+        let removed = store.delete_owned("alice", &Filter::True);
+        assert_eq!(removed, 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.query_problem("P", &Filter::True, None)[0].owner, "bob");
+        // Index still consistent after rebuild.
+        assert_eq!(store.query_problem("P", &Filter::True, None).len(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = DocumentStore::new();
+        for m in 0..10i64 {
+            store.insert(eval("P", "alice", m, m as f64));
+        }
+        let dir = std::env::temp_dir().join("crowdtune_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        store.save(&path).unwrap();
+        let loaded = DocumentStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 10);
+        // Index rebuilt: problem-scoped query works.
+        assert_eq!(loaded.query_problem("P", &Filter::True, None).len(), 10);
+        // Ids continue from where they left off.
+        let id = loaded.insert(eval("P", "alice", 99, 9.9));
+        assert!(id > 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries() {
+        use std::sync::Arc;
+        let store = Arc::new(DocumentStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    s.insert(eval("P", &format!("user{t}"), i, i as f64));
+                    let _ = s.query_problem("P", &Filter::True, None);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 200);
+        // All ids distinct.
+        let all = store.query(&Filter::True, None);
+        let mut ids: Vec<u64> = all.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+}

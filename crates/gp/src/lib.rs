@@ -1,0 +1,24 @@
+//! # crowdtune-gp
+//!
+//! Gaussian-process regression for crowd-tuning, hand-rolled on top of
+//! `crowdtune-linalg`:
+//!
+//! - [`kernel`] — ARD squared-exponential and Matérn 5/2 kernels over the
+//!   unit cube, with an indicator distance for categorical dimensions and
+//!   analytic log-hyperparameter gradients.
+//! - [`gp`] — single-task GP regression fitted by maximizing the exact log
+//!   marginal likelihood (multi-start L-BFGS).
+//! - [`lcm`] — the Linear Coregionalization Model multitask GP with
+//!   support for unequal per-task sample counts, the substrate of the
+//!   paper's `Multitask(PS)` and `Multitask(TS)` transfer-learning
+//!   algorithms.
+
+#![warn(missing_docs)]
+
+pub mod gp;
+pub mod kernel;
+pub mod lcm;
+
+pub use gp::{Gp, GpConfig, GpError, NoiseModel, Prediction};
+pub use kernel::{DimKind, Kernel, KernelKind};
+pub use lcm::{Lcm, LcmConfig, LcmError, TaskData};

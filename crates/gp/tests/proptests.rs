@@ -1,0 +1,131 @@
+//! Property-based tests for the GP stack.
+
+use crowdtune_gp::{DimKind, Gp, GpConfig, Kernel, KernelKind, Lcm, LcmConfig, TaskData};
+use crowdtune_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn unit_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kernel_gram_matrices_are_psd(
+        seed in 0u64..10_000,
+        n in 2usize..12,
+        d in 1usize..4,
+        matern in proptest::bool::ANY,
+        ls in -1.5f64..1.0,
+    ) {
+        let kind = if matern { KernelKind::Matern52 } else { KernelKind::SquaredExponential };
+        let mut kern = Kernel::continuous(kind, d);
+        for l in kern.log_lengthscales.iter_mut() {
+            *l = ls;
+        }
+        let x = unit_points(n, d, seed);
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                k[(i, j)] = kern.eval(&x[i], &x[j]);
+            }
+        }
+        // PSD up to jitter.
+        prop_assert!(Cholesky::robust(&k).is_ok());
+    }
+
+    #[test]
+    fn gp_posterior_std_nonnegative_and_bounded(
+        seed in 0u64..10_000,
+        n in 1usize..10,
+    ) {
+        let x = unit_points(n, 2, seed);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * 3.0 - p[1]).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut config = GpConfig::continuous(2);
+        config.restarts = 0;
+        config.max_opt_iter = 20;
+        let gp = Gp::fit(&x, &y, &config, &mut rng).unwrap();
+        for q in unit_points(16, 2, seed ^ 0x1234) {
+            let p = gp.predict(&q);
+            prop_assert!(p.std >= 0.0);
+            prop_assert!(p.mean.is_finite());
+            prop_assert!(p.std.is_finite());
+        }
+    }
+
+    #[test]
+    fn gp_mean_close_at_training_points_with_tiny_noise(
+        seed in 0u64..10_000,
+    ) {
+        let x = unit_points(8, 1, seed);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 6.0).cos()).collect();
+        let kernel = Kernel::continuous(KernelKind::SquaredExponential, 1);
+        let gp = Gp::with_hypers(kernel, (1e-8f64).ln(), &x, &y).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            let p = gp.predict(xi);
+            // With near-zero noise the posterior interpolates. Duplicated or
+            // near-duplicated random points can need jitter, so allow slack.
+            prop_assert!((p.mean - yi).abs() < 0.15, "pred {} vs {}", p.mean, yi);
+        }
+    }
+
+    #[test]
+    fn lcm_prediction_finite_for_any_task(
+        seed in 0u64..5_000,
+        n_src in 3usize..12,
+        n_tgt in 0usize..4,
+    ) {
+        let xs = unit_points(n_src, 1, seed);
+        let src = TaskData {
+            y: xs.iter().map(|p| p[0] * 2.0).collect(),
+            x: xs,
+        };
+        let xt = unit_points(n_tgt, 1, seed ^ 77);
+        let tgt = TaskData {
+            y: xt.iter().map(|p| p[0] * 2.0 + 0.5).collect(),
+            x: xt,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9999);
+        let mut config = LcmConfig::continuous(1);
+        config.restarts = 0;
+        config.max_opt_iter = 15;
+        let lcm = Lcm::fit(&[src, tgt], &config, &mut rng).unwrap();
+        for t in 0..2 {
+            for q in unit_points(5, 1, seed ^ 0x42) {
+                let p = lcm.predict(t, &q);
+                prop_assert!(p.mean.is_finite());
+                prop_assert!(p.std.is_finite() && p.std >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_kernel_gram_psd(seed in 0u64..10_000, n in 2usize..10) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Mixed space: one continuous, one categorical with 3 cells.
+        let kern = Kernel::new(
+            KernelKind::Matern52,
+            vec![DimKind::Continuous, DimKind::Categorical],
+        );
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let cat = rng.gen_range(0..3) as f64;
+                vec![rng.gen::<f64>(), (cat + 0.5) / 3.0]
+            })
+            .collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                k[(i, j)] = kern.eval(&x[i], &x[j]);
+            }
+        }
+        prop_assert!(Cholesky::robust(&k).is_ok());
+    }
+}

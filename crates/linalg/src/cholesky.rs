@@ -1,0 +1,307 @@
+//! Cholesky factorization with automatic jitter escalation.
+//!
+//! Gaussian-process covariance matrices are symmetric positive definite in
+//! exact arithmetic but frequently lose definiteness to rounding when two
+//! sample points nearly coincide. The standard remedy — and the one GPTune
+//! itself uses — is to add a small multiple of the identity ("jitter") and
+//! retry, growing the jitter geometrically until the factorization succeeds.
+
+use crate::matrix::Matrix;
+
+/// Error raised when a matrix cannot be factorized even with the maximum
+/// permitted jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Jitter level at which the factorization was abandoned.
+    pub max_jitter_tried: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (jitter up to {:.3e} tried)",
+            self.max_jitter_tried
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// A lower-triangular Cholesky factor `L` with `L * L^T = A + jitter * I`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// The jitter that had to be added for the factorization to succeed
+    /// (0.0 when the matrix was positive definite as given).
+    pub jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive definite matrix without jitter.
+    pub fn new(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        Self::with_jitter(a, 0.0, 0.0)
+    }
+
+    /// Factorize, escalating jitter from `initial_jitter` (or a scale-aware
+    /// default when 0) by 10x per attempt up to `max_jitter`.
+    ///
+    /// A `max_jitter` of 0 allows a single attempt with `initial_jitter`.
+    pub fn with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_jitter: f64,
+    ) -> Result<Self, NotPositiveDefinite> {
+        assert!(a.is_square(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        // Scale-aware default starting jitter: machine epsilon times the
+        // mean diagonal magnitude.
+        let diag_scale = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
+        };
+        let mut jitter = if initial_jitter > 0.0 { initial_jitter } else { 0.0 };
+        let fallback_start = 1e-12 * diag_scale.max(1e-300);
+        loop {
+            match try_factor(a, jitter) {
+                Some(l) => return Ok(Cholesky { l, jitter }),
+                None => {
+                    let next = if jitter == 0.0 { fallback_start } else { jitter * 10.0 };
+                    if next > max_jitter || !next.is_finite() {
+                        return Err(NotPositiveDefinite { max_jitter_tried: jitter });
+                    }
+                    jitter = next;
+                }
+            }
+        }
+    }
+
+    /// Factorize with the default escalation policy used throughout the GP
+    /// stack: start at eps-scale jitter, give up past `1e-4 * diag`.
+    pub fn robust(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        let n = a.rows();
+        let diag_scale = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
+        };
+        Self::with_jitter(a, 0.0, 1e-4 * diag_scale.max(1e-12))
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` using the factor (forward then backward substitution).
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        solve_lower_in_place(&self.l, &mut y);
+        solve_lower_transpose_in_place(&self.l, &mut y);
+        y
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim());
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        let mut col = vec![0.0; b.rows()];
+        for c in 0..b.cols() {
+            for r in 0..b.rows() {
+                col[r] = b[(r, c)];
+            }
+            solve_lower_in_place(&self.l, &mut col);
+            solve_lower_transpose_in_place(&self.l, &mut col);
+            for r in 0..b.rows() {
+                out[(r, c)] = col[r];
+            }
+        }
+        out
+    }
+
+    /// Solve `L y = b` only (forward substitution).
+    pub fn solve_lower_vec(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        solve_lower_in_place(&self.l, &mut y);
+        y
+    }
+
+    /// The log-determinant of `A`: `2 * sum(log(L_ii))`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// The inverse of `A`, assembled by solving against the identity.
+    /// O(n^3); used for gradient computations where `A^{-1}` itself is
+    /// required (trace terms of the marginal-likelihood gradient).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_matrix(&Matrix::identity(n))
+    }
+}
+
+fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)] + jitter;
+        let lrow_j: Vec<f64> = (0..j).map(|k| l[(j, k)]).collect();
+        d -= lrow_j.iter().map(|x| x * x).sum::<f64>();
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            // dot(L[i, .0..j], L[j, 0..j])
+            let li = l.row(i);
+            let mut acc = 0.0;
+            for k in 0..j {
+                acc += li[k] * lrow_j[k];
+            }
+            s -= acc;
+            l[(i, j)] = s / djj;
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L y = b` in place for lower-triangular `L`.
+pub fn solve_lower_in_place(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = b[i];
+        for k in 0..i {
+            s -= row[k] * b[k];
+        }
+        b[i] = s / row[i];
+    }
+}
+
+/// Solve `L^T y = b` in place for lower-triangular `L`.
+pub fn solve_lower_transpose_in_place(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn spd_3x3() -> Matrix {
+        // A = B^T B + I for a fixed B, guaranteed SPD.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]);
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_3x3();
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+        assert_eq!(ch.jitter, 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd_3x3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.25];
+        let x = ch.solve_vec(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = spd_3x3();
+        let ch = Cholesky::new(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let det = 4.0 * 3.0 - 1.0;
+        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected_without_jitter() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 PSD matrix: singular, needs jitter.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let ch = Cholesky::robust(&a).unwrap();
+        assert!(ch.jitter > 0.0);
+        let recon = ch.l().matmul(&ch.l().transpose());
+        // Reconstruction matches A up to the added jitter.
+        assert!(recon.max_abs_diff(&a) < ch.jitter * 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn strongly_indefinite_fails_even_robust() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[10.0, 1.0]]);
+        assert!(Cholesky::robust(&a).is_err());
+    }
+
+    #[test]
+    fn forward_substitution_lower() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let mut b = vec![4.0, 11.0];
+        solve_lower_in_place(&l, &mut b);
+        assert!((b[0] - 2.0).abs() < 1e-14);
+        assert!((b[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn backward_substitution_lower_transpose() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        // L^T = [[2,1],[0,3]]; solve L^T y = [4, 9] => y = [(4-3)/2, 3] = [0.5, 3]
+        let mut b = vec![4.0, 9.0];
+        solve_lower_transpose_in_place(&l, &mut b);
+        assert!((b[0] - 0.5).abs() < 1e-14);
+        assert!((b[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[9.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.l()[(0, 0)] - 3.0).abs() < 1e-15);
+        assert_eq!(ch.solve_vec(&[18.0]), vec![2.0]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Limited-memory BFGS with a backtracking Armijo/curvature line search.
+//!
+//! This is the workhorse for maximizing Gaussian-process log marginal
+//! likelihoods (we minimize the negative LML). The implementation is the
+//! standard two-loop recursion (Nocedal & Wright, Algorithm 7.4) with a
+//! history of `m` curvature pairs and a line search that enforces the
+//! Armijo sufficient-decrease condition plus a weak curvature check.
+//!
+//! The objective is supplied as a closure returning `(value, gradient)`.
+//! Non-finite objective values are treated as "step too long" and handled
+//! by the line search, which lets callers expose hard domain boundaries
+//! (e.g. log-hyperparameters that overflow) simply by returning `f64::INFINITY`.
+
+/// Convergence/iteration controls for [`lbfgs`].
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// History size (number of stored curvature pairs).
+    pub history: usize,
+    /// Stop when the infinity norm of the gradient drops below this.
+    pub grad_tol: f64,
+    /// Stop when the relative objective decrease drops below this.
+    pub f_tol: f64,
+    /// Maximum line-search halvings per iteration.
+    pub max_ls_steps: usize,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        LbfgsOptions { max_iter: 100, history: 8, grad_tol: 1e-6, f_tol: 1e-10, max_ls_steps: 30 }
+    }
+}
+
+/// Why the optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Gradient norm under `grad_tol`.
+    GradientSmall,
+    /// Relative objective decrease under `f_tol`.
+    ObjectiveStalled,
+    /// Line search failed to find any decrease.
+    LineSearchFailed,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// Objective was non-finite at the starting point.
+    BadStart,
+}
+
+/// Result of an L-BFGS run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub f: f64,
+    /// Gradient at `x`.
+    pub grad: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// Minimize `f` starting from `x0`.
+///
+/// `f` returns the objective value and gradient at a point. Returning a
+/// non-finite value signals an infeasible point.
+pub fn lbfgs(
+    x0: &[f64],
+    mut f: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    opts: &LbfgsOptions,
+) -> LbfgsResult {
+    let mut x = x0.to_vec();
+    let (mut fx, mut gx) = f(&x);
+    if !fx.is_finite() {
+        return LbfgsResult { x, f: fx, grad: gx, iterations: 0, stop: StopReason::BadStart };
+    }
+
+    // Curvature-pair history (s_k, y_k, rho_k).
+    let mut s_hist: Vec<Vec<f64>> = Vec::with_capacity(opts.history);
+    let mut y_hist: Vec<Vec<f64>> = Vec::with_capacity(opts.history);
+    let mut rho_hist: Vec<f64> = Vec::with_capacity(opts.history);
+
+    let mut iterations = 0;
+    let mut stop = StopReason::MaxIterations;
+    // Require several consecutive tiny decreases before declaring a stall:
+    // valley-shaped objectives (Rosenbrock-like LML surfaces) make slow but
+    // real progress for many iterations.
+    let mut stall_count = 0usize;
+
+    for iter in 0..opts.max_iter {
+        iterations = iter + 1;
+        let gnorm = gx.iter().fold(0.0f64, |a, &g| a.max(g.abs()));
+        if gnorm < opts.grad_tol {
+            stop = StopReason::GradientSmall;
+            break;
+        }
+
+        // Two-loop recursion to get the search direction d = -H g.
+        let mut q = gx.clone();
+        let k = s_hist.len();
+        let mut alpha = vec![0.0; k];
+        for i in (0..k).rev() {
+            alpha[i] = rho_hist[i] * dot(&s_hist[i], &q);
+            for (qj, yj) in q.iter_mut().zip(&y_hist[i]) {
+                *qj -= alpha[i] * yj;
+            }
+        }
+        // Initial Hessian scaling gamma = s^T y / y^T y of the latest pair.
+        let gamma = if k > 0 {
+            let sy = dot(&s_hist[k - 1], &y_hist[k - 1]);
+            let yy = dot(&y_hist[k - 1], &y_hist[k - 1]);
+            if yy > 0.0 { sy / yy } else { 1.0 }
+        } else {
+            1.0
+        };
+        for qj in q.iter_mut() {
+            *qj *= gamma;
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &q);
+            for (qj, sj) in q.iter_mut().zip(&s_hist[i]) {
+                *qj += (alpha[i] - beta) * sj;
+            }
+        }
+        let mut d: Vec<f64> = q.iter().map(|v| -v).collect();
+
+        // Guard: if the direction is not a descent direction (can happen
+        // with a stale history), fall back to steepest descent.
+        let mut dg = dot(&d, &gx);
+        if dg >= 0.0 {
+            d = gx.iter().map(|v| -v).collect();
+            dg = -dot(&gx, &gx);
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+        }
+
+        // Strong-Wolfe line search (bracket + zoom, Nocedal & Wright
+        // Alg. 3.5/3.6). The curvature condition is what guarantees the
+        // new (s, y) pair has s·y > 0 and carries real curvature
+        // information — an Armijo-only search freezes the Hessian
+        // approximation on valley-shaped objectives.
+        let Some((x_new, f_new, g_new)) = wolfe_search(&x, fx, dg, &d, &mut f, opts.max_ls_steps)
+        else {
+            stop = StopReason::LineSearchFailed;
+            break;
+        };
+
+        // Update history with the new curvature pair.
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = g_new.iter().zip(&gx).map(|(a, b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-12 * norm(&s) * norm(&y) {
+            if s_hist.len() == opts.history {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            rho_hist.push(1.0 / sy);
+            s_hist.push(s);
+            y_hist.push(y);
+        }
+
+        let rel_dec = (fx - f_new) / fx.abs().max(1.0);
+        x = x_new.clone();
+        fx = f_new;
+        gx = g_new;
+        if rel_dec >= 0.0 && rel_dec < opts.f_tol {
+            stall_count += 1;
+            if stall_count >= 5 {
+                stop = StopReason::ObjectiveStalled;
+                break;
+            }
+        } else {
+            stall_count = 0;
+        }
+    }
+
+    LbfgsResult { x, f: fx, grad: gx, iterations, stop }
+}
+
+/// Strong-Wolfe line search along direction `d` from `x` (f0 = f(x),
+/// dg0 = d·∇f(x) < 0). Returns the accepted `(x_new, f_new, g_new)`, or
+/// `None` if no acceptable step exists within the evaluation budget.
+fn wolfe_search(
+    x: &[f64],
+    f0: f64,
+    dg0: f64,
+    d: &[f64],
+    f: &mut impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    max_steps: usize,
+) -> Option<(Vec<f64>, f64, Vec<f64>)> {
+    const C1: f64 = 1e-4;
+    const C2: f64 = 0.9;
+    let probe = |t: f64, f: &mut dyn FnMut(&[f64]) -> (f64, Vec<f64>)| {
+        let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + t * di).collect();
+        let (ft, gt) = f(&xt);
+        let dgt = dot(&gt, d);
+        (xt, ft, gt, dgt)
+    };
+
+    let mut t_prev = 0.0;
+    let mut f_prev = f0;
+    let mut t = 1.0;
+    let mut bracket: Option<(f64, f64)> = None; // (lo, hi) with lo satisfying Armijo
+    let mut f_lo = f0;
+    let mut best: Option<(Vec<f64>, f64, Vec<f64>)> = None;
+
+    for i in 0..max_steps {
+        let (xt, ft, gt, dgt) = probe(t, f);
+        let armijo_fail = !ft.is_finite() || ft > f0 + C1 * t * dg0 || (i > 0 && ft >= f_prev);
+        if armijo_fail {
+            bracket = Some((t_prev, t));
+            f_lo = f_prev;
+            break;
+        }
+        if dgt.abs() <= -C2 * dg0 {
+            return Some((xt, ft, gt)); // both Wolfe conditions hold
+        }
+        best = Some((xt, ft, gt)); // Armijo holds: usable fallback
+        if dgt >= 0.0 {
+            bracket = Some((t, t_prev));
+            f_lo = ft;
+            break;
+        }
+        t_prev = t;
+        f_prev = ft;
+        t *= 2.0;
+    }
+
+    let (mut lo, mut hi) = bracket?;
+    // Zoom by bisection.
+    for _ in 0..max_steps {
+        let tm = 0.5 * (lo + hi);
+        let (xt, ft, gt, dgt) = probe(tm, f);
+        if !ft.is_finite() || ft > f0 + C1 * tm * dg0 || ft >= f_lo {
+            hi = tm;
+        } else {
+            if dgt.abs() <= -C2 * dg0 {
+                return Some((xt, ft, gt));
+            }
+            best = Some((xt.clone(), ft, gt.clone()));
+            if dgt * (hi - lo) >= 0.0 {
+                hi = lo;
+            }
+            lo = tm;
+            f_lo = ft;
+        }
+        if (hi - lo).abs() < 1e-16 {
+            break;
+        }
+    }
+    // Accept the best Armijo point even if curvature never got satisfied.
+    best
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        // f(x) = sum (x_i - i)^2 has minimum at x_i = i.
+        let f = |x: &[f64]| {
+            let mut v = 0.0;
+            let mut g = vec![0.0; x.len()];
+            for (i, &xi) in x.iter().enumerate() {
+                let d = xi - i as f64;
+                v += d * d;
+                g[i] = 2.0 * d;
+            }
+            (v, g)
+        };
+        let res = lbfgs(&[5.0; 4], f, &LbfgsOptions::default());
+        for (i, xi) in res.x.iter().enumerate() {
+            assert!((xi - i as f64).abs() < 1e-5, "x[{i}] = {xi}");
+        }
+        assert!(res.f < 1e-9);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = |x: &[f64]| {
+            let (a, b) = (1.0, 100.0);
+            let v = (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2);
+            let g = vec![
+                -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]),
+                2.0 * b * (x[1] - x[0] * x[0]),
+            ];
+            (v, g)
+        };
+        let opts = LbfgsOptions { max_iter: 500, ..Default::default() };
+        let res = lbfgs(&[-1.2, 1.0], f, &opts);
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "x = {:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infeasible_region_respected() {
+        // Objective infinite for x < 0.5: minimum of (x-0)^2 clipped at 0.5.
+        let f = |x: &[f64]| {
+            if x[0] < 0.5 {
+                (f64::INFINITY, vec![0.0])
+            } else {
+                (x[0] * x[0], vec![2.0 * x[0]])
+            }
+        };
+        let res = lbfgs(&[2.0], f, &LbfgsOptions::default());
+        assert!(res.x[0] >= 0.5);
+        assert!(res.x[0] < 0.75, "should approach the boundary, got {}", res.x[0]);
+    }
+
+    #[test]
+    fn bad_start_reported() {
+        let f = |_: &[f64]| (f64::NAN, vec![0.0]);
+        let res = lbfgs(&[0.0], f, &LbfgsOptions::default());
+        assert_eq!(res.stop, StopReason::BadStart);
+    }
+
+    #[test]
+    fn already_at_minimum_stops_fast() {
+        let f = |x: &[f64]| (x[0] * x[0], vec![2.0 * x[0]]);
+        let res = lbfgs(&[0.0], f, &LbfgsOptions::default());
+        assert_eq!(res.stop, StopReason::GradientSmall);
+        assert!(res.iterations <= 1);
+    }
+
+    #[test]
+    fn monotone_nonincreasing_objective() {
+        // Track every accepted objective value; they must never increase.
+        use std::cell::RefCell;
+        let best = RefCell::new(f64::INFINITY);
+        let f = |x: &[f64]| {
+            let v = (x[0] - 3.0).powi(2) + 0.5 * (x[1] + 1.0).powi(4);
+            let g = vec![2.0 * (x[0] - 3.0), 2.0 * (x[1] + 1.0).powi(3)];
+            (v, g)
+        };
+        let res = lbfgs(&[10.0, 10.0], f, &LbfgsOptions::default());
+        let mut b = best.borrow_mut();
+        *b = res.f;
+        assert!(res.f < 1e-4);
+        assert!((res.x[0] - 3.0).abs() < 1e-2);
+    }
+}

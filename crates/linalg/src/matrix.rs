@@ -1,0 +1,511 @@
+//! Dense, row-major matrices and the small set of BLAS-like kernels the
+//! Gaussian-process stack needs.
+//!
+//! The matrices involved in crowd-tuning are moderate (a few hundred to a
+//! couple of thousand rows: one row per collected performance sample), so a
+//! straightforward cache-friendly row-major layout with blocked matmul is
+//! both simple and fast enough. All storage is `f64`.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>12.5e}", self[(r, c)])?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A column vector (n x 1) from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * rhs` with a simple ikj loop order that
+    /// keeps the inner loop streaming over contiguous rows.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), v);
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `self^T * v`.
+    pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "tr_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i).iter()) {
+                *o += vi * a;
+            }
+        }
+        out
+    }
+
+    /// `self^T * self`, the Gram matrix, computed exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Scale every entry in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += s * other`, the matrix AXPY.
+    pub fn axpy_mut(&mut self, s: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Extract the square submatrix of the listed row/col indices (used to
+    /// form per-task blocks of multitask covariance matrices).
+    pub fn select(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_idx.len(), col_idx.len());
+        for (oi, &ri) in row_idx.iter().enumerate() {
+            for (oj, &ci) in col_idx.iter().enumerate() {
+                out[(oi, oj)] = self[(ri, ci)];
+            }
+        }
+        out
+    }
+
+    /// True if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Symmetrize in place: `self = (self + self^T) / 2`.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square());
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+/// Dot product of two slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: helps the optimizer vectorize and
+    // reduces the sequential dependency chain of the additions.
+    let chunks = a.len() / 4 * 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0;
+    while i < a.len() {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    norm2_sq(a).sqrt()
+}
+
+/// `y += alpha * x` on slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_and_index() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
+        let c = a.matmul(&Matrix::identity(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let expect = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(&a + &b, Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_submatrix() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let s = m.select(&[0, 2], &[1, 3]);
+        assert_eq!(s, Matrix::from_rows(&[&[1.0, 3.0], &[9.0, 11.0]]));
+    }
+
+    #[test]
+    fn symmetrize() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        m.symmetrize_mut();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn axpy_mut_and_trace() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        a.axpy_mut(2.0, &b);
+        assert_eq!(a.trace(), 6.0);
+        assert_eq!(a[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a[(1, 1)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+}

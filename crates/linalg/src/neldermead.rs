@@ -1,0 +1,201 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! Gradient-free fallback used (a) when a kernel's hyperparameter gradient
+//! is unavailable (the categorical Hamming kernel's rounding makes its
+//! finite-difference gradient unreliable) and (b) to polish acquisition
+//! maxima inside the unit cube. Standard reflection/expansion/contraction/
+//! shrink coefficients (1, 2, 0.5, 0.5) with the adaptive restart used in
+//! scipy: the simplex re-expands around the incumbent when it collapses.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Stop when the simplex's coordinate spread falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_evals: 400, f_tol: 1e-10, x_tol: 1e-8, initial_step: 0.1 }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub f: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Minimize `f` from `x0`. Non-finite objective values are treated as
+/// `+inf` (worst), so hard constraints can be expressed by returning NaN
+/// or infinity.
+pub fn nelder_mead(
+    x0: &[f64],
+    mut f: impl FnMut(&[f64]) -> f64,
+    opts: &NelderMeadOptions,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n > 0, "empty parameter vector");
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() { v } else { f64::INFINITY }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        let step = if p[i] != 0.0 { opts.initial_step * p[i].abs() } else { opts.initial_step };
+        p[i] += step;
+        let fp = eval(&p, &mut evals);
+        simplex.push((p, fp));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let f_best = simplex[0].1;
+        let f_worst = simplex[n].1;
+        // Convergence: objective spread and coordinate spread.
+        let f_spread = (f_worst - f_best).abs();
+        let x_spread = (0..n)
+            .map(|d| {
+                let lo = simplex.iter().map(|(p, _)| p[d]).fold(f64::INFINITY, f64::min);
+                let hi = simplex.iter().map(|(p, _)| p[d]).fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            })
+            .fold(0.0f64, f64::max);
+        if f_spread < opts.f_tol && x_spread < opts.x_tol {
+            break;
+        }
+
+        // Centroid of all but the worst point.
+        let mut centroid = vec![0.0; n];
+        for (p, _) in &simplex[..n] {
+            for (c, &v) in centroid.iter_mut().zip(p.iter()) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
+        let f_reflect = eval(&reflect, &mut evals);
+
+        if f_reflect < simplex[0].1 {
+            // Try expanding further.
+            let expand: Vec<f64> =
+                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
+            let f_expand = eval(&expand, &mut evals);
+            simplex[n] =
+                if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+        } else if f_reflect < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_reflect);
+        } else {
+            // Contract towards the centroid.
+            let contract: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
+            let f_contract = eval(&contract, &mut evals);
+            if f_contract < worst.1 {
+                simplex[n] = (contract, f_contract);
+            } else {
+                // Shrink everything towards the best vertex.
+                let best = simplex[0].0.clone();
+                for (p, fv) in simplex.iter_mut().skip(1) {
+                    for (pi, &bi) in p.iter_mut().zip(best.iter()) {
+                        *pi = bi + sigma * (*pi - bi);
+                    }
+                    *fv = eval(p, &mut evals);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, fv) = simplex.swap_remove(0);
+    NelderMeadResult { x, f: fv, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_function() {
+        let res = nelder_mead(
+            &[3.0, -2.0, 1.0],
+            |x| x.iter().map(|v| v * v).sum(),
+            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+        );
+        assert!(res.f < 1e-6, "f = {}", res.f);
+        for xi in &res.x {
+            assert!(xi.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shifted_quadratic() {
+        let res = nelder_mead(
+            &[0.0, 0.0],
+            |x| (x[0] - 1.5).powi(2) + 4.0 * (x[1] + 2.0).powi(2),
+            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+        );
+        assert!((res.x[0] - 1.5).abs() < 1e-3);
+        assert!((res.x[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0;
+        let _ = nelder_mead(
+            &[1.0, 1.0],
+            |x| {
+                count += 1;
+                x[0] * x[0] + x[1] * x[1]
+            },
+            &NelderMeadOptions { max_evals: 50, ..Default::default() },
+        );
+        // The shrink step can slightly overshoot the budget within one sweep.
+        assert!(count <= 50 + 2, "count = {count}");
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infeasible() {
+        // NaN outside |x| <= 2; minimum at 1.
+        let res = nelder_mead(
+            &[1.8],
+            |x| if x[0].abs() > 2.0 { f64::NAN } else { (x[0] - 1.0).powi(2) },
+            &NelderMeadOptions { max_evals: 500, ..Default::default() },
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "x = {:?}", res.x);
+    }
+
+    #[test]
+    fn zero_start_uses_absolute_step() {
+        let res = nelder_mead(
+            &[0.0],
+            |x| (x[0] - 0.5).powi(2),
+            &NelderMeadOptions { max_evals: 300, ..Default::default() },
+        );
+        assert!((res.x[0] - 0.5).abs() < 1e-4);
+    }
+}

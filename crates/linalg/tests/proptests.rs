@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use crowdtune_linalg::{lstsq, nnls, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small random matrix with entries in [-5, 5].
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f64..5.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: an SPD matrix built as B^T B + eps I.
+fn spd_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| (n, data))
+        })
+        .prop_map(|(n, data)| {
+            let b = Matrix::from_vec(n, n, data);
+            let mut a = b.gram();
+            for i in 0..n {
+                a[(i, i)] += 0.5;
+            }
+            a
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in matrix_strategy(5)) {
+        // (A^T A) must be symmetric.
+        let g = m.gram();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd_strategy(6)) {
+        let ch = Cholesky::robust(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        let scale = a.fro_norm().max(1.0);
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8 * scale + ch.jitter * 2.0);
+    }
+
+    #[test]
+    fn cholesky_solve_inverts(a in spd_strategy(5), seed in 0u64..1000) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::robust(&a).unwrap();
+        let x = ch.solve_vec(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn cholesky_log_det_positive_for_dominant(a in spd_strategy(5)) {
+        // B^T B + 0.5 I has all eigenvalues >= 0.5, so det >= 0.5^n is fine,
+        // and log det >= n * ln(0.5).
+        let n = a.rows() as f64;
+        let ch = Cholesky::robust(&a).unwrap();
+        prop_assert!(ch.log_det() >= n * 0.5f64.ln() - 1e-9);
+    }
+
+    #[test]
+    fn nnls_is_nonnegative_and_no_worse_than_zero(
+        m in matrix_strategy(5),
+        bseed in proptest::collection::vec(-3.0f64..3.0, 1..=5),
+    ) {
+        let rows = m.rows();
+        let b: Vec<f64> = (0..rows).map(|i| bseed[i % bseed.len()]).collect();
+        let x = nnls(&m, &b);
+        prop_assert_eq!(x.len(), m.cols());
+        for &xi in &x {
+            prop_assert!(xi >= 0.0);
+        }
+        let ax = m.matvec(&x);
+        let res: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum();
+        let zero_res: f64 = b.iter().map(|q| q * q).sum();
+        prop_assert!(res <= zero_res + 1e-9);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal(
+        m in matrix_strategy(5),
+        bseed in proptest::collection::vec(-3.0f64..3.0, 1..=5),
+    ) {
+        // Only meaningful when rows >= cols; skip degenerate shapes.
+        prop_assume!(m.rows() >= m.cols());
+        let b: Vec<f64> = (0..m.rows()).map(|i| bseed[i % bseed.len()]).collect();
+        let x = lstsq(&m, &b);
+        let ax = m.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let atr = m.tr_matvec(&r);
+        // A^T r ~ 0 for the exact LS solution; ridge fallback relaxes this,
+        // so use a loose tolerance scaled to the data.
+        let scale = m.fro_norm() * (1.0 + b.iter().map(|v| v.abs()).fold(0.0, f64::max));
+        for v in atr {
+            prop_assert!(v.abs() < 1e-4 * scale.max(1.0), "A^T r = {v}, scale {scale}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! High-level sensitivity analysis over a named search space.
+//!
+//! This is the engine behind the tuner's `QuerySensitivityAnalysis`
+//! utility: take any model over the unit cube (typically the posterior
+//! mean of a GP surrogate fitted to queried crowd data), Saltelli-sample
+//! it, and report named Sobol indices like the paper's Tables IV and V.
+
+use crate::saltelli::SaltelliDesign;
+use crate::sobol_indices::{sobol_indices, ParamSensitivity, SobolResult};
+use crowdtune_space::Space;
+
+/// Configuration for [`analyze_space`].
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Base sample count `N` (total model evaluations: `N * (d + 2)`).
+    pub n_samples: usize,
+    /// Seed for the sampling fallback and the bootstrap.
+    pub seed: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig { n_samples: 1024, seed: 0 }
+    }
+}
+
+/// A named Sobol analysis result — one row per tuning parameter, like the
+/// paper's sensitivity tables.
+#[derive(Debug, Clone)]
+pub struct NamedSobolResult {
+    /// Parameter names, in space order.
+    pub names: Vec<String>,
+    /// The underlying index values.
+    pub result: SobolResult,
+}
+
+impl NamedSobolResult {
+    /// The row for a named parameter.
+    pub fn for_param(&self, name: &str) -> Option<&ParamSensitivity> {
+        let i = self.names.iter().position(|n| n == name)?;
+        Some(&self.result.params[i])
+    }
+
+    /// Names of parameters with total effect above `threshold`, ranked by
+    /// total effect descending — the "keep these when reducing the space"
+    /// list of the paper's §VI-D/E workflow.
+    pub fn influential_names(&self, threshold: f64) -> Vec<&str> {
+        let mut idx = self.result.ranking_by_total_effect();
+        idx.retain(|&i| self.result.params[i].st > threshold);
+        idx.into_iter().map(|i| self.names[i].as_str()).collect()
+    }
+
+    /// Format as an aligned text table (`Parameter  S1  S1_conf  ST
+    /// ST_conf`), the shape of the paper's Tables IV and V.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let width = self.names.iter().map(|n| n.len()).max().unwrap_or(9).max(9);
+        out.push_str(&format!(
+            "{:width$}  {:>6}  {:>7}  {:>6}  {:>7}\n",
+            "Parameter", "S1", "S1.conf", "ST", "ST.conf",
+        ));
+        for (name, p) in self.names.iter().zip(&self.result.params) {
+            out.push_str(&format!(
+                "{:width$}  {:>6.2}  {:>7.2}  {:>6.2}  {:>7.2}\n",
+                name, p.s1, p.s1_conf, p.st, p.st_conf,
+            ));
+        }
+        out
+    }
+}
+
+/// Run a Sobol sensitivity analysis of `model` (a function over the unit
+/// cube) against the named parameters of `space`.
+pub fn analyze_space<F>(space: &Space, config: &AnalysisConfig, model: F) -> NamedSobolResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let design = SaltelliDesign::generate(space.dim(), config.n_samples, config.seed);
+    let ev = design.evaluate(model);
+    let result = sobol_indices(&ev, config.seed.wrapping_add(1));
+    NamedSobolResult {
+        names: space.names().into_iter().map(str::to_string).collect(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtune_space::Param;
+
+    fn space3() -> Space {
+        Space::new(vec![
+            Param::real("alpha", 0.0, 1.0),
+            Param::integer("beta", 0, 10),
+            Param::categorical("gamma", ["a", "b"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn names_align_with_indices() {
+        let space = space3();
+        let res = analyze_space(&space, &AnalysisConfig { n_samples: 512, seed: 0 }, |x| {
+            4.0 * x[0] + 0.2 * x[1]
+        });
+        assert_eq!(res.names, vec!["alpha", "beta", "gamma"]);
+        assert!(res.for_param("alpha").unwrap().st > res.for_param("beta").unwrap().st);
+        assert!(res.for_param("gamma").unwrap().st < 0.05);
+        assert!(res.for_param("nope").is_none());
+    }
+
+    #[test]
+    fn influential_names_ranked() {
+        let space = space3();
+        let res = analyze_space(&space, &AnalysisConfig { n_samples: 1024, seed: 1 }, |x| {
+            1.5 * x[0] + 5.0 * x[2]
+        });
+        let infl = res.influential_names(0.02);
+        assert_eq!(infl[0], "gamma");
+        assert!(infl.contains(&"alpha"));
+        assert!(!infl.contains(&"beta"));
+    }
+
+    #[test]
+    fn table_formatting_contains_rows() {
+        let space = space3();
+        let res = analyze_space(&space, &AnalysisConfig { n_samples: 128, seed: 2 }, |x| x[0]);
+        let table = res.to_table();
+        assert!(table.contains("Parameter"));
+        assert!(table.contains("alpha"));
+        assert!(table.contains("gamma"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

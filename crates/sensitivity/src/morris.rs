@@ -1,0 +1,133 @@
+//! Morris elementary-effects screening.
+//!
+//! A cheaper companion to Sobol analysis (documented in DESIGN.md as an
+//! extension): `r` random one-at-a-time trajectories of `d + 1` points
+//! each give, per parameter, the mean absolute elementary effect `mu*`
+//! (overall influence) and the standard deviation `sigma` (nonlinearity /
+//! interaction strength). Useful for a first screening pass when even
+//! `N (d + 2)` surrogate evaluations are too many.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Morris screening result for one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorrisParam {
+    /// Mean of absolute elementary effects (influence).
+    pub mu_star: f64,
+    /// Mean of signed elementary effects (direction).
+    pub mu: f64,
+    /// Standard deviation of elementary effects (nonlinearity or
+    /// interaction).
+    pub sigma: f64,
+}
+
+/// Result of a Morris screening run.
+#[derive(Debug, Clone)]
+pub struct MorrisResult {
+    /// Per-parameter statistics, in input order.
+    pub params: Vec<MorrisParam>,
+    /// Number of trajectories used.
+    pub trajectories: usize,
+}
+
+impl MorrisResult {
+    /// Parameters ranked by `mu*`, descending.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.params.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.params[b]
+                .mu_star
+                .partial_cmp(&self.params[a].mu_star)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+/// Run Morris screening with `r` trajectories on a model over the unit
+/// cube. Uses the standard 4-level grid with jump size 2/3... specifically
+/// `p = 4` levels `{0, 1/3, 2/3, 1}` and `delta = 2/3`.
+pub fn morris_screening<F>(dim: usize, r: usize, seed: u64, model: F) -> MorrisResult
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(dim > 0 && r > 0);
+    let levels = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0];
+    let delta = 2.0 / 3.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // effects[d] = list of elementary effects for parameter d.
+    let mut effects: Vec<Vec<f64>> = vec![Vec::with_capacity(r); dim];
+
+    for _ in 0..r {
+        // Random base point on the lower part of the grid so that +delta
+        // stays inside the cube.
+        let mut x: Vec<f64> = (0..dim).map(|_| levels[rng.gen_range(0..2)]).collect();
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.shuffle(&mut rng);
+        let mut f_prev = model(&x);
+        for &d in &order {
+            // Flip direction if +delta would leave the cube.
+            let (step, dir) =
+                if x[d] + delta <= 1.0 { (delta, 1.0) } else { (-delta, -1.0) };
+            x[d] += step;
+            let f_new = model(&x);
+            effects[d].push(dir * (f_new - f_prev) / delta);
+            f_prev = f_new;
+        }
+    }
+
+    let params = effects
+        .iter()
+        .map(|es| {
+            let mu = crowdtune_linalg::stats::mean(es);
+            let abs: Vec<f64> = es.iter().map(|e| e.abs()).collect();
+            MorrisParam {
+                mu_star: crowdtune_linalg::stats::mean(&abs),
+                mu,
+                sigma: crowdtune_linalg::stats::std_dev(es),
+            }
+        })
+        .collect();
+    MorrisResult { params, trajectories: r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_exact_effects() {
+        // f = 2 x0 - 3 x1: elementary effects are exactly the coefficients.
+        let res = morris_screening(2, 20, 1, |x| 2.0 * x[0] - 3.0 * x[1]);
+        assert!((res.params[0].mu_star - 2.0).abs() < 1e-9);
+        assert!((res.params[1].mu_star - 3.0).abs() < 1e-9);
+        assert!((res.params[0].mu - 2.0).abs() < 1e-9);
+        assert!((res.params[1].mu + 3.0).abs() < 1e-9, "mu keeps sign");
+        assert!(res.params[0].sigma < 1e-9, "linear => sigma 0");
+    }
+
+    #[test]
+    fn irrelevant_parameter_screened_out() {
+        let res = morris_screening(3, 30, 2, |x| (x[0] * 5.0).sin());
+        assert!(res.params[1].mu_star < 1e-12);
+        assert!(res.params[2].mu_star < 1e-12);
+        assert!(res.params[0].mu_star > 0.5);
+        assert_eq!(res.ranking()[0], 0);
+    }
+
+    #[test]
+    fn interaction_raises_sigma() {
+        let res = morris_screening(2, 50, 3, |x| x[0] * x[1]);
+        // Effect of x0 depends on x1 => nonzero sigma.
+        assert!(res.params[0].sigma > 0.1, "sigma = {}", res.params[0].sigma);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = morris_screening(2, 10, 7, |x| x[0] + x[1] * x[1]);
+        let b = morris_screening(2, 10, 7, |x| x[0] + x[1] * x[1]);
+        assert_eq!(a.params, b.params);
+    }
+}

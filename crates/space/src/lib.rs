@@ -1,0 +1,24 @@
+//! # crowdtune-space
+//!
+//! Search-space definitions for crowd-tuning: named parameters over
+//! integer / real / categorical domains, transforms to and from the unit
+//! hypercube (where the Gaussian-process stack operates), space
+//! *reduction* driven by sensitivity analysis, and samplers (uniform,
+//! Latin hypercube, Sobol').
+//!
+//! A "space" plays two roles, mirroring the paper's meta description:
+//! the **input space** of task parameters (what problem is being solved —
+//! matrix sizes, mesh densities) and the **parameter space** of tuning
+//! parameters (what the tuner may change — block sizes, process grids).
+
+#![warn(missing_docs)]
+
+pub mod param;
+pub mod sample;
+pub mod sobol;
+pub mod space;
+
+pub use param::{Domain, Param, Value};
+pub use sample::{sample_lhs, sample_sobol, sample_uniform, sample_uniform_where};
+pub use sobol::Sobol;
+pub use space::{Point, ReducedSpace, Space, SpaceError};

@@ -1,0 +1,357 @@
+//! Search spaces: ordered lists of parameters with transforms to and from
+//! the unit hypercube, plus the space *reduction* operation that the
+//! sensitivity-analysis case studies rely on (fix insensitive parameters,
+//! tune the rest).
+
+use crate::param::{Domain, Param, Value};
+use serde::{Deserialize, Serialize};
+
+/// An ordered set of named parameters (a task space or a tuning space).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Space {
+    params: Vec<Param>,
+}
+
+/// A point in a space: one [`Value`] per parameter, in space order.
+pub type Point = Vec<Value>;
+
+/// Errors from space validation and transforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// Point length differs from the space dimension.
+    DimensionMismatch {
+        /// Expected dimension (number of parameters).
+        expected: usize,
+        /// Length of the offending point.
+        got: usize,
+    },
+    /// A value fell outside its parameter's domain.
+    OutOfDomain {
+        /// Name of the violated parameter.
+        param: String,
+        /// Index of the violated parameter.
+        index: usize,
+    },
+    /// A parameter name was not found in the space.
+    UnknownParam(String),
+    /// Duplicate parameter name at construction.
+    DuplicateParam(String),
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::DimensionMismatch { expected, got } => {
+                write!(f, "point has {got} values, space has {expected} parameters")
+            }
+            SpaceError::OutOfDomain { param, index } => {
+                write!(f, "value for parameter '{param}' (index {index}) is out of domain")
+            }
+            SpaceError::UnknownParam(name) => write!(f, "unknown parameter '{name}'"),
+            SpaceError::DuplicateParam(name) => write!(f, "duplicate parameter '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+impl Space {
+    /// Build a space from parameters; names must be unique.
+    pub fn new(params: Vec<Param>) -> Result<Self, SpaceError> {
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name == p.name) {
+                return Err(SpaceError::DuplicateParam(p.name.clone()));
+            }
+        }
+        Ok(Space { params })
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters in order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Look up a parameter index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Parameter names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.params.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Per-dimension cell counts: `Some(k)` for discrete domains with `k`
+    /// cells (integers, categoricals), `None` for continuous reals.
+    /// Surrogate-side consumers use this to snap unit coordinates to cell
+    /// centers so that discrete kernels see exact cell identity.
+    pub fn cell_counts(&self) -> Vec<Option<usize>> {
+        self.params.iter().map(|p| p.domain.cardinality()).collect()
+    }
+
+    /// Snap a unit-cube vector to the cell centers of discrete dimensions
+    /// (continuous dimensions pass through). Equivalent to
+    /// `to_unit(from_unit(u))` but allocation-light.
+    pub fn snap_unit(&self, unit: &mut [f64]) {
+        for (p, u) in self.params.iter().zip(unit.iter_mut()) {
+            if let Some(k) = p.domain.cardinality() {
+                let uu = if u.is_finite() { u.clamp(0.0, 1.0 - 1e-12) } else { 0.0 };
+                *u = ((uu * k as f64).floor() + 0.5) / k as f64;
+            }
+        }
+    }
+
+    /// Validate a point against the space.
+    pub fn validate(&self, point: &[Value]) -> Result<(), SpaceError> {
+        if point.len() != self.dim() {
+            return Err(SpaceError::DimensionMismatch { expected: self.dim(), got: point.len() });
+        }
+        for (i, (p, v)) in self.params.iter().zip(point).enumerate() {
+            if !p.domain.contains(v) {
+                return Err(SpaceError::OutOfDomain { param: p.name.clone(), index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Map a point into the unit hypercube `[0,1)^d`.
+    ///
+    /// Reals map affinely; integers and categoricals map to the *center* of
+    /// their cell so that `from_unit(to_unit(x)) == x` exactly.
+    pub fn to_unit(&self, point: &[Value]) -> Result<Vec<f64>, SpaceError> {
+        self.validate(point)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(point)
+            .map(|(p, v)| match (&p.domain, v) {
+                (Domain::Real { lo, hi }, Value::Real(x)) => (x - lo) / (hi - lo),
+                (Domain::Integer { lo, hi }, Value::Int(x)) => {
+                    ((x - lo) as f64 + 0.5) / (hi - lo) as f64
+                }
+                (Domain::Categorical { categories }, Value::Cat(idx)) => {
+                    (*idx as f64 + 0.5) / categories.len() as f64
+                }
+                _ => unreachable!("validate() checked the types"),
+            })
+            .collect())
+    }
+
+    /// Map a unit-cube vector back to a concrete point. Coordinates are
+    /// clamped into `[0, 1)` first, so any real vector is acceptable.
+    pub fn from_unit(&self, unit: &[f64]) -> Result<Point, SpaceError> {
+        if unit.len() != self.dim() {
+            return Err(SpaceError::DimensionMismatch { expected: self.dim(), got: unit.len() });
+        }
+        Ok(self
+            .params
+            .iter()
+            .zip(unit)
+            .map(|(p, &u)| {
+                let u = if u.is_finite() { u.clamp(0.0, 1.0 - 1e-12) } else { 0.0 };
+                match &p.domain {
+                    Domain::Real { lo, hi } => Value::Real(lo + u * (hi - lo)),
+                    Domain::Integer { lo, hi } => {
+                        let cells = (hi - lo) as f64;
+                        Value::Int(lo + (u * cells).floor() as i64)
+                    }
+                    Domain::Categorical { categories } => {
+                        Value::Cat((u * categories.len() as f64).floor() as usize)
+                    }
+                }
+            })
+            .collect())
+    }
+
+    /// Reduce the space: keep only `kept` parameters (by name) as tunable
+    /// and fix every other parameter to the value given by `fixed`.
+    ///
+    /// This is the sensitivity-analysis workflow of the paper's §VI-D/E:
+    /// after Sobol analysis identifies insensitive parameters, tuning
+    /// proceeds on the reduced space while insensitive parameters are
+    /// pinned (to defaults, or to random values when no default is known).
+    pub fn reduce(
+        &self,
+        kept: &[&str],
+        fixed: &[(&str, Value)],
+    ) -> Result<ReducedSpace, SpaceError> {
+        let mut kept_idx = Vec::with_capacity(kept.len());
+        for name in kept {
+            let idx = self.index_of(name).ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
+            kept_idx.push(idx);
+        }
+        let mut fixed_values: Vec<Option<Value>> = vec![None; self.dim()];
+        for (name, v) in fixed {
+            let idx = self.index_of(name).ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
+            if !self.params[idx].domain.contains(v) {
+                return Err(SpaceError::OutOfDomain { param: (*name).into(), index: idx });
+            }
+            fixed_values[idx] = Some(v.clone());
+        }
+        // Every parameter must be either kept or fixed.
+        for (i, p) in self.params.iter().enumerate() {
+            let is_kept = kept_idx.contains(&i);
+            let is_fixed = fixed_values[i].is_some();
+            if is_kept && is_fixed {
+                return Err(SpaceError::DuplicateParam(p.name.clone()));
+            }
+            if !is_kept && !is_fixed {
+                return Err(SpaceError::UnknownParam(format!(
+                    "parameter '{}' is neither kept nor fixed",
+                    p.name
+                )));
+            }
+        }
+        let sub = Space::new(kept_idx.iter().map(|&i| self.params[i].clone()).collect())?;
+        Ok(ReducedSpace { full: self.clone(), sub, kept_idx, fixed_values })
+    }
+}
+
+/// A reduced view of a [`Space`]: a sub-space of tunable parameters plus
+/// pinned values for the rest. Points in the sub-space expand to points in
+/// the full space.
+#[derive(Debug, Clone)]
+pub struct ReducedSpace {
+    full: Space,
+    sub: Space,
+    kept_idx: Vec<usize>,
+    fixed_values: Vec<Option<Value>>,
+}
+
+impl ReducedSpace {
+    /// The tunable sub-space.
+    pub fn sub_space(&self) -> &Space {
+        &self.sub
+    }
+
+    /// The original full space.
+    pub fn full_space(&self) -> &Space {
+        &self.full
+    }
+
+    /// Expand a sub-space point into a full-space point.
+    pub fn expand(&self, sub_point: &[Value]) -> Result<Point, SpaceError> {
+        self.sub.validate(sub_point)?;
+        let mut full = Vec::with_capacity(self.full.dim());
+        for (i, fv) in self.fixed_values.iter().enumerate() {
+            match fv {
+                Some(v) => full.push(v.clone()),
+                None => {
+                    let k = self.kept_idx.iter().position(|&ki| ki == i).expect("kept index");
+                    full.push(sub_point[k].clone());
+                }
+            }
+        }
+        Ok(full)
+    }
+
+    /// Project a full-space point onto the tunable sub-space.
+    pub fn project(&self, full_point: &[Value]) -> Result<Point, SpaceError> {
+        self.full.validate(full_point)?;
+        Ok(self.kept_idx.iter().map(|&i| full_point[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_space() -> Space {
+        Space::new(vec![
+            Param::integer("mb", 1, 16),
+            Param::real("x", 0.0, 10.0),
+            Param::categorical("colperm", ["A", "B", "C", "D"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_and_lookup() {
+        let s = demo_space();
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.index_of("x"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.names(), vec!["mb", "x", "colperm"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Space::new(vec![Param::integer("a", 0, 2), Param::integer("a", 0, 3)]);
+        assert!(matches!(err, Err(SpaceError::DuplicateParam(_))));
+    }
+
+    #[test]
+    fn validate_catches_mismatch_and_domain() {
+        let s = demo_space();
+        assert!(matches!(
+            s.validate(&[Value::Int(3)]),
+            Err(SpaceError::DimensionMismatch { expected: 3, got: 1 })
+        ));
+        assert!(matches!(
+            s.validate(&[Value::Int(16), Value::Real(1.0), Value::Cat(0)]),
+            Err(SpaceError::OutOfDomain { index: 0, .. })
+        ));
+        assert!(s.validate(&[Value::Int(15), Value::Real(0.0), Value::Cat(3)]).is_ok());
+    }
+
+    #[test]
+    fn unit_roundtrip_exact_for_discrete() {
+        let s = demo_space();
+        for mb in [1i64, 7, 15] {
+            for cat in 0..4usize {
+                let p = vec![Value::Int(mb), Value::Real(3.25), Value::Cat(cat)];
+                let u = s.to_unit(&p).unwrap();
+                assert!(u.iter().all(|&x| (0.0..1.0).contains(&x)));
+                let back = s.from_unit(&u).unwrap();
+                assert_eq!(back[0], Value::Int(mb));
+                assert_eq!(back[2], Value::Cat(cat));
+                if let Value::Real(x) = back[1] {
+                    assert!((x - 3.25).abs() < 1e-12);
+                } else {
+                    panic!("expected real");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_unit_clamps() {
+        let s = demo_space();
+        let p = s.from_unit(&[1.5, -0.3, 0.9999999]).unwrap();
+        assert_eq!(p[0], Value::Int(15)); // clamped to top cell
+        assert_eq!(p[1], Value::Real(0.0));
+        assert_eq!(p[2], Value::Cat(3));
+        // Non-finite coordinates collapse to the bottom of the domain.
+        let q = s.from_unit(&[f64::NAN, f64::INFINITY, 0.0]).unwrap();
+        assert_eq!(q[0], Value::Int(1));
+    }
+
+    #[test]
+    fn reduce_and_expand() {
+        let s = demo_space();
+        let red = s.reduce(&["mb", "colperm"], &[("x", Value::Real(5.0))]).unwrap();
+        assert_eq!(red.sub_space().dim(), 2);
+        let full = red.expand(&[Value::Int(4), Value::Cat(2)]).unwrap();
+        assert_eq!(full, vec![Value::Int(4), Value::Real(5.0), Value::Cat(2)]);
+        let back = red.project(&full).unwrap();
+        assert_eq!(back, vec![Value::Int(4), Value::Cat(2)]);
+    }
+
+    #[test]
+    fn reduce_requires_full_cover() {
+        let s = demo_space();
+        // 'x' neither kept nor fixed.
+        assert!(s.reduce(&["mb", "colperm"], &[]).is_err());
+        // unknown name
+        assert!(s.reduce(&["zzz"], &[]).is_err());
+        // fixed value out of domain
+        assert!(s
+            .reduce(&["mb", "colperm"], &[("x", Value::Real(11.0))])
+            .is_err());
+    }
+}

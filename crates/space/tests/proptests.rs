@@ -1,0 +1,89 @@
+//! Property-based tests for spaces, transforms and samplers.
+
+use crowdtune_space::{sample_lhs, sample_uniform, Param, Sobol, Space, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary mixed space of 1..=6 parameters.
+fn space_strategy() -> impl Strategy<Value = Space> {
+    proptest::collection::vec(0..3usize, 1..=6).prop_map(|kinds| {
+        let params = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| match kind {
+                0 => Param::integer(format!("i{i}"), -3, 9),
+                1 => Param::real(format!("r{i}"), -2.5, 4.0),
+                _ => Param::categorical(format!("c{i}"), ["a", "b", "c", "d", "e"]),
+            })
+            .collect();
+        Space::new(params).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn from_unit_to_unit_roundtrip(space in space_strategy(), seed in 0u64..10_000) {
+        // from_unit -> to_unit -> from_unit is the identity on points.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in sample_uniform(&space, 8, &mut rng) {
+            let u = space.to_unit(&p).unwrap();
+            let back = space.from_unit(&u).unwrap();
+            prop_assert_eq!(&back, &p);
+        }
+    }
+
+    #[test]
+    fn unit_coordinates_in_range(space in space_strategy(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in sample_uniform(&space, 8, &mut rng) {
+            for u in space.to_unit(&p).unwrap() {
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_points_always_valid(space in space_strategy(), n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in sample_lhs(&space, n, &mut rng) {
+            prop_assert!(space.validate(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn sobol_prefix_within_bounds(dim in 1usize..=21, n in 1usize..200) {
+        let mut s = Sobol::new(dim);
+        for _ in 0..n {
+            let p = s.next_point();
+            prop_assert_eq!(p.len(), dim);
+            for x in p {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_expand_project_roundtrip(seed in 0u64..10_000) {
+        let space = Space::new(vec![
+            Param::integer("a", 0, 8),
+            Param::real("b", 0.0, 1.0),
+            Param::categorical("c", ["x", "y"]),
+            Param::integer("d", 1, 5),
+        ]).unwrap();
+        let red = space
+            .reduce(&["a", "c"], &[("b", Value::Real(0.5)), ("d", Value::Int(2))])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sub in sample_uniform(red.sub_space(), 8, &mut rng) {
+            let full = red.expand(&sub).unwrap();
+            prop_assert!(space.validate(&full).is_ok());
+            prop_assert_eq!(red.project(&full).unwrap(), sub);
+            // Fixed coordinates really are pinned.
+            prop_assert_eq!(&full[1], &Value::Real(0.5));
+            prop_assert_eq!(&full[3], &Value::Int(2));
+        }
+    }
+}

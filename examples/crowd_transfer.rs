@@ -1,0 +1,162 @@
+//! The full crowd-tuning story, end to end:
+//!
+//! 1. users register with the shared database and get API keys;
+//! 2. "the crowd" uploads performance samples for source tasks
+//!    (PDGEQRF at several matrix sizes), environment metadata recorded
+//!    via the automatic Slurm/Spack parsers;
+//! 3. a new user writes a meta description, opens a session, and the
+//!    tuner downloads the relevant crowd data, groups it into source
+//!    tasks, and runs ensemble transfer learning on *their* problem;
+//! 4. the new user's evaluations are uploaded back for the next person.
+//!
+//! Run: `cargo run --release --example crowd_transfer`
+
+use crowdtune::apps::Pdgeqrf;
+use crowdtune::db::{parse_slurm_env, parse_spack_spec};
+use crowdtune::prelude::*;
+use crowdtune::tuner::tune_tla_constrained;
+use crowdtune::tuner::data::value_to_scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let db = HistoryDb::new();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // --- 1. The crowd: two users upload source data -----------------------
+    let alice = db.register_user("alice", "alice@lab.gov", true, &mut rng).unwrap();
+    let bob = db.register_user("bob", "bob@univ.edu", true, &mut rng).unwrap();
+
+    let machine = MachineModel::cori_haswell(8);
+    for (user, m) in [(&alice, 10_000u64), (&bob, 8_000u64)] {
+        let app = Pdgeqrf::new(m, m, machine.clone());
+        let space = app.tuning_space();
+        // The "automatic environment parsing": the job's Slurm variables
+        // and Spack spec become the reproducibility record.
+        let machine_cfg = parse_slurm_env(&machine.slurm_env()).unwrap();
+        let software = parse_spack_spec("scalapack@2.1.0%gcc@8.3.0+pic").unwrap();
+        let mut sample_rng = StdRng::seed_from_u64(m);
+        let mut uploaded = 0;
+        while uploaded < 80 {
+            let point = crowdtune::space::sample_uniform(&space, 1, &mut sample_rng)
+                .pop()
+                .expect("one point");
+            // A crowd user's tuning script enforces the structural
+            // constraints before launching a job.
+            if !app.validate_config(&point) {
+                continue;
+            }
+            uploaded += 1;
+            let outcome = match app.evaluate(&point, &mut sample_rng) {
+                Ok(y) => EvalOutcome::single("runtime", y),
+                Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+            };
+            let mut eval = FunctionEvaluation::new(app.name(), "overwritten-by-db");
+            eval.task_parameters = app.task_parameters();
+            for (param, value) in space.params().iter().zip(&point) {
+                eval.tuning_parameters
+                    .insert(param.name.clone(), value_to_scalar(value, &param.domain));
+            }
+            eval.machine = machine_cfg.clone();
+            eval.software = vec![software.clone()];
+            eval = eval.outcome(outcome);
+            db.submit(user, eval).unwrap();
+        }
+    }
+    println!("crowd database now holds {} samples for {:?}", db.len(), db.problems());
+
+    // --- 2. A new user: one meta description does everything --------------
+    let carol = db.register_user("carol", "carol@hpc.org", true, &mut rng).unwrap();
+    let meta = format!(
+        r#"{{
+        "api_key": "{carol}",
+        "tuning_problem_name": "PDGEQRF",
+        "problem_space": {{
+            "input_space": [
+                {{"name": "m", "type": "integer", "lower_bound": 1000, "upper_bound": 20000}},
+                {{"name": "n", "type": "integer", "lower_bound": 1000, "upper_bound": 20000}}
+            ],
+            "parameter_space": [
+                {{"name": "mb", "type": "integer", "lower_bound": 1, "upper_bound": 16}},
+                {{"name": "nb", "type": "integer", "lower_bound": 1, "upper_bound": 16}},
+                {{"name": "lg2npernode", "type": "integer", "lower_bound": 0, "upper_bound": 5}},
+                {{"name": "p", "type": "integer", "lower_bound": 1, "upper_bound": 256}}
+            ],
+            "output_space": [{{"name": "runtime", "type": "real"}}]
+        }},
+        "configuration_space": {{
+            "machine_configurations": [
+                {{"machine_name": "cori", "node_type": "haswell", "nodes_from": 1, "nodes_to": 16}}
+            ],
+            "software_configurations": [
+                {{"name": "gcc", "version_from": [8, 0, 0], "version_to": [9, 0, 0]}}
+            ],
+            "user_configurations": []
+        }},
+        "machine_configuration": "cori",
+        "software_configuration": ["scalapack@2.1.0%gcc@8.3.0"],
+        "sync_crowd_repo": "yes"
+    }}"#
+    );
+    let session = CrowdSession::open(&db, &meta).expect("session");
+    let sources = session.source_tasks(20).expect("source tasks");
+    println!(
+        "downloaded crowd data grouped into {} source task(s): {:?}",
+        sources.len(),
+        sources.iter().map(|s| (s.data.len(), s.name.as_str())).collect::<Vec<_>>()
+    );
+
+    // --- 3. Transfer-learn Carol's own task -------------------------------
+    let target = Pdgeqrf::new(12_000, 12_000, machine.clone());
+    let space = target.tuning_space();
+    let mut noise = StdRng::seed_from_u64(1234);
+    let session_ref = &session;
+    let target_ref = &target;
+    let mut objective = |p: &Point| {
+        let result = target_ref.evaluate(p, &mut noise);
+        // sync_crowd_repo = "yes": every evaluation goes back to the crowd.
+        let mut eval = FunctionEvaluation::new(target_ref.name(), "carol");
+        eval.task_parameters = target_ref.task_parameters();
+        let space = target_ref.tuning_space();
+        for (param, value) in space.params().iter().zip(p) {
+            eval.tuning_parameters
+                .insert(param.name.clone(), value_to_scalar(value, &param.domain));
+        }
+        eval = eval.outcome(match &result {
+            Ok(y) => EvalOutcome::single("runtime", *y),
+            Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+        });
+        session_ref.upload(eval).expect("upload");
+        result.map_err(|e| e.to_string())
+    };
+
+    let config = TuneConfig { budget: 10, seed: 7, ..Default::default() };
+    let mut ensemble = Ensemble::proposed_default();
+    let constraint = |p: &Point| target_ref.validate_config(p);
+    let result = tune_tla_constrained(
+        &space,
+        &mut objective,
+        &sources,
+        &mut ensemble,
+        &config,
+        Some(&constraint),
+    );
+
+    let (best_point, best_y) = result.best().expect("a success");
+    println!("\nensemble transfer learning, 10 evaluations:");
+    for (i, (rec, best)) in result.history.iter().zip(result.best_so_far()).enumerate() {
+        println!(
+            "  eval {:>2} [{}] -> {:<22} best-so-far {:.4}",
+            i + 1,
+            rec.proposed_by,
+            match &rec.result {
+                Ok(y) => format!("{y:.4}s"),
+                Err(e) => format!("failed ({e})"),
+            },
+            best.unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nbest: {best_y:.4}s at {best_point:?}");
+    println!("database grew to {} samples (Carol's runs included)", db.len());
+    println!("ensemble attribution: {:?}", ensemble.attribution());
+}

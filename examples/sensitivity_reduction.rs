@@ -1,0 +1,148 @@
+//! Sensitivity-driven search-space reduction (the paper's §VI-D/E
+//! workflow) on the simulated Hypre GMRES+BoomerAMG solver:
+//!
+//! 1. collect crowd samples of the 12-parameter tuning problem;
+//! 2. `QuerySensitivityAnalysis` fits a surrogate and reports Sobol
+//!    S1/ST indices per parameter;
+//! 3. keep the influential parameters, pin the rest, and tune the
+//!    reduced space — comparing against tuning the original space.
+//!
+//! Run: `cargo run --release --example sensitivity_reduction`
+
+use crowdtune::apps::HypreAmg;
+use crowdtune::prelude::*;
+use crowdtune::tuner::data::value_to_scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let app = HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1));
+    let space = app.tuning_space();
+
+    // --- 1. Crowd data -----------------------------------------------------
+    let db = HistoryDb::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let key = db.register_user("carol", "carol@hpc.org", true, &mut rng).unwrap();
+    let mut sample_rng = StdRng::seed_from_u64(31337);
+    for point in crowdtune::space::sample_uniform(&space, 400, &mut sample_rng) {
+        let y = app.evaluate(&point, &mut sample_rng).expect("hypre never fails");
+        let mut eval = FunctionEvaluation::new("Hypre", "carol");
+        for (param, value) in space.params().iter().zip(&point) {
+            eval.tuning_parameters
+                .insert(param.name.clone(), value_to_scalar(value, &param.domain));
+        }
+        eval = eval.outcome(EvalOutcome::single("runtime", y));
+        db.submit(&key, eval).unwrap();
+    }
+
+    // --- 2. Sensitivity analysis -------------------------------------------
+    let meta = meta_json(&key);
+    let session = CrowdSession::open(&db, &meta).expect("session");
+    let analysis = crowdtune::tuner::query_sensitivity_analysis(
+        &session,
+        &AnalysisConfig { n_samples: 512, seed: 0 },
+        0,
+    )
+    .expect("analysis");
+    println!("Sobol sensitivity of the crowd surrogate:\n{}", analysis.to_table());
+    let keep = analysis.influential_names(0.1);
+    println!("parameters kept for tuning (ST > 0.1): {keep:?}\n");
+
+    // --- 3. Tune reduced vs original ---------------------------------------
+    // Pin everything not kept: defaults where known, mid-range otherwise.
+    let defaults: Vec<(&str, Value)> = vec![
+        ("Px", Value::Int(4)),
+        ("Py", Value::Int(4)),
+        ("Nproc", Value::Int(16)),
+        ("strong_threshold", Value::Real(0.25)),
+        ("trunc_factor", Value::Real(0.0)),
+        ("P_max_elmts", Value::Int(4)),
+        ("coarsen_type", Value::Cat(2)),
+        ("relax_type", Value::Cat(3)),
+        ("smooth_type", Value::Cat(0)),
+        // When smooth_type is kept but the level count is pinned, pin it
+        // to a value that keeps the smoother active.
+        ("smooth_num_levels", Value::Int(3)),
+        ("interp_type", Value::Cat(0)),
+        ("agg_num_levels", Value::Int(0)),
+    ];
+    let kept: Vec<&str> = keep.clone();
+    let pinned: Vec<(&str, Value)> = defaults
+        .iter()
+        .filter(|(name, _)| !kept.contains(name))
+        .map(|(n, v)| (*n, v.clone()))
+        .collect();
+    let reduced = space.reduce(&kept, &pinned).expect("reduction");
+
+    let budget = 20;
+    for (label, dim_space, expand) in [
+        ("original (12 params)", &space, false),
+        ("reduced", reduced.sub_space(), true),
+    ] {
+        let mut noise = StdRng::seed_from_u64(5);
+        let reduced_ref = &reduced;
+        let app_ref = &app;
+        let mut objective = |p: &Point| {
+            let full;
+            let point = if expand {
+                full = reduced_ref.expand(p).expect("expansion");
+                &full
+            } else {
+                p
+            };
+            // Log-runtime objective (standard for multiplicative cost
+            // structures); reported values are exp'd back below.
+            app_ref.evaluate(point, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+        };
+        let config = TuneConfig {
+            budget,
+            seed: 3,
+            n_init: dim_space.dim() + 1,
+            ..Default::default()
+        };
+        let result = tune_notla(dim_space, &mut objective, &config);
+        let (_, best) = result.best().unwrap();
+        println!(
+            "{label:<22}: best runtime after {budget} evals = {:.4}s",
+            best.exp()
+        );
+    }
+    println!(
+        "\n(single-seed illustration; the multi-seed comparison is the fig7 bench target)"
+    );
+}
+
+fn meta_json(key: &str) -> String {
+    let cats = |list: &[&str]| {
+        list.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(", ")
+    };
+    format!(
+        r#"{{
+        "api_key": "{key}",
+        "tuning_problem_name": "Hypre",
+        "problem_space": {{
+            "input_space": [],
+            "parameter_space": [
+                {{"name": "Px", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "Py", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "Nproc", "type": "integer", "lower_bound": 1, "upper_bound": 32}},
+                {{"name": "strong_threshold", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}},
+                {{"name": "trunc_factor", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}},
+                {{"name": "P_max_elmts", "type": "integer", "lower_bound": 1, "upper_bound": 12}},
+                {{"name": "coarsen_type", "type": "categorical", "categories": [{}]}},
+                {{"name": "relax_type", "type": "categorical", "categories": [{}]}},
+                {{"name": "smooth_type", "type": "categorical", "categories": [{}]}},
+                {{"name": "smooth_num_levels", "type": "integer", "lower_bound": 0, "upper_bound": 5}},
+                {{"name": "interp_type", "type": "categorical", "categories": [{}]}},
+                {{"name": "agg_num_levels", "type": "integer", "lower_bound": 0, "upper_bound": 5}}
+            ],
+            "output_space": [{{"name": "runtime", "type": "real"}}]
+        }},
+        "sync_crowd_repo": "no"
+    }}"#,
+        cats(&crowdtune::apps::COARSEN_TYPES),
+        cats(&crowdtune::apps::RELAX_TYPES),
+        cats(&crowdtune::apps::SMOOTH_TYPES),
+        cats(&crowdtune::apps::INTERP_TYPES),
+    )
+}
