@@ -36,14 +36,35 @@ use rand::RngCore;
 /// Smoother choices for `smooth_type`.
 pub const SMOOTH_TYPES: [&str; 5] = ["none", "schwarz", "pilut", "parasails", "euclid"];
 /// Coarsening choices for `coarsen_type`.
-pub const COARSEN_TYPES: [&str; 8] =
-    ["cljp", "ruge-stueben", "falgout", "pmis", "hmis", "cgc", "cgc-e", "cljp-c"];
+pub const COARSEN_TYPES: [&str; 8] = [
+    "cljp",
+    "ruge-stueben",
+    "falgout",
+    "pmis",
+    "hmis",
+    "cgc",
+    "cgc-e",
+    "cljp-c",
+];
 /// Relaxation choices for `relax_type`.
-pub const RELAX_TYPES: [&str; 6] =
-    ["jacobi", "gs-forward", "gs-backward", "hybrid-gs", "l1-gs", "chebyshev"];
+pub const RELAX_TYPES: [&str; 6] = [
+    "jacobi",
+    "gs-forward",
+    "gs-backward",
+    "hybrid-gs",
+    "l1-gs",
+    "chebyshev",
+];
 /// Interpolation choices for `interp_type`.
-pub const INTERP_TYPES: [&str; 7] =
-    ["classical", "lsq", "direct", "multipass", "standard", "extended", "extended+i"];
+pub const INTERP_TYPES: [&str; 7] = [
+    "classical",
+    "lsq",
+    "direct",
+    "multipass",
+    "standard",
+    "extended",
+    "extended+i",
+];
 
 /// Hypre GMRES+BoomerAMG bound to a Poisson grid and machine.
 #[derive(Debug, Clone)]
@@ -92,7 +113,13 @@ pub struct HypreConfig {
 impl HypreAmg {
     /// New instance.
     pub fn new(nx: u64, ny: u64, nz: u64, machine: MachineModel) -> Self {
-        HypreAmg { nx, ny, nz, machine, noise_sigma: 0.02 }
+        HypreAmg {
+            nx,
+            ny,
+            nz,
+            machine,
+            noise_sigma: 0.02,
+        }
     }
 
     /// Deterministic cost model (no noise).
@@ -115,7 +142,8 @@ impl HypreAmg {
         iters *= 1.0 - smoother_power * levels_frac;
         // Aggressive coarsening saves memory/complexity but costs
         // convergence, superlinearly in the number of aggressive levels.
-        iters *= 1.0 + 0.14 * c.agg_num_levels as f64
+        iters *= 1.0
+            + 0.14 * c.agg_num_levels as f64
             + 0.085 * (c.agg_num_levels * c.agg_num_levels) as f64;
         // Mild, nearly-inert effects.
         iters *= 1.0 + 0.015 * (c.strong_threshold - 0.25).abs();
@@ -147,12 +175,12 @@ impl HypreAmg {
         // empirical Table V structure: Py ST 0.35, Nproc ST 0.23, both
         // with tiny main effects).
         let py_opt = ((nproc as f64).sqrt()).max(1.0);
-        let decomp_penalty = 1.0 + 0.09 * ((c.py as f64 / py_opt).ln()).powi(2)
+        let decomp_penalty = 1.0
+            + 0.09 * ((c.py as f64 / py_opt).ln()).powi(2)
             + 0.003 * ((c.px as f64 / py_opt).ln()).powi(2);
         // Complex smoothers also cost time per iteration (setup amortized),
         // again scaled by the levels they run on.
-        let smoother_cost = 1.0
-            + [0.0, 0.6, 0.9, 0.25, 0.75][c.smooth_type] * levels_frac;
+        let smoother_cost = 1.0 + [0.0, 0.6, 0.9, 0.25, 0.75][c.smooth_type] * levels_frac;
 
         // --- Setup ----------------------------------------------------------
         let t_setup = n_total * complexity * 160.0 / (cores * bw_per_rank)
@@ -297,7 +325,10 @@ mod tests {
         c.relax_type = 5;
         c.interp_type = 6;
         let t1 = a.model_runtime(&c).unwrap();
-        assert!((t0 / t1 - 1.0).abs() < 0.08, "inert params moved runtime: {t0} vs {t1}");
+        assert!(
+            (t0 / t1 - 1.0).abs() < 0.08,
+            "inert params moved runtime: {t0} vs {t1}"
+        );
     }
 
     #[test]
@@ -312,7 +343,10 @@ mod tests {
         let t_py = a.model_runtime(&c).unwrap();
         let px_effect = (t_px / t_base - 1.0).abs();
         let py_effect = (t_py / t_base - 1.0).abs();
-        assert!(py_effect > 4.0 * px_effect, "Py {py_effect} vs Px {px_effect}");
+        assert!(
+            py_effect > 4.0 * px_effect,
+            "Py {py_effect} vs Px {px_effect}"
+        );
     }
 
     #[test]
@@ -330,7 +364,10 @@ mod tests {
         c.nproc = 4;
         c.py = 2;
         let matched2 = a.model_runtime(&c).unwrap();
-        assert!((matched / matched2 - 1.0).abs() < 0.1, "{matched} vs {matched2}");
+        assert!(
+            (matched / matched2 - 1.0).abs() < 0.1,
+            "{matched} vs {matched2}"
+        );
         // Mismatched py for large nproc costs real time.
         c.nproc = 25;
         c.py = 1;
@@ -354,9 +391,18 @@ mod tests {
         assert_eq!(
             s.names(),
             vec![
-                "Px", "Py", "Nproc", "strong_threshold", "trunc_factor", "P_max_elmts",
-                "coarsen_type", "relax_type", "smooth_type", "smooth_num_levels",
-                "interp_type", "agg_num_levels",
+                "Px",
+                "Py",
+                "Nproc",
+                "strong_threshold",
+                "trunc_factor",
+                "P_max_elmts",
+                "coarsen_type",
+                "relax_type",
+                "smooth_type",
+                "smooth_num_levels",
+                "interp_type",
+                "agg_num_levels",
             ]
         );
         assert_eq!(s.params()[6].domain.cardinality(), Some(8));

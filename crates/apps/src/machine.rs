@@ -99,7 +99,12 @@ impl MachineModel {
 
     /// Convert to the database's machine configuration record.
     pub fn to_config(&self) -> MachineConfig {
-        MachineConfig::new(&self.name, self.arch.partition(), self.nodes, self.cores_per_node)
+        MachineConfig::new(
+            &self.name,
+            self.arch.partition(),
+            self.nodes,
+            self.cores_per_node,
+        )
     }
 
     /// The `SLURM_*` environment a job on this allocation would see —
@@ -110,7 +115,10 @@ impl MachineModel {
         vars.insert("SLURM_JOB_NUM_NODES".into(), self.nodes.to_string());
         vars.insert("SLURM_CPUS_ON_NODE".into(), self.cores_per_node.to_string());
         vars.insert("SLURM_CLUSTER_NAME".into(), self.name.clone());
-        vars.insert("SLURM_JOB_PARTITION".into(), self.arch.partition().to_string());
+        vars.insert(
+            "SLURM_JOB_PARTITION".into(),
+            self.arch.partition().to_string(),
+        );
         vars
     }
 }

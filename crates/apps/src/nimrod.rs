@@ -58,7 +58,14 @@ pub struct Nimrod {
 impl Nimrod {
     /// New instance with the paper's 30 time steps.
     pub fn new(mx: u32, my: u32, lphi: u32, machine: MachineModel) -> Self {
-        Nimrod { mx, my, lphi, steps: 30, machine, noise_sigma: 0.03 }
+        Nimrod {
+            mx,
+            my,
+            lphi,
+            steps: 30,
+            machine,
+            noise_sigma: 0.03,
+        }
     }
 
     /// Fourier mode count: `floor(2^lphi / 3) + 1`.
@@ -97,8 +104,7 @@ impl Nimrod {
         // factors on every z-layer, so per-rank memory grows linearly with
         // the layer count. Fill ~ n^1.45 (2D nested-dissection regime).
         let fill_elems = 110.0 * n2d.powf(1.45);
-        let bytes_per_rank =
-            (fill_elems * 16.0 * nz_layers) / ranks + (n_total / ranks) * 200.0;
+        let bytes_per_rank = (fill_elems * 16.0 * nz_layers) / ranks + (n_total / ranks) * 200.0;
         let bytes_avail_per_rank = mach.mem_gb * 1e9 / mach.cores_per_node as f64;
         let mem_ratio = bytes_per_rank / bytes_avail_per_rank;
         if mem_ratio > 1.0 {
@@ -145,12 +151,11 @@ impl Nimrod {
             // layer count...
             let ranks_2d = (ranks / nz_layers).max(1.0);
             let bw_net = mach.net_bw_gbs * 1e9 / 8.0;
-            let comm_2d =
-                (fill_elems * 15.0 / (ranks * bw_net)) * (ranks_2d.log2().max(0.0) + 1.0);
+            let comm_2d = (fill_elems * 15.0 / (ranks * bw_net)) * (ranks_2d.log2().max(0.0) + 1.0);
             // ...while cross-layer ancestor reductions grow superlinearly
             // with the layer count.
-            let comm_3d = nz_layers.log2().max(0.0).powf(1.5)
-                * (fill_elems * 5.0 / (ranks * bw_net) + 5e-3);
+            let comm_3d =
+                nz_layers.log2().max(0.0).powf(1.5) * (fill_elems * 5.0 / (ranks * bw_net) + 5e-3);
             t_flops + comm_2d + comm_3d
         };
 
@@ -221,9 +226,18 @@ mod tests {
 
     #[test]
     fn fourier_mode_formula() {
-        assert_eq!(Nimrod::new(5, 7, 1, MachineModel::cori_haswell(1)).fourier_modes(), 1);
-        assert_eq!(Nimrod::new(5, 7, 3, MachineModel::cori_haswell(1)).fourier_modes(), 3);
-        assert_eq!(Nimrod::new(5, 7, 4, MachineModel::cori_haswell(1)).fourier_modes(), 6);
+        assert_eq!(
+            Nimrod::new(5, 7, 1, MachineModel::cori_haswell(1)).fourier_modes(),
+            1
+        );
+        assert_eq!(
+            Nimrod::new(5, 7, 3, MachineModel::cori_haswell(1)).fourier_modes(),
+            3
+        );
+        assert_eq!(
+            Nimrod::new(5, 7, 4, MachineModel::cori_haswell(1)).fourier_modes(),
+            6
+        );
     }
 
     #[test]
@@ -239,7 +253,9 @@ mod tests {
     fn npz_trades_comm_for_memory() {
         let a = source_task();
         // On the small task all npz values fit in memory...
-        let times: Vec<f64> = (0..5).map(|z| a.model_runtime(110, 20, 1, 2, z).unwrap()).collect();
+        let times: Vec<f64> = (0..5)
+            .map(|z| a.model_runtime(110, 20, 1, 2, z).unwrap())
+            .collect();
         // ...and some interior npz beats npz=0 (the 3D algorithm helps).
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(best < times[0], "3D layers should help: {times:?}");
@@ -250,18 +266,29 @@ mod tests {
         let a = big_task();
         assert!(a.model_runtime(110, 20, 2, 2, 0).is_ok());
         let fails = (0..5)
-            .filter(|&z| matches!(a.model_runtime(110, 20, 2, 2, z), Err(EvalFailure::OutOfMemory)))
+            .filter(|&z| {
+                matches!(
+                    a.model_runtime(110, 20, 2, 2, z),
+                    Err(EvalFailure::OutOfMemory)
+                )
+            })
             .count();
         assert!(fails >= 1, "large task must OOM for large npz");
         // And the failure region is at the top of the npz range.
-        assert!(matches!(a.model_runtime(110, 20, 2, 2, 4), Err(EvalFailure::OutOfMemory)));
+        assert!(matches!(
+            a.model_runtime(110, 20, 2, 2, 4),
+            Err(EvalFailure::OutOfMemory)
+        ));
     }
 
     #[test]
     fn small_task_never_ooms() {
         let a = Nimrod::new(5, 4, 1, MachineModel::cori_knl(32));
         for z in 0..5 {
-            assert!(a.model_runtime(110, 20, 1, 1, z).is_ok(), "npz={z} should fit");
+            assert!(
+                a.model_runtime(110, 20, 1, 1, z).is_ok(),
+                "npz={z} should fit"
+            );
         }
     }
 

@@ -50,12 +50,23 @@ pub struct Pdgeqrf {
 impl Pdgeqrf {
     /// New instance; `m >= n` expected (QR of tall matrices).
     pub fn new(m: u64, n: u64, machine: MachineModel) -> Self {
-        Pdgeqrf { m, n, machine, noise_sigma: 0.02 }
+        Pdgeqrf {
+            m,
+            n,
+            machine,
+            noise_sigma: 0.02,
+        }
     }
 
     /// Deterministic core of the cost model (no noise), exposed for tests
     /// and the benchmark harness.
-    pub fn model_runtime(&self, mb: i64, nb: i64, lg2npernode: i64, p: i64) -> Result<f64, EvalFailure> {
+    pub fn model_runtime(
+        &self,
+        mb: i64,
+        nb: i64,
+        lg2npernode: i64,
+        p: i64,
+    ) -> Result<f64, EvalFailure> {
         let mach = &self.machine;
         let ranks_per_node = 1i64 << lg2npernode;
         if ranks_per_node > mach.cores_per_node as i64 {
@@ -191,10 +202,18 @@ mod tests {
         let tiny = t(1);
         let best = (1..16).map(t).fold(f64::INFINITY, f64::min);
         let huge = t(15);
-        assert!(best < tiny, "tiny blocks should be slow: best {best} vs {tiny}");
-        assert!(best < huge, "huge blocks should be slow: best {best} vs {huge}");
+        assert!(
+            best < tiny,
+            "tiny blocks should be slow: best {best} vs {tiny}"
+        );
+        assert!(
+            best < huge,
+            "huge blocks should be slow: best {best} vs {huge}"
+        );
         // Optimum strictly interior.
-        let best_mb = (1..16).min_by(|&x, &y| t(x).partial_cmp(&t(y)).unwrap()).unwrap();
+        let best_mb = (1..16)
+            .min_by(|&x, &y| t(x).partial_cmp(&t(y)).unwrap())
+            .unwrap();
         assert!((2..15).contains(&best_mb), "best mb = {best_mb}");
     }
 
@@ -250,9 +269,10 @@ mod tests {
             for lg2 in [1i64, 3, 5] {
                 for p in [2i64, 8, 32, 128] {
                     // Skip grids that exceed the rank count for this lg2.
-                    let (Ok(ta), Ok(tb)) =
-                        (a.model_runtime(mb, mb, lg2, p), b.model_runtime(mb, mb, lg2, p))
-                    else {
+                    let (Ok(ta), Ok(tb)) = (
+                        a.model_runtime(mb, mb, lg2, p),
+                        b.model_runtime(mb, mb, lg2, p),
+                    ) else {
                         continue;
                     };
                     ya.push(ta.ln());
@@ -275,7 +295,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
             let t = a.evaluate(&x, &mut rng).unwrap();
-            assert!((t / base - 1.0).abs() < 0.2, "noise too large: {t} vs {base}");
+            assert!(
+                (t / base - 1.0).abs() < 0.2,
+                "noise too large: {t} vs {base}"
+            );
         }
     }
 

@@ -27,8 +27,7 @@ use crowdtune_space::{Param, Space, Value};
 use rand::RngCore;
 
 /// Column-permutation choices (SuperLU_DIST's options).
-pub const COLPERM_CHOICES: [&str; 4] =
-    ["NATURAL", "MMD_ATA", "MMD_AT_PLUS_A", "METIS_AT_PLUS_A"];
+pub const COLPERM_CHOICES: [&str; 4] = ["NATURAL", "MMD_ATA", "MMD_AT_PLUS_A", "METIS_AT_PLUS_A"];
 
 /// A sparse-matrix task descriptor.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +81,11 @@ pub struct SuperLuDist {
 impl SuperLuDist {
     /// New instance.
     pub fn new(matrix: SparseMatrix, machine: MachineModel) -> Self {
-        SuperLuDist { matrix, machine, noise_sigma: 0.02 }
+        SuperLuDist {
+            matrix,
+            machine,
+            noise_sigma: 0.02,
+        }
     }
 
     /// Deterministic cost model (no noise).
@@ -153,9 +156,15 @@ impl Application for SuperLuDist {
 
     fn task_parameters(&self) -> ParamMap {
         let mut t = ParamMap::new();
-        t.insert("matrix".into(), crowdtune_db::Scalar::Str(self.matrix.name.clone()));
+        t.insert(
+            "matrix".into(),
+            crowdtune_db::Scalar::Str(self.matrix.name.clone()),
+        );
         t.insert("n".into(), crowdtune_db::Scalar::Int(self.matrix.n as i64));
-        t.insert("nnz".into(), crowdtune_db::Scalar::Int(self.matrix.nnz as i64));
+        t.insert(
+            "nnz".into(),
+            crowdtune_db::Scalar::Int(self.matrix.nnz as i64),
+        );
         t
     }
 
@@ -211,10 +220,16 @@ mod tests {
         let a = app();
         let t0 = a.model_runtime(3, 5, 8, 120, 20).unwrap();
         let t1 = a.model_runtime(3, 19, 8, 120, 20).unwrap();
-        assert!((t0 / t1 - 1.0).abs() < 0.05, "LOOKAHEAD effect too big: {t0} vs {t1}");
+        assert!(
+            (t0 / t1 - 1.0).abs() < 0.05,
+            "LOOKAHEAD effect too big: {t0} vs {t1}"
+        );
         let r0 = a.model_runtime(3, 10, 8, 120, 10).unwrap();
         let r1 = a.model_runtime(3, 10, 8, 120, 39).unwrap();
-        assert!((r0 / r1 - 1.0).abs() < 0.05, "NREL effect too big: {r0} vs {r1}");
+        assert!(
+            (r0 / r1 - 1.0).abs() < 0.05,
+            "NREL effect too big: {r0} vs {r1}"
+        );
     }
 
     #[test]
@@ -263,7 +278,10 @@ mod tests {
     #[test]
     fn space_matches_spec() {
         let s = app().tuning_space();
-        assert_eq!(s.names(), vec!["COLPERM", "LOOKAHEAD", "nprows", "NSUP", "NREL"]);
+        assert_eq!(
+            s.names(),
+            vec!["COLPERM", "LOOKAHEAD", "nprows", "NSUP", "NREL"]
+        );
         assert_eq!(s.params()[0].domain.cardinality(), Some(4));
     }
 }

@@ -32,8 +32,9 @@ impl DemoFunction {
     /// The raw objective.
     pub fn value(t: f64, x: f64) -> f64 {
         let envelope = (-(x + 1.0).powf(t + 1.0)).exp();
-        let osc: f64 =
-            (1..=3).map(|i| (2.0 * std::f64::consts::PI * x * (t + 2.0).powi(i)).sin()).sum();
+        let osc: f64 = (1..=3)
+            .map(|i| (2.0 * std::f64::consts::PI * x * (t + 2.0).powi(i)).sin())
+            .sum();
         1.0 + envelope * (2.0 * std::f64::consts::PI * x).cos() * osc
     }
 }
@@ -130,15 +131,23 @@ impl Application for BraninFunction {
     }
 
     fn tuning_space(&self) -> Space {
-        Space::new(vec![Param::real("x1", -5.0, 10.0), Param::real("x2", 0.0, 15.0)])
-            .expect("static space")
+        Space::new(vec![
+            Param::real("x1", -5.0, 10.0),
+            Param::real("x2", 0.0, 15.0),
+        ])
+        .expect("static space")
     }
 
     fn task_parameters(&self) -> ParamMap {
         let mut m = ParamMap::new();
-        for (name, v) in
-            [("a", self.a), ("b", self.b), ("c", self.c), ("r", self.r), ("s", self.s), ("t", self.t)]
-        {
+        for (name, v) in [
+            ("a", self.a),
+            ("b", self.b),
+            ("c", self.c),
+            ("r", self.r),
+            ("s", self.s),
+            ("t", self.t),
+        ] {
             m.insert(name.into(), crowdtune_db::Scalar::Real(v));
         }
         m
@@ -193,7 +202,11 @@ mod tests {
         // ... our parameterization adds +s and uses s(1-t)cos(x1), which
         // at the standard coefficients matches the classic function.
         let b = BraninFunction::standard();
-        for (x1, x2) in [(-std::f64::consts::PI, 12.275), (std::f64::consts::PI, 2.275), (9.42478, 2.475)] {
+        for (x1, x2) in [
+            (-std::f64::consts::PI, 12.275),
+            (std::f64::consts::PI, 2.275),
+            (9.42478, 2.475),
+        ] {
             let y = b.value(x1, x2);
             assert!((y - 0.397887).abs() < 1e-3, "y({x1},{x2}) = {y}");
         }
@@ -224,7 +237,9 @@ mod tests {
         let branin = BraninFunction::standard();
         assert_eq!(branin.tuning_space().dim(), 2);
         assert_eq!(branin.task_parameters().len(), 6);
-        let y = branin.evaluate(&[Value::Real(0.0), Value::Real(0.0)], &mut rng).unwrap();
+        let y = branin
+            .evaluate(&[Value::Real(0.0), Value::Real(0.0)], &mut rng)
+            .unwrap();
         assert!(y.is_finite());
     }
 

@@ -16,8 +16,14 @@ fn apps() -> Vec<Box<dyn Application>> {
         Box::new(Pdgeqrf::new(10_000, 8_000, MachineModel::cori_haswell(8))),
         Box::new(Nimrod::new(5, 7, 1, MachineModel::cori_haswell(32))),
         Box::new(Nimrod::new(5, 4, 1, MachineModel::cori_knl(32))),
-        Box::new(SuperLuDist::new(SparseMatrix::si5h12(), MachineModel::cori_haswell(4))),
-        Box::new(SuperLuDist::new(SparseMatrix::h2o(), MachineModel::cori_haswell(4))),
+        Box::new(SuperLuDist::new(
+            SparseMatrix::si5h12(),
+            MachineModel::cori_haswell(4),
+        )),
+        Box::new(SuperLuDist::new(
+            SparseMatrix::h2o(),
+            MachineModel::cori_haswell(4),
+        )),
         Box::new(HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1))),
         Box::new(DemoFunction::new(1.0)),
         Box::new(BraninFunction::standard()),

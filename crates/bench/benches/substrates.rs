@@ -25,7 +25,9 @@ fn spd_matrix(n: usize, seed: u64) -> Matrix {
 
 fn unit_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect()
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen()).collect())
+        .collect()
 }
 
 fn bench_cholesky(c: &mut Criterion) {
@@ -37,6 +39,33 @@ fn bench_cholesky(c: &mut Criterion) {
             b.iter(|| Cholesky::new(a).unwrap());
         });
     }
+    // The structured inverse (L⁻¹ then symmetric product) vs the dense
+    // identity solve it replaced.
+    let a = spd_matrix(256, 1);
+    let ch = Cholesky::new(&a).unwrap();
+    group.bench_function("inverse_structured_256", |b| {
+        b.iter(|| ch.inverse());
+    });
+    group.bench_function("inverse_identity_solve_256", |b| {
+        b.iter(|| ch.solve_matrix(&Matrix::identity(256)));
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Matrix::from_fn(256, 256, |_, _| rng.gen::<f64>() - 0.5);
+    let b256 = Matrix::from_fn(256, 256, |_, _| rng.gen::<f64>() - 0.5);
+    // Identical below two rayon threads; the gap is the thread-level
+    // speedup on multi-core machines.
+    group.bench_function("parallel_256", |b| {
+        b.iter(|| a.matmul(&b256));
+    });
+    group.bench_function("serial_256", |b| {
+        b.iter(|| a.matmul_serial(&b256));
+    });
     group.finish();
 }
 
@@ -63,6 +92,47 @@ fn bench_gp(c: &mut Criterion) {
             b.iter(|| gp.predict_batch(&q));
         });
     }
+    // Batched vs per-point prediction at acquisition-pool scale.
+    let x = unit_points(128, 4, 2);
+    let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).sin() + p[1] * p[2]).collect();
+    let mut config = GpConfig::continuous(4);
+    config.restarts = 0;
+    config.max_opt_iter = 25;
+    let mut rng = StdRng::seed_from_u64(3);
+    let gp = Gp::fit(&x, &y, &config, &mut rng).unwrap();
+    let pool = unit_points(2000, 4, 12);
+    group.bench_function("predict_batch_2000_n128", |b| {
+        b.iter(|| gp.predict_batch(&pool));
+    });
+    group.bench_function("predict_perpoint_2000_n128", |b| {
+        b.iter(|| pool.iter().map(|p| gp.predict(p)).collect::<Vec<_>>());
+    });
+    // Multi-start fit: parallel restarts vs sequential restarts (equal
+    // results by construction; the gap is thread-level only).
+    let xs = unit_points(48, 4, 13);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|p| (p[0] * 5.0).sin() + p[1] * p[2])
+        .collect();
+    let mut cfg = GpConfig::continuous(4);
+    cfg.restarts = 3;
+    cfg.max_opt_iter = 25;
+    group.bench_function("fit_restarts_parallel", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(14),
+            |mut rng| Gp::fit(&xs, &ys, &cfg, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut cfg_serial = cfg.clone();
+    cfg_serial.parallel = false;
+    group.bench_function("fit_restarts_serial", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(14),
+            |mut rng| Gp::fit(&xs, &ys, &cfg_serial, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
     group.finish();
 }
 
@@ -112,9 +182,7 @@ fn bench_acquisition(c: &mut Criterion) {
     group.bench_function("propose_ei_320cand", |b| {
         b.iter_batched(
             || StdRng::seed_from_u64(10),
-            |mut rng| {
-                propose_ei(&surrogate, 4, Some((&x[0], y[0])), &x, &opts, &mut rng)
-            },
+            |mut rng| propose_ei(&surrogate, 4, Some((&x[0], y[0])), &x, &opts, &mut rng),
             BatchSize::SmallInput,
         );
     });
@@ -160,6 +228,7 @@ fn bench_db(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cholesky,
+    bench_matmul,
     bench_gp,
     bench_lcm,
     bench_acquisition,

@@ -22,7 +22,11 @@ use rand::SeedableRng;
 
 fn main() {
     let quick = quick_mode();
-    let (repeats, budget, n_src) = if quick { (2usize, 6usize, 50usize) } else { (5, 15, 150) };
+    let (repeats, budget, n_src) = if quick {
+        (2usize, 6usize, 50usize)
+    } else {
+        (5, 15, 150)
+    };
 
     // Shared setup: Branin with one source task.
     let mut task_rng = StdRng::seed_from_u64(42);
@@ -36,9 +40,12 @@ fn main() {
         for rep in 0..repeats {
             let seed = 9000 + rep as u64 * 7919;
             let mut noise = StdRng::seed_from_u64(seed);
-            let mut obj =
-                |p: &Point| tgt_task.evaluate(p, &mut noise).map_err(|e| e.to_string());
-            let mut config = TuneConfig { budget, seed, ..Default::default() };
+            let mut obj = |p: &Point| tgt_task.evaluate(p, &mut noise).map_err(|e| e.to_string());
+            let mut config = TuneConfig {
+                budget,
+                seed,
+                ..Default::default()
+            };
             config_mod(&mut config);
             let mut strategy = strategy_factory();
             let space = tgt_task.tuning_space();
@@ -50,7 +57,11 @@ fn main() {
 
     // --- A: ensemble policy --------------------------------------------------
     println!("=== A. Ensemble selection policy (Branin, budget {budget}, {repeats} seeds) ===");
-    for policy in [EnsemblePolicy::Proposed, EnsemblePolicy::Toggling, EnsemblePolicy::ProbOnly] {
+    for policy in [
+        EnsemblePolicy::Proposed,
+        EnsemblePolicy::Toggling,
+        EnsemblePolicy::ProbOnly,
+    ] {
         let (m, s) = run(
             &|| {
                 Box::new(Ensemble::new(
@@ -70,7 +81,10 @@ fn main() {
     // --- B: NNLS vs unconstrained weights ------------------------------------
     println!("\n=== B. Dynamic-weight solver ===");
     for (label, factory) in [
-        ("NNLS (paper)", &WeightedSum::dynamic as &dyn Fn() -> WeightedSum),
+        (
+            "NNLS (paper)",
+            &WeightedSum::dynamic as &dyn Fn() -> WeightedSum,
+        ),
         ("unconstrained LS", &WeightedSum::dynamic_unconstrained),
     ] {
         let (m, s) = run(&|| Box::new(factory()), &|_| {});
@@ -98,8 +112,14 @@ fn main() {
         config.q = q;
         config.restarts = 1;
         let tasks = vec![
-            TaskData { x: src.x.clone(), y: src.y.clone() },
-            TaskData { x: tgt.x.clone(), y: tgt.y.clone() },
+            TaskData {
+                x: src.x.clone(),
+                y: src.y.clone(),
+            },
+            TaskData {
+                x: tgt.x.clone(),
+                y: tgt.y.clone(),
+            },
         ];
         let mut fit_rng = StdRng::seed_from_u64(13);
         let lcm = Lcm::fit(&tasks, &config, &mut fit_rng).expect("lcm fit");
@@ -123,7 +143,10 @@ fn main() {
     println!("\n=== D. Acquisition candidate pool (uniform candidates per proposal) ===");
     for n_uniform in [32usize, 128, 512] {
         let (m, s) = run(&|| Box::new(WeightedSum::dynamic()), &|config| {
-            config.search = SearchOptions { n_uniform, ..Default::default() };
+            config.search = SearchOptions {
+                n_uniform,
+                ..Default::default()
+            };
         });
         println!("  {n_uniform:>4} candidates: best = {m:.4} ± {s:.4}");
     }

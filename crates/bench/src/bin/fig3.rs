@@ -49,13 +49,14 @@ fn main() {
     // Random source/target tasks near the canonical coefficients, as the
     // paper's S1-S3 / T1-T2.
     let mut task_rng = StdRng::seed_from_u64(777);
-    let s: Vec<BraninFunction> =
-        (0..3).map(|_| BraninFunction::random_task(&mut task_rng, 0.15)).collect();
-    let t: Vec<BraninFunction> =
-        (0..2).map(|_| BraninFunction::random_task(&mut task_rng, 0.15)).collect();
+    let s: Vec<BraninFunction> = (0..3)
+        .map(|_| BraninFunction::random_task(&mut task_rng, 0.15))
+        .collect();
+    let t: Vec<BraninFunction> = (0..2)
+        .map(|_| BraninFunction::random_task(&mut task_rng, 0.15))
+        .collect();
 
-    let one_source: Vec<_> =
-        vec![source_task_from_app(&s[0], "S1", n_src, 200)];
+    let one_source: Vec<_> = vec![source_task_from_app(&s[0], "S1", n_src, 200)];
     let three_sources: Vec<_> = (0..3)
         .map(|i| source_task_from_app(&s[i], format!("S{}", i + 1).as_str(), n_src, 200 + i as u64))
         .collect();

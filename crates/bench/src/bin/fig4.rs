@@ -30,7 +30,9 @@ fn main() {
     // The crowd database: one registered user uploading source data.
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(4);
-    let key = db.register_user("bench", "bench@crowdtune.dev", true, &mut rng).unwrap();
+    let key = db
+        .register_user("bench", "bench@crowdtune.dev", true, &mut rng)
+        .unwrap();
 
     let sizes = [10_000u64, 8_000, 6_000];
     let mut all_sources = Vec::new();
@@ -43,9 +45,8 @@ fn main() {
         let records = db
             .query(
                 &key,
-                &crowdtune_db::QuerySpec::all_of("PDGEQRF").with_filter(
-                    crowdtune_db::parse_query(&format!("task.m = {s}")).unwrap(),
-                ),
+                &crowdtune_db::QuerySpec::all_of("PDGEQRF")
+                    .with_filter(crowdtune_db::parse_query(&format!("task.m = {s}")).unwrap()),
             )
             .unwrap();
         let space = app.tuning_space();
@@ -58,7 +59,12 @@ fn main() {
         );
     }
     // Also demonstrate the plain round-trip helper on the first source.
-    let _ = source_task_from_db(&db, &key, &Pdgeqrf::new(10_000, 10_000, machine.clone()), "rt");
+    let _ = source_task_from_db(
+        &db,
+        &key,
+        &Pdgeqrf::new(10_000, 10_000, machine.clone()),
+        "rt",
+    );
 
     let target = Pdgeqrf::new(12_000, 12_000, machine.clone());
 

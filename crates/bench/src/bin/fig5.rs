@@ -24,8 +24,16 @@ fn main() {
     let lineup = TunerSpec::application_lineup();
 
     let source_app = Nimrod::new(5, 7, 1, MachineModel::cori_haswell(32));
-    let sources = vec![source_task_from_app(&source_app, "mx5-my7-32hsw", n_src, 500)];
-    eprintln!("source dataset: {} successful samples", sources[0].data.len());
+    let sources = vec![source_task_from_app(
+        &source_app,
+        "mx5-my7-32hsw",
+        n_src,
+        500,
+    )];
+    eprintln!(
+        "source dataset: {} successful samples",
+        sources[0].data.len()
+    );
 
     let targets: Vec<(&str, Nimrod)> = vec![
         (

@@ -24,7 +24,9 @@ fn unlog(curve: Vec<Option<f64>>) -> Vec<Option<f64>> {
 
 fn main() {
     let quick = quick_mode();
-    let repeats: usize = arg_value("--repeats").and_then(|v| v.parse().ok()).unwrap_or(if quick { 2 } else { 3 });
+    let repeats: usize = arg_value("--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 3 });
     let budget = if quick { 6 } else { 15 };
 
     let app = SuperLuDist::new(SparseMatrix::h2o(), MachineModel::cori_haswell(4));
@@ -49,7 +51,9 @@ fn main() {
         // fitting the GP on log-runtime (standard for runtime objectives)
         // keeps the smaller NSUP/nprows effects visible to the surrogate.
         let mut obj = |p: &Point| {
-            app.evaluate(p, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+            app.evaluate(p, &mut noise)
+                .map(f64::ln)
+                .map_err(|e| e.to_string())
         };
         // GPTune-style initialization: d+1 space-filling samples before
         // BO starts — the real cost of a larger space.
@@ -59,7 +63,9 @@ fn main() {
             n_init: full_space.dim() + 1,
             ..Default::default()
         };
-        runs.push(unlog(tune_notla(&full_space, &mut obj, &config).best_so_far()));
+        runs.push(unlog(
+            tune_notla(&full_space, &mut obj, &config).best_so_far(),
+        ));
     }
     rows.push(("original (5 params)".into(), runs));
 
@@ -70,7 +76,9 @@ fn main() {
         let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
         let mut obj = |p: &Point| {
             let full = reduced.expand(p).expect("expansion");
-            app.evaluate(&full, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+            app.evaluate(&full, &mut noise)
+                .map(f64::ln)
+                .map_err(|e| e.to_string())
         };
         let config = TuneConfig {
             budget,
@@ -78,7 +86,9 @@ fn main() {
             n_init: reduced.sub_space().dim() + 1,
             ..Default::default()
         };
-        runs.push(unlog(tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far()));
+        runs.push(unlog(
+            tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far(),
+        ));
     }
     rows.push(("reduced (3 params)".into(), runs));
 
@@ -87,10 +97,16 @@ fn main() {
     for k in 0..budget {
         print!("{:>4}", k + 1);
         for (_, runs) in &rows {
-            let vals: Vec<f64> =
-                runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.get(k).copied().flatten())
+                .collect();
             if vals.len() == runs.len() {
-                print!("  {:>15.4} ±{:>7.4}", stats::mean(&vals), stats::std_dev(&vals));
+                print!(
+                    "  {:>15.4} ±{:>7.4}",
+                    stats::mean(&vals),
+                    stats::std_dev(&vals)
+                );
             } else {
                 print!("  {:>24}", "-");
             }
@@ -99,8 +115,10 @@ fn main() {
     }
     let at = |rows_idx: usize, k: usize| -> Option<f64> {
         let runs = &rows[rows_idx].1;
-        let vals: Vec<f64> =
-            runs.iter().filter_map(|r| r.get(k - 1).copied().flatten()).collect();
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.get(k - 1).copied().flatten())
+            .collect();
         (vals.len() == runs.len()).then(|| stats::mean(&vals))
     };
     let k = budget.min(10);

@@ -25,7 +25,9 @@ fn unlog(curve: Vec<Option<f64>>) -> Vec<Option<f64>> {
 
 fn main() {
     let quick = quick_mode();
-    let repeats: usize = arg_value("--repeats").and_then(|v| v.parse().ok()).unwrap_or(if quick { 2 } else { 5 });
+    let repeats: usize = arg_value("--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 5 });
     let budget = if quick { 6 } else { 20 };
 
     let app = HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1));
@@ -40,7 +42,9 @@ fn main() {
             let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
             // Log-runtime objective: see fig6 for the rationale.
             let mut obj = |p: &Point| {
-                app.evaluate(p, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+                app.evaluate(p, &mut noise)
+                    .map(f64::ln)
+                    .map_err(|e| e.to_string())
             };
             // GPTune-style initialization: d+1 space-filling samples
             // before BO starts — the real cost of a larger space.
@@ -50,7 +54,9 @@ fn main() {
                 n_init: full_space.dim() + 1,
                 ..Default::default()
             };
-            original_runs.push(unlog(tune_notla(&full_space, &mut obj, &config).best_so_far()));
+            original_runs.push(unlog(
+                tune_notla(&full_space, &mut obj, &config).best_so_far(),
+            ));
         }
         // --- reduced space ----------------------------------------------
         {
@@ -70,16 +76,18 @@ fn main() {
                         ("strong_threshold", Value::Real(0.25)),
                         ("trunc_factor", Value::Real(0.0)),
                         ("P_max_elmts", Value::Int(4)),
-                        ("coarsen_type", Value::Cat(2)),  // falgout (default)
-                        ("relax_type", Value::Cat(3)),    // hybrid-gs (default)
-                        ("interp_type", Value::Cat(0)),   // classical
+                        ("coarsen_type", Value::Cat(2)), // falgout (default)
+                        ("relax_type", Value::Cat(3)),   // hybrid-gs (default)
+                        ("interp_type", Value::Cat(0)),  // classical
                     ],
                 )
                 .expect("reduction");
             let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
             let mut obj = |p: &Point| {
                 let full = reduced.expand(p).expect("expansion");
-                app.evaluate(&full, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+                app.evaluate(&full, &mut noise)
+                    .map(f64::ln)
+                    .map_err(|e| e.to_string())
             };
             let config = TuneConfig {
                 budget,
@@ -87,14 +95,22 @@ fn main() {
                 n_init: reduced.sub_space().dim() + 1,
                 ..Default::default()
             };
-            reduced_runs.push(unlog(tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far()));
+            reduced_runs.push(unlog(
+                tune_notla(reduced.sub_space(), &mut obj, &config).best_so_far(),
+            ));
         }
     }
 
     println!("\n=== Fig 7: Hypre — original (12 params) vs reduced (3 params) ===");
-    println!("{:>4}  {:>24}  {:>24}", "eval", "original (12 params)", "reduced (3 params)");
+    println!(
+        "{:>4}  {:>24}  {:>24}",
+        "eval", "original (12 params)", "reduced (3 params)"
+    );
     let summarize = |runs: &[Vec<Option<f64>>], k: usize| -> Option<(f64, f64)> {
-        let vals: Vec<f64> = runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.get(k).copied().flatten())
+            .collect();
         (vals.len() == runs.len()).then(|| (stats::mean(&vals), stats::std_dev(&vals)))
     };
     for k in 0..budget {
@@ -108,9 +124,10 @@ fn main() {
         println!();
     }
     let k = budget.min(10);
-    if let (Some((orig, _)), Some((red, _))) =
-        (summarize(&original_runs, k - 1), summarize(&reduced_runs, k - 1))
-    {
+    if let (Some((orig, _)), Some((red, _))) = (
+        summarize(&original_runs, k - 1),
+        summarize(&reduced_runs, k - 1),
+    ) {
         println!(
             "\nreduced-space gain at evaluation {k}: {:.2}x ({:.1}% better) — paper reports 1.35x",
             orig / red,

@@ -23,7 +23,9 @@ fn main() {
     let app = SuperLuDist::new(SparseMatrix::si5h12(), MachineModel::cori_haswell(4));
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(6);
-    let key = db.register_user("bench", "bench@crowdtune.dev", true, &mut rng).unwrap();
+    let key = db
+        .register_user("bench", "bench@crowdtune.dev", true, &mut rng)
+        .unwrap();
     let ok = upload_source_data(&db, &key, &app, n_samples, 600);
     eprintln!("uploaded {ok}/{n_samples} samples of SuperLU_DIST on Si5H12");
 
@@ -51,7 +53,10 @@ fn main() {
     let session = CrowdSession::open(&db, &meta).expect("session");
     let result = query_sensitivity_analysis(
         &session,
-        &AnalysisConfig { n_samples: n_sobol, seed: 0 },
+        &AnalysisConfig {
+            n_samples: n_sobol,
+            seed: 0,
+        },
         0,
     )
     .expect("sensitivity analysis");

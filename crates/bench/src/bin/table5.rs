@@ -22,7 +22,9 @@ fn main() {
     let app = HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1));
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(7);
-    let key = db.register_user("bench", "bench@crowdtune.dev", true, &mut rng).unwrap();
+    let key = db
+        .register_user("bench", "bench@crowdtune.dev", true, &mut rng)
+        .unwrap();
     let ok = upload_source_data(&db, &key, &app, n_samples, 700);
     eprintln!("uploaded {ok}/{n_samples} Hypre samples");
 
@@ -62,14 +64,20 @@ fn main() {
     let session = CrowdSession::open(&db, &meta).expect("session");
     let result = query_sensitivity_analysis(
         &session,
-        &AnalysisConfig { n_samples: n_sobol, seed: 0 },
+        &AnalysisConfig {
+            n_samples: n_sobol,
+            seed: 0,
+        },
         0,
     )
     .expect("sensitivity analysis");
 
     println!("\n=== Table V: Hypre sensitivity (nx=ny=nz=100, {n_samples} samples) ===");
     print!("{}", result.to_table());
-    println!("\ninfluential (ST > 0.1), ranked: {:?}", result.influential_names(0.1));
+    println!(
+        "\ninfluential (ST > 0.1), ranked: {:?}",
+        result.influential_names(0.1)
+    );
     println!(
         "paper Table V shape: smooth_type & agg_num_levels high; smooth_num_levels, Py, Nproc moderate; rest ~ 0"
     );

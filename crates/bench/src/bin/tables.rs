@@ -27,12 +27,36 @@ fn main() {
 fn table1() {
     println!("\n=== Table I: the TLA algorithm pool ===");
     let descr = [
-        (TunerSpec::MultitaskPs, "LCM multitask learning on pseudo samples from source surrogate models", "GPTune 2021 [11]"),
-        (TunerSpec::MultitaskTs, "LCM multitask learning on true source samples (unequal counts per task)", "GPTuneCrowd"),
-        (TunerSpec::WeightedEqual, "Weighted sum of per-task surrogates, static/equal weights", "HiPerBOt [6]"),
-        (TunerSpec::WeightedDynamic, "Weighted sum with per-iteration NNLS-regressed weights", "GPTuneCrowd"),
-        (TunerSpec::Stacking, "Residual-model stacking over sources ordered by sample count", "Vizier [12]"),
-        (TunerSpec::EnsembleProposed, "Per-evaluation algorithm selection: Eq.3 PDF + Eq.4 exploration", "GPTuneCrowd"),
+        (
+            TunerSpec::MultitaskPs,
+            "LCM multitask learning on pseudo samples from source surrogate models",
+            "GPTune 2021 [11]",
+        ),
+        (
+            TunerSpec::MultitaskTs,
+            "LCM multitask learning on true source samples (unequal counts per task)",
+            "GPTuneCrowd",
+        ),
+        (
+            TunerSpec::WeightedEqual,
+            "Weighted sum of per-task surrogates, static/equal weights",
+            "HiPerBOt [6]",
+        ),
+        (
+            TunerSpec::WeightedDynamic,
+            "Weighted sum with per-iteration NNLS-regressed weights",
+            "GPTuneCrowd",
+        ),
+        (
+            TunerSpec::Stacking,
+            "Residual-model stacking over sources ordered by sample count",
+            "Vizier [12]",
+        ),
+        (
+            TunerSpec::EnsembleProposed,
+            "Per-evaluation algorithm selection: Eq.3 PDF + Eq.4 exploration",
+            "GPTuneCrowd",
+        ),
     ];
     for (spec, what, who) in descr {
         println!("  {:<22} {:<72} {}", spec.name(), what, who);

@@ -28,7 +28,9 @@ pub use sources::{
 /// Parse a `--flag value` style argument from `std::env::args`.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True when `--quick` was passed (smaller seeds/budgets for smoke runs).

@@ -176,9 +176,16 @@ fn run_once(scenario: &Scenario<'_>, spec: TunerSpec, seed: u64) -> Vec<Option<f
     // Independent noise stream for the application's timing jitter.
     let mut noise_rng = StdRng::seed_from_u64(seed ^ 0xAB0BA);
     let mut objective = |p: &Point| {
-        scenario.target.evaluate(p, &mut noise_rng).map_err(|e| e.to_string())
+        scenario
+            .target
+            .evaluate(p, &mut noise_rng)
+            .map_err(|e| e.to_string())
     };
-    let mut config = TuneConfig { budget: scenario.budget, seed, ..Default::default() };
+    let mut config = TuneConfig {
+        budget: scenario.budget,
+        seed,
+        ..Default::default()
+    };
     if scenario.max_lcm_samples > 0 {
         config.max_lcm_samples = scenario.max_lcm_samples;
     }
@@ -209,7 +216,10 @@ fn aggregate(tuner: &'static str, budget: usize, runs: &[Vec<Option<f64>>]) -> C
     let mut std = Vec::with_capacity(budget);
     let mut n_ok = Vec::with_capacity(budget);
     for k in 0..budget {
-        let vals: Vec<f64> = runs.iter().filter_map(|r| r.get(k).copied().flatten()).collect();
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.get(k).copied().flatten())
+            .collect();
         n_ok.push(vals.len());
         // The paper draws a point only when every repetition has a
         // successful evaluation by step k (failures push curves right).
@@ -221,7 +231,12 @@ fn aggregate(tuner: &'static str, budget: usize, runs: &[Vec<Option<f64>>]) -> C
             std.push(f64::NAN);
         }
     }
-    Curve { tuner, mean, std, n_ok }
+    Curve {
+        tuner,
+        mean,
+        std,
+        n_ok,
+    }
 }
 
 /// Print curves as an aligned table: one row per evaluation count, one
@@ -252,7 +267,11 @@ pub fn print_curves(label: &str, curves: &[Curve]) {
 /// relative to `NoTLA` at evaluation `k` (values > 1 mean the tuner's
 /// configuration is that many times faster).
 pub fn print_speedups(curves: &[Curve], k: usize) {
-    let Some(base) = curves.iter().find(|c| c.tuner == "NoTLA").and_then(|c| c.at(k)) else {
+    let Some(base) = curves
+        .iter()
+        .find(|c| c.tuner == "NoTLA")
+        .and_then(|c| c.at(k))
+    else {
         println!("(no NoTLA baseline value at evaluation {k})");
         return;
     };
@@ -271,8 +290,8 @@ pub fn print_speedups(curves: &[Curve], k: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowdtune_apps::DemoFunction;
     use crate::sources::source_task_from_app;
+    use crowdtune_apps::DemoFunction;
 
     #[test]
     fn comparison_runs_and_aggregates() {
@@ -288,8 +307,7 @@ mod tests {
             seed: 0,
             max_lcm_samples: 0,
         };
-        let curves =
-            run_comparison(&scenario, &[TunerSpec::NoTla, TunerSpec::WeightedDynamic]);
+        let curves = run_comparison(&scenario, &[TunerSpec::NoTla, TunerSpec::WeightedDynamic]);
         assert_eq!(curves.len(), 2);
         assert_eq!(curves[0].mean.len(), 4);
         // Demo function never fails: every step has all runs succeeding.

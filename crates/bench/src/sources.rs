@@ -29,7 +29,9 @@ pub fn collect_source_data(app: &dyn Application, n: usize, seed: u64) -> Datase
     // (OOM) are kept out of the dataset, as the paper's fitting does.
     while ds.len() < n && tries < n * 60 {
         tries += 1;
-        let point = sample_uniform(&space, 1, &mut rng).pop().expect("one point");
+        let point = sample_uniform(&space, 1, &mut rng)
+            .pop()
+            .expect("one point");
         if !app.validate_config(&point) {
             continue;
         }
@@ -42,12 +44,7 @@ pub fn collect_source_data(app: &dyn Application, n: usize, seed: u64) -> Datase
 }
 
 /// Collect source data and fit the cached source GP in one step.
-pub fn source_task_from_app(
-    app: &dyn Application,
-    name: &str,
-    n: usize,
-    seed: u64,
-) -> SourceTask {
+pub fn source_task_from_app(app: &dyn Application, name: &str, n: usize, seed: u64) -> SourceTask {
     let ds = collect_source_data(app, n, seed);
     let dims = dims_of(&app.tuning_space());
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
@@ -71,7 +68,9 @@ pub fn upload_source_data(
     let mut tries = 0usize;
     while uploaded < n && tries < n * 60 {
         tries += 1;
-        let point = sample_uniform(&space, 1, &mut rng).pop().expect("one point");
+        let point = sample_uniform(&space, 1, &mut rng)
+            .pop()
+            .expect("one point");
         if !app.validate_config(&point) {
             continue;
         }
@@ -81,7 +80,9 @@ pub fn upload_source_data(
                 ok += 1;
                 EvalOutcome::single(app.output_name(), y)
             }
-            Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+            Err(e) => EvalOutcome::Failed {
+                reason: e.to_string(),
+            },
         };
         let mut eval = FunctionEvaluation::new(app.name(), "bench");
         eval.task_parameters = app.task_parameters();
@@ -104,9 +105,10 @@ pub fn source_task_from_db(
     name: &str,
 ) -> SourceTask {
     let space = app.tuning_space();
-    let records = db.query(api_key, &QuerySpec::all_of(app.name())).expect("bench query");
-    let (ds, _skipped) =
-        crowdtune_core::records_to_dataset(&records, &space, app.output_name());
+    let records = db
+        .query(api_key, &QuerySpec::all_of(app.name()))
+        .expect("bench query");
+    let (ds, _skipped) = crowdtune_core::records_to_dataset(&records, &space, app.output_name());
     let dims = dims_of(&space);
     let mut rng = StdRng::seed_from_u64(0xDB);
     SourceTask::fit(name, ds, &dims, &mut rng).expect("source GP fit from db")

@@ -8,17 +8,85 @@
 //! sums and stacked models all plug into the same search.
 
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Below this many points, `predict_batch` stays serial: thread spawn
+/// overhead dominates prediction cost for small candidate pools.
+const PREDICT_BATCH_MIN: usize = 64;
 
 /// Anything that predicts a mean and standard deviation at a unit-cube
 /// point.
-pub trait Surrogate {
+///
+/// The `Sync` supertrait lets the acquisition search score candidate
+/// batches from worker threads.
+pub trait Surrogate: Sync {
     /// Posterior mean and standard deviation at `x`.
     fn predict(&self, x: &[f64]) -> (f64, f64);
+
+    /// Predictions for a batch of points; entry `j` must equal
+    /// `self.predict(&xs[j])` bitwise. The default splits the batch
+    /// into one contiguous chunk per thread and calls
+    /// [`Surrogate::predict`] per point — each point's computation is
+    /// independent, so the result is identical at any thread count.
+    /// Implementors with a cheaper native batched path may override.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || xs.len() < PREDICT_BATCH_MIN {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        }
+        let chunk = xs.len().div_ceil(threads);
+        let per_chunk: Vec<Vec<(f64, f64)>> = xs
+            .par_chunks(chunk)
+            .map(|c| c.iter().map(|x| self.predict(x)).collect())
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
 }
 
-impl<F: Fn(&[f64]) -> (f64, f64)> Surrogate for F {
+impl<F: Fn(&[f64]) -> (f64, f64) + Sync> Surrogate for F {
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         self(x)
+    }
+}
+
+/// Fitted single-task GPs are surrogates directly; the batched path
+/// hoists kernel hyperparameters once per batch instead of per point.
+impl Surrogate for crowdtune_gp::Gp {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let p = crowdtune_gp::Gp::predict(self, x);
+        (p.mean, p.std)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        crowdtune_gp::Gp::predict_batch(self, xs)
+            .into_iter()
+            .map(|p| (p.mean, p.std))
+            .collect()
+    }
+}
+
+/// One task slice of a fitted [`crowdtune_gp::Lcm`], viewed as a
+/// surrogate. Batched predictions hoist all per-kernel hyperparameters
+/// once per batch.
+pub struct LcmTaskSurrogate<'a> {
+    /// The fitted multi-task model.
+    pub lcm: &'a crowdtune_gp::Lcm,
+    /// Which task's posterior to expose.
+    pub task: usize,
+}
+
+impl Surrogate for LcmTaskSurrogate<'_> {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let p = self.lcm.predict(self.task, x);
+        (p.mean, p.std)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.lcm
+            .predict_batch(self.task, xs)
+            .into_iter()
+            .map(|p| (p.mean, p.std))
+            .collect()
     }
 }
 
@@ -42,10 +110,11 @@ pub fn lower_confidence_bound(mean: f64, std: f64, kappa: f64) -> f64 {
 }
 
 /// Which acquisition function scores candidates.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum AcquisitionKind {
     /// Expected Improvement (the default; falls back to LCB when no
     /// incumbent exists yet).
+    #[default]
     ExpectedImprovement,
     /// Lower Confidence Bound with exploration weight `kappa` —
     /// a cheaper, more exploration-tunable alternative.
@@ -53,12 +122,6 @@ pub enum AcquisitionKind {
         /// Exploration weight (`mu - kappa * sigma` is minimized).
         kappa: f64,
     },
-}
-
-impl Default for AcquisitionKind {
-    fn default() -> Self {
-        AcquisitionKind::ExpectedImprovement
-    }
 }
 
 /// Options for the acquisition search.
@@ -105,7 +168,11 @@ impl Default for SearchOptions {
 fn snap(c: &mut [f64], cells: &[Option<usize>]) {
     for (u, cell) in c.iter_mut().zip(cells) {
         if let Some(k) = *cell {
-            let uu = if u.is_finite() { u.clamp(0.0, 1.0 - 1e-12) } else { 0.0 };
+            let uu = if u.is_finite() {
+                u.clamp(0.0, 1.0 - 1e-12)
+            } else {
+                0.0
+            };
             *u = ((uu * k as f64).floor() + 0.5) / k as f64;
         }
     }
@@ -134,24 +201,23 @@ pub fn propose_ei<S: Surrogate, R: Rng>(
 /// Filter away candidates near failed evaluations; never empties the
 /// pool entirely (a fully-failed neighborhood falls back to the raw
 /// pool, since some proposal must still be made).
-fn apply_failure_exclusion(
-    candidates: Vec<Vec<f64>>,
-    failed: &[Vec<f64>],
-    radius: f64,
-) -> Vec<Vec<f64>> {
+fn apply_failure_exclusion(candidates: &mut Vec<Vec<f64>>, failed: &[Vec<f64>], radius: f64) {
     if failed.is_empty() || radius <= 0.0 {
-        return candidates;
+        return;
     }
     let far = |c: &[f64]| {
         failed.iter().all(|f| {
-            f.iter().zip(c).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max) > radius
+            f.iter()
+                .zip(c)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+                > radius
         })
     };
-    let kept: Vec<Vec<f64>> = candidates.iter().filter(|c| far(c)).cloned().collect();
-    if kept.is_empty() {
-        candidates
-    } else {
-        kept
+    // Retain in place only when at least one candidate survives; a
+    // fully-failed neighborhood keeps the raw pool untouched.
+    if candidates.iter().any(|c| far(c)) {
+        candidates.retain(|c| far(c));
     }
 }
 
@@ -168,9 +234,8 @@ pub fn propose_ei_failure_aware<S: Surrogate, R: Rng>(
     valid: Option<&ValidityFn<'_>>,
     rng: &mut R,
 ) -> Vec<f64> {
-    let mut candidates =
-        generate_candidates(dim, incumbent.map(|(x, _)| x), evaluated, opts, rng);
-    candidates = apply_failure_exclusion(candidates, failed, opts.failure_radius);
+    let mut candidates = generate_candidates(dim, incumbent.map(|(x, _)| x), evaluated, opts, rng);
+    apply_failure_exclusion(&mut candidates, failed, opts.failure_radius);
     if let Some(valid) = valid {
         candidates.retain(|c| valid(c));
     }
@@ -217,32 +282,39 @@ pub fn propose_ei_constrained<S: Surrogate, R: Rng>(
 
 fn score_candidates<S: Surrogate>(
     surrogate: &S,
-    candidates: Vec<Vec<f64>>,
+    mut candidates: Vec<Vec<f64>>,
     incumbent: Option<(&[f64], f64)>,
     opts: &SearchOptions,
 ) -> Vec<f64> {
-    match (opts.acquisition, incumbent) {
-        (AcquisitionKind::ExpectedImprovement, Some((_, best))) => {
-            pick_best(candidates, |x| {
-                let (m, s) = surrogate.predict(x);
-                expected_improvement(m, s, best)
-            })
-        }
-        (AcquisitionKind::LowerConfidenceBound { kappa }, _) => {
-            pick_best(candidates, |x| {
-                let (m, s) = surrogate.predict(x);
-                -lower_confidence_bound(m, s, kappa)
-            })
-        }
-        (AcquisitionKind::ExpectedImprovement, None) => {
-            // No observation yet: minimize LCB (exploit the transferred
-            // prior, with an exploration bonus).
-            pick_best(candidates, |x| {
-                let (m, s) = surrogate.predict(x);
-                -lower_confidence_bound(m, s, 1.0)
-            })
+    // One batched prediction pass (parallel over candidate chunks), then
+    // a serial first-wins argmax so ties and non-finite scores resolve
+    // exactly as a per-point loop in candidate order would.
+    let predictions = surrogate.predict_batch(&candidates);
+    let scores: Vec<f64> = match (opts.acquisition, incumbent) {
+        (AcquisitionKind::ExpectedImprovement, Some((_, best))) => predictions
+            .iter()
+            .map(|&(m, s)| expected_improvement(m, s, best))
+            .collect(),
+        (AcquisitionKind::LowerConfidenceBound { kappa }, _) => predictions
+            .iter()
+            .map(|&(m, s)| -lower_confidence_bound(m, s, kappa))
+            .collect(),
+        // No observation yet: minimize LCB (exploit the transferred
+        // prior, with an exploration bonus).
+        (AcquisitionKind::ExpectedImprovement, None) => predictions
+            .iter()
+            .map(|&(m, s)| -lower_confidence_bound(m, s, 1.0))
+            .collect(),
+    };
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_idx = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s.is_finite() && s > best_score {
+            best_score = s;
+            best_idx = i;
         }
     }
+    candidates.swap_remove(best_idx)
 }
 
 fn generate_candidates<R: Rng>(
@@ -255,7 +327,10 @@ fn generate_candidates<R: Rng>(
     let mut out = Vec::with_capacity(opts.n_uniform + opts.n_local * opts.local_scales.len());
     let too_close = |c: &[f64]| {
         evaluated.iter().any(|e| {
-            e.iter().zip(c).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+            e.iter()
+                .zip(c)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
                 <= opts.dedup_radius
         })
     };
@@ -275,8 +350,7 @@ fn generate_candidates<R: Rng>(
                         // Box-Muller normal perturbation, clamped to the cube.
                         let u1: f64 = rng.gen::<f64>().max(1e-12);
                         let u2: f64 = rng.gen();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         (v + scale * z).clamp(0.0, 1.0 - 1e-12)
                     })
                     .collect();
@@ -295,21 +369,6 @@ fn generate_candidates<R: Rng>(
         out.push(c);
     }
     out
-}
-
-fn pick_best(candidates: Vec<Vec<f64>>, score: impl Fn(&[f64]) -> f64) -> Vec<f64> {
-    let mut best_score = f64::NEG_INFINITY;
-    let mut best: Option<Vec<f64>> = None;
-    for c in candidates {
-        let s = score(&c);
-        if s.is_finite() && s > best_score {
-            best_score = s;
-            best = Some(c);
-        } else if best.is_none() {
-            best = Some(c);
-        }
-    }
-    best.expect("candidate list is never empty")
 }
 
 #[cfg(test)]
@@ -350,7 +409,7 @@ mod tests {
             &surrogate,
             1,
             Some((inc.as_slice(), 0.42)),
-            &[inc.clone()],
+            std::slice::from_ref(&inc),
             &SearchOptions::default(),
             &mut rng,
         );
@@ -361,7 +420,14 @@ mod tests {
     fn propose_without_incumbent_uses_lcb() {
         let surrogate = |x: &[f64]| ((x[0] - 0.7).powi(2), 0.01);
         let mut rng = StdRng::seed_from_u64(2);
-        let x = propose_ei(&surrogate, 1, None, &[], &SearchOptions::default(), &mut rng);
+        let x = propose_ei(
+            &surrogate,
+            1,
+            None,
+            &[],
+            &SearchOptions::default(),
+            &mut rng,
+        );
         assert!((x[0] - 0.7).abs() < 0.15, "proposed {x:?}");
     }
 
@@ -384,9 +450,19 @@ mod tests {
         let surrogate = |_: &[f64]| (0.0, 0.0);
         let mut rng = StdRng::seed_from_u64(3);
         let evaluated: Vec<Vec<f64>> = vec![vec![0.5]];
-        let opts = SearchOptions { dedup_radius: 0.4, ..Default::default() };
+        let opts = SearchOptions {
+            dedup_radius: 0.4,
+            ..Default::default()
+        };
         for _ in 0..10 {
-            let x = propose_ei(&surrogate, 1, Some((&[0.5], 1.0)), &evaluated, &opts, &mut rng);
+            let x = propose_ei(
+                &surrogate,
+                1,
+                Some((&[0.5], 1.0)),
+                &evaluated,
+                &opts,
+                &mut rng,
+            );
             // Either far from 0.5, or the all-duplicates fallback fired
             // (possible but rare with 256 uniform candidates over [0,1]).
             assert!((x[0] - 0.5).abs() > 0.4 || x[0].is_finite());

@@ -46,8 +46,11 @@ pub fn loo_validation(
     seed: u64,
 ) -> Result<LooValidation, MetaError> {
     let records = session.query_function_evaluations()?;
-    let (ds, _) =
-        records_to_dataset(&records, &session.tuning_space, session.meta.objective_name());
+    let (ds, _) = records_to_dataset(
+        &records,
+        &session.tuning_space,
+        session.meta.objective_name(),
+    );
     if ds.len() < 3 {
         return Err(MetaError::BadField(
             "leave-one-out validation needs at least 3 usable samples".into(),
@@ -108,7 +111,12 @@ pub fn morris_screening_of_session(
         space.snap_unit(&mut v);
         model.predict_unit(&v).0
     });
-    let names = session.tuning_space.names().into_iter().map(str::to_string).collect();
+    let names = session
+        .tuning_space
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     Ok((names, result))
 }
 
@@ -139,7 +147,9 @@ pub fn detect_variability(
     let objective = session.meta.objective_name();
     let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for rec in &records {
-        let Some(y) = rec.result.output(objective) else { continue };
+        let Some(y) = rec.result.output(objective) else {
+            continue;
+        };
         let key = serde_json::to_string(&rec.tuning_parameters).unwrap_or_default();
         groups.entry(key).or_default().push(y);
     }
@@ -161,7 +171,9 @@ pub fn detect_variability(
         })
         .collect();
     out.sort_by(|a, b| {
-        b.rel_spread.partial_cmp(&a.rel_spread).unwrap_or(std::cmp::Ordering::Equal)
+        b.rel_spread
+            .partial_cmp(&a.rel_spread)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     Ok(out)
 }

@@ -107,9 +107,12 @@ pub fn value_to_scalar(v: &Value, domain: &Domain) -> Scalar {
     match (v, domain) {
         (Value::Int(i), _) => Scalar::Int(*i),
         (Value::Real(r), _) => Scalar::Real(*r),
-        (Value::Cat(idx), Domain::Categorical { categories }) => {
-            Scalar::Str(categories.get(*idx).cloned().unwrap_or_else(|| idx.to_string()))
-        }
+        (Value::Cat(idx), Domain::Categorical { categories }) => Scalar::Str(
+            categories
+                .get(*idx)
+                .cloned()
+                .unwrap_or_else(|| idx.to_string()),
+        ),
         (Value::Cat(idx), _) => Scalar::Int(*idx as i64),
     }
 }
@@ -194,11 +197,12 @@ mod tests {
         let s = space();
         let recs = vec![
             record(4, 0.5, "METIS", 1.0),
-            record(99, 0.5, "METIS", 2.0),                       // mb out of domain
-            record(4, 0.5, "UNKNOWN_PERM", 3.0),                 // bad label
+            record(99, 0.5, "METIS", 2.0),       // mb out of domain
+            record(4, 0.5, "UNKNOWN_PERM", 3.0), // bad label
             record(4, 0.5, "NATURAL", 4.0),
-            record(4, 0.5, "NATURAL", 0.0)
-                .outcome(EvalOutcome::Failed { reason: "OOM".into() }), // failed
+            record(4, 0.5, "NATURAL", 0.0).outcome(EvalOutcome::Failed {
+                reason: "OOM".into(),
+            }), // failed
         ];
         let (ds, skipped) = records_to_dataset(&recs, &s, "runtime");
         assert_eq!(ds.len(), 2);
@@ -218,11 +222,22 @@ mod tests {
     #[test]
     fn scalar_value_conversions() {
         let int_dom = Domain::Integer { lo: 0, hi: 10 };
-        let cat_dom = Domain::Categorical { categories: vec!["a".into(), "b".into()] };
-        assert_eq!(scalar_to_value(&Scalar::Real(3.0), &int_dom), Some(Value::Int(3)));
+        let cat_dom = Domain::Categorical {
+            categories: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(
+            scalar_to_value(&Scalar::Real(3.0), &int_dom),
+            Some(Value::Int(3))
+        );
         assert_eq!(scalar_to_value(&Scalar::Real(3.5), &int_dom), None);
-        assert_eq!(scalar_to_value(&Scalar::Str("B".into()), &cat_dom), Some(Value::Cat(1)));
-        assert_eq!(scalar_to_value(&Scalar::Int(1), &cat_dom), Some(Value::Cat(1)));
+        assert_eq!(
+            scalar_to_value(&Scalar::Str("B".into()), &cat_dom),
+            Some(Value::Cat(1))
+        );
+        assert_eq!(
+            scalar_to_value(&Scalar::Int(1), &cat_dom),
+            Some(Value::Cat(1))
+        );
         assert_eq!(scalar_to_value(&Scalar::Int(5), &cat_dom), None);
         assert_eq!(
             value_to_scalar(&Value::Cat(1), &cat_dom),

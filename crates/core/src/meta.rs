@@ -13,8 +13,8 @@
 //! which is self-describing and typo-checkable.
 
 use crate::data::records_to_dataset;
-use crate::tuner::dims_of;
 use crate::tla::SourceTask;
+use crate::tuner::dims_of;
 use crowdtune_db::{
     ConfigurationQuery, DbError, Filter, FunctionEvaluation, HistoryDb, MachineFilter, QuerySpec,
     Scalar, SoftwareFilter,
@@ -47,13 +47,21 @@ impl ParamDesc {
     fn to_param(&self) -> Result<Param, MetaError> {
         match self.kind.as_str() {
             "integer" => {
-                let lo = self.lower_bound.ok_or_else(|| self.missing("lower_bound"))?;
-                let hi = self.upper_bound.ok_or_else(|| self.missing("upper_bound"))?;
+                let lo = self
+                    .lower_bound
+                    .ok_or_else(|| self.missing("lower_bound"))?;
+                let hi = self
+                    .upper_bound
+                    .ok_or_else(|| self.missing("upper_bound"))?;
                 Ok(Param::integer(&self.name, lo as i64, hi as i64))
             }
             "real" => {
-                let lo = self.lower_bound.ok_or_else(|| self.missing("lower_bound"))?;
-                let hi = self.upper_bound.ok_or_else(|| self.missing("upper_bound"))?;
+                let lo = self
+                    .lower_bound
+                    .ok_or_else(|| self.missing("lower_bound"))?;
+                let hi = self
+                    .upper_bound
+                    .ok_or_else(|| self.missing("upper_bound"))?;
                 Ok(Param::real(&self.name, lo, hi))
             }
             "categorical" => {
@@ -62,7 +70,10 @@ impl ParamDesc {
                     .as_ref()
                     .filter(|c| !c.is_empty())
                     .ok_or_else(|| self.missing("categories"))?;
-                Ok(Param::categorical(&self.name, cats.iter().map(String::as_str)))
+                Ok(Param::categorical(
+                    &self.name,
+                    cats.iter().map(String::as_str),
+                ))
             }
             other => Err(MetaError::BadField(format!(
                 "parameter '{}' has unknown type '{other}'",
@@ -198,22 +209,34 @@ impl MetaDescription {
 
     /// The tuning space declared in `parameter_space`.
     pub fn tuning_space(&self) -> Result<Space, MetaError> {
-        let params: Result<Vec<Param>, MetaError> =
-            self.problem_space.parameter_space.iter().map(ParamDesc::to_param).collect();
+        let params: Result<Vec<Param>, MetaError> = self
+            .problem_space
+            .parameter_space
+            .iter()
+            .map(ParamDesc::to_param)
+            .collect();
         Space::new(params?).map_err(|e| MetaError::BadField(e.to_string()))
     }
 
     /// The task space declared in `input_space`.
     pub fn task_space(&self) -> Result<Space, MetaError> {
-        let params: Result<Vec<Param>, MetaError> =
-            self.problem_space.input_space.iter().map(ParamDesc::to_param).collect();
+        let params: Result<Vec<Param>, MetaError> = self
+            .problem_space
+            .input_space
+            .iter()
+            .map(ParamDesc::to_param)
+            .collect();
         Space::new(params?).map_err(|e| MetaError::BadField(e.to_string()))
     }
 
     /// The objective output name (first `output_space` entry, or
     /// `"runtime"` when unspecified).
     pub fn objective_name(&self) -> &str {
-        self.problem_space.output_space.first().map(|p| p.name.as_str()).unwrap_or("runtime")
+        self.problem_space
+            .output_space
+            .first()
+            .map(|p| p.name.as_str())
+            .unwrap_or("runtime")
     }
 
     /// The database query this meta description denotes: a problem-name
@@ -260,13 +283,13 @@ impl MetaDescription {
             .iter()
             .map(|s| SoftwareFilter::new(&s.name, s.version_from, s.version_to))
             .collect();
-        QuerySpec::all_of(&self.tuning_problem_name).with_filter(filter).with_configuration(
-            ConfigurationQuery {
+        QuerySpec::all_of(&self.tuning_problem_name)
+            .with_filter(filter)
+            .with_configuration(ConfigurationQuery {
                 machines,
                 software,
                 users: self.configuration_space.user_configurations.clone(),
-            },
-        )
+            })
     }
 
     /// Whether uploads are enabled.
@@ -290,12 +313,18 @@ impl<'a> CrowdSession<'a> {
     pub fn open(db: &'a HistoryDb, meta_json: &str) -> Result<Self, MetaError> {
         let meta = MetaDescription::from_json(meta_json)?;
         let tuning_space = meta.tuning_space()?;
-        Ok(CrowdSession { db, meta, tuning_space })
+        Ok(CrowdSession {
+            db,
+            meta,
+            tuning_space,
+        })
     }
 
     /// `QueryFunctionEvaluations`: download the relevant crowd data.
     pub fn query_function_evaluations(&self) -> Result<Vec<FunctionEvaluation>, MetaError> {
-        Ok(self.db.query(&self.meta.api_key, &self.meta.to_query_spec())?)
+        Ok(self
+            .db
+            .query(&self.meta.api_key, &self.meta.to_query_spec())?)
     }
 
     /// Group downloaded evaluations into per-task datasets (one source
@@ -316,7 +345,8 @@ impl<'a> CrowdSession<'a> {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         let mut out = Vec::new();
         for (key, recs) in groups {
-            let (ds, _skipped) = records_to_dataset(&recs, &self.tuning_space, self.meta.objective_name());
+            let (ds, _skipped) =
+                records_to_dataset(&recs, &self.tuning_space, self.meta.objective_name());
             if ds.len() >= min_samples.max(1) {
                 if let Ok(task) = SourceTask::fit(key, ds, &dims, &mut rng) {
                     out.push(task);
@@ -381,7 +411,9 @@ mod tests {
     fn seeded_db() -> (HistoryDb, String) {
         let db = HistoryDb::new();
         let mut rng = StdRng::seed_from_u64(5);
-        let key = db.register_user("alice", "a@x.org", true, &mut rng).unwrap();
+        let key = db
+            .register_user("alice", "a@x.org", true, &mut rng)
+            .unwrap();
         (db, key)
     }
 
@@ -418,7 +450,10 @@ mod tests {
             "api_key": "k", "tuning_problem_name": "p",
             "problem_space": {"parameter_space": [{"name": "x", "type": "banana"}]}
         }"#;
-        assert!(MetaDescription::from_json(bad_type).unwrap().tuning_space().is_err());
+        assert!(MetaDescription::from_json(bad_type)
+            .unwrap()
+            .tuning_space()
+            .is_err());
     }
 
     #[test]
@@ -449,7 +484,8 @@ mod tests {
         for i in 0..12 {
             let x = i as f64 / 12.0;
             db.submit(&key, record("demo", 0.5, x, x * x)).unwrap();
-            db.submit(&key, record("demo", 1.5, x, x * x + 1.0)).unwrap();
+            db.submit(&key, record("demo", 1.5, x, x * x + 1.0))
+                .unwrap();
         }
         // One undersampled group.
         db.submit(&key, record("demo", 1.0, 0.3, 0.2)).unwrap();

@@ -61,7 +61,11 @@ impl Ensemble {
         Ensemble {
             members: pool
                 .into_iter()
-                .map(|s| Member { strategy: s, best: None, chosen: 0 })
+                .map(|s| Member {
+                    strategy: s,
+                    best: None,
+                    chosen: 0,
+                })
                 .collect(),
             policy,
             last_choice: None,
@@ -104,13 +108,18 @@ impl Ensemble {
             return vec![1.0 / k as f64; k];
         }
         let pool_best = known.iter().cloned().fold(f64::INFINITY, f64::min);
-        let effective: Vec<f64> =
-            self.members.iter().map(|m| m.best.unwrap_or(pool_best)).collect();
+        let effective: Vec<f64> = self
+            .members
+            .iter()
+            .map(|m| m.best.unwrap_or(pool_best))
+            .collect();
         if effective.iter().any(|&v| v <= 0.0) {
             // Rank-based fallback: best rank gets weight k, worst gets 1.
             let mut idx: Vec<usize> = (0..k).collect();
             idx.sort_by(|&a, &b| {
-                effective[a].partial_cmp(&effective[b]).unwrap_or(std::cmp::Ordering::Equal)
+                effective[a]
+                    .partial_cmp(&effective[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut w = vec![0.0; k];
             for (rank, &i) in idx.iter().enumerate() {
@@ -222,9 +231,18 @@ mod tests {
 
     fn stub_pool() -> Vec<Box<dyn TlaStrategy>> {
         vec![
-            Box::new(Stub { coord: 0.1, name: "a" }),
-            Box::new(Stub { coord: 0.5, name: "b" }),
-            Box::new(Stub { coord: 0.9, name: "c" }),
+            Box::new(Stub {
+                coord: 0.1,
+                name: "a",
+            }),
+            Box::new(Stub {
+                coord: 0.5,
+                name: "b",
+            }),
+            Box::new(Stub {
+                coord: 0.9,
+                name: "c",
+            }),
         ]
     }
 
@@ -294,7 +312,10 @@ mod tests {
         e.last_choice = Some(1);
         e.observe(&[0.5], Some(2.0));
         let probs = e.selection_probabilities();
-        assert!(probs[0] > probs[1], "negative-but-better still favored: {probs:?}");
+        assert!(
+            probs[0] > probs[1],
+            "negative-but-better still favored: {probs:?}"
+        );
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 

@@ -43,7 +43,11 @@ impl SourceTask {
         config.restarts = 1;
         config.max_opt_iter = 50;
         let gp = Gp::fit(&data.x, &data.y, &config, rng)?;
-        Ok(SourceTask { name: name.into(), data, gp })
+        Ok(SourceTask {
+            name: name.into(),
+            data,
+            gp,
+        })
     }
 }
 
@@ -150,7 +154,14 @@ mod tests {
             failed: &[],
         };
         let (x, y) = ctx.incumbent().unwrap();
-        assert_eq!(y, *target.y.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+        assert_eq!(
+            y,
+            *target
+                .y
+                .iter()
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .unwrap()
+        );
         assert_eq!(x.len(), 1);
     }
 

@@ -28,7 +28,10 @@ pub struct MultitaskTs {
 impl MultitaskTs {
     /// New strategy refitting on every proposal.
     pub fn new() -> Self {
-        MultitaskTs { refit_every: 1, cached: None }
+        MultitaskTs {
+            refit_every: 1,
+            cached: None,
+        }
     }
 }
 
@@ -61,7 +64,10 @@ impl TlaStrategy for MultitaskTs {
                     TaskData { x: d.x, y: d.y }
                 })
                 .collect();
-            tasks.push(TaskData { x: ctx.target.x.clone(), y: ctx.target.y.clone() });
+            tasks.push(TaskData {
+                x: ctx.target.x.clone(),
+                y: ctx.target.y.clone(),
+            });
             let mut config = LcmConfig::new(ctx.dims.to_vec());
             config.restarts = 0;
             config.max_opt_iter = 35;
@@ -75,9 +81,9 @@ impl TlaStrategy for MultitaskTs {
             }
         }
         let (lcm, _) = self.cached.as_ref().expect("cached or returned");
-        let surrogate = |x: &[f64]| {
-            let p = lcm.predict(target_idx, x);
-            (p.mean, p.std)
+        let surrogate = crate::acquisition::LcmTaskSurrogate {
+            lcm,
+            task: target_idx,
         };
         propose_ei_failure_aware(
             &surrogate,
@@ -105,7 +111,11 @@ pub struct MultitaskPs {
 impl MultitaskPs {
     /// New strategy with the default seeding (10 pseudo samples/source).
     pub fn new() -> Self {
-        MultitaskPs { n_seed: 10, max_pseudo: 60, pseudo: Vec::new() }
+        MultitaskPs {
+            n_seed: 10,
+            max_pseudo: 60,
+            pseudo: Vec::new(),
+        }
     }
 
     fn ensure_seeded(&mut self, ctx: &TlaContext<'_>) {
@@ -153,9 +163,15 @@ impl TlaStrategy for MultitaskPs {
         let mut tasks: Vec<TaskData> = self
             .pseudo
             .iter()
-            .map(|d| TaskData { x: d.x.clone(), y: d.y.clone() })
+            .map(|d| TaskData {
+                x: d.x.clone(),
+                y: d.y.clone(),
+            })
             .collect();
-        tasks.push(TaskData { x: ctx.target.x.clone(), y: ctx.target.y.clone() });
+        tasks.push(TaskData {
+            x: ctx.target.x.clone(),
+            y: ctx.target.y.clone(),
+        });
         let mut config = LcmConfig::new(ctx.dims.to_vec());
         config.restarts = 0;
         config.max_opt_iter = 35;
@@ -170,13 +186,13 @@ impl TlaStrategy for MultitaskPs {
                 continue;
             }
             let best = self.pseudo[i].best().unwrap_or(0.0);
-            let best_idx =
-                self.pseudo[i].y.iter().position(|&v| v == best).unwrap_or(0);
+            let best_idx = self.pseudo[i]
+                .y
+                .iter()
+                .position(|&v| v == best)
+                .unwrap_or(0);
             let inc_x = self.pseudo[i].x[best_idx].clone();
-            let surrogate = |x: &[f64]| {
-                let p = lcm.predict(i, x);
-                (p.mean, p.std)
-            };
+            let surrogate = crate::acquisition::LcmTaskSurrogate { lcm: &lcm, task: i };
             let x_next = propose_ei_failure_aware(
                 &surrogate,
                 ctx.dim(),
@@ -190,9 +206,9 @@ impl TlaStrategy for MultitaskPs {
             let y_pseudo = source.gp.predict(&x_next).mean;
             self.pseudo[i].push(x_next, y_pseudo);
         }
-        let surrogate = |x: &[f64]| {
-            let p = lcm.predict(target_idx, x);
-            (p.mean, p.std)
+        let surrogate = crate::acquisition::LcmTaskSurrogate {
+            lcm: &lcm,
+            task: target_idx,
         };
         propose_ei_failure_aware(
             &surrogate,
@@ -253,7 +269,10 @@ mod tests {
         let (sources, mut target) = quad_source_target(20, 0);
         target.push(vec![0.5], target_objective(0.5));
         let search = SearchOptions::default();
-        let mut strat = MultitaskTs { refit_every: 2, cached: None };
+        let mut strat = MultitaskTs {
+            refit_every: 2,
+            cached: None,
+        };
         let mut rng = StdRng::seed_from_u64(23);
         let c = ctx(&sources, &target, &search);
         let _ = strat.propose(&c, &mut rng);
@@ -307,7 +326,11 @@ mod tests {
         target.push(vec![0.8], target_objective(0.8));
         let search = SearchOptions::default();
         let c = ctx(&sources, &target, &search);
-        let mut strat = MultitaskPs { n_seed: 5, max_pseudo: 6, pseudo: Vec::new() };
+        let mut strat = MultitaskPs {
+            n_seed: 5,
+            max_pseudo: 6,
+            pseudo: Vec::new(),
+        };
         let mut rng = StdRng::seed_from_u64(29);
         for _ in 0..5 {
             let _ = strat.propose(&c, &mut rng);
@@ -322,7 +345,10 @@ mod tests {
         let search = SearchOptions::default();
         let c = ctx(&sources, &target, &search);
         let mut rng = StdRng::seed_from_u64(31);
-        for strat in [&mut MultitaskTs::new() as &mut dyn TlaStrategy, &mut MultitaskPs::new()] {
+        for strat in [
+            &mut MultitaskTs::new() as &mut dyn TlaStrategy,
+            &mut MultitaskPs::new(),
+        ] {
             let x = strat.propose(&c, &mut rng);
             assert_eq!(x.len(), 1);
             assert!((0.0..1.0).contains(&x[0]), "{}: {x:?}", strat.name());

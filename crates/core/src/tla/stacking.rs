@@ -33,11 +33,7 @@ impl Stacking {
         Stacking { source_stack: None }
     }
 
-    fn fit_source_stack(
-        &mut self,
-        ctx: &TlaContext<'_>,
-        rng: &mut StdRng,
-    ) -> &[Level] {
+    fn fit_source_stack(&mut self, ctx: &TlaContext<'_>, rng: &mut StdRng) -> &[Level] {
         if self.source_stack.is_none() {
             let mut order: Vec<usize> = (0..ctx.sources.len()).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(ctx.sources[i].data.len()));
@@ -52,7 +48,10 @@ impl Stacking {
                     .map(|(x, &y)| y - stack_mean(&stack, x))
                     .collect();
                 if let Some(gp) = fit_level(&data.x, &resid, ctx.dims, rng) {
-                    stack.push(Level { gp, n_samples: data.len() });
+                    stack.push(Level {
+                        gp,
+                        n_samples: data.len(),
+                    });
                 }
             }
             self.source_stack = Some(stack);
@@ -67,12 +66,7 @@ impl Default for Stacking {
     }
 }
 
-fn fit_level<R: Rng>(
-    x: &[Vec<f64>],
-    resid: &[f64],
-    dims: &[DimKind],
-    rng: &mut R,
-) -> Option<Gp> {
+fn fit_level<R: Rng>(x: &[Vec<f64>], resid: &[f64], dims: &[DimKind], rng: &mut R) -> Option<Gp> {
     if x.is_empty() {
         return None;
     }
@@ -98,8 +92,7 @@ fn stack_predict(stack: &[Level], target: Option<&Level>, x: &[f64]) -> (f64, f6
         std = Some(match std {
             None => p.std.max(1e-12),
             Some(prev) => {
-                let beta =
-                    level.n_samples as f64 / (level.n_samples + n_lower).max(1) as f64;
+                let beta = level.n_samples as f64 / (level.n_samples + n_lower).max(1) as f64;
                 p.std.max(1e-12).powf(beta) * prev.powf(1.0 - beta)
             }
         });
@@ -130,8 +123,10 @@ impl TlaStrategy for Stacking {
                 .zip(&ctx.target.y)
                 .map(|(x, &y)| y - stack_mean(stack, x))
                 .collect();
-            fit_level(&ctx.target.x, &resid, ctx.dims, rng)
-                .map(|gp| Level { gp, n_samples: ctx.target.len() })
+            fit_level(&ctx.target.x, &resid, ctx.dims, rng).map(|gp| Level {
+                gp,
+                n_samples: ctx.target.len(),
+            })
         };
         let surrogate = |x: &[f64]| stack_predict(stack, target_level.as_ref(), x);
         propose_ei_failure_aware(
@@ -150,7 +145,12 @@ impl TlaStrategy for Stacking {
 /// Build a [`Dataset`]-keyed helper used by tests: predict the stack mean
 /// at a point (without a target level).
 #[cfg(test)]
-fn source_stack_mean_for_test(s: &mut Stacking, ctx: &TlaContext<'_>, rng: &mut StdRng, x: &[f64]) -> f64 {
+fn source_stack_mean_for_test(
+    s: &mut Stacking,
+    ctx: &TlaContext<'_>,
+    rng: &mut StdRng,
+    x: &[f64],
+) -> f64 {
     s.fit_source_stack(ctx, rng);
     stack_mean(s.source_stack.as_deref().unwrap(), x)
 }

@@ -42,17 +42,26 @@ pub struct WeightedSum {
 impl WeightedSum {
     /// Equal weights (HiPerBOt default).
     pub fn equal() -> Self {
-        WeightedSum { policy: WeightPolicy::Equal, label: "WeightedSum(equal)".into() }
+        WeightedSum {
+            policy: WeightPolicy::Equal,
+            label: "WeightedSum(equal)".into(),
+        }
     }
 
     /// Static user weights (`sources..., target` order).
     pub fn with_static(weights: Vec<f64>) -> Self {
-        WeightedSum { policy: WeightPolicy::Static(weights), label: "WeightedSum(static)".into() }
+        WeightedSum {
+            policy: WeightPolicy::Static(weights),
+            label: "WeightedSum(static)".into(),
+        }
     }
 
     /// Dynamic regression weights (this paper).
     pub fn dynamic() -> Self {
-        WeightedSum { policy: WeightPolicy::Dynamic, label: "WeightedSum(dynamic)".into() }
+        WeightedSum {
+            policy: WeightPolicy::Dynamic,
+            label: "WeightedSum(dynamic)".into(),
+        }
     }
 
     /// Ablation: dynamic weights via unconstrained least squares.
@@ -290,7 +299,11 @@ mod tests {
         let argmin = (0..100)
             .map(|i| i as f64 / 100.0)
             .min_by(|&a, &b| {
-                combined.predict(&[a]).0.partial_cmp(&combined.predict(&[b]).0).unwrap()
+                combined
+                    .predict(&[a])
+                    .0
+                    .partial_cmp(&combined.predict(&[b]).0)
+                    .unwrap()
             })
             .unwrap();
         assert!((argmin - 0.4).abs() < 0.15, "argmin {argmin}");
@@ -338,10 +351,16 @@ mod tests {
     fn combined_surrogate_geometric_std() {
         let (sources, _) = quad_source_target(20, 0);
         let gp = &sources[0].gp;
-        let combined = CombinedSurrogate { models: vec![gp, gp], weights: vec![0.5, 0.5] };
+        let combined = CombinedSurrogate {
+            models: vec![gp, gp],
+            weights: vec![0.5, 0.5],
+        };
         let (m, s) = combined.predict(&[0.5]);
         let p = gp.predict(&[0.5]);
         assert!((m - p.mean).abs() < 1e-9);
-        assert!((s - p.std).abs() < 1e-9, "geometric mean of equal stds is the std");
+        assert!(
+            (s - p.std).abs() < 1e-9,
+            "geometric mean of equal stds is the std"
+        );
     }
 }

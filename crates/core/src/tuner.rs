@@ -146,8 +146,7 @@ pub fn tune_notla_constrained(
     let mut failed_units: Vec<Vec<f64>> = Vec::new();
     // Unit-space view of the constraint for the acquisition search.
     let valid_holder = constraint.map(|c| make_unit_validity(space, c));
-    let valid: Option<&ValidityFn<'_>> =
-        valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
+    let valid: Option<&ValidityFn<'_>> = valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
 
     let mut init_points = sample_lhs(space, config.n_init.min(config.budget), &mut rng);
     if let Some(c) = constraint {
@@ -175,14 +174,10 @@ pub fn tune_notla_constrained(
             gp_config.max_opt_iter = 40;
             match Gp::fit(&observed.x, &observed.y, &gp_config, &mut rng) {
                 Ok(gp) => {
-                    let surrogate = |x: &[f64]| {
-                        let p = gp.predict(x);
-                        (p.mean, p.std)
-                    };
                     let best = observed.best().expect("non-empty");
                     let idx = observed.y.iter().position(|&v| v == best).expect("best");
                     propose_ei_failure_aware(
-                        &surrogate,
+                        &gp,
                         space.dim(),
                         Some((&observed.x[idx], best)),
                         &evaluated_units,
@@ -195,10 +190,20 @@ pub fn tune_notla_constrained(
                 Err(_) => crate::tla::random_proposal(space.dim(), &mut rng),
             }
         };
-        let proposed_by =
-            if i < init_points.len() { "LHS-init" } else { "NoTLA" }.to_string();
+        let proposed_by = if i < init_points.len() {
+            "LHS-init"
+        } else {
+            "NoTLA"
+        }
+        .to_string();
         let y = step(
-            space, objective, unit, proposed_by, &mut observed, &mut evaluated_units, &mut result,
+            space,
+            objective,
+            unit,
+            proposed_by,
+            &mut observed,
+            &mut evaluated_units,
+            &mut result,
         );
         if y.is_none() {
             failed_units.push(result.history.last().expect("just pushed").unit.clone());
@@ -236,8 +241,7 @@ pub fn tune_tla_constrained(
     let mut evaluated_units: Vec<Vec<f64>> = Vec::new();
     let mut failed_units: Vec<Vec<f64>> = Vec::new();
     let valid_holder = constraint.map(|c| make_unit_validity(space, c));
-    let valid: Option<&ValidityFn<'_>> =
-        valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
+    let valid: Option<&ValidityFn<'_>> = valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
     // The cold-start strategy for evaluations with no target data yet.
     let mut cold_start = WeightedSum::equal();
 
@@ -264,8 +268,15 @@ pub fn tune_tla_constrained(
             strategy.name().to_string()
         };
         let was_cold = target.is_empty();
-        let y =
-            step(space, objective, unit.clone(), proposed_by, &mut target, &mut evaluated_units, &mut result);
+        let y = step(
+            space,
+            objective,
+            unit.clone(),
+            proposed_by,
+            &mut target,
+            &mut evaluated_units,
+            &mut result,
+        );
         if y.is_none() {
             failed_units.push(result.history.last().expect("just pushed").unit.clone());
         }
@@ -308,7 +319,12 @@ fn step(
     if let Ok(y) = res {
         observed.push(unit_snapped.clone(), y);
     }
-    result.history.push(EvalRecord { point, unit: unit_snapped, result: res, proposed_by });
+    result.history.push(EvalRecord {
+        point,
+        unit: unit_snapped,
+        result: res,
+        proposed_by,
+    });
     y
 }
 
@@ -333,7 +349,11 @@ mod tests {
     fn notla_converges_on_smooth_1d() {
         let space = quad_space();
         let mut obj = quad_objective;
-        let config = TuneConfig { budget: 15, seed: 42, ..Default::default() };
+        let config = TuneConfig {
+            budget: 15,
+            seed: 42,
+            ..Default::default()
+        };
         let res = tune_notla(&space, &mut obj, &config);
         assert_eq!(res.history.len(), 15);
         let (_, best) = res.best().unwrap();
@@ -344,7 +364,11 @@ mod tests {
     fn best_so_far_is_monotone() {
         let space = quad_space();
         let mut obj = quad_objective;
-        let config = TuneConfig { budget: 10, seed: 7, ..Default::default() };
+        let config = TuneConfig {
+            budget: 10,
+            seed: 7,
+            ..Default::default()
+        };
         let res = tune_notla(&space, &mut obj, &config);
         let bsf = res.best_so_far();
         let vals: Vec<f64> = bsf.iter().filter_map(|v| *v).collect();
@@ -359,7 +383,11 @@ mod tests {
         let (sources, _) = quad_source_target(25, 0);
         let mut obj = quad_objective;
         let mut strategy = crate::tla::multitask::MultitaskTs::new();
-        let config = TuneConfig { budget: 5, seed: 3, ..Default::default() };
+        let config = TuneConfig {
+            budget: 5,
+            seed: 3,
+            ..Default::default()
+        };
         let res = tune_tla(&space, &mut obj, &sources, &mut strategy, &config);
         assert_eq!(res.history[0].proposed_by, "WeightedSum(equal)");
         assert_eq!(res.history[1].proposed_by, "Multitask(TS)");
@@ -374,7 +402,11 @@ mod tests {
         let mut best_tla: f64 = f64::INFINITY;
         let mut best_notla: f64 = f64::INFINITY;
         for seed in 0..3 {
-            let config = TuneConfig { budget: 4, seed, ..Default::default() };
+            let config = TuneConfig {
+                budget: 4,
+                seed,
+                ..Default::default()
+            };
             let mut obj = quad_objective;
             let mut strategy = WeightedSum::dynamic();
             let r1 = tune_tla(&space, &mut obj, &sources, &mut strategy, &config);
@@ -385,7 +417,10 @@ mod tests {
         }
         // TLA should be at least as good (the source optimum at 0.3 is
         // close to the target's 0.4).
-        assert!(best_tla <= best_notla + 0.3, "tla {best_tla} vs notla {best_notla}");
+        assert!(
+            best_tla <= best_notla + 0.3,
+            "tla {best_tla} vs notla {best_notla}"
+        );
     }
 
     #[test]
@@ -400,7 +435,11 @@ mod tests {
                 quad_objective(p)
             }
         };
-        let config = TuneConfig { budget: 8, seed: 11, ..Default::default() };
+        let config = TuneConfig {
+            budget: 8,
+            seed: 11,
+            ..Default::default()
+        };
         let res = tune_notla(&space, &mut obj, &config);
         assert_eq!(res.history.len(), 8);
         assert_eq!(res.failures(), 4);
@@ -414,7 +453,11 @@ mod tests {
     fn all_failures_still_terminates() {
         let space = quad_space();
         let mut obj = |_: &Point| Err::<f64, String>("always fails".into());
-        let config = TuneConfig { budget: 6, seed: 0, ..Default::default() };
+        let config = TuneConfig {
+            budget: 6,
+            seed: 0,
+            ..Default::default()
+        };
         let res = tune_notla(&space, &mut obj, &config);
         assert_eq!(res.history.len(), 6);
         assert_eq!(res.failures(), 6);
@@ -425,7 +468,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = quad_space();
-        let config = TuneConfig { budget: 6, seed: 9, ..Default::default() };
+        let config = TuneConfig {
+            budget: 6,
+            seed: 9,
+            ..Default::default()
+        };
         let mut obj1 = quad_objective;
         let r1 = tune_notla(&space, &mut obj1, &config);
         let mut obj2 = quad_objective;
@@ -445,7 +492,11 @@ mod tests {
         .unwrap();
         assert_eq!(
             dims_of(&s),
-            vec![DimKind::Continuous, DimKind::Categorical, DimKind::Continuous]
+            vec![
+                DimKind::Continuous,
+                DimKind::Categorical,
+                DimKind::Continuous
+            ]
         );
     }
 }

@@ -34,7 +34,11 @@ pub enum SurrogateKind {
 
 enum Model {
     Gp(Gp),
-    Linear { weights: Vec<f64>, intercept: f64, resid_std: f64 },
+    Linear {
+        weights: Vec<f64>,
+        intercept: f64,
+        resid_std: f64,
+    },
 }
 
 /// A queried surrogate model: a black-box predictor over the tuning
@@ -52,8 +56,10 @@ pub struct SurrogateModelHandle {
 impl SurrogateModelHandle {
     /// Predict mean and standard deviation at a tuning-space point.
     pub fn predict(&self, point: &Point) -> Result<(f64, f64), MetaError> {
-        let unit =
-            self.space.to_unit(point).map_err(|e| MetaError::BadField(e.to_string()))?;
+        let unit = self
+            .space
+            .to_unit(point)
+            .map_err(|e| MetaError::BadField(e.to_string()))?;
         Ok(self.predict_unit(&unit))
     }
 
@@ -64,9 +70,12 @@ impl SurrogateModelHandle {
                 let p = gp.predict(unit);
                 (p.mean, p.std)
             }
-            Model::Linear { weights, intercept, resid_std } => {
-                let mean =
-                    intercept + crowdtune_linalg::dot(weights, unit);
+            Model::Linear {
+                weights,
+                intercept,
+                resid_std,
+            } => {
+                let mean = intercept + crowdtune_linalg::dot(weights, unit);
                 (mean, *resid_std)
             }
         }
@@ -89,8 +98,11 @@ pub fn query_surrogate_model_with(
     seed: u64,
 ) -> Result<SurrogateModelHandle, MetaError> {
     let records = session.query_function_evaluations()?;
-    let (ds, skipped) =
-        records_to_dataset(&records, &session.tuning_space, session.meta.objective_name());
+    let (ds, skipped) = records_to_dataset(
+        &records,
+        &session.tuning_space,
+        session.meta.objective_name(),
+    );
     if ds.is_empty() {
         return Err(MetaError::BadField(
             "no usable crowd samples matched the meta description".into(),
@@ -199,7 +211,9 @@ mod tests {
     fn seeded(n: usize) -> (HistoryDb, String) {
         let db = HistoryDb::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let key = db.register_user("alice", "a@x.org", true, &mut rng).unwrap();
+        let key = db
+            .register_user("alice", "a@x.org", true, &mut rng)
+            .unwrap();
         // Objective: runtime = 5 a + 0.2 b — parameter 'a' dominates.
         for _ in 0..n {
             let a: f64 = rng.gen();
@@ -220,10 +234,12 @@ mod tests {
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
         let model = query_surrogate_model(&session, 0).unwrap();
         assert_eq!(model.n_samples, 60);
-        let (mean_low, _) =
-            model.predict(&vec![Value::Real(0.1), Value::Real(0.1)]).unwrap();
-        let (mean_high, _) =
-            model.predict(&vec![Value::Real(0.9), Value::Real(0.1)]).unwrap();
+        let (mean_low, _) = model
+            .predict(&vec![Value::Real(0.1), Value::Real(0.1)])
+            .unwrap();
+        let (mean_high, _) = model
+            .predict(&vec![Value::Real(0.9), Value::Real(0.1)])
+            .unwrap();
         assert!(mean_high > mean_low + 2.0, "{mean_low} vs {mean_high}");
     }
 
@@ -231,12 +247,8 @@ mod tests {
     fn predict_output_close_to_truth() {
         let (db, key) = seeded(80);
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
-        let y = query_predict_output(
-            &session,
-            &vec![Value::Real(0.5), Value::Real(0.5)],
-            0,
-        )
-        .unwrap();
+        let y =
+            query_predict_output(&session, &vec![Value::Real(0.5), Value::Real(0.5)], 0).unwrap();
         assert!((y - 2.6).abs() < 0.5, "predicted {y}");
     }
 
@@ -246,7 +258,10 @@ mod tests {
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
         let res = query_sensitivity_analysis(
             &session,
-            &AnalysisConfig { n_samples: 512, seed: 0 },
+            &AnalysisConfig {
+                n_samples: 512,
+                seed: 0,
+            },
             0,
         )
         .unwrap();
@@ -261,13 +276,22 @@ mod tests {
     fn linear_ridge_surrogate_fits_linear_data() {
         let (db, key) = seeded(60);
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
-        let model =
-            query_surrogate_model_with(&session, SurrogateKind::LinearRidge, 0).unwrap();
+        let model = query_surrogate_model_with(&session, SurrogateKind::LinearRidge, 0).unwrap();
         // Truth is exactly linear: 5a + 0.2b.
-        let (m_low, s_low) = model.predict(&vec![Value::Real(0.1), Value::Real(0.5)]).unwrap();
-        let (m_high, _) = model.predict(&vec![Value::Real(0.9), Value::Real(0.5)]).unwrap();
-        assert!((m_low - (5.0 * 0.1 + 0.2 * 0.5)).abs() < 0.05, "low {m_low}");
-        assert!((m_high - (5.0 * 0.9 + 0.2 * 0.5)).abs() < 0.05, "high {m_high}");
+        let (m_low, s_low) = model
+            .predict(&vec![Value::Real(0.1), Value::Real(0.5)])
+            .unwrap();
+        let (m_high, _) = model
+            .predict(&vec![Value::Real(0.9), Value::Real(0.5)])
+            .unwrap();
+        assert!(
+            (m_low - (5.0 * 0.1 + 0.2 * 0.5)).abs() < 0.05,
+            "low {m_low}"
+        );
+        assert!(
+            (m_high - (5.0 * 0.9 + 0.2 * 0.5)).abs() < 0.05,
+            "high {m_high}"
+        );
         assert!(s_low < 0.05, "residual std {s_low} on exactly-linear data");
     }
 
@@ -277,7 +301,9 @@ mod tests {
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
         for kind in [SurrogateKind::GpMatern52, SurrogateKind::GpRbf] {
             let model = query_surrogate_model_with(&session, kind, 0).unwrap();
-            let (m, s) = model.predict(&vec![Value::Real(0.5), Value::Real(0.5)]).unwrap();
+            let (m, s) = model
+                .predict(&vec![Value::Real(0.5), Value::Real(0.5)])
+                .unwrap();
             assert!((m - 2.6).abs() < 0.5, "{kind:?}: {m}");
             assert!(s.is_finite() && s >= 0.0);
         }
@@ -287,7 +313,9 @@ mod tests {
     fn empty_crowd_data_is_an_error() {
         let db = HistoryDb::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let key = db.register_user("alice", "a@x.org", true, &mut rng).unwrap();
+        let key = db
+            .register_user("alice", "a@x.org", true, &mut rng)
+            .unwrap();
         let session = CrowdSession::open(&db, &META.replace("KEY", &key)).unwrap();
         assert!(query_surrogate_model(&session, 0).is_err());
     }

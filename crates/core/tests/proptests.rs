@@ -1,12 +1,10 @@
 //! Property-based tests for the tuner core: acquisition invariants,
 //! constraint handling, and tuning-loop bookkeeping.
 
-use crowdtune_core::acquisition::{
-    expected_improvement, propose_ei_constrained, SearchOptions,
-};
+use crowdtune_core::acquisition::{expected_improvement, propose_ei_constrained, SearchOptions};
 use crowdtune_core::tuner::{tune_notla_constrained, TuneConfig};
 use crowdtune_core::{tune_notla, Dataset};
-use crowdtune_space::{Param, Point, Space, Value};
+use crowdtune_space::{Param, Point, Space};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

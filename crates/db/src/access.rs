@@ -116,10 +116,12 @@ impl UserRegistry {
     /// default mode).
     pub fn create_api_key<R: Rng>(&self, username: &str, rng: &mut R) -> Result<String, AuthError> {
         let mut inner = self.inner.write();
-        let user =
-            inner.get_mut(username).ok_or_else(|| AuthError::UnknownUser(username.into()))?;
-        let key: String =
-            (0..20).map(|_| KEY_ALPHABET[rng.gen_range(0..KEY_ALPHABET.len())] as char).collect();
+        let user = inner
+            .get_mut(username)
+            .ok_or_else(|| AuthError::UnknownUser(username.into()))?;
+        let key: String = (0..20)
+            .map(|_| KEY_ALPHABET[rng.gen_range(0..KEY_ALPHABET.len())] as char)
+            .collect();
         user.keys.push(KeyRecord::Plain(key.clone()));
         Ok(key)
     }
@@ -128,8 +130,9 @@ impl UserRegistry {
     /// fingerprint is stored.
     pub fn register_keypair(&self, username: &str, secret: &str) -> Result<(), AuthError> {
         let mut inner = self.inner.write();
-        let user =
-            inner.get_mut(username).ok_or_else(|| AuthError::UnknownUser(username.into()))?;
+        let user = inner
+            .get_mut(username)
+            .ok_or_else(|| AuthError::UnknownUser(username.into()))?;
         user.keys.push(KeyRecord::Fingerprint(fingerprint(secret)));
         Ok(())
     }
@@ -156,8 +159,9 @@ impl UserRegistry {
     /// Revoke every key of a user.
     pub fn revoke_all_keys(&self, username: &str) -> Result<(), AuthError> {
         let mut inner = self.inner.write();
-        let user =
-            inner.get_mut(username).ok_or_else(|| AuthError::UnknownUser(username.into()))?;
+        let user = inner
+            .get_mut(username)
+            .ok_or_else(|| AuthError::UnknownUser(username.into()))?;
         user.keys.clear();
         Ok(())
     }
@@ -167,8 +171,11 @@ impl UserRegistry {
     /// `user_configurations` field).
     pub fn public_users(&self) -> Vec<String> {
         let inner = self.inner.read();
-        let mut names: Vec<String> =
-            inner.values().filter(|u| u.public_profile).map(|u| u.username.clone()).collect();
+        let mut names: Vec<String> = inner
+            .values()
+            .filter(|u| u.public_profile)
+            .map(|u| u.username.clone())
+            .collect();
         names.sort();
         names
     }
@@ -204,7 +211,10 @@ mod tests {
         let key = reg.create_api_key("alice", &mut rng).unwrap();
         assert_eq!(key.len(), 20);
         assert_eq!(reg.authenticate(&key).unwrap(), "alice");
-        assert_eq!(reg.authenticate("wrong-key").unwrap_err(), AuthError::InvalidKey);
+        assert_eq!(
+            reg.authenticate("wrong-key").unwrap_err(),
+            AuthError::InvalidKey
+        );
     }
 
     #[test]
@@ -225,7 +235,10 @@ mod tests {
         reg.register("bob", "b@x.org", false).unwrap();
         reg.register_keypair("bob", "my-very-secret-value").unwrap();
         assert_eq!(reg.authenticate("my-very-secret-value").unwrap(), "bob");
-        assert_eq!(reg.authenticate("not-the-secret").unwrap_err(), AuthError::InvalidKey);
+        assert_eq!(
+            reg.authenticate("not-the-secret").unwrap_err(),
+            AuthError::InvalidKey
+        );
     }
 
     #[test]

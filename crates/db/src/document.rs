@@ -148,15 +148,21 @@ pub struct SoftwareConfig {
 impl SoftwareConfig {
     /// New software entry without compiler/variants.
     pub fn new(name: &str, version: [u32; 3]) -> Self {
-        SoftwareConfig { name: name.to_string(), version, compiler: None, variants: Vec::new() }
+        SoftwareConfig {
+            name: name.to_string(),
+            version,
+            compiler: None,
+            variants: Vec::new(),
+        }
     }
 }
 
 /// Who may read a stored sample.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(tag = "level", rename_all = "lowercase")]
 pub enum Access {
     /// Anyone (including anonymous queries) may read.
+    #[default]
     Public,
     /// Only the owner may read.
     Private,
@@ -165,12 +171,6 @@ pub enum Access {
         /// Usernames granted read access.
         with: Vec<String>,
     },
-}
-
-impl Default for Access {
-    fn default() -> Self {
-        Access::Public
-    }
 }
 
 /// One stored performance-data sample.
@@ -209,7 +209,9 @@ impl FunctionEvaluation {
             problem: problem.to_string(),
             task_parameters: ParamMap::new(),
             tuning_parameters: ParamMap::new(),
-            result: EvalOutcome::Failed { reason: "not yet evaluated".into() },
+            result: EvalOutcome::Failed {
+                reason: "not yet evaluated".into(),
+            },
             machine: MachineConfig::default(),
             software: Vec::new(),
             owner: owner.to_string(),
@@ -226,7 +228,8 @@ impl FunctionEvaluation {
 
     /// Set a tuning parameter (builder style).
     pub fn param(mut self, name: &str, value: impl Into<Scalar>) -> Self {
-        self.tuning_parameters.insert(name.to_string(), value.into());
+        self.tuning_parameters
+            .insert(name.to_string(), value.into());
         self
     }
 
@@ -341,7 +344,10 @@ mod tests {
         assert_eq!(e.field("output.runtime"), Some(Scalar::Real(3.65)));
         assert_eq!(e.field("machine.name"), Some(Scalar::Str("cori".into())));
         assert_eq!(e.field("machine.nodes"), Some(Scalar::Int(8)));
-        assert_eq!(e.field("software.scalapack.version_major"), Some(Scalar::Int(2)));
+        assert_eq!(
+            e.field("software.scalapack.version_major"),
+            Some(Scalar::Int(2))
+        );
         assert_eq!(e.field("status"), Some(Scalar::Str("ok".into())));
         assert_eq!(e.field("task.zzz"), None);
         assert_eq!(e.field("nonsense"), None);
@@ -349,7 +355,9 @@ mod tests {
 
     #[test]
     fn failed_outcome_has_no_outputs() {
-        let e = sample().outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        let e = sample().outcome(EvalOutcome::Failed {
+            reason: "OOM".into(),
+        });
         assert!(!e.result.is_ok());
         assert_eq!(e.field("output.runtime"), None);
         assert_eq!(e.field("status"), Some(Scalar::Str("failed".into())));
@@ -366,7 +374,9 @@ mod tests {
         assert!(!e.readable_by(Some("bob")));
         assert!(e.readable_by(Some("alice")));
 
-        e.access = Access::Shared { with: vec!["bob".into()] };
+        e.access = Access::Shared {
+            with: vec!["bob".into()],
+        };
         assert!(!e.readable_by(None));
         assert!(e.readable_by(Some("bob")));
         assert!(e.readable_by(Some("alice")));
@@ -383,6 +393,9 @@ mod tests {
 
     #[test]
     fn machine_total_cores() {
-        assert_eq!(MachineConfig::new("cori", "haswell", 8, 32).total_cores(), 256);
+        assert_eq!(
+            MachineConfig::new("cori", "haswell", 8, 32).total_cores(),
+            256
+        );
     }
 }

@@ -60,7 +60,10 @@ pub fn parse_spack_spec(spec: &str) -> Result<SoftwareConfig, EnvError> {
         let mut rest = &spec[pos..];
         while !rest.is_empty() {
             let sign = &rest[..1];
-            let next = rest[1..].find(['+', '~']).map(|p| p + 1).unwrap_or(rest.len());
+            let next = rest[1..]
+                .find(['+', '~'])
+                .map(|p| p + 1)
+                .unwrap_or(rest.len());
             let var = &rest[1..next];
             if var.is_empty() {
                 return Err(EnvError::BadSpec(spec.into()));
@@ -87,15 +90,21 @@ pub fn parse_spack_spec(spec: &str) -> Result<SoftwareConfig, EnvError> {
         None => (name_part, None),
     };
     let (name, version) = match pkg_part.split_once('@') {
-        Some((n, v)) => {
-            (n.to_string(), parse_version(v).ok_or_else(|| EnvError::BadSpec(spec.into()))?)
-        }
+        Some((n, v)) => (
+            n.to_string(),
+            parse_version(v).ok_or_else(|| EnvError::BadSpec(spec.into()))?,
+        ),
         None => (pkg_part.to_string(), [0, 0, 0]),
     };
     if name.is_empty() {
         return Err(EnvError::BadSpec(spec.into()));
     }
-    Ok(SoftwareConfig { name: name.to_ascii_lowercase(), version, compiler, variants })
+    Ok(SoftwareConfig {
+        name: name.to_ascii_lowercase(),
+        version,
+        compiler,
+        variants,
+    })
 }
 
 /// Parse a Slurm-style job environment (the `SLURM_*` variables) into a
@@ -104,15 +113,18 @@ pub fn parse_spack_spec(spec: &str) -> Result<SoftwareConfig, EnvError> {
 /// `SLURM_JOB_PARTITION`.
 pub fn parse_slurm_env(vars: &HashMap<String, String>) -> Result<MachineConfig, EnvError> {
     let get = |name: &str| -> Result<&String, EnvError> {
-        vars.get(name).ok_or_else(|| EnvError::MissingVar(name.into()))
+        vars.get(name)
+            .ok_or_else(|| EnvError::MissingVar(name.into()))
     };
     let nodes: u32 = {
         let v = get("SLURM_JOB_NUM_NODES")?;
-        v.parse().map_err(|_| EnvError::BadVar("SLURM_JOB_NUM_NODES".into(), v.clone()))?
+        v.parse()
+            .map_err(|_| EnvError::BadVar("SLURM_JOB_NUM_NODES".into(), v.clone()))?
     };
     let cores: u32 = {
         let v = get("SLURM_CPUS_ON_NODE")?;
-        v.parse().map_err(|_| EnvError::BadVar("SLURM_CPUS_ON_NODE".into(), v.clone()))?
+        v.parse()
+            .map_err(|_| EnvError::BadVar("SLURM_CPUS_ON_NODE".into(), v.clone()))?
     };
     let machine = vars.get("SLURM_CLUSTER_NAME").cloned().unwrap_or_default();
     let partition = vars.get("SLURM_JOB_PARTITION").cloned().unwrap_or_default();
@@ -153,7 +165,10 @@ impl TagRegistry {
         reg.set_node_types("perlmutter", &["cpu", "gpu"]);
         for (canon, aliases) in [
             ("scalapack", &["scalapack", "libscalapack"] as &[&str]),
-            ("superlu-dist", &["superlu-dist", "superlu_dist", "superludist"]),
+            (
+                "superlu-dist",
+                &["superlu-dist", "superlu_dist", "superludist"],
+            ),
             ("hypre", &["hypre"]),
             ("nimrod", &["nimrod"]),
             ("gcc", &["gcc", "gnu"]),
@@ -167,23 +182,29 @@ impl TagRegistry {
     /// Register a machine and its aliases.
     pub fn add_machine(&mut self, canonical: &str, aliases: &[&str]) {
         for a in aliases {
-            self.machine_aliases.insert(a.to_ascii_lowercase(), canonical.to_string());
+            self.machine_aliases
+                .insert(a.to_ascii_lowercase(), canonical.to_string());
         }
-        self.machine_aliases.insert(canonical.to_ascii_lowercase(), canonical.to_string());
+        self.machine_aliases
+            .insert(canonical.to_ascii_lowercase(), canonical.to_string());
     }
 
     /// Record the node types a machine offers.
     pub fn set_node_types(&mut self, canonical: &str, node_types: &[&str]) {
-        self.machine_nodes
-            .insert(canonical.to_string(), node_types.iter().map(|s| s.to_string()).collect());
+        self.machine_nodes.insert(
+            canonical.to_string(),
+            node_types.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Register a software package and its aliases.
     pub fn add_software(&mut self, canonical: &str, aliases: &[&str]) {
         for a in aliases {
-            self.software_aliases.insert(a.to_ascii_lowercase(), canonical.to_string());
+            self.software_aliases
+                .insert(a.to_ascii_lowercase(), canonical.to_string());
         }
-        self.software_aliases.insert(canonical.to_ascii_lowercase(), canonical.to_string());
+        self.software_aliases
+            .insert(canonical.to_ascii_lowercase(), canonical.to_string());
     }
 
     /// Canonicalize a machine name; unknown names are lowercased verbatim
@@ -239,7 +260,10 @@ mod tests {
         assert_eq!(sw.name, "superlu-dist");
         assert_eq!(sw.version, [7, 2, 0]);
         assert_eq!(sw.compiler, Some(("gcc".to_string(), [9, 1, 0])));
-        assert_eq!(sw.variants, vec!["+openmp".to_string(), "~cuda".to_string()]);
+        assert_eq!(
+            sw.variants,
+            vec!["+openmp".to_string(), "~cuda".to_string()]
+        );
     }
 
     #[test]
@@ -282,7 +306,10 @@ mod tests {
     #[test]
     fn slurm_env_missing_and_bad_vars() {
         let mut vars = HashMap::new();
-        assert!(matches!(parse_slurm_env(&vars), Err(EnvError::MissingVar(_))));
+        assert!(matches!(
+            parse_slurm_env(&vars),
+            Err(EnvError::MissingVar(_))
+        ));
         vars.insert("SLURM_JOB_NUM_NODES".to_string(), "sixty-four".to_string());
         vars.insert("SLURM_CPUS_ON_NODE".to_string(), "32".to_string());
         assert!(matches!(parse_slurm_env(&vars), Err(EnvError::BadVar(..))));
@@ -311,9 +338,25 @@ mod tests {
 
     #[test]
     fn version_ranges_half_open() {
-        assert!(TagRegistry::version_in_range([8, 3, 0], [8, 0, 0], [9, 0, 0]));
-        assert!(TagRegistry::version_in_range([8, 0, 0], [8, 0, 0], [9, 0, 0]));
-        assert!(!TagRegistry::version_in_range([9, 0, 0], [8, 0, 0], [9, 0, 0]));
-        assert!(!TagRegistry::version_in_range([7, 9, 9], [8, 0, 0], [9, 0, 0]));
+        assert!(TagRegistry::version_in_range(
+            [8, 3, 0],
+            [8, 0, 0],
+            [9, 0, 0]
+        ));
+        assert!(TagRegistry::version_in_range(
+            [8, 0, 0],
+            [8, 0, 0],
+            [9, 0, 0]
+        ));
+        assert!(!TagRegistry::version_in_range(
+            [9, 0, 0],
+            [8, 0, 0],
+            [9, 0, 0]
+        ));
+        assert!(!TagRegistry::version_in_range(
+            [7, 9, 9],
+            [8, 0, 0],
+            [9, 0, 0]
+        ));
     }
 }

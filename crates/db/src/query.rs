@@ -67,9 +67,9 @@ impl Filter {
             Filter::Gt(path, v) => num(e, path).is_some_and(|f| f > *v),
             Filter::Ge(path, v) => num(e, path).is_some_and(|f| f >= *v),
             Filter::Between(path, lo, hi) => num(e, path).is_some_and(|f| f >= *lo && f < *hi),
-            Filter::In(path, vs) => {
-                e.field(path).is_some_and(|f| vs.iter().any(|v| scalar_eq(&f, v)))
-            }
+            Filter::In(path, vs) => e
+                .field(path)
+                .is_some_and(|f| vs.iter().any(|v| scalar_eq(&f, v))),
             Filter::And(fs) => fs.iter().all(|f| f.matches(e)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(e)),
             Filter::Not(f) => !f.matches(e),
@@ -103,7 +103,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -254,7 +258,10 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX)
+        self.tokens
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or(usize::MAX)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -264,7 +271,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.here().min(1 << 20) }
+        ParseError {
+            message: message.into(),
+            position: self.here().min(1 << 20),
+        }
     }
 
     fn parse_or(&mut self) -> Result<Filter, ParseError> {
@@ -273,7 +283,11 @@ impl Parser {
             self.next();
             terms.push(self.parse_and()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Filter::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Filter::Or(terms)
+        })
     }
 
     fn parse_and(&mut self) -> Result<Filter, ParseError> {
@@ -282,7 +296,11 @@ impl Parser {
             self.next();
             terms.push(self.parse_unary()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Filter::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Filter::And(terms)
+        })
     }
 
     fn parse_unary(&mut self) -> Result<Filter, ParseError> {
@@ -438,16 +456,18 @@ mod tests {
     #[test]
     fn parse_simple_equality() {
         let f = parse_query("problem = 'PDGEQRF'").unwrap();
-        assert_eq!(f, Filter::Eq("problem".into(), Scalar::Str("PDGEQRF".into())));
+        assert_eq!(
+            f,
+            Filter::Eq("problem".into(), Scalar::Str("PDGEQRF".into()))
+        );
         assert!(f.matches(&doc()));
     }
 
     #[test]
     fn parse_conjunction_and_ranges() {
-        let f = parse_query(
-            "problem = 'PDGEQRF' AND task.m >= 1000 AND task.n BETWEEN 1 AND 20000",
-        )
-        .unwrap();
+        let f =
+            parse_query("problem = 'PDGEQRF' AND task.m >= 1000 AND task.n BETWEEN 1 AND 20000")
+                .unwrap();
         assert!(f.matches(&doc()));
         let g = parse_query("problem = 'PDGEQRF' AND task.m < 1000").unwrap();
         assert!(!g.matches(&doc()));
@@ -455,12 +475,12 @@ mod tests {
 
     #[test]
     fn parse_in_list_and_not() {
-        let f = parse_query(
-            "machine.name IN ('cori', 'perlmutter') AND NOT status = 'failed'",
-        )
-        .unwrap();
+        let f = parse_query("machine.name IN ('cori', 'perlmutter') AND NOT status = 'failed'")
+            .unwrap();
         assert!(f.matches(&doc()));
-        let failed = doc().outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        let failed = doc().outcome(EvalOutcome::Failed {
+            reason: "OOM".into(),
+        });
         assert!(!f.matches(&failed));
     }
 

@@ -62,7 +62,11 @@ pub struct MachineFilter {
 impl MachineFilter {
     /// Match any configuration on the named machine.
     pub fn named(machine: &str) -> Self {
-        MachineFilter { machine_name: machine.to_string(), node_type: None, nodes: None }
+        MachineFilter {
+            machine_name: machine.to_string(),
+            node_type: None,
+            nodes: None,
+        }
     }
 
     /// Restrict to a node type.
@@ -111,7 +115,11 @@ pub struct SoftwareFilter {
 impl SoftwareFilter {
     /// New software filter.
     pub fn new(name: &str, version_from: [u32; 3], version_to: [u32; 3]) -> Self {
-        SoftwareFilter { name: name.to_string(), version_from, version_to }
+        SoftwareFilter {
+            name: name.to_string(),
+            version_from,
+            version_to,
+        }
     }
 
     fn matches(&self, sw_list: &[SoftwareConfig], tags: &TagRegistry) -> bool {
@@ -148,8 +156,7 @@ impl ConfigurationQuery {
     }
 
     fn matches(&self, e: &FunctionEvaluation, tags: &TagRegistry) -> bool {
-        if !self.machines.is_empty() && !self.machines.iter().any(|m| m.matches(&e.machine, tags))
-        {
+        if !self.machines.is_empty() && !self.machines.iter().any(|m| m.matches(&e.machine, tags)) {
             return false;
         }
         for sf in &self.software {
@@ -157,7 +164,7 @@ impl ConfigurationQuery {
                 return false;
             }
         }
-        if !self.users.is_empty() && !self.users.iter().any(|u| *u == e.owner) {
+        if !self.users.is_empty() && !self.users.contains(&e.owner) {
             return false;
         }
         true
@@ -277,7 +284,11 @@ impl HistoryDb {
     }
 
     /// Query with an API key (sees public + own + shared-with-user data).
-    pub fn query(&self, api_key: &str, spec: &QuerySpec) -> Result<Vec<FunctionEvaluation>, DbError> {
+    pub fn query(
+        &self,
+        api_key: &str,
+        spec: &QuerySpec,
+    ) -> Result<Vec<FunctionEvaluation>, DbError> {
         let user = self.users.authenticate(api_key)?;
         Ok(self.query_as(Some(&user), spec))
     }
@@ -374,7 +385,9 @@ mod tests {
     fn setup() -> (HistoryDb, String, String) {
         let db = HistoryDb::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let alice = db.register_user("alice", "a@x.org", true, &mut rng).unwrap();
+        let alice = db
+            .register_user("alice", "a@x.org", true, &mut rng)
+            .unwrap();
         let bob = db.register_user("bob", "b@x.org", true, &mut rng).unwrap();
         (db, alice, bob)
     }
@@ -391,7 +404,9 @@ mod tests {
     #[test]
     fn submit_normalizes_and_sets_owner() {
         let (db, alice, _) = setup();
-        let id = db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "Haswell")).unwrap();
+        let id = db
+            .submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "Haswell"))
+            .unwrap();
         assert!(id > 0);
         let hits = db.query_public(&QuerySpec::all_of("PDGEQRF"));
         assert_eq!(hits.len(), 1);
@@ -412,10 +427,14 @@ mod tests {
     #[test]
     fn machine_filter_with_nodes_and_type() {
         let (db, alice, _) = setup();
-        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap();
-        db.submit(&alice, pdgeqrf_eval(1000, 4.0, 32, "knl")).unwrap();
+        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell"))
+            .unwrap();
+        db.submit(&alice, pdgeqrf_eval(1000, 4.0, 32, "knl"))
+            .unwrap();
         let spec = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
-            machines: vec![MachineFilter::named("Cori").node_type("haswell").nodes(1, 16)],
+            machines: vec![MachineFilter::named("Cori")
+                .node_type("haswell")
+                .nodes(1, 16)],
             software: vec![],
             users: vec![],
         });
@@ -427,7 +446,8 @@ mod tests {
     #[test]
     fn software_version_range_filter() {
         let (db, alice, _) = setup();
-        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap(); // gcc 8.3.0
+        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell"))
+            .unwrap(); // gcc 8.3.0
         let mut e = pdgeqrf_eval(1000, 4.0, 8, "haswell");
         e.software = vec![parse_spack_spec("scalapack@2.1.0%gcc@10.1.0").unwrap()];
         db.submit(&alice, e).unwrap();
@@ -453,7 +473,8 @@ mod tests {
     #[test]
     fn user_trust_filter() {
         let (db, alice, bob) = setup();
-        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell")).unwrap();
+        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell"))
+            .unwrap();
         db.submit(&bob, pdgeqrf_eval(2, 2.0, 8, "haswell")).unwrap();
         let spec = QuerySpec::all_of("PDGEQRF").with_configuration(ConfigurationQuery {
             machines: vec![],
@@ -468,12 +489,18 @@ mod tests {
     #[test]
     fn failures_excluded_by_default() {
         let (db, alice, _) = setup();
-        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell")).unwrap();
-        let failed = pdgeqrf_eval(2, 0.0, 8, "haswell")
-            .outcome(EvalOutcome::Failed { reason: "OOM".into() });
+        db.submit(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell"))
+            .unwrap();
+        let failed = pdgeqrf_eval(2, 0.0, 8, "haswell").outcome(EvalOutcome::Failed {
+            reason: "OOM".into(),
+        });
         db.submit(&alice, failed).unwrap();
         assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF")).len(), 1);
-        assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF").including_failures()).len(), 2);
+        assert_eq!(
+            db.query_public(&QuerySpec::all_of("PDGEQRF").including_failures())
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -482,22 +509,36 @@ mod tests {
         let e = pdgeqrf_eval(1, 1.0, 8, "haswell").with_access(Access::Private);
         db.submit(&alice, e).unwrap();
         assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF")).len(), 0);
-        assert_eq!(db.query(&bob, &QuerySpec::all_of("PDGEQRF")).unwrap().len(), 0);
-        assert_eq!(db.query(&alice, &QuerySpec::all_of("PDGEQRF")).unwrap().len(), 1);
+        assert_eq!(
+            db.query(&bob, &QuerySpec::all_of("PDGEQRF")).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            db.query(&alice, &QuerySpec::all_of("PDGEQRF"))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn export_import_roundtrip_between_repositories() {
         let (db_a, alice, _) = setup();
-        db_a.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell")).unwrap();
-        db_a.submit(&alice, pdgeqrf_eval(2000, 4.0, 8, "knl")).unwrap();
-        let json = db_a.export_json(&alice, &QuerySpec::all_of("PDGEQRF")).unwrap();
+        db_a.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell"))
+            .unwrap();
+        db_a.submit(&alice, pdgeqrf_eval(2000, 4.0, 8, "knl"))
+            .unwrap();
+        let json = db_a
+            .export_json(&alice, &QuerySpec::all_of("PDGEQRF"))
+            .unwrap();
         assert!(json.contains("task_parameters"));
 
         // A second repository, a different user.
         let db_b = HistoryDb::new();
         let mut rng = StdRng::seed_from_u64(9);
-        let bob = db_b.register_user("bob", "b@y.org", true, &mut rng).unwrap();
+        let bob = db_b
+            .register_user("bob", "b@y.org", true, &mut rng)
+            .unwrap();
         let n = db_b.import_json(&bob, &json).unwrap();
         assert_eq!(n, 2);
         let hits = db_b.query_public(&QuerySpec::all_of("PDGEQRF"));
@@ -513,13 +554,15 @@ mod tests {
     fn best_configurations_sorted_and_truncated() {
         let (db, alice, _) = setup();
         for (m, rt) in [(1i64, 5.0), (2, 1.0), (3, 3.0), (4, 2.0)] {
-            db.submit(&alice, pdgeqrf_eval(m, rt, 8, "haswell")).unwrap();
+            db.submit(&alice, pdgeqrf_eval(m, rt, 8, "haswell"))
+                .unwrap();
         }
         // A failed run never appears.
         db.submit(
             &alice,
-            pdgeqrf_eval(5, 0.0, 8, "haswell")
-                .outcome(EvalOutcome::Failed { reason: "OOM".into() }),
+            pdgeqrf_eval(5, 0.0, 8, "haswell").outcome(EvalOutcome::Failed {
+                reason: "OOM".into(),
+            }),
         )
         .unwrap();
         let best = db
@@ -539,7 +582,8 @@ mod tests {
     fn text_filter_composes_with_configuration() {
         let (db, alice, _) = setup();
         for m in [1000i64, 5000, 10000, 20000] {
-            db.submit(&alice, pdgeqrf_eval(m, m as f64 / 1000.0, 8, "haswell")).unwrap();
+            db.submit(&alice, pdgeqrf_eval(m, m as f64 / 1000.0, 8, "haswell"))
+                .unwrap();
         }
         let filter = crate::query::parse_query("task.m BETWEEN 2000 AND 15000").unwrap();
         let spec = QuerySpec::all_of("PDGEQRF").with_filter(filter);

@@ -59,7 +59,10 @@ impl Inner {
     fn rebuild_index(&mut self) {
         self.by_problem.clear();
         for (i, d) in self.docs.iter().enumerate() {
-            self.by_problem.entry(d.problem.clone()).or_default().push(i);
+            self.by_problem
+                .entry(d.problem.clone())
+                .or_default()
+                .push(i);
         }
     }
 }
@@ -84,7 +87,11 @@ impl DocumentStore {
         doc.id = inner.next_id;
         doc.logical_time = inner.clock;
         let idx = inner.docs.len();
-        inner.by_problem.entry(doc.problem.clone()).or_default().push(idx);
+        inner
+            .by_problem
+            .entry(doc.problem.clone())
+            .or_default()
+            .push(idx);
         inner.docs.push(doc);
         inner.next_id
     }
@@ -144,7 +151,11 @@ impl DocumentStore {
     /// Count of matching documents without cloning them.
     pub fn count(&self, filter: &Filter, user: Option<&str>) -> usize {
         let inner = self.inner.read();
-        inner.docs.iter().filter(|d| d.readable_by(user) && filter.matches(d)).count()
+        inner
+            .docs
+            .iter()
+            .filter(|d| d.readable_by(user) && filter.matches(d))
+            .count()
     }
 
     /// Distinct problem names present in the store.
@@ -160,7 +171,9 @@ impl DocumentStore {
     pub fn delete_owned(&self, owner: &str, filter: &Filter) -> usize {
         let mut inner = self.inner.write();
         let before = inner.docs.len();
-        inner.docs.retain(|d| !(d.owner == owner && filter.matches(d)));
+        inner
+            .docs
+            .retain(|d| !(d.owner == owner && filter.matches(d)));
         let removed = before - inner.docs.len();
         if removed > 0 {
             inner.rebuild_index();
@@ -181,7 +194,9 @@ impl DocumentStore {
         let json = std::fs::read_to_string(path)?;
         let mut inner: Inner = serde_json::from_str(&json)?;
         inner.rebuild_index();
-        Ok(DocumentStore { inner: RwLock::new(inner) })
+        Ok(DocumentStore {
+            inner: RwLock::new(inner),
+        })
     }
 }
 
@@ -239,13 +254,22 @@ mod tests {
         let store = DocumentStore::new();
         store.insert(eval("P", "alice", 1, 1.0)); // public
         store.insert(eval("P", "alice", 2, 2.0).with_access(Access::Private));
-        store.insert(
-            eval("P", "alice", 3, 3.0).with_access(Access::Shared { with: vec!["bob".into()] }),
-        );
+        store.insert(eval("P", "alice", 3, 3.0).with_access(Access::Shared {
+            with: vec!["bob".into()],
+        }));
         assert_eq!(store.query_problem("P", &Filter::True, None).len(), 1);
-        assert_eq!(store.query_problem("P", &Filter::True, Some("bob")).len(), 2);
-        assert_eq!(store.query_problem("P", &Filter::True, Some("alice")).len(), 3);
-        assert_eq!(store.query_problem("P", &Filter::True, Some("carol")).len(), 1);
+        assert_eq!(
+            store.query_problem("P", &Filter::True, Some("bob")).len(),
+            2
+        );
+        assert_eq!(
+            store.query_problem("P", &Filter::True, Some("alice")).len(),
+            3
+        );
+        assert_eq!(
+            store.query_problem("P", &Filter::True, Some("carol")).len(),
+            1
+        );
     }
 
     #[test]
@@ -256,7 +280,10 @@ mod tests {
         let removed = store.delete_owned("alice", &Filter::True);
         assert_eq!(removed, 1);
         assert_eq!(store.len(), 1);
-        assert_eq!(store.query_problem("P", &Filter::True, None)[0].owner, "bob");
+        assert_eq!(
+            store.query_problem("P", &Filter::True, None)[0].owner,
+            "bob"
+        );
         // Index still consistent after rebuild.
         assert_eq!(store.query_problem("P", &Filter::True, None).len(), 1);
     }

@@ -10,22 +10,23 @@ fn access_strategy() -> impl Strategy<Value = Access> {
     prop_oneof![
         Just(Access::Public),
         Just(Access::Private),
-        proptest::collection::vec("[a-c]{1}", 0..3)
-            .prop_map(|with| Access::Shared { with }),
+        proptest::collection::vec("[a-c]{1}", 0..3).prop_map(|with| Access::Shared { with }),
     ]
 }
 
 fn eval_strategy() -> impl Strategy<Value = FunctionEvaluation> {
     (
-        "[a-c]{1}",            // owner drawn from a tiny pool
-        0i64..100,             // task m
-        0.0f64..100.0,         // runtime
+        "[a-c]{1}",    // owner drawn from a tiny pool
+        0i64..100,     // task m
+        0.0f64..100.0, // runtime
         access_strategy(),
-        proptest::bool::ANY,   // failed?
+        proptest::bool::ANY, // failed?
     )
         .prop_map(|(owner, m, runtime, access, failed)| {
             let outcome = if failed {
-                EvalOutcome::Failed { reason: "OOM".into() }
+                EvalOutcome::Failed {
+                    reason: "OOM".into(),
+                }
             } else {
                 EvalOutcome::single("runtime", runtime)
             };

@@ -5,18 +5,24 @@
 //! the per-task models of the weighted-sum TLA algorithms, and the
 //! residual models of the Vizier-style stacking algorithm.
 
-use crate::kernel::{DimKind, Kernel, KernelKind};
-use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, Matrix};
+use crate::kernel::{DimKind, Kernel, KernelKind, KernelParams, SqDists};
+use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, LbfgsResult, Matrix};
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Hyperparameter bounds in log space (sane for y standardized to unit
 /// variance over the unit cube).
-const LOG_LS_MIN: f64 = -4.6;  // ls >= 0.01
-const LOG_LS_MAX: f64 = 2.31;  // ls <= 10
+const LOG_LS_MIN: f64 = -4.6; // ls >= 0.01
+const LOG_LS_MAX: f64 = 2.31; // ls <= 10
 const LOG_SF2_MIN: f64 = -9.2; // sf2 >= 1e-4
-const LOG_SF2_MAX: f64 = 4.6;  // sf2 <= 100
+const LOG_SF2_MAX: f64 = 4.6; // sf2 <= 100
 const LOG_NOISE_MIN: f64 = -18.4; // sn2 >= 1e-8
 const LOG_NOISE_MAX: f64 = 0.0; // sn2 <= 1
+
+/// Candidates per block in [`Gp::predict_batch`]: sized so the `V` and
+/// `K*` working set (`2 · n · block · 8` bytes at typical `n`) stays
+/// cache-resident during the triangular sweep.
+const PREDICT_BLOCK: usize = 256;
 
 /// Noise-variance treatment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +47,10 @@ pub struct GpConfig {
     pub restarts: usize,
     /// L-BFGS iteration cap per restart.
     pub max_opt_iter: usize,
+    /// Run restarts in parallel. The result is bitwise identical to the
+    /// sequential path at any thread count: all starts are drawn from
+    /// the RNG up front and the winner is reduced in start order.
+    pub parallel: bool,
 }
 
 impl GpConfig {
@@ -52,6 +62,7 @@ impl GpConfig {
             noise: NoiseModel::Estimated(1e-2),
             restarts: 2,
             max_opt_iter: 60,
+            parallel: true,
         }
     }
 
@@ -85,7 +96,10 @@ impl std::fmt::Display for GpError {
             GpError::EmptyTrainingSet => write!(f, "GP requires at least one training point"),
             GpError::NonFiniteTarget => write!(f, "GP training targets must be finite"),
             GpError::DimensionMismatch { expected, got } => {
-                write!(f, "GP input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "GP input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             GpError::NumericalFailure => write!(f, "GP covariance factorization failed"),
         }
@@ -102,6 +116,11 @@ pub struct Gp {
     x: Vec<Vec<f64>>,
     alpha: Vec<f64>,
     chol: Cholesky,
+    /// `L^{-1}`, precomputed at fit time so the posterior variance is
+    /// `sf2 - ||L^{-1} k*||^2` — independent triangular dot products
+    /// that pipeline, instead of a loop-carried triangular solve per
+    /// query point.
+    linv: Matrix,
     y_mean: f64,
     y_std: f64,
     lml: f64,
@@ -138,14 +157,17 @@ impl Gp {
         let d = config.dims.len();
         for xi in x {
             if xi.len() != d {
-                return Err(GpError::DimensionMismatch { expected: d, got: xi.len() });
+                return Err(GpError::DimensionMismatch {
+                    expected: d,
+                    got: xi.len(),
+                });
             }
         }
 
         // Standardize the targets.
         let y_mean = crowdtune_linalg::stats::mean(y);
         let mut y_std = crowdtune_linalg::stats::std_dev(y);
-        if !(y_std > 1e-12) {
+        if y_std.is_nan() || y_std <= 1e-12 {
             y_std = 1.0;
         }
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
@@ -160,14 +182,23 @@ impl Gp {
         let n_kernel = kernel0.n_hyper();
         let theta_len = n_kernel + usize::from(!fixed_noise);
 
+        // Pairwise squared distances are θ-independent: compute them once
+        // per fit and share them across every objective evaluation of
+        // every restart.
+        let sq = kernel0.precompute_sq_dists(x);
+
         let objective = |theta: &[f64]| -> (f64, Vec<f64>) {
             let mut kern = kernel0.clone();
             kern.unpack(&theta[..n_kernel]);
-            let log_noise = if fixed_noise { init_log_noise } else { theta[n_kernel] };
+            let log_noise = if fixed_noise {
+                init_log_noise
+            } else {
+                theta[n_kernel]
+            };
             if out_of_bounds(theta, n_kernel, fixed_noise) {
                 return (f64::INFINITY, vec![0.0; theta.len()]);
             }
-            match nlml_with_grad(&kern, log_noise, x, &ys) {
+            match nlml_with_grad(&kern, log_noise, &sq, &ys) {
                 Some((nlml, mut grad)) => {
                     if fixed_noise {
                         grad.truncate(n_kernel);
@@ -204,27 +235,36 @@ impl Gp {
             starts.push(s);
         }
 
-        let opts = LbfgsOptions { max_iter: config.max_opt_iter, ..Default::default() };
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        for s in &starts {
-            let res = lbfgs(s, objective, &opts);
-            if res.f.is_finite() {
-                match &best {
-                    Some((bf, _)) if *bf <= res.f => {}
-                    _ => best = Some((res.f, res.x)),
-                }
-            }
-        }
-        let (nlml, theta) = best.ok_or(GpError::NumericalFailure)?;
+        let opts = LbfgsOptions {
+            max_iter: config.max_opt_iter,
+            ..Default::default()
+        };
+        let (nlml, theta) = run_multistart(&starts, objective, &opts, config.parallel)
+            .ok_or(GpError::NumericalFailure)?;
 
         let mut kernel = kernel0;
         kernel.unpack(&theta[..n_kernel]);
-        let log_noise = if fixed_noise { init_log_noise } else { theta[n_kernel] };
+        let log_noise = if fixed_noise {
+            init_log_noise
+        } else {
+            theta[n_kernel]
+        };
         let k = build_covariance(&kernel, log_noise, x);
         let chol = Cholesky::robust(&k).map_err(|_| GpError::NumericalFailure)?;
         let alpha = chol.solve_vec(&ys);
+        let linv = chol.inverse_lower();
 
-        Ok(Gp { kernel, log_noise, x: x.to_vec(), alpha, chol, y_mean, y_std, lml: -nlml })
+        Ok(Gp {
+            kernel,
+            log_noise,
+            x: x.to_vec(),
+            alpha,
+            chol,
+            linv,
+            y_mean,
+            y_std,
+            lml: -nlml,
+        })
     }
 
     /// Construct a GP with explicitly-given hyperparameters (no
@@ -243,36 +283,140 @@ impl Gp {
         }
         let y_mean = crowdtune_linalg::stats::mean(y);
         let mut y_std = crowdtune_linalg::stats::std_dev(y);
-        if !(y_std > 1e-12) {
+        if y_std.is_nan() || y_std <= 1e-12 {
             y_std = 1.0;
         }
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
         let k = build_covariance(&kernel, log_noise, x);
         let chol = Cholesky::robust(&k).map_err(|_| GpError::NumericalFailure)?;
         let alpha = chol.solve_vec(&ys);
+        let linv = chol.inverse_lower();
         let n = x.len() as f64;
         let lml = -0.5 * crowdtune_linalg::dot(&ys, &alpha)
             - 0.5 * chol.log_det()
             - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
-        Ok(Gp { kernel, log_noise, x: x.to_vec(), alpha, chol, y_mean, y_std, lml })
+        Ok(Gp {
+            kernel,
+            log_noise,
+            x: x.to_vec(),
+            alpha,
+            chol,
+            linv,
+            y_mean,
+            y_std,
+            lml,
+        })
     }
 
     /// Posterior prediction at a unit-cube point.
     pub fn predict(&self, xstar: &[f64]) -> Prediction {
-        let n = self.x.len();
-        let mut kstar = vec![0.0; n];
-        for (i, xi) in self.x.iter().enumerate() {
-            kstar[i] = self.kernel.eval(xstar, xi);
-        }
-        let mean_s = crowdtune_linalg::dot(&kstar, &self.alpha);
-        let v = self.chol.solve_lower_vec(&kstar);
-        let var_s = (self.kernel.prior_variance() - crowdtune_linalg::norm2_sq(&v)).max(0.0);
-        Prediction { mean: self.y_mean + self.y_std * mean_s, std: self.y_std * var_s.sqrt() }
+        let params = self.kernel.params();
+        let mut kstar = vec![0.0; self.x.len()];
+        self.fill_kstar(xstar, &params, &mut kstar);
+        self.posterior_from_kstar(&kstar, &params)
     }
 
-    /// Batch prediction.
+    /// Batch prediction: hoists the θ-dependent kernel constants once,
+    /// assembles the cross-covariance block-wise, and computes all
+    /// variances with one triangular axpy sweep per block (`V = L⁻¹K*`
+    /// vectorized across candidates). Entry `j` is bitwise identical to
+    /// `self.predict(&xs[j])`: every scalar result accumulates in the
+    /// same order as the per-point path.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let m = xs.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let n = self.x.len();
+        let params = self.kernel.params();
+        let threads = rayon::current_num_threads();
+        let process_block = |block: &[Vec<f64>]| -> Vec<Prediction> {
+            let b = block.len();
+            let mut kt = Matrix::zeros(n, b);
+            let mut means = vec![0.0; b];
+            let mut kstar = vec![0.0; n];
+            for (j, x) in block.iter().enumerate() {
+                self.fill_kstar(x, &params, &mut kstar);
+                means[j] = crowdtune_linalg::dot(&kstar, &self.alpha);
+                for (k, &ks) in kstar.iter().enumerate() {
+                    kt[(k, j)] = ks;
+                }
+            }
+            // V[i][j] accumulates L⁻¹[i][k]·k*[k][j] over ascending k,
+            // exactly the per-point order, but the inner axpy runs
+            // across the whole candidate block.
+            let mut v = Matrix::zeros(n, b);
+            for i in 0..n {
+                let li = self.linv.row(i);
+                let vi = v.row_mut(i);
+                for (k, &c) in li.iter().enumerate().take(i + 1) {
+                    for (o, &s) in vi.iter_mut().zip(kt.row(k)) {
+                        *o += c * s;
+                    }
+                }
+            }
+            let mut qf = vec![0.0; b];
+            for i in 0..n {
+                for (q, &val) in qf.iter_mut().zip(v.row(i)) {
+                    *q += val * val;
+                }
+            }
+            means
+                .iter()
+                .zip(&qf)
+                .map(|(&mean_s, &q)| {
+                    let var_s = (params.sf2 - q).max(0.0);
+                    Prediction {
+                        mean: self.y_mean + self.y_std * mean_s,
+                        std: self.y_std * var_s.sqrt(),
+                    }
+                })
+                .collect()
+        };
+        // Candidate blocks keep V and K* resident in cache; blocks are
+        // independent, so thread count never changes any result.
+        let blocks: Vec<&[Vec<f64>]> = xs.chunks(PREDICT_BLOCK).collect();
+        let per_block: Vec<Vec<Prediction>> =
+            if threads > 1 && blocks.len() >= 2 && m * n * n >= 1 << 16 {
+                blocks.par_iter().map(|blk| process_block(blk)).collect()
+            } else {
+                blocks.iter().map(|blk| process_block(blk)).collect()
+            };
+        per_block.into_iter().flatten().collect()
+    }
+
+    /// Cross-covariance vector `k* = K(xstar, X)` with hoisted params.
+    #[inline]
+    fn fill_kstar(&self, xstar: &[f64], params: &KernelParams, kstar: &mut [f64]) {
+        for (k, xi) in kstar.iter_mut().zip(self.x.iter()) {
+            *k = self.kernel.eval_params(xstar, xi, params);
+        }
+    }
+
+    /// Posterior mean/std from an assembled `k*`. The variance is
+    /// `sf2 - ||L^{-1} k*||^2` computed against the precomputed inverse
+    /// factor: independent per-row reductions instead of a loop-carried
+    /// triangular solve, at half the flops of a `K^{-1}` quadratic
+    /// form. Each `v_i` uses a single accumulator over ascending `k` so
+    /// the result is bitwise identical to the blocked axpy sweep in
+    /// [`Gp::predict_batch`].
+    #[inline]
+    fn posterior_from_kstar(&self, kstar: &[f64], params: &KernelParams) -> Prediction {
+        let mean_s = crowdtune_linalg::dot(kstar, &self.alpha);
+        let mut qf = 0.0;
+        for i in 0..kstar.len() {
+            let li = &self.linv.row(i)[..=i];
+            let mut vi = 0.0;
+            for (a, b) in li.iter().zip(&kstar[..=i]) {
+                vi += a * b;
+            }
+            qf += vi * vi;
+        }
+        let var_s = (params.sf2 - qf).max(0.0);
+        Prediction {
+            mean: self.y_mean + self.y_std * mean_s,
+            std: self.y_std * var_s.sqrt(),
+        }
     }
 
     /// Draw one joint sample of the latent function at the query points
@@ -293,9 +437,9 @@ impl Gp {
             }
         }
         let mut mean = vec![0.0; m];
-        for j in 0..m {
+        for (j, mj) in mean.iter_mut().enumerate() {
             let col = kstar.col(j);
-            mean[j] = crowdtune_linalg::dot(&col, &self.alpha);
+            *mj = crowdtune_linalg::dot(&col, &self.alpha);
         }
         // Cov = K(X*,X*) - V^T V with V = L^{-1} K(X, X*).
         let mut v = Matrix::zeros(n, m);
@@ -346,7 +490,10 @@ impl Gp {
                 .map(|a| mean[a] + cov[(a, a)].max(0.0).sqrt() * z[a])
                 .collect(),
         };
-        sample_s.into_iter().map(|s| self.y_mean + self.y_std * s).collect()
+        sample_s
+            .into_iter()
+            .map(|s| self.y_mean + self.y_std * s)
+            .collect()
     }
 
     /// The log marginal likelihood of the fitted model (standardized y).
@@ -416,26 +563,63 @@ pub(crate) fn build_covariance(kernel: &Kernel, log_noise: f64, x: &[Vec<f64>]) 
     k
 }
 
+/// Run L-BFGS from every start — in parallel when requested and more
+/// than one thread is available — and pick the winner exactly as the
+/// sequential loop would: scan results in start order, keeping the
+/// first strictly-better finite objective. Each restart is independent
+/// and internally deterministic, so the parallel and sequential paths
+/// return bitwise-identical winners.
+pub(crate) fn run_multistart<F>(
+    starts: &[Vec<f64>],
+    objective: F,
+    opts: &LbfgsOptions,
+    parallel: bool,
+) -> Option<(f64, Vec<f64>)>
+where
+    F: Fn(&[f64]) -> (f64, Vec<f64>) + Sync,
+{
+    let run = |s: &Vec<f64>| lbfgs(s, &objective, opts);
+    let results: Vec<LbfgsResult> =
+        if parallel && rayon::current_num_threads() > 1 && starts.len() > 1 {
+            starts.par_iter().map(run).collect()
+        } else {
+            starts.iter().map(run).collect()
+        };
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for res in results {
+        if res.f.is_finite() {
+            match &best {
+                Some((bf, _)) if *bf <= res.f => {}
+                _ => best = Some((res.f, res.x)),
+            }
+        }
+    }
+    best
+}
+
 /// Negative log marginal likelihood and its gradient with respect to
-/// `[kernel log-hypers..., log noise]`. Returns `None` on factorization
-/// failure (treated as an infeasible hyperparameter point).
+/// `[kernel log-hypers..., log noise]`, evaluated from the fit-lifetime
+/// distance cache. Returns `None` on factorization failure (treated as
+/// an infeasible hyperparameter point).
 fn nlml_with_grad(
     kernel: &Kernel,
     log_noise: f64,
-    x: &[Vec<f64>],
+    sq: &SqDists,
     ys: &[f64],
 ) -> Option<(f64, Vec<f64>)> {
-    let n = x.len();
+    let n = sq.n();
     let p_kernel = kernel.n_hyper();
     let sn2 = log_noise.exp();
+    let params = kernel.params();
 
-    // Covariance and per-pair hyperparameter gradients.
+    // Covariance and per-pair hyperparameter gradients, from cached
+    // distances: no per-pair allocation, no per-pair hyperparameter exp.
     let mut k = Matrix::zeros(n, n);
     let mut dk: Vec<Matrix> = (0..p_kernel).map(|_| Matrix::zeros(n, n)).collect();
     let mut grad_buf = vec![0.0; p_kernel];
     for i in 0..n {
         for j in i..n {
-            let v = kernel.eval_with_grad(&x[i], &x[j], &mut grad_buf);
+            let v = kernel.eval_with_grad_precomputed(sq.pair(i, j), &params, &mut grad_buf);
             k[(i, j)] = v;
             k[(j, i)] = v;
             for (p, &g) in grad_buf.iter().enumerate() {
@@ -452,23 +636,25 @@ fn nlml_with_grad(
         + 0.5 * chol.log_det()
         + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
-    // W = alpha alpha^T - K^{-1}; dNLML/dtheta = -0.5 tr(W dK/dtheta).
-    let kinv = chol.inverse();
+    // W = alpha alpha^T - K^{-1}; dNLML/dtheta_p = -0.5 tr(W dK/dtheta_p).
+    // Materializing W once turns every trace into a single fused dot over
+    // contiguous buffers instead of an O(n^2) recomputation per parameter.
+    let mut w = chol.inverse();
+    for i in 0..n {
+        let ai = alpha[i];
+        let row = w.row_mut(i);
+        for (wj, &aj) in row.iter_mut().zip(alpha.iter()) {
+            *wj = ai * aj - *wj;
+        }
+    }
     let mut grad = vec![0.0; p_kernel + 1];
     for (p, dkp) in dk.iter().enumerate() {
-        let mut tr = 0.0;
-        for i in 0..n {
-            for j in 0..n {
-                let w = alpha[i] * alpha[j] - kinv[(i, j)];
-                tr += w * dkp[(i, j)];
-            }
-        }
-        grad[p] = -0.5 * tr;
+        grad[p] = -0.5 * crowdtune_linalg::dot(w.as_slice(), dkp.as_slice());
     }
     // Noise gradient: dK/d log sn2 = sn2 I.
     let mut tr = 0.0;
     for i in 0..n {
-        tr += alpha[i] * alpha[i] - kinv[(i, i)];
+        tr += w[(i, i)];
     }
     grad[p_kernel] = -0.5 * sn2 * tr;
 
@@ -484,8 +670,10 @@ mod tests {
     fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>()]).collect();
-        let y: Vec<f64> =
-            x.iter().map(|xi| (2.0 * std::f64::consts::PI * xi[0]).sin() * 3.0 + 5.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|xi| (2.0 * std::f64::consts::PI * xi[0]).sin() * 3.0 + 5.0)
+            .collect();
         (x, y)
     }
 
@@ -522,7 +710,11 @@ mod tests {
         for &t in &[0.15, 0.35, 0.77] {
             let truth = (2.0 * std::f64::consts::PI * t).sin() * 3.0 + 5.0;
             let p = gp.predict(&[t]);
-            assert!((p.mean - truth).abs() < 0.5, "at {t}: {} vs {truth}", p.mean);
+            assert!(
+                (p.mean - truth).abs() < 0.5,
+                "at {t}: {} vs {truth}",
+                p.mean
+            );
         }
     }
 
@@ -536,15 +728,31 @@ mod tests {
     #[test]
     fn non_finite_target_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let e = Gp::fit(&[vec![0.5]], &[f64::NAN], &GpConfig::continuous(1), &mut rng);
+        let e = Gp::fit(
+            &[vec![0.5]],
+            &[f64::NAN],
+            &GpConfig::continuous(1),
+            &mut rng,
+        );
         assert_eq!(e.unwrap_err(), GpError::NonFiniteTarget);
     }
 
     #[test]
     fn dimension_mismatch_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let e = Gp::fit(&[vec![0.5, 0.5]], &[1.0], &GpConfig::continuous(1), &mut rng);
-        assert!(matches!(e.unwrap_err(), GpError::DimensionMismatch { expected: 1, got: 2 }));
+        let e = Gp::fit(
+            &[vec![0.5, 0.5]],
+            &[1.0],
+            &GpConfig::continuous(1),
+            &mut rng,
+        );
+        assert!(matches!(
+            e.unwrap_err(),
+            GpError::DimensionMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
     }
 
     #[test]
@@ -560,7 +768,13 @@ mod tests {
     #[test]
     fn single_point_fit() {
         let mut rng = StdRng::seed_from_u64(5);
-        let gp = Gp::fit(&[vec![0.5, 0.5]], &[2.0], &GpConfig::continuous(2), &mut rng).unwrap();
+        let gp = Gp::fit(
+            &[vec![0.5, 0.5]],
+            &[2.0],
+            &GpConfig::continuous(2),
+            &mut rng,
+        )
+        .unwrap();
         let p = gp.predict(&[0.5, 0.5]);
         assert!((p.mean - 2.0).abs() < 1e-3);
     }
@@ -586,6 +800,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fit_matches_serial_bitwise() {
+        // Restart parallelism must not change the selected
+        // hyperparameters: all starts are drawn up front and the
+        // reduction scans results in start order, so a parallel fit is
+        // bitwise identical to a serial one at any thread count.
+        let (x, y) = toy_data(20, 7);
+        let mut config = GpConfig::continuous(1);
+        config.restarts = 3;
+        let par = Gp::fit(&x, &y, &config, &mut StdRng::seed_from_u64(9)).unwrap();
+        config.parallel = false;
+        let ser = Gp::fit(&x, &y, &config, &mut StdRng::seed_from_u64(9)).unwrap();
+        for q in [0.0, 0.13, 0.42, 0.77, 0.99] {
+            assert_eq!(par.predict(&[q]), ser.predict(&[q]));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_bitwise() {
+        let (x, y) = toy_data(30, 3);
+        let config = GpConfig::continuous(1);
+        let gp = Gp::fit(&x, &y, &config, &mut StdRng::seed_from_u64(4)).unwrap();
+        // Large enough to cross the parallel threshold on multi-core
+        // machines; each entry must still be bitwise equal to the
+        // per-point path.
+        let qs: Vec<Vec<f64>> = (0..512).map(|i| vec![i as f64 / 512.0]).collect();
+        let batch = gp.predict_batch(&qs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, b) in qs.iter().zip(&batch) {
+            assert_eq!(*b, gp.predict(q));
+        }
+    }
+
+    #[test]
     fn joint_samples_track_posterior() {
         let (x, y) = toy_data(25, 31);
         let mut config = GpConfig::continuous(1);
@@ -595,7 +842,7 @@ mod tests {
         let qs: Vec<Vec<f64>> = vec![vec![0.2], vec![0.5], vec![0.05]];
         // Mean of many joint samples approaches the posterior mean, and
         // samples at training-adjacent points have low spread.
-        let mut sums = vec![0.0; 3];
+        let mut sums = [0.0; 3];
         let k = 200;
         for _ in 0..k {
             let s = gp.sample_joint(&qs, &mut rng);

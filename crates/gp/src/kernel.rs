@@ -41,7 +41,12 @@ impl Kernel {
     /// New kernel with unit lengthscales and unit signal variance.
     pub fn new(kind: KernelKind, dims: Vec<DimKind>) -> Self {
         let d = dims.len();
-        Kernel { kind, dims, log_lengthscales: vec![0.0; d], log_signal_variance: 0.0 }
+        Kernel {
+            kind,
+            dims,
+            log_lengthscales: vec![0.0; d],
+            log_signal_variance: 0.0,
+        }
     }
 
     /// All-continuous convenience constructor.
@@ -80,7 +85,8 @@ impl Kernel {
     /// Unpack hyperparameters from a flat log-space vector.
     pub fn unpack(&mut self, theta: &[f64]) {
         assert_eq!(theta.len(), self.n_hyper());
-        self.log_lengthscales.copy_from_slice(&theta[..self.dims.len()]);
+        self.log_lengthscales
+            .copy_from_slice(&theta[..self.dims.len()]);
         self.log_signal_variance = theta[self.dims.len()];
     }
 
@@ -169,6 +175,225 @@ impl Kernel {
     pub fn prior_variance(&self) -> f64 {
         self.log_signal_variance.exp()
     }
+
+    /// Hoist the θ-dependent per-pair constants (`exp` of every log
+    /// hyperparameter) out of the evaluation loop. Compute once per θ,
+    /// share across every pair.
+    pub fn params(&self) -> KernelParams {
+        let inv_ls2: Vec<f64> = self
+            .log_lengthscales
+            .iter()
+            .map(|&l| {
+                let ls = l.exp();
+                1.0 / (ls * ls)
+            })
+            .collect();
+        KernelParams {
+            inv_ls2,
+            sf2: self.log_signal_variance.exp(),
+        }
+    }
+
+    /// Raw (unscaled) per-dimension squared distance between two points,
+    /// written into `out`. θ-independent: depends only on the points and
+    /// the dimension kinds, so it can be cached for the lifetime of a fit.
+    #[inline]
+    pub fn raw_sq_dists(&self, x: &[f64], y: &[f64], out: &mut [f64]) {
+        for d in 0..self.dims.len() {
+            out[d] = match self.dims[d] {
+                DimKind::Continuous => {
+                    let dd = x[d] - y[d];
+                    dd * dd
+                }
+                DimKind::Categorical => {
+                    if (x[d] - y[d]).abs() > 1e-12 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+    }
+
+    /// Precompute the raw squared distances for every unordered pair of
+    /// `points` (the θ-independent part of a covariance matrix).
+    pub fn precompute_sq_dists(&self, points: &[Vec<f64>]) -> SqDists {
+        SqDists::new(points, &self.dims)
+    }
+
+    /// Evaluate `k` for a pair from its precomputed raw squared
+    /// distances. Allocation-free and `exp`-free except for the base
+    /// correlation itself.
+    #[inline]
+    pub fn eval_precomputed(&self, sq: &[f64], p: &KernelParams) -> f64 {
+        let mut r2 = 0.0;
+        for (s, inv) in sq.iter().zip(p.inv_ls2.iter()) {
+            r2 += s * inv;
+        }
+        p.sf2 * self.base(r2)
+    }
+
+    /// Evaluate `k(x, y)` from hoisted `params` without touching the
+    /// per-pair distance cache (for points outside the training set,
+    /// e.g. prediction candidates). Allocation-free.
+    #[inline]
+    pub fn eval_params(&self, x: &[f64], y: &[f64], p: &KernelParams) -> f64 {
+        let mut r2 = 0.0;
+        for d in 0..self.dims.len() {
+            let dist2 = match self.dims[d] {
+                DimKind::Continuous => {
+                    let dd = x[d] - y[d];
+                    dd * dd
+                }
+                DimKind::Categorical => {
+                    if (x[d] - y[d]).abs() > 1e-12 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            r2 += dist2 * p.inv_ls2[d];
+        }
+        p.sf2 * self.base(r2)
+    }
+
+    /// The lengthscale-gradient prefactor recovered from an
+    /// already-computed kernel value: `dk/d log ls_d = factor * u_d^2`.
+    /// Exp-free — the exponential inside `k` is reused instead of
+    /// recomputed, so a gradient sweep over cached kernel values never
+    /// calls `exp` at all.
+    #[inline]
+    pub fn grad_factor_from_value(&self, r2: f64, k: f64) -> f64 {
+        match self.kind {
+            KernelKind::SquaredExponential => k,
+            KernelKind::Matern52 => {
+                // k = sf2 (1 + s5r + 5 r2/3) e^{-s5r};
+                // factor = (5/3) sf2 (1 + s5r) e^{-s5r}.
+                let s5r = (5.0 * r2).sqrt();
+                (5.0 / 3.0) * (1.0 + s5r) * k / (1.0 + s5r + 5.0 * r2 / 3.0)
+            }
+        }
+    }
+
+    /// Precomputed-distance twin of [`Kernel::eval_with_grad`]:
+    /// evaluates `k` and the gradient with respect to every
+    /// log-hyperparameter for one pair, with no allocation and no
+    /// per-pair `exp` of the hyperparameters.
+    #[inline]
+    pub fn eval_with_grad_precomputed(
+        &self,
+        sq: &[f64],
+        p: &KernelParams,
+        grad_out: &mut [f64],
+    ) -> f64 {
+        let d = self.dims.len();
+        debug_assert_eq!(grad_out.len(), d + 1);
+        let mut r2 = 0.0;
+        // First pass: stash u_d^2 in the gradient slots, accumulate r^2.
+        for dd in 0..d {
+            let u2 = sq[dd] * p.inv_ls2[dd];
+            grad_out[dd] = u2;
+            r2 += u2;
+        }
+        let (k, factor) = match self.kind {
+            KernelKind::SquaredExponential => {
+                let k = p.sf2 * (-0.5 * r2).exp();
+                // dk/d log ls_d = k * u_d^2
+                (k, k)
+            }
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                let s5r = 5.0f64.sqrt() * r;
+                let e = (-s5r).exp();
+                let k = p.sf2 * (1.0 + s5r + 5.0 * r2 / 3.0) * e;
+                // dk/d log ls_d = (5/3) sf2 (1 + sqrt5 r) e^{-sqrt5 r} u_d^2
+                (k, (5.0 / 3.0) * p.sf2 * (1.0 + s5r) * e)
+            }
+        };
+        for g in grad_out[..d].iter_mut() {
+            *g *= factor;
+        }
+        // dk/d log sf2 = k
+        grad_out[d] = k;
+        k
+    }
+}
+
+/// θ-dependent constants hoisted out of per-pair kernel evaluation:
+/// inverse squared lengthscales and the signal variance, both already
+/// exponentiated.
+#[derive(Debug, Clone)]
+pub struct KernelParams {
+    /// `1 / ls_d^2` per dimension.
+    pub inv_ls2: Vec<f64>,
+    /// `exp(log_signal_variance)`.
+    pub sf2: f64,
+}
+
+/// θ-independent per-dimension squared distances for every unordered
+/// pair of a fixed point set, packed pair-major (`data[pair * d + dim]`)
+/// so a pair's distances are one contiguous read in the hot loop.
+/// Pairs enumerate the upper triangle `i <= j`, `i` outer.
+#[derive(Debug, Clone)]
+pub struct SqDists {
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl SqDists {
+    /// Build the cache for `points` under the given dimension kinds.
+    pub fn new(points: &[Vec<f64>], dims: &[DimKind]) -> Self {
+        let n = points.len();
+        let d = dims.len();
+        let mut data = vec![0.0; n * (n + 1) / 2 * d];
+        let mut pair = 0;
+        for i in 0..n {
+            for j in i..n {
+                let out = &mut data[pair * d..(pair + 1) * d];
+                for (dd, kind) in dims.iter().enumerate() {
+                    out[dd] = match kind {
+                        DimKind::Continuous => {
+                            let diff = points[i][dd] - points[j][dd];
+                            diff * diff
+                        }
+                        DimKind::Categorical => {
+                            if (points[i][dd] - points[j][dd]).abs() > 1e-12 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                }
+                pair += 1;
+            }
+        }
+        SqDists { n, d, data }
+    }
+
+    /// Number of points the cache was built over.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The raw squared distances of pair `(i, j)`, `i <= j`.
+    #[inline]
+    pub fn pair(&self, i: usize, j: usize) -> &[f64] {
+        debug_assert!(i <= j && j < self.n);
+        // Row i of the upper triangle starts after the previous rows,
+        // which hold n + (n-1) + ... + (n-i+1) pairs.
+        let row_start = i * self.n - i * (i + 1) / 2 + i;
+        let pair = row_start + (j - i);
+        &self.data[pair * self.d..(pair + 1) * self.d]
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +402,10 @@ mod tests {
 
     fn finite_diff_check(kind: KernelKind, dims: Vec<DimKind>) {
         let mut k = Kernel::new(kind, dims);
-        k.log_lengthscales.iter_mut().enumerate().for_each(|(i, l)| *l = -0.3 + 0.1 * i as f64);
+        k.log_lengthscales
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, l)| *l = -0.3 + 0.1 * i as f64);
         k.log_signal_variance = 0.4;
         let x = [0.1, 0.7, 0.35];
         let y = [0.55, 0.2, 0.35];
@@ -218,7 +446,11 @@ mod tests {
     fn categorical_dims_gradient_matches_finite_difference() {
         finite_diff_check(
             KernelKind::SquaredExponential,
-            vec![DimKind::Continuous, DimKind::Categorical, DimKind::Continuous],
+            vec![
+                DimKind::Continuous,
+                DimKind::Categorical,
+                DimKind::Continuous,
+            ],
         );
     }
 
@@ -256,10 +488,7 @@ mod tests {
 
     #[test]
     fn categorical_distance_is_all_or_nothing() {
-        let k = Kernel::new(
-            KernelKind::SquaredExponential,
-            vec![DimKind::Categorical],
-        );
+        let k = Kernel::new(KernelKind::SquaredExponential, vec![DimKind::Categorical]);
         let same = k.eval(&[0.25], &[0.25]);
         let diff_near = k.eval(&[0.25], &[0.75]);
         let diff_far = k.eval(&[0.125], &[0.875]);
@@ -278,6 +507,78 @@ mod tests {
         let a = [0.2];
         let b = [0.5];
         assert!(k_short.eval(&a, &b) < k_long.eval(&a, &b));
+    }
+
+    #[test]
+    fn precomputed_paths_match_direct_eval() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let mut k = Kernel::new(
+                kind,
+                vec![
+                    DimKind::Continuous,
+                    DimKind::Categorical,
+                    DimKind::Continuous,
+                ],
+            );
+            k.unpack(&[0.2, -0.4, 0.1, 0.3]);
+            let pts = vec![
+                vec![0.1, 0.25, 0.9],
+                vec![0.55, 0.75, 0.9],
+                vec![0.3, 0.25, 0.05],
+            ];
+            let sq = k.precompute_sq_dists(&pts);
+            let p = k.params();
+            let mut grad_pre = vec![0.0; k.n_hyper()];
+            let mut grad_ref = vec![0.0; k.n_hyper()];
+            for i in 0..pts.len() {
+                for j in i..pts.len() {
+                    let k_ref = k.eval(&pts[i], &pts[j]);
+                    let k_pre = k.eval_precomputed(sq.pair(i, j), &p);
+                    let k_par = k.eval_params(&pts[i], &pts[j], &p);
+                    assert!((k_pre - k_ref).abs() < 1e-14, "{kind:?} eval ({i},{j})");
+                    assert!((k_par - k_ref).abs() < 1e-14, "{kind:?} params ({i},{j})");
+                    let kg_ref = k.eval_with_grad(&pts[i], &pts[j], &mut grad_ref);
+                    let kg_pre = k.eval_with_grad_precomputed(sq.pair(i, j), &p, &mut grad_pre);
+                    assert!((kg_pre - kg_ref).abs() < 1e-14);
+                    for (a, b) in grad_pre.iter().zip(grad_ref.iter()) {
+                        assert!((a - b).abs() < 1e-14, "{kind:?} grad ({i},{j})");
+                    }
+                    // The value-derived prefactor must reproduce the
+                    // lengthscale gradients without recomputing the exp.
+                    let pair = sq.pair(i, j);
+                    let mut r2 = 0.0;
+                    for (dd, s) in pair.iter().enumerate() {
+                        r2 += s * p.inv_ls2[dd];
+                    }
+                    let factor = k.grad_factor_from_value(r2, k_pre);
+                    for dd in 0..3 {
+                        let u2 = pair[dd] * p.inv_ls2[dd];
+                        assert!(
+                            (factor * u2 - grad_ref[dd]).abs() < 1e-12,
+                            "{kind:?} factor ({i},{j}) dim {dd}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dists_pair_indexing() {
+        let k = Kernel::continuous(KernelKind::SquaredExponential, 2);
+        let pts: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![i as f64 * 0.1, i as f64 * 0.2])
+            .collect();
+        let sq = k.precompute_sq_dists(&pts);
+        assert_eq!(sq.n(), 5);
+        assert_eq!(sq.dim(), 2);
+        for i in 0..5 {
+            for j in i..5 {
+                let mut want = vec![0.0; 2];
+                k.raw_sq_dists(&pts[i], &pts[j], &mut want);
+                assert_eq!(sq.pair(i, j), &want[..], "pair ({i},{j})");
+            }
+        }
     }
 
     #[test]

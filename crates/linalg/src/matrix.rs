@@ -6,8 +6,32 @@
 //! straightforward cache-friendly row-major layout with blocked matmul is
 //! both simple and fast enough. All storage is `f64`.
 
+use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Minimum number of fused multiply-adds before a kernel goes parallel.
+///
+/// Below this, thread spawn/join overhead (a few µs per region with the
+/// scoped-thread pool) swamps any speedup. The cutoff keeps small-n
+/// callers — the vast majority of GP updates early in a tuning run —
+/// on the exact serial code path.
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 17;
+
+/// Split `n` items into at most `pieces` contiguous, near-equal ranges.
+pub(crate) fn row_chunks(n: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    let pieces = pieces.clamp(1, n.max(1));
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for p in 0..pieces {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -43,12 +67,26 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wrap an already row-major buffer without copying.
+    pub(crate) fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        Matrix { rows, cols, data }
     }
 
     /// Create a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -85,7 +123,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix by evaluating `f(row, col)` at every entry.
@@ -101,7 +143,11 @@ impl Matrix {
 
     /// A column vector (n x 1) from a slice.
     pub fn col_vector(v: &[f64]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -162,23 +208,63 @@ impl Matrix {
         t
     }
 
-    /// Matrix-matrix product `self * rhs` with a simple ikj loop order that
-    /// keeps the inner loop streaming over contiguous rows.
+    /// Matrix-matrix product `self * rhs`.
+    ///
+    /// Large products are computed row-parallel; every output row is
+    /// produced by exactly the same instruction sequence as
+    /// [`Matrix::matmul_serial`], so the result is bitwise identical
+    /// for any thread count.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
+        let flops = self.rows * self.cols * rhs.cols;
+        let threads = rayon::current_num_threads();
+        if flops < PAR_MIN_FLOPS || threads <= 1 || self.rows < 2 {
+            return self.matmul_serial(rhs);
+        }
+        let blocks: Vec<Vec<f64>> = row_chunks(self.rows, threads)
+            .into_par_iter()
+            .map(|range| self.matmul_rows(rhs, range))
+            .collect();
+        let data: Vec<f64> = blocks.into_iter().flatten().collect();
+        Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
+    }
+
+    /// Serial reference matmul (simple ikj loop order that keeps the
+    /// inner loop streaming over contiguous rows). Public so benches and
+    /// determinism tests can compare against the parallel path.
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let data = self.matmul_rows(rhs, 0..self.rows);
+        Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
+    }
+
+    /// Rows `range` of `self * rhs` as a row-major buffer.
+    fn matmul_rows(&self, rhs: &Matrix, range: std::ops::Range<usize>) -> Vec<f64> {
+        let mut out = vec![0.0; range.len() * rhs.cols];
+        for (oi, i) in range.enumerate() {
             let a_row = self.row(i);
+            let o_row = &mut out[oi * rhs.cols..(oi + 1) * rhs.cols];
             for (k, &aik) in a_row.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
                 }
                 let b_row = rhs.row(k);
-                let o_row = out.row_mut(i);
                 for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
                     *o += aik * b;
                 }
@@ -187,8 +273,24 @@ impl Matrix {
         out
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v`, row-parallel above the flop
+    /// cutoff (each entry is an independent dot product, so the result
+    /// is thread-count invariant).
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let threads = rayon::current_num_threads();
+        if self.rows * self.cols < PAR_MIN_FLOPS || threads <= 1 || self.rows < 2 {
+            return self.matvec_serial(v);
+        }
+        let blocks: Vec<Vec<f64>> = row_chunks(self.rows, threads)
+            .into_par_iter()
+            .map(|range| range.map(|i| dot(self.row(i), v)).collect::<Vec<f64>>())
+            .collect();
+        blocks.into_iter().flatten().collect()
+    }
+
+    /// Serial reference matvec.
+    pub fn matvec_serial(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
         for (i, o) in out.iter_mut().enumerate() {
@@ -197,8 +299,37 @@ impl Matrix {
         out
     }
 
-    /// Transposed matrix-vector product `self^T * v`.
+    /// Transposed matrix-vector product `self^T * v`, column-parallel
+    /// above the flop cutoff. Every output entry accumulates over rows
+    /// in ascending order with the same zero-skip as the serial sweep,
+    /// so results are thread-count invariant.
     pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "tr_matvec dimension mismatch");
+        let threads = rayon::current_num_threads();
+        if self.rows * self.cols < PAR_MIN_FLOPS || threads <= 1 || self.cols < 2 {
+            return self.tr_matvec_serial(v);
+        }
+        let blocks: Vec<Vec<f64>> = row_chunks(self.cols, threads)
+            .into_par_iter()
+            .map(|range| {
+                let mut out = vec![0.0; range.len()];
+                for (i, &vi) in v.iter().enumerate() {
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    let row = &self.row(i)[range.clone()];
+                    for (o, &a) in out.iter_mut().zip(row.iter()) {
+                        *o += vi * a;
+                    }
+                }
+                out
+            })
+            .collect();
+        blocks.into_iter().flatten().collect()
+    }
+
+    /// Serial reference transposed matvec.
+    pub fn tr_matvec_serial(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "tr_matvec dimension mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &vi) in v.iter().enumerate() {
@@ -213,7 +344,54 @@ impl Matrix {
     }
 
     /// `self^T * self`, the Gram matrix, computed exploiting symmetry.
+    ///
+    /// Large grams are parallel over output rows; each output row `i`
+    /// accumulates over data rows in the same ascending order as the
+    /// serial sweep, so the result is thread-count invariant.
     pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let threads = rayon::current_num_threads();
+        // Work is ~rows * n^2 / 2.
+        if self.rows * n * n / 2 < PAR_MIN_FLOPS || threads <= 1 || n < 2 {
+            return self.gram_serial();
+        }
+        let blocks: Vec<Vec<f64>> = row_chunks(n, threads * 4)
+            .into_par_iter()
+            .map(|range| {
+                // Upper-triangular part of rows `range` of the gram.
+                let mut out = vec![0.0; range.len() * n];
+                for r in 0..self.rows {
+                    let row = self.row(r);
+                    for (oi, i) in range.clone().enumerate() {
+                        let ri = row[i];
+                        if ri == 0.0 {
+                            continue;
+                        }
+                        let o_row = &mut out[oi * n..(oi + 1) * n];
+                        for j in i..n {
+                            o_row[j] += ri * row[j];
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        let data: Vec<f64> = blocks.into_iter().flatten().collect();
+        let mut g = Matrix {
+            rows: n,
+            cols: n,
+            data,
+        };
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Serial reference gram.
+    pub fn gram_serial(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
         for r in 0..self.rows {
@@ -323,8 +501,17 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -332,8 +519,17 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -341,7 +537,11 @@ impl Mul<f64> for &Matrix {
     type Output = Matrix;
     fn mul(self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

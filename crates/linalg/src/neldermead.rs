@@ -22,7 +22,12 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 400, f_tol: 1e-10, x_tol: 1e-8, initial_step: 0.1 }
+        NelderMeadOptions {
+            max_evals: 400,
+            f_tol: 1e-10,
+            x_tol: 1e-8,
+            initial_step: 0.1,
+        }
     }
 }
 
@@ -51,7 +56,11 @@ pub fn nelder_mead(
     let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
         *evals += 1;
         let v = f(x);
-        if v.is_finite() { v } else { f64::INFINITY }
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
     };
 
     // Initial simplex: x0 plus a step along each axis.
@@ -60,7 +69,11 @@ pub fn nelder_mead(
     simplex.push((x0.to_vec(), f0));
     for i in 0..n {
         let mut p = x0.to_vec();
-        let step = if p[i] != 0.0 { opts.initial_step * p[i].abs() } else { opts.initial_step };
+        let step = if p[i] != 0.0 {
+            opts.initial_step * p[i].abs()
+        } else {
+            opts.initial_step
+        };
         p[i] += step;
         let fp = eval(&p, &mut evals);
         simplex.push((p, fp));
@@ -76,8 +89,14 @@ pub fn nelder_mead(
         let f_spread = (f_worst - f_best).abs();
         let x_spread = (0..n)
             .map(|d| {
-                let lo = simplex.iter().map(|(p, _)| p[d]).fold(f64::INFINITY, f64::min);
-                let hi = simplex.iter().map(|(p, _)| p[d]).fold(f64::NEG_INFINITY, f64::max);
+                let lo = simplex
+                    .iter()
+                    .map(|(p, _)| p[d])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = simplex
+                    .iter()
+                    .map(|(p, _)| p[d])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 hi - lo
             })
             .fold(0.0f64, f64::max);
@@ -97,23 +116,35 @@ pub fn nelder_mead(
         }
 
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> =
-            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
         let f_reflect = eval(&reflect, &mut evals);
 
         if f_reflect < simplex[0].1 {
             // Try expanding further.
-            let expand: Vec<f64> =
-                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
             let f_expand = eval(&expand, &mut evals);
-            simplex[n] =
-                if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
         } else if f_reflect < simplex[n - 1].1 {
             simplex[n] = (reflect, f_reflect);
         } else {
             // Contract towards the centroid.
-            let contract: Vec<f64> =
-                centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
             let f_contract = eval(&contract, &mut evals);
             if f_contract < worst.1 {
                 simplex[n] = (contract, f_contract);
@@ -144,7 +175,10 @@ mod tests {
         let res = nelder_mead(
             &[3.0, -2.0, 1.0],
             |x| x.iter().map(|v| v * v).sum(),
-            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 2000,
+                ..Default::default()
+            },
         );
         assert!(res.f < 1e-6, "f = {}", res.f);
         for xi in &res.x {
@@ -157,7 +191,10 @@ mod tests {
         let res = nelder_mead(
             &[0.0, 0.0],
             |x| (x[0] - 1.5).powi(2) + 4.0 * (x[1] + 2.0).powi(2),
-            &NelderMeadOptions { max_evals: 2000, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 2000,
+                ..Default::default()
+            },
         );
         assert!((res.x[0] - 1.5).abs() < 1e-3);
         assert!((res.x[1] + 2.0).abs() < 1e-3);
@@ -172,7 +209,10 @@ mod tests {
                 count += 1;
                 x[0] * x[0] + x[1] * x[1]
             },
-            &NelderMeadOptions { max_evals: 50, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 50,
+                ..Default::default()
+            },
         );
         // The shrink step can slightly overshoot the budget within one sweep.
         assert!(count <= 50 + 2, "count = {count}");
@@ -183,8 +223,17 @@ mod tests {
         // NaN outside |x| <= 2; minimum at 1.
         let res = nelder_mead(
             &[1.8],
-            |x| if x[0].abs() > 2.0 { f64::NAN } else { (x[0] - 1.0).powi(2) },
-            &NelderMeadOptions { max_evals: 500, ..Default::default() },
+            |x| {
+                if x[0].abs() > 2.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &NelderMeadOptions {
+                max_evals: 500,
+                ..Default::default()
+            },
         );
         assert!((res.x[0] - 1.0).abs() < 1e-3, "x = {:?}", res.x);
     }
@@ -194,7 +243,10 @@ mod tests {
         let res = nelder_mead(
             &[0.0],
             |x| (x[0] - 0.5).powi(2),
-            &NelderMeadOptions { max_evals: 300, ..Default::default() },
+            &NelderMeadOptions {
+                max_evals: 300,
+                ..Default::default()
+            },
         );
         assert!((res.x[0] - 0.5).abs() < 1e-4);
     }

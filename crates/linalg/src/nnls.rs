@@ -22,7 +22,10 @@ pub struct NnlsOptions {
 
 impl Default for NnlsOptions {
     fn default() -> Self {
-        NnlsOptions { max_iter: 0, tol: 1e-10 }
+        NnlsOptions {
+            max_iter: 0,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -38,7 +41,11 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
 pub fn nnls_with(a: &Matrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(b.len(), m, "rhs length mismatch");
-    let max_iter = if opts.max_iter == 0 { 3 * n.max(1) * 10 } else { opts.max_iter };
+    let max_iter = if opts.max_iter == 0 {
+        3 * n.max(1) * 10
+    } else {
+        opts.max_iter
+    };
 
     let mut x = vec![0.0; n];
     let mut passive: Vec<bool> = vec![false; n];
@@ -182,7 +189,11 @@ mod tests {
         let b = [1.0, -1.0, 0.25];
         let x = nnls(&a, &b);
         let ax = a.matvec(&x);
-        let res: f64 = ax.iter().zip(b.iter()).map(|(p, q)| (p - q) * (p - q)).sum();
+        let res: f64 = ax
+            .iter()
+            .zip(b.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum();
         let zero_res: f64 = b.iter().map(|q| q * q).sum();
         assert!(res <= zero_res + 1e-12);
     }

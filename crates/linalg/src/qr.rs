@@ -111,13 +111,13 @@ impl Qr {
                 continue;
             }
             let mut s = b[k];
-            for i in (k + 1)..m {
-                s += self.qr[(i, k)] * b[i];
+            for (i, &bi) in b.iter().enumerate().take(m).skip(k + 1) {
+                s += self.qr[(i, k)] * bi;
             }
             s *= self.beta[k];
             b[k] -= s;
-            for i in (k + 1)..m {
-                b[i] -= s * self.qr[(i, k)];
+            for (i, bi) in b.iter_mut().enumerate().take(m).skip(k + 1) {
+                *bi -= s * self.qr[(i, k)];
             }
         }
     }
@@ -130,12 +130,16 @@ impl Qr {
         self.apply_qt(&mut y);
         // Back-substitute R x = y[0..n].
         let mut x = vec![0.0; n];
-        let scale = self.qr.as_slice().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let scale = self
+            .qr
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
         let tol = 1e-12 * scale.max(1.0);
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.qr[(i, j)] * x[j];
+            for (q, xj) in self.qr.row(i)[i + 1..].iter().zip(&x[i + 1..]) {
+                s -= q * xj;
             }
             let rii = self.qr[(i, i)];
             if rii.abs() <= tol {
@@ -167,7 +171,10 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Vec<f64> {
 /// Ridge regression `(A^T A + lambda I) x = A^T b` via Cholesky.
 pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Vec<f64> {
     let mut g = a.gram();
-    let scale = (0..g.rows()).map(|i| g[(i, i)]).fold(0.0f64, f64::max).max(1.0);
+    let scale = (0..g.rows())
+        .map(|i| g[(i, i)])
+        .fold(0.0f64, f64::max)
+        .max(1.0);
     for i in 0..g.rows() {
         g[(i, i)] += lambda * scale;
     }
@@ -232,7 +239,10 @@ mod tests {
     fn rank_deficient_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let qr = Qr::new(a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(QrError::RankDeficient { .. })));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(QrError::RankDeficient { .. })
+        ));
     }
 
     #[test]

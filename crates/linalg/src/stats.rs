@@ -35,18 +35,24 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum of a slice, `None` when empty or all-NaN.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.min(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.min(x)),
+        })
 }
 
 /// Maximum of a slice, `None` when empty or all-NaN.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.max(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.max(x)),
+        })
 }
 
 /// Linear-interpolation quantile (the "type 7" estimator R and NumPy use).
@@ -254,6 +260,9 @@ mod tests {
         assert!(hw > 0.0);
         // Should be in the rough vicinity of 1.96 * sigma / sqrt(n).
         let expect = 1.96 * std_dev(&xs) / (xs.len() as f64).sqrt();
-        assert!(hw > expect * 0.5 && hw < expect * 2.0, "hw = {hw}, expect ~{expect}");
+        assert!(
+            hw > expect * 0.5 && hw < expect * 2.0,
+            "hw = {hw}, expect ~{expect}"
+        );
     }
 }

@@ -20,7 +20,10 @@ pub struct AnalysisConfig {
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        AnalysisConfig { n_samples: 1024, seed: 0 }
+        AnalysisConfig {
+            n_samples: 1024,
+            seed: 0,
+        }
     }
 }
 
@@ -101,9 +104,14 @@ mod tests {
     #[test]
     fn names_align_with_indices() {
         let space = space3();
-        let res = analyze_space(&space, &AnalysisConfig { n_samples: 512, seed: 0 }, |x| {
-            4.0 * x[0] + 0.2 * x[1]
-        });
+        let res = analyze_space(
+            &space,
+            &AnalysisConfig {
+                n_samples: 512,
+                seed: 0,
+            },
+            |x| 4.0 * x[0] + 0.2 * x[1],
+        );
         assert_eq!(res.names, vec!["alpha", "beta", "gamma"]);
         assert!(res.for_param("alpha").unwrap().st > res.for_param("beta").unwrap().st);
         assert!(res.for_param("gamma").unwrap().st < 0.05);
@@ -113,9 +121,14 @@ mod tests {
     #[test]
     fn influential_names_ranked() {
         let space = space3();
-        let res = analyze_space(&space, &AnalysisConfig { n_samples: 1024, seed: 1 }, |x| {
-            1.5 * x[0] + 5.0 * x[2]
-        });
+        let res = analyze_space(
+            &space,
+            &AnalysisConfig {
+                n_samples: 1024,
+                seed: 1,
+            },
+            |x| 1.5 * x[0] + 5.0 * x[2],
+        );
         let infl = res.influential_names(0.02);
         assert_eq!(infl[0], "gamma");
         assert!(infl.contains(&"alpha"));
@@ -125,7 +138,14 @@ mod tests {
     #[test]
     fn table_formatting_contains_rows() {
         let space = space3();
-        let res = analyze_space(&space, &AnalysisConfig { n_samples: 128, seed: 2 }, |x| x[0]);
+        let res = analyze_space(
+            &space,
+            &AnalysisConfig {
+                n_samples: 128,
+                seed: 2,
+            },
+            |x| x[0],
+        );
         let table = res.to_table();
         assert!(table.contains("Parameter"));
         assert!(table.contains("alpha"));

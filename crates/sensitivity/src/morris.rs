@@ -69,8 +69,11 @@ where
         let mut f_prev = model(&x);
         for &d in &order {
             // Flip direction if +delta would leave the cube.
-            let (step, dir) =
-                if x[d] + delta <= 1.0 { (delta, 1.0) } else { (-delta, -1.0) };
+            let (step, dir) = if x[d] + delta <= 1.0 {
+                (delta, 1.0)
+            } else {
+                (-delta, -1.0)
+            };
             x[d] += step;
             let f_new = model(&x);
             effects[d].push(dir * (f_new - f_prev) / delta);
@@ -90,7 +93,10 @@ where
             }
         })
         .collect();
-    MorrisResult { params, trajectories: r }
+    MorrisResult {
+        params,
+        trajectories: r,
+    }
 }
 
 #[cfg(test)]

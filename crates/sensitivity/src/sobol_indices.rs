@@ -56,7 +56,9 @@ impl SobolResult {
     /// Parameters whose total effect exceeds `threshold` — the set worth
     /// keeping when reducing a tuning search space.
     pub fn influential(&self, threshold: f64) -> Vec<usize> {
-        (0..self.params.len()).filter(|&i| self.params[i].st > threshold).collect()
+        (0..self.params.len())
+            .filter(|&i| self.params[i].st > threshold)
+            .collect()
     }
 }
 
@@ -92,8 +94,7 @@ pub fn sobol_indices(ev: &SaltelliEvaluations, seed: u64) -> SobolResult {
                 let fa_b: Vec<f64> = idx.iter().map(|&k| ev.fa[k]).collect();
                 let fb_b: Vec<f64> = idx.iter().map(|&k| ev.fb[k]).collect();
                 let fab_b: Vec<f64> = idx.iter().map(|&k| fab[k]).collect();
-                let pooled_b: Vec<f64> =
-                    fa_b.iter().chain(fb_b.iter()).copied().collect();
+                let pooled_b: Vec<f64> = fa_b.iter().chain(fb_b.iter()).copied().collect();
                 let var_b = stats::variance(&pooled_b);
                 let (s1_b, st_b) = indices_from_slices(&fa_b, &fb_b, &fab_b, var_b);
                 s1_samples.push(s1_b);
@@ -176,7 +177,12 @@ mod tests {
         assert!((res.params[0].s1 - 0.9).abs() < 0.05);
         assert!((res.params[1].s1 - 0.1).abs() < 0.05);
         for p in &res.params {
-            assert!((p.s1 - p.st).abs() < 0.05, "additive: S1 {} vs ST {}", p.s1, p.st);
+            assert!(
+                (p.s1 - p.st).abs() < 0.05,
+                "additive: S1 {} vs ST {}",
+                p.s1,
+                p.st
+            );
         }
     }
 

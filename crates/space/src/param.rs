@@ -46,9 +46,7 @@ impl Domain {
     pub fn contains(&self, value: &Value) -> bool {
         match (self, value) {
             (Domain::Integer { lo, hi }, Value::Int(v)) => v >= lo && v < hi,
-            (Domain::Real { lo, hi }, Value::Real(v)) => {
-                v.is_finite() && *v >= *lo && *v < *hi
-            }
+            (Domain::Real { lo, hi }, Value::Real(v)) => v.is_finite() && *v >= *lo && *v < *hi,
             (Domain::Categorical { categories }, Value::Cat(idx)) => *idx < categories.len(),
             _ => false,
         }
@@ -68,13 +66,19 @@ impl Param {
     /// Integer parameter over `[lo, hi)`.
     pub fn integer(name: impl Into<String>, lo: i64, hi: i64) -> Self {
         assert!(lo < hi, "integer domain must be non-empty: [{lo},{hi})");
-        Param { name: name.into(), domain: Domain::Integer { lo, hi } }
+        Param {
+            name: name.into(),
+            domain: Domain::Integer { lo, hi },
+        }
     }
 
     /// Real parameter over `[lo, hi)`.
     pub fn real(name: impl Into<String>, lo: f64, hi: f64) -> Self {
         assert!(lo < hi, "real domain must be non-empty: [{lo},{hi})");
-        Param { name: name.into(), domain: Domain::Real { lo, hi } }
+        Param {
+            name: name.into(),
+            domain: Domain::Real { lo, hi },
+        }
     }
 
     /// Categorical parameter with the given labels.
@@ -83,8 +87,14 @@ impl Param {
         categories: impl IntoIterator<Item = S>,
     ) -> Self {
         let categories: Vec<String> = categories.into_iter().map(Into::into).collect();
-        assert!(!categories.is_empty(), "categorical domain must be non-empty");
-        Param { name: name.into(), domain: Domain::Categorical { categories } }
+        assert!(
+            !categories.is_empty(),
+            "categorical domain must be non-empty"
+        );
+        Param {
+            name: name.into(),
+            domain: Domain::Categorical { categories },
+        }
     }
 }
 

@@ -15,7 +15,9 @@ pub fn sample_uniform<R: Rng>(space: &Space, n: usize, rng: &mut R) -> Vec<Point
     (0..n)
         .map(|_| {
             let u: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
-            space.from_unit(&u).expect("unit vector has the right length")
+            space
+                .from_unit(&u)
+                .expect("unit vector has the right length")
         })
         .collect()
 }
@@ -61,7 +63,9 @@ pub fn sample_lhs<R: Rng>(space: &Space, n: usize, rng: &mut R) -> Vec<Point> {
             let u: Vec<f64> = (0..d)
                 .map(|j| (strata[j][i] as f64 + rng.gen::<f64>()) / n as f64)
                 .collect();
-            space.from_unit(&u).expect("unit vector has the right length")
+            space
+                .from_unit(&u)
+                .expect("unit vector has the right length")
         })
         .collect()
 }
@@ -74,7 +78,9 @@ pub fn sample_sobol(space: &Space, n: usize) -> Vec<Point> {
     (0..n)
         .map(|_| {
             let u = sob.next_point();
-            space.from_unit(&u).expect("unit vector has the right length")
+            space
+                .from_unit(&u)
+                .expect("unit vector has the right length")
         })
         .collect()
 }
@@ -154,9 +160,7 @@ mod tests {
     fn constrained_sampling_respects_predicate() {
         let s = Space::new(vec![Param::integer("i", 0, 10)]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let pts = sample_uniform_where(&s, 20, &mut rng, |p| {
-            p[0].as_int().unwrap() % 2 == 0
-        });
+        let pts = sample_uniform_where(&s, 20, &mut rng, |p| p[0].as_int().unwrap() % 2 == 0);
         assert_eq!(pts.len(), 20);
         assert!(pts.iter().all(|p| p[0].as_int().unwrap() % 2 == 0));
     }

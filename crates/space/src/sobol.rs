@@ -61,7 +61,10 @@ impl Sobol {
     /// Panics if `dim == 0` or `dim > MAX_DIM`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "Sobol dimension must be positive");
-        assert!(dim <= MAX_DIM, "Sobol table supports up to {MAX_DIM} dimensions, got {dim}");
+        assert!(
+            dim <= MAX_DIM,
+            "Sobol table supports up to {MAX_DIM} dimensions, got {dim}"
+        );
         let mut v = Vec::with_capacity(dim);
         // Dimension 0: van der Corput, v_k = 1 << (31 - k).
         let mut v0 = [0u32; BITS as usize];
@@ -92,7 +95,12 @@ impl Sobol {
             }
             v.push(vd);
         }
-        Sobol { dim, v, x: vec![0; dim], index: 0 }
+        Sobol {
+            dim,
+            v,
+            x: vec![0; dim],
+            index: 0,
+        }
     }
 
     /// Dimensionality of the sequence.

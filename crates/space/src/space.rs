@@ -45,7 +45,10 @@ impl std::fmt::Display for SpaceError {
                 write!(f, "point has {got} values, space has {expected} parameters")
             }
             SpaceError::OutOfDomain { param, index } => {
-                write!(f, "value for parameter '{param}' (index {index}) is out of domain")
+                write!(
+                    f,
+                    "value for parameter '{param}' (index {index}) is out of domain"
+                )
             }
             SpaceError::UnknownParam(name) => write!(f, "unknown parameter '{name}'"),
             SpaceError::DuplicateParam(name) => write!(f, "duplicate parameter '{name}'"),
@@ -100,7 +103,11 @@ impl Space {
     pub fn snap_unit(&self, unit: &mut [f64]) {
         for (p, u) in self.params.iter().zip(unit.iter_mut()) {
             if let Some(k) = p.domain.cardinality() {
-                let uu = if u.is_finite() { u.clamp(0.0, 1.0 - 1e-12) } else { 0.0 };
+                let uu = if u.is_finite() {
+                    u.clamp(0.0, 1.0 - 1e-12)
+                } else {
+                    0.0
+                };
                 *u = ((uu * k as f64).floor() + 0.5) / k as f64;
             }
         }
@@ -109,11 +116,17 @@ impl Space {
     /// Validate a point against the space.
     pub fn validate(&self, point: &[Value]) -> Result<(), SpaceError> {
         if point.len() != self.dim() {
-            return Err(SpaceError::DimensionMismatch { expected: self.dim(), got: point.len() });
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.dim(),
+                got: point.len(),
+            });
         }
         for (i, (p, v)) in self.params.iter().zip(point).enumerate() {
             if !p.domain.contains(v) {
-                return Err(SpaceError::OutOfDomain { param: p.name.clone(), index: i });
+                return Err(SpaceError::OutOfDomain {
+                    param: p.name.clone(),
+                    index: i,
+                });
             }
         }
         Ok(())
@@ -146,14 +159,21 @@ impl Space {
     /// clamped into `[0, 1)` first, so any real vector is acceptable.
     pub fn from_unit(&self, unit: &[f64]) -> Result<Point, SpaceError> {
         if unit.len() != self.dim() {
-            return Err(SpaceError::DimensionMismatch { expected: self.dim(), got: unit.len() });
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.dim(),
+                got: unit.len(),
+            });
         }
         Ok(self
             .params
             .iter()
             .zip(unit)
             .map(|(p, &u)| {
-                let u = if u.is_finite() { u.clamp(0.0, 1.0 - 1e-12) } else { 0.0 };
+                let u = if u.is_finite() {
+                    u.clamp(0.0, 1.0 - 1e-12)
+                } else {
+                    0.0
+                };
                 match &p.domain {
                     Domain::Real { lo, hi } => Value::Real(lo + u * (hi - lo)),
                     Domain::Integer { lo, hi } => {
@@ -182,14 +202,21 @@ impl Space {
     ) -> Result<ReducedSpace, SpaceError> {
         let mut kept_idx = Vec::with_capacity(kept.len());
         for name in kept {
-            let idx = self.index_of(name).ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
+            let idx = self
+                .index_of(name)
+                .ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
             kept_idx.push(idx);
         }
         let mut fixed_values: Vec<Option<Value>> = vec![None; self.dim()];
         for (name, v) in fixed {
-            let idx = self.index_of(name).ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
+            let idx = self
+                .index_of(name)
+                .ok_or_else(|| SpaceError::UnknownParam((*name).into()))?;
             if !self.params[idx].domain.contains(v) {
-                return Err(SpaceError::OutOfDomain { param: (*name).into(), index: idx });
+                return Err(SpaceError::OutOfDomain {
+                    param: (*name).into(),
+                    index: idx,
+                });
             }
             fixed_values[idx] = Some(v.clone());
         }
@@ -208,7 +235,12 @@ impl Space {
             }
         }
         let sub = Space::new(kept_idx.iter().map(|&i| self.params[i].clone()).collect())?;
-        Ok(ReducedSpace { full: self.clone(), sub, kept_idx, fixed_values })
+        Ok(ReducedSpace {
+            full: self.clone(),
+            sub,
+            kept_idx,
+            fixed_values,
+        })
     }
 }
 
@@ -242,7 +274,11 @@ impl ReducedSpace {
             match fv {
                 Some(v) => full.push(v.clone()),
                 None => {
-                    let k = self.kept_idx.iter().position(|&ki| ki == i).expect("kept index");
+                    let k = self
+                        .kept_idx
+                        .iter()
+                        .position(|&ki| ki == i)
+                        .expect("kept index");
                     full.push(sub_point[k].clone());
                 }
             }
@@ -253,7 +289,11 @@ impl ReducedSpace {
     /// Project a full-space point onto the tunable sub-space.
     pub fn project(&self, full_point: &[Value]) -> Result<Point, SpaceError> {
         self.full.validate(full_point)?;
-        Ok(self.kept_idx.iter().map(|&i| full_point[i].clone()).collect())
+        Ok(self
+            .kept_idx
+            .iter()
+            .map(|&i| full_point[i].clone())
+            .collect())
     }
 }
 
@@ -290,13 +330,18 @@ mod tests {
         let s = demo_space();
         assert!(matches!(
             s.validate(&[Value::Int(3)]),
-            Err(SpaceError::DimensionMismatch { expected: 3, got: 1 })
+            Err(SpaceError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.validate(&[Value::Int(16), Value::Real(1.0), Value::Cat(0)]),
             Err(SpaceError::OutOfDomain { index: 0, .. })
         ));
-        assert!(s.validate(&[Value::Int(15), Value::Real(0.0), Value::Cat(3)]).is_ok());
+        assert!(s
+            .validate(&[Value::Int(15), Value::Real(0.0), Value::Cat(3)])
+            .is_ok());
     }
 
     #[test]
@@ -334,7 +379,9 @@ mod tests {
     #[test]
     fn reduce_and_expand() {
         let s = demo_space();
-        let red = s.reduce(&["mb", "colperm"], &[("x", Value::Real(5.0))]).unwrap();
+        let red = s
+            .reduce(&["mb", "colperm"], &[("x", Value::Real(5.0))])
+            .unwrap();
         assert_eq!(red.sub_space().dim(), 2);
         let full = red.expand(&[Value::Int(4), Value::Cat(2)]).unwrap();
         assert_eq!(full, vec![Value::Int(4), Value::Real(5.0), Value::Cat(2)]);

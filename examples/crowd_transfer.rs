@@ -14,8 +14,8 @@
 use crowdtune::apps::Pdgeqrf;
 use crowdtune::db::{parse_slurm_env, parse_spack_spec};
 use crowdtune::prelude::*;
-use crowdtune::tuner::tune_tla_constrained;
 use crowdtune::tuner::data::value_to_scalar;
+use crowdtune::tuner::tune_tla_constrained;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,8 +24,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
 
     // --- 1. The crowd: two users upload source data -----------------------
-    let alice = db.register_user("alice", "alice@lab.gov", true, &mut rng).unwrap();
-    let bob = db.register_user("bob", "bob@univ.edu", true, &mut rng).unwrap();
+    let alice = db
+        .register_user("alice", "alice@lab.gov", true, &mut rng)
+        .unwrap();
+    let bob = db
+        .register_user("bob", "bob@univ.edu", true, &mut rng)
+        .unwrap();
 
     let machine = MachineModel::cori_haswell(8);
     for (user, m) in [(&alice, 10_000u64), (&bob, 8_000u64)] {
@@ -49,7 +53,9 @@ fn main() {
             uploaded += 1;
             let outcome = match app.evaluate(&point, &mut sample_rng) {
                 Ok(y) => EvalOutcome::single("runtime", y),
-                Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+                Err(e) => EvalOutcome::Failed {
+                    reason: e.to_string(),
+                },
             };
             let mut eval = FunctionEvaluation::new(app.name(), "overwritten-by-db");
             eval.task_parameters = app.task_parameters();
@@ -63,10 +69,16 @@ fn main() {
             db.submit(user, eval).unwrap();
         }
     }
-    println!("crowd database now holds {} samples for {:?}", db.len(), db.problems());
+    println!(
+        "crowd database now holds {} samples for {:?}",
+        db.len(),
+        db.problems()
+    );
 
     // --- 2. A new user: one meta description does everything --------------
-    let carol = db.register_user("carol", "carol@hpc.org", true, &mut rng).unwrap();
+    let carol = db
+        .register_user("carol", "carol@hpc.org", true, &mut rng)
+        .unwrap();
     let meta = format!(
         r#"{{
         "api_key": "{carol}",
@@ -103,7 +115,10 @@ fn main() {
     println!(
         "downloaded crowd data grouped into {} source task(s): {:?}",
         sources.len(),
-        sources.iter().map(|s| (s.data.len(), s.name.as_str())).collect::<Vec<_>>()
+        sources
+            .iter()
+            .map(|s| (s.data.len(), s.name.as_str()))
+            .collect::<Vec<_>>()
     );
 
     // --- 3. Transfer-learn Carol's own task -------------------------------
@@ -124,13 +139,19 @@ fn main() {
         }
         eval = eval.outcome(match &result {
             Ok(y) => EvalOutcome::single("runtime", *y),
-            Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+            Err(e) => EvalOutcome::Failed {
+                reason: e.to_string(),
+            },
         });
         session_ref.upload(eval).expect("upload");
         result.map_err(|e| e.to_string())
     };
 
-    let config = TuneConfig { budget: 10, seed: 7, ..Default::default() };
+    let config = TuneConfig {
+        budget: 10,
+        seed: 7,
+        ..Default::default()
+    };
     let mut ensemble = Ensemble::proposed_default();
     let constraint = |p: &Point| target_ref.validate_config(p);
     let result = tune_tla_constrained(
@@ -157,6 +178,9 @@ fn main() {
         );
     }
     println!("\nbest: {best_y:.4}s at {best_point:?}");
-    println!("database grew to {} samples (Carol's runs included)", db.len());
+    println!(
+        "database grew to {} samples (Carol's runs included)",
+        db.len()
+    );
     println!("ensemble attribution: {:?}", ensemble.attribution());
 }

@@ -17,13 +17,23 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
 
     // --- Users and keys ----------------------------------------------------
-    let alice = db.register_user("alice", "alice@lab.gov", true, &mut rng).unwrap();
+    let alice = db
+        .register_user("alice", "alice@lab.gov", true, &mut rng)
+        .unwrap();
     println!("alice's API key: {alice} (20 random characters)");
     // Keypair mode: the server stores only a fingerprint of the secret.
     db.users().register("bob", "bob@univ.edu", false).unwrap();
-    db.users().register_keypair("bob", "bob-private-secret").unwrap();
-    println!("bob authenticated via keypair: {:?}", db.users().authenticate("bob-private-secret"));
-    println!("public user directory (bob opted out): {:?}", db.users().public_users());
+    db.users()
+        .register_keypair("bob", "bob-private-secret")
+        .unwrap();
+    println!(
+        "bob authenticated via keypair: {:?}",
+        db.users().authenticate("bob-private-secret")
+    );
+    println!(
+        "public user directory (bob opted out): {:?}",
+        db.users().public_users()
+    );
 
     // --- Automatic environment capture --------------------------------------
     let machine = MachineModel::cori_haswell(8);
@@ -37,7 +47,13 @@ fn main() {
         (1000i64, 1.25, Access::Public),
         (2000, 2.5, Access::Public),
         (4000, 5.1, Access::Private),
-        (8000, 10.2, Access::Shared { with: vec!["bob".into()] }),
+        (
+            8000,
+            10.2,
+            Access::Shared {
+                with: vec!["bob".into()],
+            },
+        ),
     ] {
         let eval = FunctionEvaluation::new("PDGEQRF", "alice")
             .task("m", m)
@@ -56,7 +72,9 @@ fn main() {
         FunctionEvaluation::new("PDGEQRF", "alice")
             .task("m", 16000i64)
             .task("n", 16000i64)
-            .outcome(EvalOutcome::Failed { reason: "out of memory".into() }),
+            .outcome(EvalOutcome::Failed {
+                reason: "out of memory".into(),
+            }),
     )
     .unwrap();
 
@@ -66,18 +84,29 @@ fn main() {
     let spec = QuerySpec::all_of("PDGEQRF").with_filter(filter);
     println!("\nquery: {q}");
     println!("  anonymous sees {} rows", db.query_public(&spec).len());
-    println!("  alice sees     {} rows", db.query(&alice, &spec).unwrap().len());
+    println!(
+        "  alice sees     {} rows",
+        db.query(&alice, &spec).unwrap().len()
+    );
     let all = QuerySpec::all_of("PDGEQRF").including_failures();
-    println!("everything incl. failures, as alice: {} rows", db.query(&alice, &all).unwrap().len());
+    println!(
+        "everything incl. failures, as alice: {} rows",
+        db.query(&alice, &all).unwrap().len()
+    );
     println!(
         "everything, as bob (shared row visible):  {} rows",
-        db.query("bob-private-secret", &QuerySpec::all_of("PDGEQRF")).unwrap().len()
+        db.query("bob-private-secret", &QuerySpec::all_of("PDGEQRF"))
+            .unwrap()
+            .len()
     );
 
     // --- Persistence ----------------------------------------------------------
     let path = std::env::temp_dir().join("crowdtune_tour.json");
     db.save_documents(&path).unwrap();
     let store = DocumentStore::load(&path).unwrap();
-    println!("\nsaved and re-loaded the document store: {} documents", store.len());
+    println!(
+        "\nsaved and re-loaded the document store: {} documents",
+        store.len()
+    );
     std::fs::remove_file(&path).ok();
 }

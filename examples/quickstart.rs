@@ -14,15 +14,23 @@ fn main() {
     // 8-node Haswell allocation (256 cores).
     let app = Pdgeqrf::new(10_000, 10_000, MachineModel::cori_haswell(8));
     let space = app.tuning_space();
-    println!("tuning {} over {} parameters: {:?}", app.name(), space.dim(), space.names());
+    println!(
+        "tuning {} over {} parameters: {:?}",
+        app.name(),
+        space.dim(),
+        space.names()
+    );
 
     // The tuner sees a black box: a configuration in, a runtime (or a
     // failure) out. The RNG models run-to-run system noise.
     let mut noise = StdRng::seed_from_u64(7);
-    let mut objective =
-        |p: &Point| app.evaluate(p, &mut noise).map_err(|e| e.to_string());
+    let mut objective = |p: &Point| app.evaluate(p, &mut noise).map_err(|e| e.to_string());
 
-    let config = TuneConfig { budget: 20, seed: 42, ..Default::default() };
+    let config = TuneConfig {
+        budget: 20,
+        seed: 42,
+        ..Default::default()
+    };
     // The process-grid constraint is structural — tell the tuner so it
     // never wastes budget on configurations ScaLAPACK would reject.
     let constraint = |p: &Point| app.validate_config(p);
@@ -36,7 +44,12 @@ fn main() {
         };
         println!(
             "{:>5}  {:<20} {:<18} {:>10.4}s",
-            result.history.iter().position(|r| std::ptr::eq(r, record)).unwrap() + 1,
+            result
+                .history
+                .iter()
+                .position(|r| std::ptr::eq(r, record))
+                .unwrap()
+                + 1,
             record.proposed_by,
             outcome,
             best.unwrap_or(f64::NAN),
@@ -44,7 +57,10 @@ fn main() {
     }
 
     let (best_point, best_y) = result.best().expect("at least one success");
-    println!("\nbest configuration after {} evaluations: {best_y:.4}s", config.budget);
+    println!(
+        "\nbest configuration after {} evaluations: {best_y:.4}s",
+        config.budget
+    );
     for (param, value) in space.params().iter().zip(best_point) {
         println!("  {:<14} = {value:?}", param.name);
     }

@@ -22,10 +22,14 @@ fn main() {
     // --- 1. Crowd data -----------------------------------------------------
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(11);
-    let key = db.register_user("carol", "carol@hpc.org", true, &mut rng).unwrap();
+    let key = db
+        .register_user("carol", "carol@hpc.org", true, &mut rng)
+        .unwrap();
     let mut sample_rng = StdRng::seed_from_u64(31337);
     for point in crowdtune::space::sample_uniform(&space, 400, &mut sample_rng) {
-        let y = app.evaluate(&point, &mut sample_rng).expect("hypre never fails");
+        let y = app
+            .evaluate(&point, &mut sample_rng)
+            .expect("hypre never fails");
         let mut eval = FunctionEvaluation::new("Hypre", "carol");
         for (param, value) in space.params().iter().zip(&point) {
             eval.tuning_parameters
@@ -40,11 +44,17 @@ fn main() {
     let session = CrowdSession::open(&db, &meta).expect("session");
     let analysis = crowdtune::tuner::query_sensitivity_analysis(
         &session,
-        &AnalysisConfig { n_samples: 512, seed: 0 },
+        &AnalysisConfig {
+            n_samples: 512,
+            seed: 0,
+        },
         0,
     )
     .expect("analysis");
-    println!("Sobol sensitivity of the crowd surrogate:\n{}", analysis.to_table());
+    println!(
+        "Sobol sensitivity of the crowd surrogate:\n{}",
+        analysis.to_table()
+    );
     let keep = analysis.influential_names(0.1);
     println!("parameters kept for tuning (ST > 0.1): {keep:?}\n");
 
@@ -92,7 +102,10 @@ fn main() {
             };
             // Log-runtime objective (standard for multiplicative cost
             // structures); reported values are exp'd back below.
-            app_ref.evaluate(point, &mut noise).map(f64::ln).map_err(|e| e.to_string())
+            app_ref
+                .evaluate(point, &mut noise)
+                .map(f64::ln)
+                .map_err(|e| e.to_string())
         };
         let config = TuneConfig {
             budget,
@@ -107,14 +120,15 @@ fn main() {
             best.exp()
         );
     }
-    println!(
-        "\n(single-seed illustration; the multi-seed comparison is the fig7 bench target)"
-    );
+    println!("\n(single-seed illustration; the multi-seed comparison is the fig7 bench target)");
 }
 
 fn meta_json(key: &str) -> String {
     let cats = |list: &[&str]| {
-        list.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(", ")
+        list.iter()
+            .map(|c| format!("\"{c}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     format!(
         r#"{{

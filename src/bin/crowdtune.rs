@@ -18,7 +18,9 @@ use rand::SeedableRng;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn flag(name: &str) -> bool {
@@ -27,11 +29,21 @@ fn flag(name: &str) -> bool {
 
 fn build_app(name: &str, nodes: u32) -> Box<dyn Application> {
     match name {
-        "pdgeqrf" => Box::new(Pdgeqrf::new(10_000, 10_000, MachineModel::cori_haswell(nodes))),
-        "nimrod" => Box::new(Nimrod::new(5, 7, 1, MachineModel::cori_haswell(nodes.max(8)))),
-        "superlu" => {
-            Box::new(SuperLuDist::new(SparseMatrix::si5h12(), MachineModel::cori_haswell(nodes)))
-        }
+        "pdgeqrf" => Box::new(Pdgeqrf::new(
+            10_000,
+            10_000,
+            MachineModel::cori_haswell(nodes),
+        )),
+        "nimrod" => Box::new(Nimrod::new(
+            5,
+            7,
+            1,
+            MachineModel::cori_haswell(nodes.max(8)),
+        )),
+        "superlu" => Box::new(SuperLuDist::new(
+            SparseMatrix::si5h12(),
+            MachineModel::cori_haswell(nodes),
+        )),
         "hypre" => Box::new(HypreAmg::new(100, 100, 100, MachineModel::cori_haswell(1))),
         other => {
             eprintln!("unknown app '{other}' (try: pdgeqrf, nimrod, superlu, hypre)");
@@ -73,14 +85,21 @@ fn cmd_tune() {
     let nodes: u32 = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(8);
     let app = build_app(&app_name, nodes);
     let space = app.tuning_space();
-    println!("tuning {} ({} parameters, budget {budget}, seed {seed})", app.name(), space.dim());
+    println!(
+        "tuning {} ({} parameters, budget {budget}, seed {seed})",
+        app.name(),
+        space.dim()
+    );
 
     let mut noise = StdRng::seed_from_u64(seed ^ 0xAB0BA);
     let app_ref: &dyn Application = app.as_ref();
-    let mut objective =
-        |p: &Point| app_ref.evaluate(p, &mut noise).map_err(|e| e.to_string());
+    let mut objective = |p: &Point| app_ref.evaluate(p, &mut noise).map_err(|e| e.to_string());
     let constraint = |p: &Point| app_ref.validate_config(p);
-    let config = TuneConfig { budget, seed, ..Default::default() };
+    let config = TuneConfig {
+        budget,
+        seed,
+        ..Default::default()
+    };
 
     let result = if flag("--tla") {
         // Bootstrap a source task from the same app family (here: the
@@ -140,11 +159,17 @@ fn cmd_tune() {
 
 fn cmd_sensitivity() {
     let app_name = arg("--app").unwrap_or_else(|| "hypre".into());
-    let n: usize = arg("--samples").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let n: usize = arg("--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
     let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
     let app = build_app(&app_name, 4);
     let space = app.tuning_space();
-    println!("Sobol sensitivity of the {} cost model ({} Saltelli base samples):", app.name(), n);
+    println!(
+        "Sobol sensitivity of the {} cost model ({} Saltelli base samples):",
+        app.name(),
+        n
+    );
     let app_ref: &dyn Application = app.as_ref();
     let result = analyze_space(&space, &AnalysisConfig { n_samples: n, seed }, |u| {
         let mut v = u.to_vec();
@@ -157,7 +182,10 @@ fn cmd_sensitivity() {
             return PENALTY;
         }
         let mut rng = StdRng::seed_from_u64(0);
-        app_ref.evaluate(&p, &mut rng).map(|y| y.ln()).unwrap_or(PENALTY)
+        app_ref
+            .evaluate(&p, &mut rng)
+            .map(|y| y.ln())
+            .unwrap_or(PENALTY)
     });
     let names = space.names();
     println!("{:<20} {:>7} {:>7}", "parameter", "S1", "ST");

@@ -61,9 +61,9 @@ pub mod prelude {
     pub use crowdtune_apps::{Application, EvalFailure, MachineModel};
     pub use crowdtune_core::{
         dims_of, query_predict_output, query_sensitivity_analysis, query_surrogate_model,
-        records_to_dataset, tune_notla, tune_tla, CrowdSession, Dataset, Ensemble,
-        EnsemblePolicy, MetaDescription, MultitaskPs, MultitaskTs, SourceTask, Stacking,
-        TlaStrategy, TuneConfig, TuneResult, WeightedSum,
+        records_to_dataset, tune_notla, tune_tla, CrowdSession, Dataset, Ensemble, EnsemblePolicy,
+        MetaDescription, MultitaskPs, MultitaskTs, SourceTask, Stacking, TlaStrategy, TuneConfig,
+        TuneResult, WeightedSum,
     };
     pub use crowdtune_db::{
         Access, EvalOutcome, Filter, FunctionEvaluation, HistoryDb, MachineConfig, QuerySpec,

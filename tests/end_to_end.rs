@@ -10,26 +10,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Upload `n` valid random samples of an application to the db.
-fn upload_samples(
-    db: &HistoryDb,
-    key: &str,
-    app: &dyn Application,
-    n: usize,
-    seed: u64,
-) -> usize {
+fn upload_samples(db: &HistoryDb, key: &str, app: &dyn Application, n: usize, seed: u64) -> usize {
     let space = app.tuning_space();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut count = 0;
     let mut tries = 0;
     while count < n && tries < 100 * n {
         tries += 1;
-        let point = crowdtune::space::sample_uniform(&space, 1, &mut rng).pop().unwrap();
+        let point = crowdtune::space::sample_uniform(&space, 1, &mut rng)
+            .pop()
+            .unwrap();
         if !app.validate_config(&point) {
             continue;
         }
         let outcome = match app.evaluate(&point, &mut rng) {
             Ok(y) => EvalOutcome::single(app.output_name(), y),
-            Err(e) => EvalOutcome::Failed { reason: e.to_string() },
+            Err(e) => EvalOutcome::Failed {
+                reason: e.to_string(),
+            },
         };
         let mut eval = FunctionEvaluation::new(app.name(), "tester");
         eval.task_parameters = app.task_parameters();
@@ -50,7 +48,11 @@ fn notla_tunes_pdgeqrf_under_constraints() {
     let mut noise = StdRng::seed_from_u64(17);
     let mut objective = |p: &Point| app.evaluate(p, &mut noise).map_err(|e| e.to_string());
     let constraint = |p: &Point| app.validate_config(p);
-    let config = TuneConfig { budget: 12, seed: 5, ..Default::default() };
+    let config = TuneConfig {
+        budget: 12,
+        seed: 5,
+        ..Default::default()
+    };
     let result = tune_notla_constrained(&space, &mut objective, &config, Some(&constraint));
     // No structural failures at all: the constraint filters them.
     assert_eq!(result.failures(), 0, "history: {:?}", result.history);
@@ -75,13 +77,16 @@ fn transfer_learning_beats_no_transfer_on_demo() {
         let y = source_app.evaluate(&p, &mut rng).unwrap();
         ds.push(space.to_unit(&p).unwrap(), y);
     }
-    let sources =
-        vec![SourceTask::fit("t=0.8", ds, &dims_of(&space), &mut rng).unwrap()];
+    let sources = vec![SourceTask::fit("t=0.8", ds, &dims_of(&space), &mut rng).unwrap()];
 
     let mut best_tla = f64::INFINITY;
     let mut best_notla = f64::INFINITY;
     for seed in [1u64, 2, 3] {
-        let config = TuneConfig { budget: 5, seed, ..Default::default() };
+        let config = TuneConfig {
+            budget: 5,
+            seed,
+            ..Default::default()
+        };
         let mut noise = StdRng::seed_from_u64(seed);
         let mut obj = |p: &Point| target.evaluate(p, &mut noise).map_err(|e| e.to_string());
         let mut ensemble = Ensemble::proposed_default();
@@ -103,7 +108,9 @@ fn transfer_learning_beats_no_transfer_on_demo() {
 fn meta_description_session_roundtrip() {
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(1);
-    let key = db.register_user("tester", "t@x.org", true, &mut rng).unwrap();
+    let key = db
+        .register_user("tester", "t@x.org", true, &mut rng)
+        .unwrap();
     let app = Pdgeqrf::new(10_000, 10_000, MachineModel::cori_haswell(8));
     let n = upload_samples(&db, &key, &app, 40, 77);
     assert_eq!(n, 40);
@@ -147,12 +154,17 @@ fn meta_description_session_roundtrip() {
 fn sensitivity_to_reduction_pipeline_on_hypre() {
     let db = HistoryDb::new();
     let mut rng = StdRng::seed_from_u64(2);
-    let key = db.register_user("tester", "t@x.org", true, &mut rng).unwrap();
+    let key = db
+        .register_user("tester", "t@x.org", true, &mut rng)
+        .unwrap();
     let app = HypreAmg::new(60, 60, 60, MachineModel::cori_haswell(1));
     upload_samples(&db, &key, &app, 250, 123);
 
     let cats = |list: &[&str]| -> String {
-        list.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(", ")
+        list.iter()
+            .map(|c| format!("\"{c}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let meta = format!(
         r#"{{
@@ -186,7 +198,10 @@ fn sensitivity_to_reduction_pipeline_on_hypre() {
     let session = CrowdSession::open(&db, &meta).unwrap();
     let analysis = crowdtune::tuner::query_sensitivity_analysis(
         &session,
-        &AnalysisConfig { n_samples: 256, seed: 0 },
+        &AnalysisConfig {
+            n_samples: 256,
+            seed: 0,
+        },
         0,
     )
     .unwrap();
@@ -200,9 +215,8 @@ fn sensitivity_to_reduction_pipeline_on_hypre() {
     let infl = analysis.influential_names(0.1);
     assert!(!infl.is_empty());
     assert!(
-        infl.iter().any(|n| {
-            ["smooth_type", "smooth_num_levels", "agg_num_levels"].contains(n)
-        }),
+        infl.iter()
+            .any(|n| { ["smooth_type", "smooth_num_levels", "agg_num_levels"].contains(n) }),
         "influential: {infl:?}"
     );
 
@@ -229,7 +243,11 @@ fn sensitivity_to_reduction_pipeline_on_hypre() {
         let full = reduced.expand(p).unwrap();
         app.evaluate(&full, &mut noise).map_err(|e| e.to_string())
     };
-    let config = TuneConfig { budget: 8, seed: 4, ..Default::default() };
+    let config = TuneConfig {
+        budget: 8,
+        seed: 4,
+        ..Default::default()
+    };
     let result = crowdtune::tuner::tune_notla(reduced.sub_space(), &mut obj, &config);
     assert!(result.best().is_some());
 }
@@ -243,10 +261,17 @@ fn nimrod_oom_failures_recorded_not_fitted() {
     let mut noise = StdRng::seed_from_u64(8);
     let mut objective = |p: &Point| app.evaluate(p, &mut noise).map_err(|e| e.to_string());
     let constraint = |p: &Point| app.validate_config(p);
-    let config = TuneConfig { budget: 10, seed: 21, ..Default::default() };
+    let config = TuneConfig {
+        budget: 10,
+        seed: 21,
+        ..Default::default()
+    };
     let result = tune_notla_constrained(&space, &mut objective, &config, Some(&constraint));
     assert_eq!(result.history.len(), 10);
-    assert!(result.best().is_some(), "some configuration must fit in memory");
+    assert!(
+        result.best().is_some(),
+        "some configuration must fit in memory"
+    );
     // Any recorded failures must be OOM (structural ones are filtered).
     for rec in &result.history {
         if let Err(e) = &rec.result {
@@ -263,7 +288,9 @@ fn tla_strategies_all_run_on_a_real_app() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut ds = Dataset::default();
     while ds.len() < 50 {
-        let p = crowdtune::space::sample_uniform(&space, 1, &mut rng).pop().unwrap();
+        let p = crowdtune::space::sample_uniform(&space, 1, &mut rng)
+            .pop()
+            .unwrap();
         if !src_app.validate_config(&p) {
             continue;
         }
@@ -288,10 +315,13 @@ fn tla_strategies_all_run_on_a_real_app() {
     ];
     for mut strategy in strategies {
         let mut noise = StdRng::seed_from_u64(5);
-        let mut obj =
-            |p: &Point| target.evaluate(p, &mut noise).map_err(|e| e.to_string());
+        let mut obj = |p: &Point| target.evaluate(p, &mut noise).map_err(|e| e.to_string());
         let constraint = |p: &Point| target.validate_config(p);
-        let config = TuneConfig { budget: 4, seed: 11, ..Default::default() };
+        let config = TuneConfig {
+            budget: 4,
+            seed: 11,
+            ..Default::default()
+        };
         let result = tune_tla_constrained(
             &space,
             &mut obj,

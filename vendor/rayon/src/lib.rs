@@ -1,0 +1,253 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API this workspace uses on top of
+//! `std::thread::scope`: `par_iter()` / `into_par_iter()` followed by
+//! `map(...)` and `collect()`, plus `join` and `current_num_threads`.
+//!
+//! Semantics that callers rely on and that this shim guarantees:
+//!
+//! * **Order preservation** — results come back in input order, so a
+//!   parallel map is observationally identical to the sequential one.
+//! * **Deterministic splitting** — items are divided into contiguous
+//!   chunks; thread count never changes *which* work items exist, only
+//!   how they are interleaved in time.
+//! * **`RAYON_NUM_THREADS`** — honoured at first use, like upstream.
+//!
+//! Unlike upstream there is no global worker pool or work stealing:
+//! threads are scoped per call. That costs a few microseconds per
+//! parallel region, which is irrelevant for the coarse-grained regions
+//! (L-BFGS restarts, candidate chunks, matrix row blocks) used here —
+//! and it means a `map` closure only needs `Sync`, never `'static`.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads a parallel region may use.
+///
+/// Reads `RAYON_NUM_THREADS` once (values < 1 are ignored), falling back
+/// to `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning results in input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, sized as evenly as possible.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    for t in 0..threads {
+        let take = base + usize::from(t < extra);
+        chunks.push(iter.by_ref().take(take).collect());
+    }
+    let fref = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(fref).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// An eagerly-splitting parallel iterator over an owned item list.
+///
+/// Adapters that do real work (`map`, `for_each`) execute in parallel;
+/// terminal reductions then run serially over the already-computed
+/// results, which preserves rayon's observable semantics for the
+/// operations this workspace uses.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T,
+        Op: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn min_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().min_by(cmp)
+    }
+}
+
+/// Conversion into a parallel iterator (owned items).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` / `par_chunks` over borrowed slices.
+pub trait ParSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| *x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_range() {
+        let squares: Vec<usize> = (0..17usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 17);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par_chunks_cover_slice() {
+        let v: Vec<i32> = (0..10).collect();
+        let sums: Vec<i32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,563 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this build environment, so the item
+//! shape is parsed directly from the `proc_macro::TokenStream` and the
+//! generated impls are assembled as source text. The macro never needs
+//! to understand field *types*: generated code calls helper functions
+//! in the `serde` crate (`de_field`, `from_value`, ...) whose type
+//! parameters are resolved by ordinary type inference at the call site.
+//!
+//! Supported shapes (the full set used by this workspace):
+//!
+//! * structs with named fields, including `#[serde(rename = "...")]`,
+//!   `#[serde(default)]` and `#[serde(skip)]` on fields;
+//! * enums — externally tagged (default), internally tagged
+//!   (`#[serde(tag = "...")]`, with `rename_all = "lowercase"`), and
+//!   `#[serde(untagged)]` — with unit, newtype and struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_lowercase: bool,
+    untagged: bool,
+}
+
+struct Field {
+    ident: String,
+    rename: Option<String>,
+    default: bool,
+    skip: bool,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.ident)
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    attrs: ContainerAttrs,
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    parse_attrs(&tokens, &mut pos, |inner| {
+        apply_container_attr(&mut attrs, inner)
+    });
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in does not support generic types ({name})");
+    }
+    let body = expect_group(&tokens, &mut pos, Delimiter::Brace, &name);
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive stand-in cannot derive for `{other}` items"),
+    };
+    Item { attrs, name, shape }
+}
+
+/// Consume leading `#[...]` attributes; serde attrs are fed to `on_serde`.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize, mut on_serde: impl FnMut(Vec<TokenTree>)) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+                    panic!("serde_derive: malformed attribute");
+                };
+                let attr_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = attr_tokens.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = attr_tokens.get(1) {
+                            on_serde(args.stream().into_iter().collect());
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn apply_container_attr(attrs: &mut ContainerAttrs, inner: Vec<TokenTree>) {
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            match id.to_string().as_str() {
+                "untagged" => attrs.untagged = true,
+                "tag" => attrs.tag = Some(expect_attr_string(&inner, &mut i)),
+                "rename_all" => {
+                    let case = expect_attr_string(&inner, &mut i);
+                    if case != "lowercase" {
+                        panic!("serde_derive stand-in only supports rename_all = \"lowercase\"");
+                    }
+                    attrs.rename_all_lowercase = true;
+                }
+                other => panic!("serde_derive stand-in: unsupported container attr `{other}`"),
+            }
+        }
+        i += 1;
+    }
+}
+
+/// After `ident` at `inner[i]`, consume `= "literal"` and return its value.
+fn expect_attr_string(inner: &[TokenTree], i: &mut usize) -> String {
+    match (inner.get(*i + 1), inner.get(*i + 2)) {
+        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+            *i += 2;
+            let raw = lit.to_string();
+            raw.trim_matches('"').to_string()
+        }
+        _ => panic!("serde_derive: expected `= \"...\"` in serde attribute"),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate), pub(super), ...
+        if matches!(&tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delim: Delimiter,
+    ctx: &str,
+) -> Vec<TokenTree> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            g.stream().into_iter().collect()
+        }
+        other => panic!("serde_derive: expected braced body for {ctx}, found {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` named fields (types skipped by `<`-depth walk).
+fn parse_fields(tokens: Vec<TokenTree>) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut rename = None;
+        let mut default = false;
+        let mut skip = false;
+        parse_attrs(&tokens, &mut pos, |inner| {
+            let mut i = 0;
+            while i < inner.len() {
+                if let TokenTree::Ident(id) = &inner[i] {
+                    match id.to_string().as_str() {
+                        "default" => default = true,
+                        "skip" => skip = true,
+                        "rename" => rename = Some(expect_attr_string(&inner, &mut i)),
+                        other => {
+                            panic!("serde_derive stand-in: unsupported field attr `{other}`")
+                        }
+                    }
+                }
+                i += 1;
+            }
+        });
+        skip_visibility(&tokens, &mut pos);
+        let ident = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{ident}`, found {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        // Parens/brackets arrive as atomic groups, so only `<`/`>` need
+        // explicit depth tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field {
+            ident,
+            rename,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Variant-level serde attrs are not used in this workspace.
+        parse_attrs(&tokens, &mut pos, |_| {
+            panic!("serde_derive stand-in: variant-level serde attrs unsupported")
+        });
+        let ident = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Struct(parse_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { ident, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn variant_key(item: &Item, v: &Variant) -> String {
+    if item.attrs.rename_all_lowercase {
+        v.ident.to_lowercase()
+    } else {
+        v.ident.clone()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s =
+                String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((\"{key}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{ident})));\n",
+                    key = f.key(),
+                    ident = f.ident,
+                ));
+            }
+            s.push_str("::serde::Value::Object(fields)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(item, v);
+                let arm = match (&v.kind, &item.attrs) {
+                    // Untagged: the variant vanishes from the output.
+                    (VariantKind::Newtype, a) if a.untagged => format!(
+                        "{name}::{v_id}(inner) => ::serde::Serialize::to_value(inner),\n",
+                        v_id = v.ident,
+                    ),
+                    (VariantKind::Struct(fields), a) if a.untagged => {
+                        struct_variant_ser(name, &v.ident, fields, None)
+                    }
+                    // Internally tagged.
+                    (VariantKind::Unit, a) if a.tag.is_some() => {
+                        let tag = a.tag.as_deref().unwrap();
+                        format!(
+                            "{name}::{v_id} => ::serde::Value::Object(vec![\
+                             (\"{tag}\".to_string(), \
+                             ::serde::Value::Str(\"{key}\".to_string()))]),\n",
+                            v_id = v.ident,
+                        )
+                    }
+                    (VariantKind::Struct(fields), a) if a.tag.is_some() => {
+                        let tag = a.tag.as_deref().unwrap();
+                        struct_variant_ser(name, &v.ident, fields, Some((tag, &key)))
+                    }
+                    // Externally tagged (serde default).
+                    (VariantKind::Unit, _) => format!(
+                        "{name}::{v_id} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                        v_id = v.ident,
+                    ),
+                    (VariantKind::Newtype, _) => format!(
+                        "{name}::{v_id}(inner) => ::serde::Value::Object(vec![\
+                         (\"{key}\".to_string(), ::serde::Serialize::to_value(inner))]),\n",
+                        v_id = v.ident,
+                    ),
+                    // Externally tagged struct variant: fields object
+                    // wrapped under the variant key.
+                    (VariantKind::Struct(fields), _) => format!(
+                        "{name}::{v_id} {{ {bindings} }} => {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                         ::serde::Value::Object(fields))])\n}}\n",
+                        v_id = v.ident,
+                        bindings = field_bindings(fields),
+                        pushes = field_pushes(fields),
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_bindings(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| f.ident.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn field_pushes(fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        s.push_str(&format!(
+            "fields.push((\"{key}\".to_string(), ::serde::Serialize::to_value({ident})));\n",
+            key = f.key(),
+            ident = f.ident,
+        ));
+    }
+    s
+}
+
+/// Serialize arm for a struct variant flattened into one object,
+/// optionally carrying an internal tag as the first key.
+fn struct_variant_ser(
+    name: &str,
+    v_ident: &str,
+    fields: &[Field],
+    tag: Option<(&str, &str)>,
+) -> String {
+    let tag_push = match tag {
+        Some((tag_key, tag_val)) => format!(
+            "fields.push((\"{tag_key}\".to_string(), \
+             ::serde::Value::Str(\"{tag_val}\".to_string())));\n"
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{name}::{v_ident} {{ {bindings} }} => {{\n\
+         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+         {tag_push}{pushes}\
+         ::serde::Value::Object(fields)\n}}\n",
+        bindings = field_bindings(fields),
+        pushes = field_pushes(fields),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => format!(
+            "let obj = ::serde::expect_object(value, \"{name}\")?;\n\
+             Ok({name} {{\n{inits}}})",
+            inits = field_inits(fields),
+        ),
+        Shape::Enum(variants) if item.attrs.untagged => {
+            let mut tries = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Newtype => tries.push_str(&format!(
+                        "if let Ok(inner) = ::serde::Deserialize::from_value(value) \
+                         {{ return Ok({name}::{v_id}(inner)); }}\n",
+                        v_id = v.ident,
+                    )),
+                    VariantKind::Struct(fields) => tries.push_str(&format!(
+                        "if let Ok(obj) = ::serde::expect_object(value, \"{name}\") {{\n\
+                         let attempt = (|| -> Result<{name}, ::serde::DeError> {{\n\
+                         Ok({name}::{v_id} {{\n{inits}}})\n}})();\n\
+                         if let Ok(v) = attempt {{ return Ok(v); }}\n}}\n",
+                        v_id = v.ident,
+                        inits = field_inits(fields),
+                    )),
+                    VariantKind::Unit => tries.push_str(&format!(
+                        "if matches!(value, ::serde::Value::Null) \
+                         {{ return Ok({name}::{v_id}); }}\n",
+                        v_id = v.ident,
+                    )),
+                }
+            }
+            format!(
+                "{tries}Err(::serde::DeError::new(\
+                 \"no variant of {name} matched the untagged value\"))"
+            )
+        }
+        Shape::Enum(variants) => match &item.attrs.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(item, v);
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{v_id}),\n",
+                            v_id = v.ident
+                        )),
+                        VariantKind::Struct(fields) => arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{v_id} {{\n{inits}}}),\n",
+                            v_id = v.ident,
+                            inits = field_inits(fields),
+                        )),
+                        VariantKind::Newtype => {
+                            panic!("internally tagged newtype variants unsupported")
+                        }
+                    }
+                }
+                format!(
+                    "let obj = ::serde::expect_object(value, \"{name}\")?;\n\
+                     let tag = ::serde::de_tag(obj, \"{tag}\", \"{name}\")?;\n\
+                     match tag {{\n{arms}\
+                     other => Err(::serde::DeError::new(\
+                     format!(\"unknown variant `{{other}}` of {name}\"))),\n}}"
+                )
+            }
+            None => {
+                // Externally tagged.
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let key = variant_key(item, v);
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{key}\" => return Ok({name}::{v_id}),\n",
+                            v_id = v.ident,
+                        )),
+                        VariantKind::Newtype => keyed_arms.push_str(&format!(
+                            "\"{key}\" => return Ok({name}::{v_id}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n",
+                            v_id = v.ident,
+                        )),
+                        VariantKind::Struct(fields) => keyed_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let obj = ::serde::expect_object(inner, \"{name}\")?;\n\
+                             return Ok({name}::{v_id} {{\n{inits}}});\n}}\n",
+                            v_id = v.ident,
+                            inits = field_inits(fields),
+                        )),
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::Str(s) = value {{\n\
+                     match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                     if let ::serde::Value::Object(o) = value {{\n\
+                     if o.len() == 1 {{\n\
+                     let (k, inner) = &o[0];\n\
+                     match k.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n}}\n}}\n\
+                     Err(::serde::DeError::new(format!(\
+                     \"invalid externally tagged value for {name}: {{}}\", \
+                     ::serde::kind_name(value))))"
+                )
+            }
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_inits(fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{ident}: ::core::default::Default::default(),\n",
+                ident = f.ident
+            ));
+        } else if f.default {
+            s.push_str(&format!(
+                "{ident}: ::serde::de_field_default(obj, \"{key}\")?,\n",
+                ident = f.ident,
+                key = f.key(),
+            ));
+        } else {
+            s.push_str(&format!(
+                "{ident}: ::serde::de_field(obj, \"{key}\")?,\n",
+                ident = f.ident,
+                key = f.key(),
+            ));
+        }
+    }
+    s
+}
