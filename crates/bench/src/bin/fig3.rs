@@ -12,10 +12,11 @@
 //! Run: `cargo run --release -p crowdtune-bench --bin fig3 [--quick]`
 
 use crowdtune_apps::{Application, BraninFunction, DemoFunction};
-use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::runner::report_comparison;
 use crowdtune_bench::{quick_mode, run_comparison, source_task_from_app, Scenario, TunerSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 fn main() {
     let quick = quick_mode();
@@ -41,8 +42,13 @@ fn main() {
             max_lcm_samples: lcm_cap,
         };
         let curves = run_comparison(&scenario, &lineup);
-        print_curves(&scenario.label, &curves);
-        print_speedups(&curves, budget.min(10));
+        report_comparison(
+            Path::new("results"),
+            &scenario.label,
+            &curves,
+            budget.min(10),
+        )
+        .expect("write comparison json");
     }
 
     // --- (c)-(f): Branin -------------------------------------------------
@@ -77,7 +83,12 @@ fn main() {
             max_lcm_samples: lcm_cap,
         };
         let curves = run_comparison(&scenario, &lineup);
-        print_curves(&scenario.label, &curves);
-        print_speedups(&curves, budget.min(10));
+        report_comparison(
+            Path::new("results"),
+            &scenario.label,
+            &curves,
+            budget.min(10),
+        )
+        .expect("write comparison json");
     }
 }

@@ -13,7 +13,7 @@
 //! Run: `cargo run --release -p crowdtune-bench --bin fig4 [--quick]`
 
 use crowdtune_apps::{Application, MachineModel, Pdgeqrf};
-use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::runner::report_comparison;
 use crowdtune_bench::{
     quick_mode, run_comparison, source_task_from_db, upload_source_data, Scenario, TunerSpec,
 };
@@ -79,7 +79,12 @@ fn main() {
             max_lcm_samples: 80,
         };
         let curves = run_comparison(&scenario, &lineup);
-        print_curves(&scenario.label, &curves);
-        print_speedups(&curves, budget.min(10));
+        report_comparison(
+            std::path::Path::new("results"),
+            &scenario.label,
+            &curves,
+            budget.min(10),
+        )
+        .expect("write comparison json");
     }
 }

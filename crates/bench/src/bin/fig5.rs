@@ -15,7 +15,7 @@
 //! Run: `cargo run --release -p crowdtune-bench --bin fig5 [--quick]`
 
 use crowdtune_apps::{MachineModel, Nimrod};
-use crowdtune_bench::runner::{print_curves, print_speedups};
+use crowdtune_bench::runner::report_comparison;
 use crowdtune_bench::{quick_mode, run_comparison, source_task_from_app, Scenario, TunerSpec};
 
 fn main() {
@@ -61,7 +61,12 @@ fn main() {
             max_lcm_samples: 100,
         };
         let curves = run_comparison(&scenario, &lineup);
-        print_curves(&scenario.label, &curves);
-        print_speedups(&curves, budget.min(10));
+        report_comparison(
+            std::path::Path::new("results"),
+            &scenario.label,
+            &curves,
+            budget.min(10),
+        )
+        .expect("write comparison json");
     }
 }

@@ -1,0 +1,139 @@
+//! Instrumented end-to-end smoke run for the observability layer.
+//!
+//! Enables metrics, installs a per-run event journal, and drives the
+//! full crowd pipeline through every instrumented subsystem: source data
+//! is uploaded to and re-queried from the shared database (upload,
+//! dbquery — including an access-control denial), a transfer-learning
+//! tune runs with deterministic early failures (iteration, fit, restart,
+//! acquisition, weights, exclusion, runstart/runend), and a degenerate
+//! Gram factorization exercises jitter escalation (jitter). The journal
+//! is then validated with `crowdtune-report --min-kinds 8` in CI.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin obs_smoke \
+//!       [--journal results/obs_journal.jsonl] [--budget 12]`
+
+use crowdtune_apps::{Application, DemoFunction};
+use crowdtune_bench::{arg_value, upload_source_data};
+use crowdtune_core::tuner::{tune_tla_constrained, TuneConfig};
+use crowdtune_core::{dims_of, records_to_dataset, SourceTask, WeightedSum};
+use crowdtune_db::{Access, EvalOutcome, FunctionEvaluation, HistoryDb, QuerySpec};
+use crowdtune_linalg::{Cholesky, Matrix};
+use crowdtune_obs as obs;
+use crowdtune_space::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let journal_path =
+        arg_value("--journal").unwrap_or_else(|| "results/obs_journal.jsonl".to_string());
+    let budget: usize = arg_value("--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+
+    obs::set_metrics_enabled(true);
+    let journal = Arc::new(obs::Journal::create(&journal_path).expect("create journal"));
+    obs::install_journal(Arc::clone(&journal));
+
+    // --- Crowd database round trip: upload source data, query it back ---
+    let db = HistoryDb::new();
+    let mut rng = StdRng::seed_from_u64(0x0B5);
+    let key = db
+        .register_user("smoke", "smoke@crowdtune.dev", true, &mut rng)
+        .unwrap();
+    let other = db
+        .register_user("other", "other@crowdtune.dev", true, &mut rng)
+        .unwrap();
+    let source_app = DemoFunction::new(0.8);
+    let ok = upload_source_data(&db, &key, &source_app, 40, 11);
+    eprintln!("uploaded {ok}/40 successful source samples");
+
+    // A private record owned by another user: the smoke user's query must
+    // scan past it, producing an access-control denial in the journal.
+    let private = FunctionEvaluation::new("demo", "ignored")
+        .param("x", 0.5)
+        .outcome(EvalOutcome::single("y", 1.0))
+        .with_access(Access::Private);
+    db.submit(&other, private).expect("private upload");
+
+    let records = db.query(&key, &QuerySpec::all_of("demo")).expect("query");
+    let space = source_app.tuning_space();
+    let (mut ds, _skipped) = records_to_dataset(&records, &space, "y");
+
+    // Exactly repeated configurations make the source kernel matrix
+    // singular, pushing the source GP fit toward jitter escalation.
+    for i in 0..ds.len().min(4) {
+        let (x, y) = (ds.x[i].clone(), ds.y[i]);
+        ds.push(x, y);
+    }
+    let dims = dims_of(&space);
+    let mut fit_rng = StdRng::seed_from_u64(0x5EED);
+    let source = SourceTask::fit("t=0.8", ds, &dims, &mut fit_rng).expect("source fit");
+
+    // Deterministic numerical-recovery probe: a rank-1 Gram matrix is PSD
+    // but singular, so the factorization must escalate jitter to recover.
+    let v = [1.0, 0.5, 0.25, 0.125];
+    let mut gram = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            gram[(i, j)] = v[i] * v[j];
+        }
+    }
+    Cholesky::with_jitter(&gram, 0.0, 1e-3).expect("jitter recovery");
+
+    // --- Instrumented transfer-learning tune ----------------------------
+    let target = DemoFunction::new(1.2);
+    let mut noise_rng = StdRng::seed_from_u64(0xF00D);
+    let mut calls = 0usize;
+    let mut objective = |p: &Point| {
+        calls += 1;
+        // The first two evaluations fail deterministically (a synthetic
+        // OOM), so the run exercises failure recording and the candidate
+        // exclusion path.
+        if calls <= 2 {
+            return Err("synthetic failure".to_string());
+        }
+        target
+            .evaluate(p, &mut noise_rng)
+            .map_err(|e| e.to_string())
+    };
+    let config = TuneConfig {
+        budget,
+        seed: 0xC0FFEE,
+        ..Default::default()
+    };
+    let mut strategy = WeightedSum::dynamic();
+    let result = tune_tla_constrained(
+        &space,
+        &mut objective,
+        &[source],
+        &mut strategy,
+        &config,
+        None,
+    );
+    eprintln!(
+        "tuned: best {:?}, {} iterations ({} failures), fit {:.1} ms, acquisition {:.1} ms",
+        result.best().map(|(_, y)| y),
+        result.stats.iterations,
+        result.stats.failures,
+        result.stats.fit_time_ns as f64 / 1e6,
+        result.stats.acquisition_time_ns as f64 / 1e6,
+    );
+
+    obs::journal_flush();
+    let lines = journal.lines();
+    obs::uninstall_journal();
+
+    // Export the live process-metrics snapshot next to the journal.
+    let snapshot = obs::snapshot();
+    let metrics_path = "results/obs_metrics.json";
+    std::fs::write(
+        metrics_path,
+        serde_json::to_string_pretty(&snapshot).expect("snapshot serializes"),
+    )
+    .expect("write metrics snapshot");
+
+    println!("journal: {journal_path} ({lines} events)");
+    println!("metrics: {metrics_path}");
+    assert!(lines > 0, "journal must not be empty");
+}

@@ -20,7 +20,10 @@
 pub mod runner;
 pub mod sources;
 
-pub use runner::{print_curves, print_speedups, run_comparison, Curve, Scenario, TunerSpec};
+pub use runner::{
+    comparison_json, print_curves, print_speedups, report_comparison, run_comparison,
+    ComparisonJson, Curve, CurveJson, Scenario, TunerSpec,
+};
 pub use sources::{
     collect_source_data, source_task_from_app, source_task_from_db, upload_source_data,
 };

@@ -9,10 +9,14 @@ use crowdtune_core::{
     WeightedSum,
 };
 use crowdtune_linalg::stats;
+use crowdtune_obs as obs;
 use crowdtune_space::Point;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// Which tuner to run (factory: strategies are stateful, so each run
 /// builds a fresh instance).
@@ -263,6 +267,106 @@ pub fn print_curves(label: &str, curves: &[Curve]) {
     }
 }
 
+/// Machine-readable form of one tuner's aggregated curve. The `NaN`
+/// cells of [`Curve`] (steps where some repetition had no success yet)
+/// become `None`, which serializes as JSON `null`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveJson {
+    /// Tuner name.
+    pub tuner: String,
+    /// Mean best-so-far per evaluation count.
+    pub mean: Vec<Option<f64>>,
+    /// Standard deviation across seeds per evaluation count.
+    pub std: Vec<Option<f64>>,
+    /// Number of runs with at least one success at each step.
+    pub n_ok: Vec<u64>,
+}
+
+/// Machine-readable comparison result written alongside the human
+/// tables, tagged with the active per-run event journal (when one is
+/// installed) so figures can be joined with their trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonJson {
+    /// Scenario label.
+    pub label: String,
+    /// Path of the installed obs journal, if any.
+    pub journal: Option<String>,
+    /// One aggregated curve per tuner.
+    pub curves: Vec<CurveJson>,
+    /// Evaluation count the speedups are measured at.
+    pub speedup_at: u64,
+    /// Speedup over the NoTLA baseline per tuner; a tuner is absent when
+    /// either curve has no defined point at `speedup_at`.
+    pub speedups: BTreeMap<String, f64>,
+}
+
+/// Convert aggregated curves to the machine-readable comparison form,
+/// with speedups over NoTLA taken at evaluation `k`.
+pub fn comparison_json(label: &str, curves: &[Curve], k: usize) -> ComparisonJson {
+    let base = curves
+        .iter()
+        .find(|c| c.tuner == "NoTLA")
+        .and_then(|c| c.at(k));
+    let mut speedups = BTreeMap::new();
+    if let Some(base) = base {
+        for c in curves {
+            if c.tuner == "NoTLA" {
+                continue;
+            }
+            if let Some(v) = c.at(k) {
+                speedups.insert(c.tuner.to_string(), base / v);
+            }
+        }
+    }
+    ComparisonJson {
+        label: label.to_string(),
+        journal: obs::journal_path().map(|p| p.display().to_string()),
+        curves: curves
+            .iter()
+            .map(|c| CurveJson {
+                tuner: c.tuner.to_string(),
+                mean: c.mean.iter().copied().map(obs::finite).collect(),
+                std: c.std.iter().copied().map(obs::finite).collect(),
+                n_ok: c.n_ok.iter().map(|&n| n as u64).collect(),
+            })
+            .collect(),
+        speedup_at: k as u64,
+        speedups,
+    }
+}
+
+/// Print the human tables for one comparison and write the
+/// machine-readable JSON next to them under `dir` (filename derived from
+/// the label). Returns the JSON path.
+pub fn report_comparison(
+    dir: &Path,
+    label: &str,
+    curves: &[Curve],
+    k: usize,
+) -> std::io::Result<PathBuf> {
+    print_curves(label, curves);
+    print_speedups(curves, k);
+    let json = comparison_json(label, curves, k);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("curves_{}.json", label_slug(label)));
+    let text = serde_json::to_string_pretty(&json).expect("comparison serializes");
+    std::fs::write(&path, text)?;
+    println!("-- wrote {}", path.display());
+    Ok(path)
+}
+
+fn label_slug(label: &str) -> String {
+    let mut s = String::with_capacity(label.len());
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            s.push(ch.to_ascii_lowercase());
+        } else if !s.is_empty() && !s.ends_with('_') {
+            s.push('_');
+        }
+    }
+    s.trim_end_matches('_').to_string()
+}
+
 /// Report the paper's headline ratio: tuned performance of each tuner
 /// relative to `NoTLA` at evaluation `k` (values > 1 mean the tuner's
 /// configuration is that many times faster).
@@ -318,6 +422,48 @@ mod tests {
             for w in c.mean.windows(2) {
                 assert!(w[1] <= w[0] + 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn comparison_json_round_trips_and_slugs_labels() {
+        let curves = vec![
+            Curve {
+                tuner: "NoTLA",
+                mean: vec![2.0, f64::NAN, 1.0],
+                std: vec![0.1, f64::NAN, 0.05],
+                n_ok: vec![2, 1, 2],
+            },
+            Curve {
+                tuner: "Stacking",
+                mean: vec![1.5, 1.25, 0.5],
+                std: vec![0.2, 0.1, 0.01],
+                n_ok: vec![2, 2, 2],
+            },
+        ];
+        let json = comparison_json("Fig 3 (a) demo: t=1.0", &curves, 3);
+        // NaN cells become None; finite cells survive bitwise.
+        assert_eq!(json.curves[0].mean, vec![Some(2.0), None, Some(1.0)]);
+        assert_eq!(json.speedups.get("Stacking"), Some(&2.0));
+        let text = serde_json::to_string(&json).unwrap();
+        let back: ComparisonJson = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, json);
+
+        assert_eq!(label_slug("Fig 3 (a) demo: t=1.0"), "fig_3_a_demo_t_1_0");
+        assert_eq!(label_slug("---"), "");
+
+        let dir = std::env::temp_dir().join("crowdtune_runner_json");
+        let path = report_comparison(&dir, "unit test label", &curves, 3).unwrap();
+        let written: ComparisonJson =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(written, json_with_label(&json, "unit test label"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn json_with_label(json: &ComparisonJson, label: &str) -> ComparisonJson {
+        ComparisonJson {
+            label: label.to_string(),
+            ..json.clone()
         }
     }
 

@@ -7,6 +7,7 @@
 //! abstracted as [`Surrogate`] so single-task GPs, LCM slices, weighted
 //! sums and stacked models all plug into the same search.
 
+use crowdtune_obs as obs;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -217,7 +218,17 @@ fn apply_failure_exclusion(candidates: &mut Vec<Vec<f64>>, failed: &[Vec<f64>], 
     // Retain in place only when at least one candidate survives; a
     // fully-failed neighborhood keeps the raw pool untouched.
     if candidates.iter().any(|c| far(c)) {
+        let before = candidates.len();
         candidates.retain(|c| far(c));
+        let removed = before - candidates.len();
+        if removed > 0 {
+            obs::count(obs::names::CTR_ACQ_EXCLUDED, removed as u64);
+            obs::record_with(|| obs::Event::Exclusion {
+                failed: failed.len() as u64,
+                removed: removed as u64,
+                pool: candidates.len() as u64,
+            });
+        }
     }
 }
 
@@ -286,6 +297,8 @@ fn score_candidates<S: Surrogate>(
     incumbent: Option<(&[f64], f64)>,
     opts: &SearchOptions,
 ) -> Vec<f64> {
+    let acq_span = obs::span(obs::names::SPAN_ACQUISITION);
+    obs::count(obs::names::CTR_ACQ_CANDIDATES, candidates.len() as u64);
     // One batched prediction pass (parallel over candidate chunks), then
     // a serial first-wins argmax so ties and non-finite scores resolve
     // exactly as a per-point loop in candidate order would.
@@ -314,6 +327,17 @@ fn score_candidates<S: Surrogate>(
             best_idx = i;
         }
     }
+    obs::record_with(|| obs::Event::Acquisition {
+        kind: match (opts.acquisition, incumbent) {
+            (AcquisitionKind::ExpectedImprovement, Some(_)) => "ei",
+            (AcquisitionKind::ExpectedImprovement, None) => "lcb-cold",
+            (AcquisitionKind::LowerConfidenceBound { .. }, _) => "lcb",
+        }
+        .to_string(),
+        candidates: scores.len() as u64,
+        best_score: obs::finite(best_score),
+        duration_us: acq_span.elapsed_ns() / 1_000,
+    });
     candidates.swap_remove(best_idx)
 }
 

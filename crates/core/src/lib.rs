@@ -46,7 +46,7 @@ pub use tla::weighted::WeightedSum;
 pub use tla::{SourceTask, TlaContext, TlaStrategy};
 pub use tuner::{
     dims_of, tune_notla, tune_notla_constrained, tune_tla, tune_tla_constrained, Constraint,
-    EvalRecord, TuneConfig, TuneResult,
+    EvalRecord, RunStats, TuneConfig, TuneResult,
 };
 pub use utilities::{
     query_predict_output, query_sensitivity_analysis, query_surrogate_model,

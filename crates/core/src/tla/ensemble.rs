@@ -15,6 +15,7 @@
 //! (Eq. 3 only, exploration pinned to zero).
 
 use super::{TlaContext, TlaStrategy};
+use crowdtune_obs as obs;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -188,6 +189,14 @@ impl TlaStrategy for Ensemble {
         let i = self.choose(ctx, rng);
         self.last_choice = Some(i);
         self.members[i].chosen += 1;
+        // Journal the Eq. 3 distribution alongside the member actually
+        // chosen (which may differ under the Eq. 4 exploration branch).
+        // Recomputing the probabilities is pure — no RNG is consumed.
+        obs::record_with(|| obs::Event::Weights {
+            strategy: self.label.clone(),
+            weights: self.selection_probabilities(),
+            chosen: self.members[i].strategy.name().to_string(),
+        });
         self.members[i].strategy.propose(ctx, rng)
     }
 

@@ -14,6 +14,7 @@ use super::{random_proposal, TlaContext, TlaStrategy};
 use crate::acquisition::propose_ei_failure_aware;
 use crowdtune_gp::{Gp, GpConfig};
 use crowdtune_linalg::{nnls, Matrix};
+use crowdtune_obs as obs;
 use rand::rngs::StdRng;
 
 /// Weight policy for [`WeightedSum`].
@@ -185,6 +186,11 @@ impl TlaStrategy for WeightedSum {
             return random_proposal(ctx.dim(), rng);
         }
         let weights = self.weights(ctx, &models);
+        obs::record_with(|| obs::Event::Weights {
+            strategy: self.label.clone(),
+            weights: weights.clone(),
+            chosen: String::new(),
+        });
         let combined = CombinedSurrogate { models, weights };
         let surrogate = |x: &[f64]| combined.predict(x);
         propose_ei_failure_aware(

@@ -15,9 +15,11 @@ use crate::data::Dataset;
 use crate::tla::weighted::WeightedSum;
 use crate::tla::{SourceTask, TlaContext, TlaStrategy};
 use crowdtune_gp::{DimKind, Gp, GpConfig};
+use crowdtune_obs as obs;
 use crowdtune_space::{sample_lhs, Domain, Point, Space};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Tuning configuration.
 #[derive(Debug, Clone)]
@@ -60,11 +62,38 @@ pub struct EvalRecord {
     pub proposed_by: String,
 }
 
+/// Summary statistics for one tuning run, populated by the tuning loops
+/// from the obs layer (the per-thread span scope) so callers don't
+/// re-derive them from `history` or wrap the tuner in their own timers.
+///
+/// Timings are wall-clock nanoseconds observed on the run's own thread;
+/// work a stage fans out to rayon workers is attributed to the enclosing
+/// span (e.g. a parallel multistart is all inside its fit span).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Iterations executed (equals `history.len()`).
+    pub iterations: usize,
+    /// Failed evaluations.
+    pub failures: usize,
+    /// Time inside surrogate fits (single-task GP + LCM).
+    pub fit_time_ns: u64,
+    /// Time inside acquisition candidate-scoring batches.
+    pub acquisition_time_ns: u64,
+    /// Time inside objective evaluations.
+    pub eval_time_ns: u64,
+    /// Surrogate fits performed (GP + LCM, including failed ones).
+    pub surrogate_refits: u64,
+    /// Total wall-clock time of the run.
+    pub total_time_ns: u64,
+}
+
 /// Result of a tuning run.
 #[derive(Debug, Clone, Default)]
 pub struct TuneResult {
     /// Every evaluation, in order.
     pub history: Vec<EvalRecord>,
+    /// Run summary populated from the obs layer.
+    pub stats: RunStats,
 }
 
 impl TuneResult {
@@ -161,7 +190,10 @@ pub fn tune_notla_constrained(
             }
         }
     }
+    let mut observer = RunObserver::begin("NoTLA", space.dim(), config);
     for i in 0..config.budget {
+        let iter_start = Instant::now();
+        let propose_span = obs::span(obs::names::SPAN_PROPOSE);
         let unit = if i < init_points.len() {
             space.to_unit(&init_points[i]).expect("sampled point valid")
         } else if observed.is_empty() {
@@ -190,6 +222,7 @@ pub fn tune_notla_constrained(
                 Err(_) => crate::tla::random_proposal(space.dim(), &mut rng),
             }
         };
+        drop(propose_span);
         let proposed_by = if i < init_points.len() {
             "LHS-init"
         } else {
@@ -208,7 +241,13 @@ pub fn tune_notla_constrained(
         if y.is_none() {
             failed_units.push(result.history.last().expect("just pushed").unit.clone());
         }
+        observer.iteration(
+            i,
+            result.history.last().expect("just pushed"),
+            u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
     }
+    observer.finish(&mut result);
     result
 }
 
@@ -245,7 +284,10 @@ pub fn tune_tla_constrained(
     // The cold-start strategy for evaluations with no target data yet.
     let mut cold_start = WeightedSum::equal();
 
-    for _ in 0..config.budget {
+    let mut observer = RunObserver::begin(strategy.name(), space.dim(), config);
+    for i in 0..config.budget {
+        let iter_start = Instant::now();
+        let propose_span = obs::span(obs::names::SPAN_PROPOSE);
         let unit = {
             let ctx = TlaContext {
                 dims: &dims,
@@ -262,6 +304,7 @@ pub fn tune_tla_constrained(
                 strategy.propose(&ctx, &mut rng)
             }
         };
+        drop(propose_span);
         let proposed_by = if target.is_empty() {
             cold_start.name().to_string()
         } else {
@@ -283,8 +326,89 @@ pub fn tune_tla_constrained(
         if !was_cold {
             strategy.observe(&unit, y);
         }
+        observer.iteration(
+            i,
+            result.history.last().expect("just pushed"),
+            u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
     }
+    observer.finish(&mut result);
     result
+}
+
+/// Per-run observability bookkeeping shared by the NoTLA and TLA loops:
+/// opens the thread-local span scope, journals run/iteration events, and
+/// folds the scope back into [`RunStats`] at the end.
+struct RunObserver {
+    start: Instant,
+    best: Option<f64>,
+    failures: usize,
+    iterations: usize,
+}
+
+impl RunObserver {
+    fn begin(tuner: &str, dim: usize, config: &TuneConfig) -> Self {
+        obs::scope_begin();
+        obs::record_with(|| obs::Event::RunStart {
+            run: format!("{tuner}-seed{}", config.seed),
+            tuner: tuner.to_string(),
+            dim: dim as u64,
+            budget: config.budget as u64,
+            seed: config.seed,
+        });
+        RunObserver {
+            start: Instant::now(),
+            best: None,
+            failures: 0,
+            iterations: 0,
+        }
+    }
+
+    fn iteration(&mut self, iter: usize, rec: &EvalRecord, duration_ns: u64) {
+        self.iterations += 1;
+        obs::count(obs::names::CTR_TUNE_ITERATIONS, 1);
+        if rec.result.is_err() {
+            self.failures += 1;
+            obs::count(obs::names::CTR_TUNE_FAILURES, 1);
+        }
+        if let Some(y) = rec.result.as_ref().ok().copied().filter(|y| y.is_finite()) {
+            if self.best.is_none_or(|b| y < b) {
+                self.best = Some(y);
+            }
+        }
+        obs::record_with(|| obs::Event::Iteration {
+            iter: iter as u64,
+            point: rec.unit.clone(),
+            value: rec.result.as_ref().ok().copied().and_then(obs::finite),
+            ok: rec.result.is_ok(),
+            proposed_by: rec.proposed_by.clone(),
+            best: self.best,
+            duration_us: duration_ns / 1_000,
+        });
+    }
+
+    fn finish(self, result: &mut TuneResult) {
+        let total_time_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let scope = obs::scope_end().unwrap_or_default();
+        result.stats = RunStats {
+            iterations: self.iterations,
+            failures: self.failures,
+            fit_time_ns: scope.time_ns_of(obs::names::SPAN_GP_FIT)
+                + scope.time_ns_of(obs::names::SPAN_LCM_FIT),
+            acquisition_time_ns: scope.time_ns_of(obs::names::SPAN_ACQUISITION),
+            eval_time_ns: scope.time_ns_of(obs::names::SPAN_EVAL),
+            surrogate_refits: scope.count_of(obs::names::SPAN_GP_FIT)
+                + scope.count_of(obs::names::SPAN_LCM_FIT),
+            total_time_ns,
+        };
+        obs::record_with(|| obs::Event::RunEnd {
+            iterations: self.iterations as u64,
+            failures: self.failures as u64,
+            best: self.best,
+            duration_us: total_time_ns / 1_000,
+        });
+        obs::journal_flush();
+    }
 }
 
 /// Build a unit-space validity closure from a point-space constraint.
@@ -313,7 +437,9 @@ fn step(
     // Snap the unit coordinates to the cell the point actually maps to,
     // so dedup works in the discrete space.
     let unit_snapped = space.to_unit(&point).expect("point from space");
+    let eval_span = obs::span(obs::names::SPAN_EVAL);
     let res = objective(&point);
+    drop(eval_span);
     evaluated_units.push(unit_snapped.clone());
     let y = res.as_ref().ok().copied();
     if let Ok(y) = res {

@@ -32,4 +32,4 @@ pub use document::{
 pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
 pub use query::{parse_query, Filter, ParseError};
 pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
-pub use store::{DocumentStore, StoreError};
+pub use store::{DocumentStore, ScanStats, StoreError};

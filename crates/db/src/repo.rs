@@ -12,6 +12,7 @@ use crate::document::{FunctionEvaluation, MachineConfig, SoftwareConfig};
 use crate::env::TagRegistry;
 use crate::query::Filter;
 use crate::store::{DocumentStore, StoreError};
+use crowdtune_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -264,7 +265,21 @@ impl HistoryDb {
     /// Submit one evaluation. The API key identifies the owner; machine
     /// and software tags are normalized before storage. Returns the
     /// assigned document id.
-    pub fn submit(&self, api_key: &str, mut eval: FunctionEvaluation) -> Result<u64, DbError> {
+    pub fn submit(&self, api_key: &str, eval: FunctionEvaluation) -> Result<u64, DbError> {
+        let span = obs::span(obs::names::SPAN_DB_UPLOAD);
+        let result = self.submit_inner(api_key, eval);
+        let (accepted, rejected) = if result.is_ok() { (1, 0) } else { (0, 1) };
+        obs::count(obs::names::CTR_DB_UPLOADED, accepted);
+        obs::count(obs::names::CTR_DB_REJECTED, rejected);
+        obs::record_with(|| obs::Event::Upload {
+            accepted,
+            rejected,
+            duration_us: span.elapsed_ns() / 1_000,
+        });
+        result
+    }
+
+    fn submit_inner(&self, api_key: &str, mut eval: FunctionEvaluation) -> Result<u64, DbError> {
         let owner = self.users.authenticate(api_key)?;
         eval.owner = owner;
         self.tags.normalize_machine(&mut eval.machine);
@@ -274,13 +289,39 @@ impl HistoryDb {
         Ok(self.store.insert(eval))
     }
 
-    /// Submit a batch of evaluations.
+    /// Submit a batch of evaluations. Stops at the first rejected record;
+    /// records accepted before the failure remain stored.
     pub fn submit_batch(
         &self,
         api_key: &str,
         evals: Vec<FunctionEvaluation>,
     ) -> Result<Vec<u64>, DbError> {
-        evals.into_iter().map(|e| self.submit(api_key, e)).collect()
+        let span = obs::span(obs::names::SPAN_DB_UPLOAD);
+        let mut ids = Vec::with_capacity(evals.len());
+        let mut rejected = 0u64;
+        let mut error = None;
+        for e in evals {
+            match self.submit_inner(api_key, e) {
+                Ok(id) => ids.push(id),
+                Err(err) => {
+                    rejected = 1;
+                    error = Some(err);
+                    break;
+                }
+            }
+        }
+        let accepted = ids.len() as u64;
+        obs::count(obs::names::CTR_DB_UPLOADED, accepted);
+        obs::count(obs::names::CTR_DB_REJECTED, rejected);
+        obs::record_with(|| obs::Event::Upload {
+            accepted,
+            rejected,
+            duration_us: span.elapsed_ns() / 1_000,
+        });
+        match error {
+            Some(err) => Err(err),
+            None => Ok(ids),
+        }
     }
 
     /// Query with an API key (sees public + own + shared-with-user data).
@@ -299,12 +340,26 @@ impl HistoryDb {
     }
 
     fn query_as(&self, user: Option<&str>, spec: &QuerySpec) -> Vec<FunctionEvaluation> {
-        self.store
-            .query_problem(&spec.problem, &spec.filter, user)
+        let span = obs::span(obs::names::SPAN_DB_QUERY);
+        let (hits, stats) = self
+            .store
+            .query_problem_counted(&spec.problem, &spec.filter, user);
+        let kept: Vec<FunctionEvaluation> = hits
             .into_iter()
             .filter(|e| spec.include_failures || e.result.is_ok())
             .filter(|e| spec.configuration.matches(e, &self.tags))
-            .collect()
+            .collect();
+        obs::count(obs::names::CTR_DB_SCANNED, stats.scanned as u64);
+        obs::count(obs::names::CTR_DB_RETURNED, kept.len() as u64);
+        obs::count(obs::names::CTR_DB_DENIED, stats.denied as u64);
+        obs::record_with(|| obs::Event::DbQuery {
+            query: spec.problem.clone(),
+            scanned: stats.scanned as u64,
+            returned: kept.len() as u64,
+            denied: stats.denied as u64,
+            duration_us: span.elapsed_ns() / 1_000,
+        });
+        kept
     }
 
     /// The `k` best (lowest-output) configurations matching a query —

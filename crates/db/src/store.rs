@@ -67,6 +67,16 @@ impl Inner {
     }
 }
 
+/// Scan statistics from a counted query: how many index entries were
+/// examined and how many documents access control withheld.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Documents examined (index entries visited).
+    pub scanned: usize,
+    /// Documents withheld because the querying user may not read them.
+    pub denied: usize,
+}
+
 /// An in-memory (optionally file-persisted) document store.
 #[derive(Default)]
 pub struct DocumentStore {
@@ -125,16 +135,38 @@ impl DocumentStore {
         filter: &Filter,
         user: Option<&str>,
     ) -> Vec<FunctionEvaluation> {
+        self.query_problem_counted(problem, filter, user).0
+    }
+
+    /// Like [`DocumentStore::query_problem`], but also reports scan
+    /// statistics: how many index entries were examined and how many were
+    /// withheld by access control (readable-by check), for observability.
+    pub fn query_problem_counted(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
         let inner = self.inner.read();
-        match inner.by_problem.get(problem) {
-            Some(idxs) => idxs
-                .iter()
-                .map(|&i| &inner.docs[i])
-                .filter(|d| d.readable_by(user) && filter.matches(d))
-                .cloned()
-                .collect(),
+        let mut stats = ScanStats::default();
+        let hits = match inner.by_problem.get(problem) {
+            Some(idxs) => {
+                stats.scanned = idxs.len();
+                idxs.iter()
+                    .map(|&i| &inner.docs[i])
+                    .filter(|d| {
+                        if !d.readable_by(user) {
+                            stats.denied += 1;
+                            return false;
+                        }
+                        filter.matches(d)
+                    })
+                    .cloned()
+                    .collect()
+            }
             None => Vec::new(),
-        }
+        };
+        (hits, stats)
     }
 
     /// Full-collection query (no problem restriction).

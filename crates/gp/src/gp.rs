@@ -7,6 +7,7 @@
 
 use crate::kernel::{DimKind, Kernel, KernelKind, KernelParams, SqDists};
 use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, LbfgsResult, Matrix};
+use crowdtune_obs as obs;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -147,6 +148,7 @@ impl Gp {
         config: &GpConfig,
         rng: &mut R,
     ) -> Result<Self, GpError> {
+        let fit_span = obs::span(obs::names::SPAN_GP_FIT);
         let n = x.len();
         if n == 0 {
             return Err(GpError::EmptyTrainingSet);
@@ -239,8 +241,26 @@ impl Gp {
             max_iter: config.max_opt_iter,
             ..Default::default()
         };
-        let (nlml, theta) = run_multistart(&starts, objective, &opts, config.parallel)
-            .ok_or(GpError::NumericalFailure)?;
+        let Some((nlml, theta)) = run_multistart(&starts, objective, &opts, config.parallel) else {
+            obs::count(obs::names::CTR_FIT_FALLBACKS, 1);
+            obs::record_with(|| obs::Event::Fit {
+                model: "gp".to_string(),
+                points: n as u64,
+                restarts: starts.len() as u64,
+                nll: None,
+                duration_us: fit_span.elapsed_ns() / 1_000,
+                fallback: true,
+            });
+            return Err(GpError::NumericalFailure);
+        };
+        obs::record_with(|| obs::Event::Fit {
+            model: "gp".to_string(),
+            points: n as u64,
+            restarts: starts.len() as u64,
+            nll: obs::finite(nlml),
+            duration_us: fit_span.elapsed_ns() / 1_000,
+            fallback: false,
+        });
 
         let mut kernel = kernel0;
         kernel.unpack(&theta[..n_kernel]);
@@ -585,6 +605,19 @@ where
         } else {
             starts.iter().map(run).collect()
         };
+    obs::count(obs::names::CTR_FIT_RESTARTS, results.len() as u64);
+    if obs::journal_active() {
+        // Journaled on the calling thread, in start order, so parallel and
+        // sequential paths produce identical event sequences.
+        for (index, res) in results.iter().enumerate() {
+            obs::record_with(|| obs::Event::Restart {
+                index: index as u64,
+                nll: obs::finite(res.f),
+                iterations: res.iterations as u64,
+                stop: res.stop.as_str().to_string(),
+            });
+        }
+    }
     let mut best: Option<(f64, Vec<f64>)> = None;
     for res in results {
         if res.f.is_finite() {

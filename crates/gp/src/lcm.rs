@@ -22,6 +22,7 @@
 use crate::gp::{run_multistart, Prediction};
 use crate::kernel::{DimKind, Kernel, KernelKind, KernelParams, SqDists};
 use crowdtune_linalg::{Cholesky, LbfgsOptions, Matrix};
+use crowdtune_obs as obs;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -175,6 +176,7 @@ impl Lcm {
         config: &LcmConfig,
         rng: &mut R,
     ) -> Result<Self, LcmError> {
+        let fit_span = obs::span(obs::names::SPAN_LCM_FIT);
         let t_count = tasks.len();
         let d = config.dims.len();
         let q_count = config.q.max(1);
@@ -303,8 +305,26 @@ impl Lcm {
             max_iter: config.max_opt_iter,
             ..Default::default()
         };
-        let (nlml, theta) = run_multistart(&starts, objective, &opts, config.parallel)
-            .ok_or(LcmError::NumericalFailure)?;
+        let Some((nlml, theta)) = run_multistart(&starts, objective, &opts, config.parallel) else {
+            obs::count(obs::names::CTR_FIT_FALLBACKS, 1);
+            obs::record_with(|| obs::Event::Fit {
+                model: "lcm".to_string(),
+                points: n_total as u64,
+                restarts: starts.len() as u64,
+                nll: None,
+                duration_us: fit_span.elapsed_ns() / 1_000,
+                fallback: true,
+            });
+            return Err(LcmError::NumericalFailure);
+        };
+        obs::record_with(|| obs::Event::Fit {
+            model: "lcm".to_string(),
+            points: n_total as u64,
+            restarts: starts.len() as u64,
+            nll: obs::finite(nlml),
+            duration_us: fit_span.elapsed_ns() / 1_000,
+            fallback: false,
+        });
 
         // Unpack the winner and finalize.
         let mut kernels = Vec::with_capacity(q_count);

@@ -7,6 +7,7 @@
 //! retry, growing the jitter geometrically until the factorization succeeds.
 
 use crate::matrix::{row_chunks, Matrix};
+use crowdtune_obs as obs;
 use rayon::prelude::*;
 
 /// Matrices at least this large are factored with the blocked
@@ -80,9 +81,24 @@ impl Cholesky {
             0.0
         };
         let fallback_start = 1e-12 * diag_scale.max(1e-300);
+        let mut attempts: u64 = 0;
         loop {
+            attempts += 1;
             match try_factor(a, jitter) {
-                Some(l) => return Ok(Cholesky { l, jitter }),
+                Some(l) => {
+                    if attempts > 1 {
+                        // The matrix was indefinite as given and was silently
+                        // rescued by jitter: surface the recovery.
+                        obs::count(obs::names::CTR_JITTER_ESCALATIONS, 1);
+                        obs::record_with(|| obs::Event::Jitter {
+                            dim: n as u64,
+                            jitter,
+                            attempts,
+                            recovered: true,
+                        });
+                    }
+                    return Ok(Cholesky { l, jitter });
+                }
                 None => {
                     let next = if jitter == 0.0 {
                         fallback_start
@@ -90,6 +106,15 @@ impl Cholesky {
                         jitter * 10.0
                     };
                     if next > max_jitter || !next.is_finite() {
+                        if attempts > 1 {
+                            obs::count(obs::names::CTR_JITTER_EXHAUSTED, 1);
+                            obs::record_with(|| obs::Event::Jitter {
+                                dim: n as u64,
+                                jitter,
+                                attempts,
+                                recovered: false,
+                            });
+                        }
                         return Err(NotPositiveDefinite {
                             max_jitter_tried: jitter,
                         });

@@ -11,6 +11,8 @@
 //! by the line search, which lets callers expose hard domain boundaries
 //! (e.g. log-hyperparameters that overflow) simply by returning `f64::INFINITY`.
 
+use crowdtune_obs as obs;
+
 /// Convergence/iteration controls for [`lbfgs`].
 #[derive(Debug, Clone)]
 pub struct LbfgsOptions {
@@ -51,6 +53,19 @@ pub enum StopReason {
     MaxIterations,
     /// Objective was non-finite at the starting point.
     BadStart,
+}
+
+impl StopReason {
+    /// Stable lowercase identifier, used by journal events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::GradientSmall => "gradient_small",
+            StopReason::ObjectiveStalled => "objective_stalled",
+            StopReason::LineSearchFailed => "line_search_failed",
+            StopReason::MaxIterations => "max_iterations",
+            StopReason::BadStart => "bad_start",
+        }
+    }
 }
 
 /// Result of an L-BFGS run.
@@ -160,6 +175,13 @@ pub fn lbfgs(
         // approximation on valley-shaped objectives.
         let Some((x_new, f_new, g_new)) = wolfe_search(&x, fx, dg, &d, &mut f, opts.max_ls_steps)
         else {
+            // Surface the failure instead of swallowing it: callers treat a
+            // line-search abort as a normal (weaker) convergence outcome, but
+            // a high rate signals ill-conditioned likelihood surfaces.
+            obs::count(obs::names::CTR_LINESEARCH_FAILURES, 1);
+            obs::record_with(|| obs::Event::LineSearch {
+                iteration: iterations as u64,
+            });
             stop = StopReason::LineSearchFailed;
             break;
         };

@@ -1,0 +1,73 @@
+//! `crowdtune-report` — summarize a per-run JSONL event journal.
+//!
+//! ```text
+//! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>]
+//! ```
+//!
+//! Reads the journal, schema-checking every line, prints a per-stage
+//! time/count breakdown, and writes the aggregated metrics snapshot to
+//! `--snapshot` (default `results/obs_snapshot.json`). Exits non-zero on an
+//! unreadable or empty journal, any schema violation, or fewer distinct
+//! event kinds than `--min-kinds` (default 1).
+
+use std::process::ExitCode;
+
+use crowdtune_obs::{read_journal, render_report, summarize};
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let journal_path = args
+        .next()
+        .ok_or("usage: crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>]")?;
+    let mut snapshot_path = String::from("results/obs_snapshot.json");
+    let mut min_kinds = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--snapshot" => {
+                snapshot_path = args.next().ok_or("--snapshot requires a path")?;
+            }
+            "--min-kinds" => {
+                min_kinds = args
+                    .next()
+                    .ok_or("--min-kinds requires a number")?
+                    .parse()
+                    .map_err(|e| format!("--min-kinds: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let events = read_journal(&journal_path).map_err(|e| format!("{journal_path}: {e}"))?;
+    if events.is_empty() {
+        return Err(format!("{journal_path}: journal is empty"));
+    }
+    let report = summarize(&journal_path, &events);
+    if report.event_counts.len() < min_kinds {
+        return Err(format!(
+            "{journal_path}: only {} distinct event kinds (need ≥ {min_kinds}): {:?}",
+            report.event_counts.len(),
+            report.event_counts.keys().collect::<Vec<_>>()
+        ));
+    }
+    print!("{}", render_report(&report));
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(parent) = std::path::Path::new(&snapshot_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{snapshot_path}: {e}"))?;
+        }
+    }
+    std::fs::write(&snapshot_path, json).map_err(|e| format!("{snapshot_path}: {e}"))?;
+    println!("\nsnapshot written to {snapshot_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("crowdtune-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

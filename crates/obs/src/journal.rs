@@ -1,0 +1,399 @@
+//! Per-tuning-run JSONL event journal.
+//!
+//! A [`Journal`] appends one JSON object per line to a file; each line is an
+//! internally-tagged [`Event`] (`"event": "<kind>"`). A journal is installed
+//! process-wide with [`install_journal`]; instrumentation sites emit through
+//! [`record_with`], which costs a single relaxed load while no journal is
+//! installed (the event closure is not even evaluated). Journals are read
+//! back and schema-checked with [`read_journal`]: every line must parse as
+//! JSON *and* deserialize into a known [`Event`] variant.
+//!
+//! Fields that may be numerically undefined mid-run (best-so-far before the
+//! first success, the NLL of a failed fit) are `Option<f64>` and serialize
+//! as `null`; wrap raw floats with [`finite`] at emission sites so a NaN/∞
+//! can never produce a line that fails its own schema check.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+/// One typed journal entry. The serialized form is internally tagged:
+/// `{"event": "fit", ...}`, with variant names lowercased.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "lowercase")]
+pub enum Event {
+    /// A tuning run began.
+    RunStart {
+        /// Free-form run label (scenario/seed), used to correlate journals.
+        run: String,
+        /// Tuner/strategy name (e.g. `notla`, `ensemble-proposed`).
+        tuner: String,
+        /// Search-space dimensionality.
+        dim: u64,
+        /// Total evaluation budget.
+        budget: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// One tuner iteration: a candidate was chosen and evaluated.
+    Iteration {
+        /// Zero-based iteration index within the run.
+        iter: u64,
+        /// Evaluated point in unit-cube coordinates.
+        point: Vec<f64>,
+        /// Objective value, `null` when the evaluation failed.
+        value: Option<f64>,
+        /// Whether the evaluation succeeded.
+        ok: bool,
+        /// Which proposer produced the candidate.
+        proposed_by: String,
+        /// Best successful objective value so far, `null` before the first.
+        best: Option<f64>,
+        /// Wall-clock microseconds spent on this iteration.
+        duration_us: u64,
+    },
+    /// A surrogate model was fitted.
+    Fit {
+        /// Model kind (`gp` or `lcm`).
+        model: String,
+        /// Number of training points.
+        points: u64,
+        /// Number of optimizer restarts attempted.
+        restarts: u64,
+        /// Best negative log marginal likelihood, `null` if no start
+        /// converged and a fallback was used.
+        nll: Option<f64>,
+        /// Wall-clock microseconds spent fitting.
+        duration_us: u64,
+        /// Whether the fit failed (no start converged), forcing the caller
+        /// onto its fallback path.
+        fallback: bool,
+    },
+    /// One multistart restart of the hyperparameter optimizer.
+    Restart {
+        /// Start index within the multistart batch.
+        index: u64,
+        /// Final objective (NLL) of this start, `null` if non-finite.
+        nll: Option<f64>,
+        /// L-BFGS iterations consumed.
+        iterations: u64,
+        /// Stop reason reported by the optimizer.
+        stop: String,
+    },
+    /// An acquisition-scoring batch completed.
+    Acquisition {
+        /// Acquisition kind (`ei`, `lcb`, …).
+        kind: String,
+        /// Number of candidates scored.
+        candidates: u64,
+        /// Best acquisition score in the batch, `null` if non-finite.
+        best_score: Option<f64>,
+        /// Wall-clock microseconds spent scoring.
+        duration_us: u64,
+    },
+    /// A Cholesky factorization needed jitter escalation to succeed.
+    Jitter {
+        /// Matrix dimension.
+        dim: u64,
+        /// Final diagonal jitter applied (0 if the recovery failed).
+        jitter: f64,
+        /// Number of factorization attempts (1 = clean, >1 = escalated).
+        attempts: u64,
+        /// Whether a factorization was eventually obtained.
+        recovered: bool,
+    },
+    /// An L-BFGS Wolfe line search failed to find an acceptable step.
+    LineSearch {
+        /// Optimizer iteration at which the line search failed.
+        iteration: u64,
+    },
+    /// Failed configurations were excluded from an acquisition pool.
+    Exclusion {
+        /// Number of known failed points driving the exclusion.
+        failed: u64,
+        /// Candidates removed from the pool.
+        removed: u64,
+        /// Pool size after exclusion.
+        pool: u64,
+    },
+    /// Per-iteration ensemble/weighted-sum member weights.
+    Weights {
+        /// Strategy emitting the weights.
+        strategy: String,
+        /// One weight (or selection probability) per member, member order.
+        weights: Vec<f64>,
+        /// Member chosen this iteration (empty if not a selection policy).
+        chosen: String,
+    },
+    /// A history-database query completed.
+    DbQuery {
+        /// Query description (problem name or filter summary).
+        query: String,
+        /// Records scanned before filtering.
+        scanned: u64,
+        /// Records returned after filtering.
+        returned: u64,
+        /// Records withheld by access control.
+        denied: u64,
+        /// Wall-clock microseconds spent in the query.
+        duration_us: u64,
+    },
+    /// Evaluation records were uploaded to the history database.
+    Upload {
+        /// Records accepted.
+        accepted: u64,
+        /// Records rejected (auth/validation).
+        rejected: u64,
+        /// Wall-clock microseconds spent uploading.
+        duration_us: u64,
+    },
+    /// A tuning run finished.
+    RunEnd {
+        /// Iterations executed.
+        iterations: u64,
+        /// Failed evaluations.
+        failures: u64,
+        /// Best successful objective value, `null` if every evaluation
+        /// failed.
+        best: Option<f64>,
+        /// Wall-clock microseconds for the whole run.
+        duration_us: u64,
+    },
+}
+
+impl Event {
+    /// The serialized tag of this event (`"fit"`, `"jitter"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "runstart",
+            Event::Iteration { .. } => "iteration",
+            Event::Fit { .. } => "fit",
+            Event::Restart { .. } => "restart",
+            Event::Acquisition { .. } => "acquisition",
+            Event::Jitter { .. } => "jitter",
+            Event::LineSearch { .. } => "linesearch",
+            Event::Exclusion { .. } => "exclusion",
+            Event::Weights { .. } => "weights",
+            Event::DbQuery { .. } => "dbquery",
+            Event::Upload { .. } => "upload",
+            Event::RunEnd { .. } => "runend",
+        }
+    }
+}
+
+/// Maps a raw float to `Some` only when finite, so optional numeric journal
+/// fields never serialize NaN/∞ (which JSON cannot represent).
+pub fn finite(v: f64) -> Option<f64> {
+    if v.is_finite() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// An append-only JSONL sink. Writes are serialized through an internal
+/// mutex, so one journal may be shared by concurrent recorders.
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    lines: AtomicU64,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("lines", &self.lines.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates (truncating) a journal file at `path`, creating parent
+    /// directories as needed.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            lines: AtomicU64::new(0),
+        })
+    }
+
+    /// Path the journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of events written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event as a JSON line.
+    pub fn record(&self, ev: &Event) -> std::io::Result<()> {
+        let line = serde_json::to_string(ev)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut w = self.writer.lock();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        self.lines.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().flush()
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+static JOURNAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static JOURNAL: OnceLock<RwLock<Option<Arc<Journal>>>> = OnceLock::new();
+
+fn journal_slot() -> &'static RwLock<Option<Arc<Journal>>> {
+    JOURNAL.get_or_init(|| RwLock::new(None))
+}
+
+/// Returns whether a journal is installed (one relaxed load).
+#[inline]
+pub fn journal_active() -> bool {
+    JOURNAL_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs `journal` as the process-wide event sink, replacing (and
+/// returning) any previous one.
+pub fn install_journal(journal: Arc<Journal>) -> Option<Arc<Journal>> {
+    let prev = journal_slot().write().replace(journal);
+    JOURNAL_ACTIVE.store(true, Ordering::Relaxed);
+    prev
+}
+
+/// Removes and returns the installed journal, if any.
+pub fn uninstall_journal() -> Option<Arc<Journal>> {
+    JOURNAL_ACTIVE.store(false, Ordering::Relaxed);
+    journal_slot().write().take()
+}
+
+/// Path of the installed journal, if any.
+pub fn journal_path() -> Option<PathBuf> {
+    journal_slot()
+        .read()
+        .as_ref()
+        .map(|j| j.path().to_path_buf())
+}
+
+/// Flushes the installed journal, if any.
+pub fn journal_flush() {
+    if let Some(j) = journal_slot().read().as_ref() {
+        let _ = j.flush();
+    }
+}
+
+/// Records the event produced by `build` into the installed journal. While
+/// no journal is installed this is a single relaxed load and `build` is not
+/// evaluated. Write errors are counted (`obs.journal_errors`) but never
+/// propagate — observability must not fail the run being observed.
+#[inline]
+pub fn record_with<F: FnOnce() -> Event>(build: F) {
+    if !journal_active() {
+        return;
+    }
+    let journal = journal_slot().read().as_ref().cloned();
+    if let Some(j) = journal {
+        if j.record(&build()).is_err() {
+            crate::metrics::count("obs.journal_errors", 1);
+        }
+    }
+}
+
+/// Error returned by [`read_journal`].
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be read.
+    Io(std::io::Error),
+    /// A line failed to parse or schema-check.
+    Schema {
+        /// One-based line number of the offending line.
+        line: usize,
+        /// Parser/deserializer message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Schema { line, message } => {
+                write!(f, "journal schema violation at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Reads a JSONL journal back, schema-checking every line: each must be
+/// valid JSON *and* deserialize into a known [`Event`] variant. Blank lines
+/// are rejected (a truncated write is a violation, not noise).
+pub fn read_journal<P: AsRef<Path>>(path: P) -> Result<Vec<Event>, JournalError> {
+    let file = File::open(path.as_ref())?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let ev: Event = serde_json::from_str(&line).map_err(|e| JournalError::Schema {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_filters_non_finite() {
+        assert_eq!(finite(1.5), Some(1.5));
+        assert_eq!(finite(f64::NAN), None);
+        assert_eq!(finite(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn record_with_is_inert_without_journal() {
+        let _ = uninstall_journal();
+        let mut built = false;
+        record_with(|| {
+            built = true;
+            Event::LineSearch { iteration: 0 }
+        });
+        assert!(!built, "event closure must not run without a journal");
+    }
+}

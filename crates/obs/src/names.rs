@@ -1,0 +1,49 @@
+//! Well-known span, counter, and histogram names shared across crates.
+//!
+//! Instrumentation sites and consumers (RunStats, the report bin, tests)
+//! must agree on these strings; keeping them here prevents silent drift.
+
+/// Span: one full `Gp::fit` call, including its parallel multistart.
+pub const SPAN_GP_FIT: &str = "gp_fit";
+/// Span: one full `Lcm::fit` call, including its parallel multistart.
+pub const SPAN_LCM_FIT: &str = "lcm_fit";
+/// Span: one acquisition proposal (candidate generation + batch scoring).
+pub const SPAN_ACQUISITION: &str = "acquisition";
+/// Span: one strategy `propose` call inside the tuning loop.
+pub const SPAN_PROPOSE: &str = "propose";
+/// Span: one objective evaluation inside the tuning loop.
+pub const SPAN_EVAL: &str = "eval";
+/// Span: one history-database query.
+pub const SPAN_DB_QUERY: &str = "db_query";
+/// Span: one history-database upload (submit/submit_batch).
+pub const SPAN_DB_UPLOAD: &str = "db_upload";
+
+/// Counter: Cholesky factorizations that needed jitter escalation.
+pub const CTR_JITTER_ESCALATIONS: &str = "linalg.jitter_escalations";
+/// Counter: Cholesky factorizations that stayed indefinite after the full
+/// jitter ladder.
+pub const CTR_JITTER_EXHAUSTED: &str = "linalg.jitter_exhausted";
+/// Counter: L-BFGS Wolfe line searches that failed to find a step.
+pub const CTR_LINESEARCH_FAILURES: &str = "linalg.linesearch_failures";
+/// Counter: multistart restarts executed across all fits.
+pub const CTR_FIT_RESTARTS: &str = "gp.fit_restarts";
+/// Counter: fits that fell back to default hyperparameters.
+pub const CTR_FIT_FALLBACKS: &str = "gp.fit_fallbacks";
+/// Counter: candidates scored by acquisition batches.
+pub const CTR_ACQ_CANDIDATES: &str = "acq.candidates_scored";
+/// Counter: candidates removed by failure-region exclusion.
+pub const CTR_ACQ_EXCLUDED: &str = "acq.candidates_excluded";
+/// Counter: history-database records scanned by queries.
+pub const CTR_DB_SCANNED: &str = "db.records_scanned";
+/// Counter: history-database records returned by queries.
+pub const CTR_DB_RETURNED: &str = "db.records_returned";
+/// Counter: history-database records withheld by access control.
+pub const CTR_DB_DENIED: &str = "db.records_denied";
+/// Counter: records accepted by history-database uploads.
+pub const CTR_DB_UPLOADED: &str = "db.records_uploaded";
+/// Counter: records rejected by history-database uploads.
+pub const CTR_DB_REJECTED: &str = "db.records_rejected";
+/// Counter: failed objective evaluations observed by the tuning loop.
+pub const CTR_TUNE_FAILURES: &str = "tune.failures";
+/// Counter: tuner iterations executed.
+pub const CTR_TUNE_ITERATIONS: &str = "tune.iterations";

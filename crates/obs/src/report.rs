@@ -1,0 +1,323 @@
+//! Journal summarization: the library half of the `crowdtune-report` bin.
+//!
+//! [`summarize`] folds a parsed journal into a [`JournalReport`] — per-stage
+//! time/count breakdown plus recovery totals — and [`render_report`] formats
+//! it as the human table the bin prints. The report structure itself is
+//! serializable and doubles as the `results/obs_snapshot.json` export.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::Event;
+
+/// Aggregate of one journal stage (fit, acquisition, db query, …).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Number of events in the stage.
+    pub count: u64,
+    /// Total wall-clock microseconds across events.
+    pub total_us: u64,
+    /// Mean microseconds per event.
+    pub mean_us: f64,
+    /// Largest single event in microseconds.
+    pub max_us: u64,
+}
+
+impl StageSummary {
+    fn add(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        self.mean_us = self.total_us as f64 / self.count as f64;
+    }
+}
+
+/// Everything `crowdtune-report` derives from one journal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JournalReport {
+    /// Journal path this report was built from (tagging for the snapshot).
+    pub journal: String,
+    /// Total events in the journal.
+    pub events_total: u64,
+    /// Events per kind (`"fit"`, `"jitter"`, …).
+    pub event_counts: BTreeMap<String, u64>,
+    /// Time/count breakdown per timed stage.
+    pub stages: BTreeMap<String, StageSummary>,
+    /// Tuner iterations observed.
+    pub iterations: u64,
+    /// Failed evaluations observed.
+    pub failures: u64,
+    /// Best objective value across all runs in the journal.
+    pub best: Option<f64>,
+    /// Surrogate fits (gp + lcm).
+    pub fits: u64,
+    /// Fits that fell back to default hyperparameters.
+    pub fit_fallbacks: u64,
+    /// Optimizer restarts journaled.
+    pub restarts: u64,
+    /// Total L-BFGS iterations across journaled restarts.
+    pub lbfgs_iterations: u64,
+    /// Cholesky jitter escalations journaled.
+    pub jitter_escalations: u64,
+    /// Jitter recoveries that exhausted the ladder without factorizing.
+    pub jitter_exhausted: u64,
+    /// L-BFGS line-search failures journaled.
+    pub linesearch_failures: u64,
+    /// Candidates removed by failure exclusion.
+    pub excluded_candidates: u64,
+    /// DB records scanned by journaled queries.
+    pub db_scanned: u64,
+    /// DB records returned by journaled queries.
+    pub db_returned: u64,
+    /// DB records withheld by access control.
+    pub db_denied: u64,
+    /// Records accepted by journaled uploads.
+    pub uploads_accepted: u64,
+    /// Records rejected by journaled uploads.
+    pub uploads_rejected: u64,
+}
+
+fn better(best: &mut Option<f64>, candidate: Option<f64>) {
+    if let Some(c) = candidate {
+        if best.is_none_or(|b| c < b) {
+            *best = Some(c);
+        }
+    }
+}
+
+/// Folds parsed journal events into a [`JournalReport`]. `journal` is the
+/// path tag recorded in the report.
+pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
+    let mut r = JournalReport {
+        journal: journal.to_string(),
+        events_total: events.len() as u64,
+        ..JournalReport::default()
+    };
+    for ev in events {
+        *r.event_counts.entry(ev.kind().to_string()).or_insert(0) += 1;
+        match ev {
+            Event::RunStart { .. } => {}
+            Event::Iteration {
+                ok,
+                best,
+                duration_us,
+                ..
+            } => {
+                r.iterations += 1;
+                if !ok {
+                    r.failures += 1;
+                }
+                better(&mut r.best, *best);
+                r.stages
+                    .entry("iteration".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::Fit {
+                duration_us,
+                fallback,
+                ..
+            } => {
+                r.fits += 1;
+                if *fallback {
+                    r.fit_fallbacks += 1;
+                }
+                r.stages
+                    .entry("fit".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::Restart { iterations, .. } => {
+                r.restarts += 1;
+                r.lbfgs_iterations += iterations;
+            }
+            Event::Acquisition { duration_us, .. } => {
+                r.stages
+                    .entry("acquisition".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::Jitter {
+                attempts,
+                recovered,
+                ..
+            } => {
+                if *attempts > 1 {
+                    r.jitter_escalations += 1;
+                }
+                if !recovered {
+                    r.jitter_exhausted += 1;
+                }
+            }
+            Event::LineSearch { .. } => r.linesearch_failures += 1,
+            Event::Exclusion { removed, .. } => r.excluded_candidates += removed,
+            Event::Weights { .. } => {}
+            Event::DbQuery {
+                scanned,
+                returned,
+                denied,
+                duration_us,
+                ..
+            } => {
+                r.db_scanned += scanned;
+                r.db_returned += returned;
+                r.db_denied += denied;
+                r.stages
+                    .entry("db_query".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::Upload {
+                accepted,
+                rejected,
+                duration_us,
+            } => {
+                r.uploads_accepted += accepted;
+                r.uploads_rejected += rejected;
+                r.stages
+                    .entry("db_upload".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::RunEnd { duration_us, .. } => {
+                r.stages
+                    .entry("run".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+        }
+    }
+    r
+}
+
+/// Formats a report as the aligned human-readable table printed by the
+/// `crowdtune-report` bin.
+pub fn render_report(r: &JournalReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("journal   {}\n", r.journal));
+    out.push_str(&format!("events    {}\n", r.events_total));
+    out.push_str("\nevent counts\n");
+    for (kind, n) in &r.event_counts {
+        out.push_str(&format!("  {kind:<12} {n:>8}\n"));
+    }
+    out.push_str("\nstage breakdown\n");
+    out.push_str(&format!(
+        "  {:<12} {:>8} {:>12} {:>12} {:>12}\n",
+        "stage", "count", "total_ms", "mean_us", "max_us"
+    ));
+    for (stage, s) in &r.stages {
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>12.3} {:>12.1} {:>12}\n",
+            stage,
+            s.count,
+            s.total_us as f64 / 1e3,
+            s.mean_us,
+            s.max_us
+        ));
+    }
+    out.push_str("\ntuning\n");
+    out.push_str(&format!("  iterations          {:>8}\n", r.iterations));
+    out.push_str(&format!("  failures            {:>8}\n", r.failures));
+    match r.best {
+        Some(b) => out.push_str(&format!("  best                {b:>8.6}\n")),
+        None => out.push_str("  best                    none\n"),
+    }
+    out.push_str(&format!("  fits                {:>8}\n", r.fits));
+    out.push_str(&format!("  fit fallbacks       {:>8}\n", r.fit_fallbacks));
+    out.push_str(&format!("  restarts            {:>8}\n", r.restarts));
+    out.push_str(&format!(
+        "  lbfgs iterations    {:>8}\n",
+        r.lbfgs_iterations
+    ));
+    out.push_str("\nnumerical recoveries\n");
+    out.push_str(&format!(
+        "  jitter escalations  {:>8}\n",
+        r.jitter_escalations
+    ));
+    out.push_str(&format!(
+        "  jitter exhausted    {:>8}\n",
+        r.jitter_exhausted
+    ));
+    out.push_str(&format!(
+        "  line-search fails   {:>8}\n",
+        r.linesearch_failures
+    ));
+    out.push_str("\ndatabase\n");
+    out.push_str(&format!("  records scanned     {:>8}\n", r.db_scanned));
+    out.push_str(&format!("  records returned    {:>8}\n", r.db_returned));
+    out.push_str(&format!("  records denied      {:>8}\n", r.db_denied));
+    out.push_str(&format!(
+        "  uploads accepted    {:>8}\n",
+        r.uploads_accepted
+    ));
+    out.push_str(&format!(
+        "  uploads rejected    {:>8}\n",
+        r.uploads_rejected
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_counts_stages_and_recoveries() {
+        let events = vec![
+            Event::RunStart {
+                run: "t".into(),
+                tuner: "notla".into(),
+                dim: 2,
+                budget: 4,
+                seed: 1,
+            },
+            Event::Iteration {
+                iter: 0,
+                point: vec![0.5, 0.5],
+                value: Some(1.0),
+                ok: true,
+                proposed_by: "init".into(),
+                best: Some(1.0),
+                duration_us: 10,
+            },
+            Event::Iteration {
+                iter: 1,
+                point: vec![0.1, 0.9],
+                value: None,
+                ok: false,
+                proposed_by: "ei".into(),
+                best: Some(1.0),
+                duration_us: 30,
+            },
+            Event::Jitter {
+                dim: 8,
+                jitter: 1e-8,
+                attempts: 3,
+                recovered: true,
+            },
+            Event::LineSearch { iteration: 4 },
+            Event::Upload {
+                accepted: 5,
+                rejected: 1,
+                duration_us: 7,
+            },
+        ];
+        let r = summarize("j.jsonl", &events);
+        assert_eq!(r.events_total, 6);
+        assert_eq!(r.iterations, 2);
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.best, Some(1.0));
+        assert_eq!(r.jitter_escalations, 1);
+        assert_eq!(r.linesearch_failures, 1);
+        assert_eq!(r.uploads_accepted, 5);
+        assert_eq!(r.uploads_rejected, 1);
+        let it = &r.stages["iteration"];
+        assert_eq!(it.count, 2);
+        assert_eq!(it.total_us, 40);
+        assert_eq!(it.max_us, 30);
+        let rendered = render_report(&r);
+        assert!(rendered.contains("jitter escalations"));
+        assert!(rendered.contains("iteration"));
+    }
+}

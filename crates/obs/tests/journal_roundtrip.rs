@@ -1,0 +1,159 @@
+//! Journal round-trip: every event variant serializes to one JSONL line,
+//! parses back to the identical value, and malformed lines are rejected
+//! as schema violations.
+
+use crowdtune_obs::{read_journal, Event, Journal, JournalError};
+use std::sync::Arc;
+
+/// One instance of every event variant, with representative payloads
+/// (including a non-finite-derived `None` where the field allows it).
+fn all_variants() -> Vec<Event> {
+    vec![
+        Event::RunStart {
+            run: "NoTLA-seed7".into(),
+            tuner: "NoTLA".into(),
+            dim: 3,
+            budget: 20,
+            seed: 7,
+        },
+        Event::Iteration {
+            iter: 4,
+            point: vec![0.25, 0.5, -1.0],
+            value: Some(1.625),
+            ok: true,
+            proposed_by: "EI".into(),
+            best: Some(1.5),
+            duration_us: 830,
+        },
+        Event::Iteration {
+            iter: 5,
+            point: vec![0.1],
+            value: crowdtune_obs::finite(f64::NAN),
+            ok: false,
+            proposed_by: "EI".into(),
+            best: None,
+            duration_us: 12,
+        },
+        Event::Fit {
+            model: "gp".into(),
+            points: 18,
+            restarts: 4,
+            nll: Some(-3.75),
+            duration_us: 12_000,
+            fallback: false,
+        },
+        Event::Restart {
+            index: 2,
+            nll: None,
+            iterations: 31,
+            stop: "gradient_small".into(),
+        },
+        Event::Acquisition {
+            kind: "ei".into(),
+            candidates: 400,
+            best_score: Some(0.125),
+            duration_us: 900,
+        },
+        Event::Jitter {
+            dim: 12,
+            jitter: 1e-9,
+            attempts: 3,
+            recovered: true,
+        },
+        Event::LineSearch { iteration: 17 },
+        Event::Exclusion {
+            failed: 2,
+            removed: 31,
+            pool: 369,
+        },
+        Event::Weights {
+            strategy: "WeightedSum(dynamic)".into(),
+            weights: vec![0.5, 0.25, 0.25],
+            chosen: "Stacking".into(),
+        },
+        Event::DbQuery {
+            query: "PDGEQRF".into(),
+            scanned: 100,
+            returned: 40,
+            denied: 3,
+            duration_us: 55,
+        },
+        Event::Upload {
+            accepted: 10,
+            rejected: 1,
+            duration_us: 70,
+        },
+        Event::RunEnd {
+            iterations: 20,
+            failures: 2,
+            best: Some(0.875),
+            duration_us: 1_000_000,
+        },
+    ]
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("crowdtune_obs_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn every_variant_round_trips_bitwise() {
+    let path = temp_path("all_variants.jsonl");
+    let events = all_variants();
+    {
+        let journal = Arc::new(Journal::create(&path).unwrap());
+        for ev in &events {
+            journal.record(ev).unwrap();
+        }
+        journal.flush().unwrap();
+        assert_eq!(journal.lines(), events.len() as u64);
+    }
+    let back = read_journal(&path).unwrap();
+    assert_eq!(back, events);
+    // All 12 kinds distinct.
+    let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), 12);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_event_tag_is_a_schema_violation() {
+    let path = temp_path("bad_tag.jsonl");
+    std::fs::write(
+        &path,
+        "{\"event\":\"runstart\",\"run\":\"r\",\"tuner\":\"t\",\"dim\":1,\"budget\":1,\"seed\":0}\n{\"event\":\"frobnicate\",\"x\":1}\n",
+    )
+    .unwrap();
+    match read_journal(&path) {
+        Err(JournalError::Schema { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected schema error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_line_is_a_schema_violation() {
+    let path = temp_path("truncated.jsonl");
+    std::fs::write(&path, "{\"event\":\"linesearch\",\"iter").unwrap();
+    assert!(matches!(
+        read_journal(&path),
+        Err(JournalError::Schema { line: 1, .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_field_is_a_schema_violation() {
+    let path = temp_path("missing_field.jsonl");
+    // `upload` requires accepted/rejected/duration_us.
+    std::fs::write(&path, "{\"event\":\"upload\",\"accepted\":1}\n").unwrap();
+    assert!(matches!(
+        read_journal(&path),
+        Err(JournalError::Schema { line: 1, .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
