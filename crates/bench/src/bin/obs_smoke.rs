@@ -3,14 +3,22 @@
 //! Enables metrics, installs a per-run event journal, and drives the
 //! full crowd pipeline through every instrumented subsystem: source data
 //! is uploaded to and re-queried from the shared database (upload,
-//! dbquery — including an access-control denial), a transfer-learning
-//! tune runs with deterministic early failures (iteration, fit, restart,
-//! acquisition, weights, exclusion, runstart/runend), and a degenerate
-//! Gram factorization exercises jitter escalation (jitter). The journal
-//! is then validated with `crowdtune-report --min-kinds 8` in CI.
+//! dbquery — including an access-control denial), a Sobol sensitivity
+//! analysis and space reduction run (saltelli, sobol, spacereduce), a
+//! transfer-learning tune runs with deterministic early failures
+//! (iteration, fit, restart, acquisition, weights, exclusion,
+//! runstart/runend, profile), and a degenerate Gram factorization
+//! exercises jitter escalation (jitter). The journal is then validated
+//! with `crowdtune-report --min-kinds 12` in CI.
+//!
+//! With `--expose <addr>` the live metrics are additionally served in
+//! Prometheus text format for the duration of the run (and scraped once
+//! before exit); `--expose-oneshot <path>` writes a final scrape to a
+//! file instead of opening a socket.
 //!
 //! Run: `cargo run --release -p crowdtune-bench --bin obs_smoke \
-//!       [--journal results/obs_journal.jsonl] [--budget 12]`
+//!       [--journal results/obs_journal.jsonl] [--budget 12] \
+//!       [--expose 127.0.0.1:9184] [--expose-oneshot results/metrics.prom]`
 
 use crowdtune_apps::{Application, DemoFunction};
 use crowdtune_bench::{arg_value, upload_source_data};
@@ -19,7 +27,9 @@ use crowdtune_core::{dims_of, records_to_dataset, SourceTask, WeightedSum};
 use crowdtune_db::{Access, EvalOutcome, FunctionEvaluation, HistoryDb, QuerySpec};
 use crowdtune_linalg::{Cholesky, Matrix};
 use crowdtune_obs as obs;
-use crowdtune_space::Point;
+use crowdtune_sensitivity::{sobol_indices, SaltelliDesign};
+use crowdtune_space::{Param, Point, Space, Value};
+use crowdtune_telemetry::ExpositionServer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -34,6 +44,13 @@ fn main() {
     obs::set_metrics_enabled(true);
     let journal = Arc::new(obs::Journal::create(&journal_path).expect("create journal"));
     obs::install_journal(Arc::clone(&journal));
+
+    // Optional live exposition for the whole run.
+    let server = arg_value("--expose").map(|addr| {
+        let server = ExpositionServer::start(&addr).expect("bind exposition endpoint");
+        eprintln!("exposing metrics at http://{}/metrics", server.local_addr());
+        server
+    });
 
     // --- Crowd database round trip: upload source data, query it back ---
     let db = HistoryDb::new();
@@ -80,6 +97,31 @@ fn main() {
         }
     }
     Cholesky::with_jitter(&gram, 0.0, 1e-3).expect("jitter recovery");
+
+    // --- Instrumented sensitivity analysis + space reduction ------------
+    // A mini Sobol study on an Ishigami-style model: enough samples for
+    // the journal to carry real saltelli/sobol events, cheap enough for a
+    // smoke run. The (insensitive) third parameter is then fixed via
+    // `Space::reduce`, journaling the spacereduce event.
+    let design = SaltelliDesign::generate(3, 64, 0x50B01);
+    let evals = design.evaluate(|x| {
+        let map = |u: f64| -std::f64::consts::PI + 2.0 * std::f64::consts::PI * u;
+        map(x[0]).sin() + 7.0 * map(x[1]).sin().powi(2)
+    });
+    let sens = sobol_indices(&evals, 0x50B02);
+    eprintln!(
+        "sensitivity: ST = {:?}",
+        sens.params.iter().map(|p| p.st).collect::<Vec<_>>()
+    );
+    let sens_space = Space::new(vec![
+        Param::real("a", 0.0, 1.0),
+        Param::real("b", 0.0, 1.0),
+        Param::real("c", 0.0, 1.0),
+    ])
+    .expect("sensitivity space");
+    sens_space
+        .reduce(&["a", "b"], &[("c", Value::Real(0.5))])
+        .expect("space reduction");
 
     // --- Instrumented transfer-learning tune ----------------------------
     let target = DemoFunction::new(1.2);
@@ -132,6 +174,19 @@ fn main() {
         serde_json::to_string_pretty(&snapshot).expect("snapshot serializes"),
     )
     .expect("write metrics snapshot");
+
+    // Serve/export the Prometheus view after the full pipeline has run.
+    if let Some(server) = server {
+        let scraped = crowdtune_telemetry::exposition::scrape(server.local_addr())
+            .expect("self-scrape exposition endpoint");
+        let families = scraped.lines().filter(|l| l.starts_with("# TYPE")).count();
+        println!("exposition: {families} metric families served live");
+        server.shutdown();
+    }
+    if let Some(path) = arg_value("--expose-oneshot") {
+        crowdtune_telemetry::write_oneshot(&path).expect("write oneshot exposition");
+        println!("exposition: {path}");
+    }
 
     println!("journal: {journal_path} ({lines} events)");
     println!("metrics: {metrics_path}");

@@ -1,0 +1,307 @@
+//! Performance regression gate over the benchmark trajectory.
+//!
+//! Each benchmarked run appends one [`TrajectoryEntry`] to
+//! `results/bench_trajectory.json`: a label, the rayon thread count, and
+//! a map of *dimensionless, higher-is-worse* stats distilled from two
+//! sources:
+//!
+//! - `results/bench_hotpath.json` → `cost.<substrate>` = `1 / speedup`
+//!   for every substrate (the reciprocal keeps "bigger = slower").
+//! - the obs journal → `norm.<stage>` = mean stage microseconds divided
+//!   by the same run's `matmul_256` optimized nanoseconds. Dividing by a
+//!   fixed compute substrate measured in the same process calibrates out
+//!   absolute machine speed, so trajectories recorded on different
+//!   hardware stay comparable.
+//!
+//! [`check`] compares the current stats against the **median** of each
+//! stat's history (the median is robust to one noisy entry) and flags
+//! any stat that exceeds `baseline * (1 + band)`. The default band of
+//! 0.75 tolerates CI jitter while a genuine 2x regression still fails.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crowdtune_obs::{summarize, Event};
+use serde::{Deserialize, Serialize};
+
+/// Default relative noise band: current > baseline * (1 + band) fails.
+pub const DEFAULT_BAND: f64 = 0.75;
+
+/// One benchmarked run in the trajectory history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryEntry {
+    /// Human label for the run (commit, CI job, "local").
+    pub label: String,
+    /// Rayon thread count the benchmarks ran under.
+    pub threads: usize,
+    /// Dimensionless higher-is-worse stats keyed by name.
+    pub stats: BTreeMap<String, f64>,
+}
+
+/// Parsed shape of `results/bench_hotpath.json`.
+#[derive(Debug, Deserialize)]
+struct HotpathJson {
+    threads: usize,
+    substrates: Vec<HotpathSubstrate>,
+}
+
+#[derive(Debug, Deserialize)]
+struct HotpathSubstrate {
+    name: String,
+    median_ns_after: u64,
+    speedup: f64,
+}
+
+/// One tracked stat regressing past the noise band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stat name (`cost.lcm_fit_n260`, `norm.fit`, ...).
+    pub stat: String,
+    /// Median of the stat over the trajectory history.
+    pub baseline: f64,
+    /// Value in the run under test.
+    pub current: f64,
+}
+
+impl Regression {
+    /// `current / baseline` — 2.0 means twice as slow as the baseline.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+}
+
+/// Distills hotpath results and journal events into the gate's stat map,
+/// plus the thread count the benchmarks ran under.
+///
+/// Journal-derived stats are skipped (not zeroed) when the journal has
+/// no events for a stage, so they never produce spurious baselines.
+pub fn collect_stats(
+    hotpath_json: &str,
+    journal_events: &[Event],
+) -> Result<(usize, BTreeMap<String, f64>), String> {
+    let hotpath: HotpathJson =
+        serde_json::from_str(hotpath_json).map_err(|e| format!("bad hotpath json: {e}"))?;
+    let mut stats = BTreeMap::new();
+    let mut matmul_ns = None;
+    for sub in &hotpath.substrates {
+        if sub.speedup > 0.0 {
+            stats.insert(format!("cost.{}", sub.name), 1.0 / sub.speedup);
+        }
+        if sub.name == "matmul_256" {
+            matmul_ns = Some(sub.median_ns_after as f64);
+        }
+    }
+    if let Some(matmul_ns) = matmul_ns {
+        let report = summarize("gate", journal_events);
+        for stage in ["fit", "acquisition", "iteration"] {
+            if let Some(s) = report.stages.get(stage) {
+                if s.count > 0 {
+                    stats.insert(format!("norm.{stage}"), s.mean_us * 1_000.0 / matmul_ns);
+                }
+            }
+        }
+    }
+    if stats.is_empty() {
+        return Err("no stats could be collected (empty hotpath?)".to_string());
+    }
+    Ok((hotpath.threads, stats))
+}
+
+/// Median of a non-empty sample set.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Checks `current` against the per-stat median of `history`.
+///
+/// Stats absent from the history pass (there is nothing to regress
+/// against); stats absent from `current` are ignored — the gate only
+/// judges what the run under test actually measured. Only entries with
+/// the same thread count participate in the baseline, since parallel
+/// speedups are thread-dependent.
+pub fn check(
+    history: &[TrajectoryEntry],
+    threads: usize,
+    current: &BTreeMap<String, f64>,
+    band: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (stat, &value) in current {
+        let past: Vec<f64> = history
+            .iter()
+            .filter(|e| e.threads == threads)
+            .filter_map(|e| e.stats.get(stat).copied())
+            .collect();
+        if past.is_empty() {
+            continue;
+        }
+        let baseline = median(past);
+        if baseline > 0.0 && value > baseline * (1.0 + band) {
+            regressions.push(Regression {
+                stat: stat.clone(),
+                baseline,
+                current: value,
+            });
+        }
+    }
+    regressions
+}
+
+/// Renders a readable diff of the regressions, worst first.
+pub fn render_regressions(regressions: &[Regression], band: f64) -> String {
+    let mut sorted = regressions.to_vec();
+    sorted.sort_by(|a, b| {
+        b.ratio()
+            .partial_cmp(&a.ratio())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::new();
+    out.push_str(&format!(
+        "performance regression: {} stat(s) exceed baseline * {:.2}\n",
+        sorted.len(),
+        1.0 + band
+    ));
+    out.push_str(&format!(
+        "  {:<28} {:>12} {:>12} {:>8}\n",
+        "stat", "baseline", "current", "ratio"
+    ));
+    for r in &sorted {
+        out.push_str(&format!(
+            "  {:<28} {:>12.4} {:>12.4} {:>7.2}x\n",
+            r.stat,
+            r.baseline,
+            r.current,
+            r.ratio()
+        ));
+    }
+    out
+}
+
+/// Loads the trajectory file; a missing file is an empty history.
+pub fn load_trajectory<P: AsRef<Path>>(path: P) -> Result<Vec<TrajectoryEntry>, String> {
+    let path = path.as_ref();
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let data =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Saves the trajectory as pretty JSON.
+pub fn save_trajectory<P: AsRef<Path>>(path: P, history: &[TrajectoryEntry]) -> Result<(), String> {
+    let body = serde_json::to_string_pretty(history).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(path.as_ref(), body)
+        .map_err(|e| format!("write {}: {e}", path.as_ref().display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOTPATH: &str = r#"{
+      "threads": 1,
+      "substrates": [
+        {"name": "lcm_fit_n260", "median_ns_before": 400000000, "median_ns_after": 160000000, "speedup": 2.5},
+        {"name": "matmul_256", "median_ns_before": 5300000, "median_ns_after": 5000000, "speedup": 1.06}
+      ]
+    }"#;
+
+    fn journal_with_fit(fit_us: u64) -> Vec<Event> {
+        vec![
+            Event::Fit {
+                model: "gp".into(),
+                points: 100,
+                restarts: 2,
+                nll: Some(1.0),
+                duration_us: fit_us,
+                fallback: false,
+            },
+            Event::Fit {
+                model: "gp".into(),
+                points: 100,
+                restarts: 2,
+                nll: Some(1.0),
+                duration_us: fit_us,
+                fallback: false,
+            },
+        ]
+    }
+
+    fn entry(stats: &[(&str, f64)]) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: "t".into(),
+            threads: 1,
+            stats: stats.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn collect_derives_costs_and_normalized_stage_times() {
+        let (threads, stats) = collect_stats(HOTPATH, &journal_with_fit(10_000)).unwrap();
+        assert_eq!(threads, 1);
+        assert!((stats["cost.lcm_fit_n260"] - 0.4).abs() < 1e-12);
+        // 10_000 us mean * 1000 / 5_000_000 ns matmul = 2.0
+        assert!((stats["norm.fit"] - 2.0).abs() < 1e-12);
+        assert!(!stats.contains_key("norm.acquisition"), "no acq events");
+    }
+
+    #[test]
+    fn synthetic_two_x_fit_regression_fails_and_names_the_stat() {
+        let history = vec![
+            entry(&[("norm.fit", 1.0), ("cost.lcm_fit_n260", 0.4)]),
+            entry(&[("norm.fit", 1.1), ("cost.lcm_fit_n260", 0.38)]),
+            entry(&[("norm.fit", 0.9), ("cost.lcm_fit_n260", 0.42)]),
+        ];
+        // 2x the median fit time: outside the 0.75 band.
+        let (_, current) = collect_stats(HOTPATH, &journal_with_fit(10_000)).unwrap();
+        let regressions = check(&history, 1, &current, DEFAULT_BAND);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stat, "norm.fit");
+        assert!((regressions[0].baseline - 1.0).abs() < 1e-12);
+        assert!((regressions[0].ratio() - 2.0).abs() < 1e-12);
+        let diff = render_regressions(&regressions, DEFAULT_BAND);
+        assert!(diff.contains("norm.fit"));
+        assert!(diff.contains("2.00x"));
+    }
+
+    #[test]
+    fn stats_within_the_band_pass() {
+        let history = vec![entry(&[("norm.fit", 2.0)]), entry(&[("norm.fit", 1.8)])];
+        // current norm.fit = 2.0: equal to the median, well inside the band.
+        let (_, current) = collect_stats(HOTPATH, &journal_with_fit(10_000)).unwrap();
+        assert!(check(&history, 1, &current, DEFAULT_BAND).is_empty());
+    }
+
+    #[test]
+    fn baselines_only_pool_matching_thread_counts() {
+        let mut fast = entry(&[("norm.fit", 0.5)]);
+        fast.threads = 8;
+        let history = vec![fast];
+        let (_, current) = collect_stats(HOTPATH, &journal_with_fit(10_000)).unwrap();
+        // Only an 8-thread baseline exists; a 1-thread run has no baseline.
+        assert!(check(&history, 1, &current, DEFAULT_BAND).is_empty());
+        assert_eq!(check(&history, 8, &current, DEFAULT_BAND).len(), 1);
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("crowdtune_gate_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trajectory.json");
+        let history = vec![entry(&[("norm.fit", 1.0)])];
+        save_trajectory(&path, &history).unwrap();
+        assert_eq!(load_trajectory(&path).unwrap(), history);
+        std::fs::remove_file(&path).ok();
+        assert!(
+            load_trajectory(&path).unwrap().is_empty(),
+            "missing = empty"
+        );
+    }
+}

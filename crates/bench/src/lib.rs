@@ -17,6 +17,7 @@
 //!
 //! Criterion micro-benchmarks for the substrates live in `benches/`.
 
+pub mod gate;
 pub mod runner;
 pub mod sources;
 

@@ -344,6 +344,9 @@ struct RunObserver {
     best: Option<f64>,
     failures: usize,
     iterations: usize,
+    /// Root span of the run: every propose/eval/fit span on this thread
+    /// nests under it, so folded scope stacks read `tune;propose;gp_fit`.
+    run_span: obs::SpanGuard,
 }
 
 impl RunObserver {
@@ -361,6 +364,7 @@ impl RunObserver {
             best: None,
             failures: 0,
             iterations: 0,
+            run_span: obs::span(obs::names::SPAN_TUNE),
         }
     }
 
@@ -389,6 +393,9 @@ impl RunObserver {
 
     fn finish(self, result: &mut TuneResult) {
         let total_time_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Close the root span before reading the scope so the `tune` frame
+        // (and every folded stack under it) is fully credited.
+        drop(self.run_span);
         let scope = obs::scope_end().unwrap_or_default();
         result.stats = RunStats {
             iterations: self.iterations,
@@ -401,6 +408,11 @@ impl RunObserver {
                 + scope.count_of(obs::names::SPAN_LCM_FIT),
             total_time_ns,
         };
+        if !scope.stack_ns.is_empty() {
+            obs::record_with(|| obs::Event::Profile {
+                folded: scope.stack_ns.clone(),
+            });
+        }
         obs::record_with(|| obs::Event::RunEnd {
             iterations: self.iterations as u64,
             failures: self.failures as u64,

@@ -15,6 +15,9 @@
 //!   environments) and machine/software tag normalization.
 //! - [`repo`] — the [`HistoryDb`] facade: authenticated submit, meta-
 //!   description-shaped queries (problem space + configuration space).
+//! - [`telemetry`] — the fleet-telemetry collection: cross-run records
+//!   distilled from per-run event journals, with the same per-record
+//!   access control as performance samples.
 
 #![warn(missing_docs)]
 
@@ -24,6 +27,7 @@ pub mod env;
 pub mod query;
 pub mod repo;
 pub mod store;
+pub mod telemetry;
 
 pub use access::{AuthError, KeyRecord, User, UserRegistry};
 pub use document::{
@@ -33,3 +37,4 @@ pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
 pub use query::{parse_query, Filter, ParseError};
 pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
 pub use store::{DocumentStore, ScanStats, StoreError};
+pub use telemetry::{FleetQuery, RunRecord, TelemetryCollection};

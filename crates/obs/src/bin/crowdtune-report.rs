@@ -1,26 +1,30 @@
 //! `crowdtune-report` — summarize a per-run JSONL event journal.
 //!
 //! ```text
-//! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>]
+//! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile]
 //! ```
 //!
 //! Reads the journal, schema-checking every line, prints a per-stage
 //! time/count breakdown, and writes the aggregated metrics snapshot to
-//! `--snapshot` (default `results/obs_snapshot.json`). Exits non-zero on an
-//! unreadable or empty journal, any schema violation, or fewer distinct
-//! event kinds than `--min-kinds` (default 1).
+//! `--snapshot` (default `results/obs_snapshot.json`). With `--profile` it
+//! instead prints the run's merged collapsed-stack span profile (one
+//! `frame;frame;frame nanoseconds` line per stack — pipe into any
+//! flamegraph renderer). Exits non-zero on an unreadable, truncated or
+//! empty journal, any schema violation, or fewer distinct event kinds than
+//! `--min-kinds` (default 1).
 
 use std::process::ExitCode;
 
-use crowdtune_obs::{read_journal, render_report, summarize};
+use crowdtune_obs::{read_journal, render_profile, render_report, summarize};
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
-    let journal_path = args
-        .next()
-        .ok_or("usage: crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>]")?;
+    let journal_path = args.next().ok_or(
+        "usage: crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile]",
+    )?;
     let mut snapshot_path = String::from("results/obs_snapshot.json");
     let mut min_kinds = 1usize;
+    let mut profile = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--snapshot" => {
@@ -33,6 +37,7 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--min-kinds: {e}"))?;
             }
+            "--profile" => profile = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -42,6 +47,16 @@ fn run() -> Result<(), String> {
         return Err(format!("{journal_path}: journal is empty"));
     }
     let report = summarize(&journal_path, &events);
+    if profile {
+        if report.profile.is_empty() {
+            return Err(format!(
+                "{journal_path}: no profile events in journal (run with a journal installed \
+                 so the tuner emits its collapsed-stack profile)"
+            ));
+        }
+        print!("{}", render_profile(&report));
+        return Ok(());
+    }
     if report.event_counts.len() < min_kinds {
         return Err(format!(
             "{journal_path}: only {} distinct event kinds (need ≥ {min_kinds}): {:?}",

@@ -13,9 +13,10 @@
 //! as `null`; wrap raw floats with [`finite`] at emission sites so a NaN/∞
 //! can never produce a line that fails its own schema check.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -153,6 +154,48 @@ pub enum Event {
         /// Wall-clock microseconds spent uploading.
         duration_us: u64,
     },
+    /// A Saltelli design was generated for Sobol sensitivity analysis.
+    Saltelli {
+        /// Input dimensionality of the design.
+        dim: u64,
+        /// Base sample count `N`.
+        n: u64,
+        /// Model evaluations the design requires (`n * (dim + 2)`).
+        total_evals: u64,
+        /// Base-point scheme (`sobol` quasi-random or `rng` fallback).
+        scheme: String,
+        /// Wall-clock microseconds spent generating the design.
+        duration_us: u64,
+    },
+    /// Sobol sensitivity indices were estimated from Saltelli evaluations.
+    Sobol {
+        /// Number of input parameters analyzed.
+        dim: u64,
+        /// Base sample count the estimators ran on.
+        n: u64,
+        /// Bootstrap resamples drawn for confidence intervals.
+        bootstrap: u64,
+        /// Variance of the pooled base evaluations, `null` if non-finite.
+        variance: Option<f64>,
+        /// Wall-clock microseconds spent estimating.
+        duration_us: u64,
+    },
+    /// A search space was reduced after sensitivity analysis.
+    SpaceReduce {
+        /// Dimensionality of the full space.
+        full_dim: u64,
+        /// Parameters kept tunable.
+        kept: u64,
+        /// Parameters pinned to fixed values.
+        fixed: u64,
+    },
+    /// Collapsed-stack span profile of a finished run: each key is a
+    /// `;`-joined span path rooted at the run span, each value the total
+    /// nanoseconds spent with exactly that stack open.
+    Profile {
+        /// Folded stack path → total nanoseconds.
+        folded: BTreeMap<String, u64>,
+    },
     /// A tuning run finished.
     RunEnd {
         /// Iterations executed.
@@ -182,6 +225,10 @@ impl Event {
             Event::Weights { .. } => "weights",
             Event::DbQuery { .. } => "dbquery",
             Event::Upload { .. } => "upload",
+            Event::Saltelli { .. } => "saltelli",
+            Event::Sobol { .. } => "sobol",
+            Event::SpaceReduce { .. } => "spacereduce",
+            Event::Profile { .. } => "profile",
             Event::RunEnd { .. } => "runend",
         }
     }
@@ -336,6 +383,14 @@ pub enum JournalError {
         /// Parser/deserializer message.
         message: String,
     },
+    /// The file's final line is not newline-terminated. [`Journal::record`]
+    /// always appends a trailing `\n`, so a missing one means the last
+    /// record was cut mid-write (crash, full disk, partial copy) — even if
+    /// the fragment happens to parse as JSON.
+    Truncated {
+        /// One-based line number of the truncated record.
+        line: usize,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -344,6 +399,13 @@ impl fmt::Display for JournalError {
             JournalError::Io(e) => write!(f, "journal io error: {e}"),
             JournalError::Schema { line, message } => {
                 write!(f, "journal schema violation at line {line}: {message}")
+            }
+            JournalError::Truncated { line } => {
+                write!(
+                    f,
+                    "journal truncated at line {line}: last record is not \
+                     newline-terminated (partial write?)"
+                )
             }
         }
     }
@@ -359,15 +421,28 @@ impl From<std::io::Error> for JournalError {
 
 /// Reads a JSONL journal back, schema-checking every line: each must be
 /// valid JSON *and* deserialize into a known [`Event`] variant. Blank lines
-/// are rejected (a truncated write is a violation, not noise).
+/// are rejected (a truncated write is a violation, not noise), and a final
+/// line with no trailing newline is reported as [`JournalError::Truncated`]
+/// rather than parsed — [`Journal::record`] always terminates records, so
+/// an unterminated tail is a cut-off write even when the fragment still
+/// looks like JSON.
 pub fn read_journal<P: AsRef<Path>>(path: P) -> Result<Vec<Event>, JournalError> {
-    let file = File::open(path.as_ref())?;
-    let reader = BufReader::new(file);
+    let data = std::fs::read_to_string(path.as_ref())?;
     let mut events = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let ev: Event = serde_json::from_str(&line).map_err(|e| JournalError::Schema {
-            line: idx + 1,
+    let mut rest = data.as_str();
+    let mut lineno = 0usize;
+    while !rest.is_empty() {
+        lineno += 1;
+        let line = match rest.find('\n') {
+            Some(i) => {
+                let line = &rest[..i];
+                rest = &rest[i + 1..];
+                line
+            }
+            None => return Err(JournalError::Truncated { line: lineno }),
+        };
+        let ev: Event = serde_json::from_str(line).map_err(|e| JournalError::Schema {
+            line: lineno,
             message: e.to_string(),
         })?;
         events.push(ev);

@@ -41,6 +41,8 @@ pub use metrics::{
     count, counter, counter_value, histogram, metrics_enabled, observe, reset_metrics,
     set_metrics_enabled, snapshot, Counter, Histogram, HistogramSummary, MetricsSnapshot,
 };
-pub use report::{render_report, summarize, JournalReport, StageSummary};
-pub use scope::{scope_begin, scope_count, scope_end, ScopeStats};
+pub use report::{
+    profile_depth, render_profile, render_report, summarize, JournalReport, StageSummary,
+};
+pub use scope::{scope_active, scope_begin, scope_count, scope_end, ScopeStats};
 pub use span::{current_span, span, SpanGuard};

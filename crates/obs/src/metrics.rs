@@ -117,12 +117,22 @@ fn bucket_of(v: u64) -> usize {
     ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
-/// Upper bound of a log₂ bucket, used as a conservative quantile estimate.
+/// Upper bound of a log₂ bucket (inclusive).
 fn bucket_upper(idx: usize) -> u64 {
     if idx == 0 {
         0
     } else {
         (1u64 << idx) - 1
+    }
+}
+
+/// Lower bound of a log₂ bucket (inclusive). Bucket `idx` holds values in
+/// `[2^(idx-1), 2^idx - 1]`; bucket 0 holds only 0.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        1u64 << (idx - 1)
     }
 }
 
@@ -167,16 +177,29 @@ impl Histogram {
                 *acc += b.load(Ordering::Relaxed);
             }
         }
+        // Quantiles interpolate *within* the containing log₂ bucket: the
+        // requested rank's fractional position among the bucket's own
+        // observations picks a point on [lower, upper], rather than always
+        // reporting the bucket's upper bound (which overstated p50 by up to
+        // 2× whenever the median bucket held few samples).
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            let target = (q * count as f64).ceil() as u64;
+            let target = (q * count as f64).max(f64::MIN_POSITIVE);
             let mut seen = 0u64;
             for (idx, b) in buckets.iter().enumerate() {
+                if *b == 0 {
+                    continue;
+                }
+                let before = seen;
                 seen += b;
-                if seen >= target {
-                    return bucket_upper(idx).min(max);
+                if seen as f64 >= target {
+                    let lower = bucket_lower(idx) as f64;
+                    let upper = bucket_upper(idx) as f64;
+                    let frac = ((target - before as f64) / *b as f64).clamp(0.0, 1.0);
+                    let est = lower + frac * (upper - lower);
+                    return (est.round() as u64).min(max);
                 }
             }
             max
@@ -208,8 +231,10 @@ impl Histogram {
     }
 }
 
-/// Point-in-time summary of one [`Histogram`]. Quantiles are upper bounds of
-/// the log₂ bucket containing the requested rank (≤ 2× overestimate).
+/// Point-in-time summary of one [`Histogram`]. Quantiles are interpolated
+/// within the log₂ bucket containing the requested rank (and clamped to the
+/// exact max), so a single-sample bucket reports its interpolated midpoint
+/// rather than the bucket's upper bound.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Number of recorded observations.
@@ -379,6 +404,47 @@ mod tests {
         assert_eq!(s.sum, 1106);
         assert_eq!(s.max, 1000);
         assert!(s.p50 >= 3 && s.p50 <= 1000);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bucket() {
+        set_metrics_enabled(true);
+
+        // A single sample must not be reported as its bucket's upper bound:
+        // 12 lands in bucket [8, 15], whose upper bound (15) was the old
+        // p50. Interpolation lands mid-bucket and the max clamp makes the
+        // single-sample case exact.
+        let h = histogram("test.hist.single");
+        h.reset();
+        h.record(12);
+        let s = h.summary();
+        assert_eq!(s.p50, 12, "single sample: p50 must be exact, not 15");
+        assert_eq!(s.p99, 12);
+
+        // Two samples at the bucket's extremes: the median interpolates
+        // inside [8, 15] instead of snapping to 15.
+        let h = histogram("test.hist.pair");
+        h.reset();
+        h.record(8);
+        h.record(15);
+        let s = h.summary();
+        assert!(
+            s.p50 >= 8 && s.p50 < 15,
+            "p50 = {} should interpolate within the bucket",
+            s.p50
+        );
+
+        // Quantiles stay monotone and clamped to the exact max.
+        let h = histogram("test.hist.spread");
+        h.reset();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p99 <= s.max);
+
         set_metrics_enabled(false);
     }
 

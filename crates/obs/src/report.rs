@@ -76,6 +76,19 @@ pub struct JournalReport {
     pub uploads_accepted: u64,
     /// Records rejected by journaled uploads.
     pub uploads_rejected: u64,
+    /// Model evaluations consumed by journaled Saltelli designs.
+    #[serde(default)]
+    pub saltelli_evals: u64,
+    /// Sobol index estimations journaled.
+    #[serde(default)]
+    pub sobol_estimates: u64,
+    /// Sensitivity-driven space reductions journaled.
+    #[serde(default)]
+    pub space_reductions: u64,
+    /// Merged collapsed-stack profile across all `profile` events: folded
+    /// span path (`tune;propose;gp_fit`) → total nanoseconds.
+    #[serde(default)]
+    pub profile: BTreeMap<String, u64>,
 }
 
 fn better(best: &mut Option<f64>, candidate: Option<f64>) {
@@ -180,6 +193,30 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                     .or_default()
                     .add(*duration_us);
             }
+            Event::Saltelli {
+                total_evals,
+                duration_us,
+                ..
+            } => {
+                r.saltelli_evals += total_evals;
+                r.stages
+                    .entry("saltelli".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::Sobol { duration_us, .. } => {
+                r.sobol_estimates += 1;
+                r.stages
+                    .entry("sobol".to_string())
+                    .or_default()
+                    .add(*duration_us);
+            }
+            Event::SpaceReduce { .. } => r.space_reductions += 1,
+            Event::Profile { folded } => {
+                for (path, ns) in folded {
+                    *r.profile.entry(path.clone()).or_insert(0) += ns;
+                }
+            }
             Event::RunEnd { duration_us, .. } => {
                 r.stages
                     .entry("run".to_string())
@@ -189,6 +226,27 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
         }
     }
     r
+}
+
+/// Renders the merged collapsed-stack profile in the standard flamegraph
+/// input format: one `frame;frame;frame value` line per folded stack, where
+/// the value is total nanoseconds. Empty when the journal carried no
+/// `profile` events.
+pub fn render_profile(r: &JournalReport) -> String {
+    let mut out = String::new();
+    for (path, ns) in &r.profile {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
+/// Deepest stack (number of frames) in the merged profile.
+pub fn profile_depth(r: &JournalReport) -> usize {
+    r.profile
+        .keys()
+        .map(|p| p.split(';').count())
+        .max()
+        .unwrap_or(0)
 }
 
 /// Formats a report as the aligned human-readable table printed by the
@@ -255,6 +313,20 @@ pub fn render_report(r: &JournalReport) -> String {
         "  uploads rejected    {:>8}\n",
         r.uploads_rejected
     ));
+    out.push_str("\nsensitivity\n");
+    out.push_str(&format!("  saltelli evals      {:>8}\n", r.saltelli_evals));
+    out.push_str(&format!("  sobol estimates     {:>8}\n", r.sobol_estimates));
+    out.push_str(&format!(
+        "  space reductions    {:>8}\n",
+        r.space_reductions
+    ));
+    if !r.profile.is_empty() {
+        out.push_str(&format!(
+            "\nprofile   {} folded stacks, max depth {} (render with --profile)\n",
+            r.profile.len(),
+            profile_depth(r)
+        ));
+    }
     out
 }
 
@@ -319,5 +391,61 @@ mod tests {
         let rendered = render_report(&r);
         assert!(rendered.contains("jitter escalations"));
         assert!(rendered.contains("iteration"));
+    }
+
+    #[test]
+    fn profile_events_merge_into_collapsed_stacks() {
+        let mut a = BTreeMap::new();
+        a.insert("tune".to_string(), 100u64);
+        a.insert("tune;propose".to_string(), 60);
+        a.insert("tune;propose;gp_fit".to_string(), 40);
+        let mut b = BTreeMap::new();
+        b.insert("tune;propose".to_string(), 10u64);
+        b.insert("tune;eval".to_string(), 25);
+        let events = vec![Event::Profile { folded: a }, Event::Profile { folded: b }];
+        let r = summarize("p.jsonl", &events);
+        assert_eq!(r.profile["tune;propose"], 70, "same paths must merge");
+        assert_eq!(r.profile["tune;eval"], 25);
+        assert_eq!(profile_depth(&r), 3);
+        let folded = render_profile(&r);
+        assert!(folded.contains("tune;propose;gp_fit 40\n"));
+        // Every line is `path value`, flamegraph-compatible.
+        for line in folded.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!path.is_empty());
+            value.parse::<u64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn sensitivity_events_are_rolled_up() {
+        let events = vec![
+            Event::Saltelli {
+                dim: 3,
+                n: 64,
+                total_evals: 320,
+                scheme: "sobol".into(),
+                duration_us: 120,
+            },
+            Event::Sobol {
+                dim: 3,
+                n: 64,
+                bootstrap: 100,
+                variance: Some(2.5),
+                duration_us: 450,
+            },
+            Event::SpaceReduce {
+                full_dim: 3,
+                kept: 2,
+                fixed: 1,
+            },
+        ];
+        let r = summarize("s.jsonl", &events);
+        assert_eq!(r.saltelli_evals, 320);
+        assert_eq!(r.sobol_estimates, 1);
+        assert_eq!(r.space_reductions, 1);
+        assert_eq!(r.stages["saltelli"].count, 1);
+        assert_eq!(r.stages["sobol"].total_us, 450);
+        assert!(render_report(&r).contains("saltelli evals"));
     }
 }

@@ -22,6 +22,10 @@ pub struct ScopeStats {
     pub time_ns: BTreeMap<&'static str, u64>,
     /// Number of occurrences per name (span closes and explicit counts).
     pub counts: BTreeMap<&'static str, u64>,
+    /// Total nanoseconds per folded span stack (`outer;inner;leaf`) — the
+    /// collapsed-stack profile of the run, flamegraph-compatible. Only spans
+    /// closed on the scope's thread contribute (same rule as `time_ns`).
+    pub stack_ns: BTreeMap<String, u64>,
 }
 
 impl ScopeStats {
@@ -51,6 +55,13 @@ pub fn scope_end() -> Option<ScopeStats> {
     ACTIVE.with(|a| a.borrow_mut().take())
 }
 
+/// Whether a scope is open on the current thread. Span guards consult this
+/// before allocating a folded stack path, so threads outside a run (rayon
+/// workers, bench drivers) pay nothing for the profiler.
+pub fn scope_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
 /// Adds `n` occurrences of `name` to the active scope (no-op without one).
 pub fn scope_count(name: &'static str, n: u64) {
     ACTIVE.with(|a| {
@@ -67,6 +78,16 @@ pub(crate) fn scope_time(name: &'static str, ns: u64) {
         if let Some(s) = a.borrow_mut().as_mut() {
             *s.time_ns.entry(name).or_insert(0) += ns;
             *s.counts.entry(name).or_insert(0) += 1;
+        }
+    });
+}
+
+/// Credits `ns` nanoseconds to the folded stack `path` in the active scope.
+/// Called by [`crate::span::SpanGuard`] on drop when a scope is open.
+pub(crate) fn scope_time_stack(path: String, ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            *s.stack_ns.entry(path).or_insert(0) += ns;
         }
     });
 }

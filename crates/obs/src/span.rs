@@ -63,14 +63,28 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let ns = self.elapsed_ns();
-        SPAN_STACK.with(|s| {
+        let folded = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             // Guards normally close LIFO; remove the last matching entry so
             // an out-of-order drop cannot corrupt unrelated frames.
             if let Some(pos) = s.iter().rposition(|n| *n == self.name) {
+                // Join the stack up to this frame into a folded path for
+                // the per-run profile — only when a scope is open, so
+                // profiling costs nothing outside a run.
+                let folded = if crate::scope::scope_active() {
+                    Some(s[..=pos].join(";"))
+                } else {
+                    None
+                };
                 s.remove(pos);
+                folded
+            } else {
+                None
             }
         });
+        if let Some(path) = folded {
+            crate::scope::scope_time_stack(path, ns);
+        }
         crate::scope::scope_time(self.name, ns);
         crate::metrics::observe(self.name, ns);
     }
@@ -94,6 +108,22 @@ mod tests {
         assert_eq!(current_span(), Some("outer"));
         drop(outer);
         assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn nested_spans_fold_into_scope_stacks() {
+        crate::scope::scope_begin();
+        {
+            let _root = span("root_f");
+            {
+                let _mid = span("mid_f");
+                let _leaf = span("leaf_f");
+            }
+        }
+        let stats = crate::scope::scope_end().expect("scope was open");
+        assert!(stats.stack_ns.contains_key("root_f"));
+        assert!(stats.stack_ns.contains_key("root_f;mid_f"));
+        assert!(stats.stack_ns.contains_key("root_f;mid_f;leaf_f"));
     }
 
     #[test]

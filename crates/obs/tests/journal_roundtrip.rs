@@ -83,6 +83,34 @@ fn all_variants() -> Vec<Event> {
             rejected: 1,
             duration_us: 70,
         },
+        Event::Saltelli {
+            dim: 3,
+            n: 128,
+            total_evals: 640,
+            scheme: "sobol".into(),
+            duration_us: 210,
+        },
+        Event::Sobol {
+            dim: 3,
+            n: 128,
+            bootstrap: 100,
+            variance: crowdtune_obs::finite(f64::INFINITY),
+            duration_us: 950,
+        },
+        Event::SpaceReduce {
+            full_dim: 12,
+            kept: 4,
+            fixed: 8,
+        },
+        Event::Profile {
+            folded: [
+                ("tune".to_string(), 120_000u64),
+                ("tune;propose".to_string(), 80_000),
+                ("tune;propose;gp_fit".to_string(), 55_000),
+            ]
+            .into_iter()
+            .collect(),
+        },
         Event::RunEnd {
             iterations: 20,
             failures: 2,
@@ -112,11 +140,11 @@ fn every_variant_round_trips_bitwise() {
     }
     let back = read_journal(&path).unwrap();
     assert_eq!(back, events);
-    // All 12 kinds distinct.
+    // All 16 kinds distinct.
     let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 12);
+    assert_eq!(kinds.len(), 16);
     std::fs::remove_file(&path).ok();
 }
 
@@ -136,13 +164,32 @@ fn unknown_event_tag_is_a_schema_violation() {
 }
 
 #[test]
-fn truncated_line_is_a_schema_violation() {
+fn mid_record_truncation_is_detected() {
+    // A record cut mid-write (no trailing newline) must be reported as
+    // truncation, not parsed or silently dropped.
     let path = temp_path("truncated.jsonl");
     std::fs::write(&path, "{\"event\":\"linesearch\",\"iter").unwrap();
     assert!(matches!(
         read_journal(&path),
-        Err(JournalError::Schema { line: 1, .. })
+        Err(JournalError::Truncated { line: 1 })
     ));
+
+    // Even a tail that is complete JSON counts as truncated without its
+    // terminating newline — Journal::record always writes one.
+    std::fs::write(
+        &path,
+        "{\"event\":\"linesearch\",\"iteration\":1}\n{\"event\":\"linesearch\",\"iteration\":2}",
+    )
+    .unwrap();
+    match read_journal(&path) {
+        Err(JournalError::Truncated { line }) => assert_eq!(line, 2),
+        other => panic!("expected truncation error, got {other:?}"),
+    }
+
+    // The error message names the line and the cause.
+    let msg = read_journal(&path).unwrap_err().to_string();
+    assert!(msg.contains("truncated"), "message: {msg}");
+    assert!(msg.contains("line 2"), "message: {msg}");
     std::fs::remove_file(&path).ok();
 }
 

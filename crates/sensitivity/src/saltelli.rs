@@ -12,6 +12,7 @@
 //! estimators are unbiased either way; quasi-random bases just converge
 //! faster.
 
+use crowdtune_obs as obs;
 use crowdtune_space::Sobol;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,7 +41,9 @@ impl SaltelliDesign {
     pub fn generate(dim: usize, n: usize, seed: u64) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(n > 0, "sample count must be positive");
-        let (a, b) = if 2 * dim <= crowdtune_space::sobol::MAX_DIM {
+        let gen_span = obs::span(obs::names::SPAN_SALTELLI_GEN);
+        let quasi = 2 * dim <= crowdtune_space::sobol::MAX_DIM;
+        let (a, b) = if quasi {
             let mut sob = Sobol::new(2 * dim);
             // Skip the origin and a short warm-up prefix, standard practice
             // to avoid the degenerate first points.
@@ -71,7 +74,16 @@ impl SaltelliDesign {
             }
             ab.push(mat);
         }
-        SaltelliDesign { dim, n, a, b, ab }
+        let design = SaltelliDesign { dim, n, a, b, ab };
+        obs::count(obs::names::CTR_SENS_POINTS, design.total_evals() as u64);
+        obs::record_with(|| obs::Event::Saltelli {
+            dim: dim as u64,
+            n: n as u64,
+            total_evals: design.total_evals() as u64,
+            scheme: if quasi { "sobol" } else { "rng" }.to_string(),
+            duration_us: gen_span.elapsed_ns() / 1_000,
+        });
+        design
     }
 
     /// Total number of model evaluations the design requires:
@@ -87,6 +99,8 @@ impl SaltelliDesign {
         F: Fn(&[f64]) -> f64 + Sync,
     {
         use rayon::prelude::*;
+        let _eval_span = obs::span(obs::names::SPAN_SALTELLI_EVAL);
+        obs::count(obs::names::CTR_SENS_EVALS, self.total_evals() as u64);
         let fa: Vec<f64> = self.a.par_iter().map(|x| model(x)).collect();
         let fb: Vec<f64> = self.b.par_iter().map(|x| model(x)).collect();
         let fab: Vec<Vec<f64>> = self

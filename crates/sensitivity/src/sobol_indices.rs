@@ -15,6 +15,7 @@
 
 use crate::saltelli::SaltelliEvaluations;
 use crowdtune_linalg::stats;
+use crowdtune_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +75,9 @@ pub fn sobol_indices(ev: &SaltelliEvaluations, seed: u64) -> SobolResult {
     assert!(n > 0, "no evaluations");
     assert_eq!(ev.fb.len(), n);
     let d = ev.fab.len();
+    let span = obs::span(obs::names::SPAN_SOBOL_INDICES);
+    let bootstrap = if n > 1 { N_BOOT as u64 } else { 0 };
+    obs::count(obs::names::CTR_SENS_BOOTSTRAP, bootstrap * d as u64);
 
     let pooled: Vec<f64> = ev.fa.iter().chain(ev.fb.iter()).copied().collect();
     let variance = stats::variance(&pooled);
@@ -108,6 +112,13 @@ pub fn sobol_indices(ev: &SaltelliEvaluations, seed: u64) -> SobolResult {
             st_conf: Z_95 * stats::std_dev(&st_samples),
         });
     }
+    obs::record_with(|| obs::Event::Sobol {
+        dim: d as u64,
+        n: n as u64,
+        bootstrap,
+        variance: obs::finite(variance),
+        duration_us: span.elapsed_ns() / 1_000,
+    });
     SobolResult { params, variance }
 }
 

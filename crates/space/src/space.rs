@@ -4,6 +4,7 @@
 //! tune the rest).
 
 use crate::param::{Domain, Param, Value};
+use crowdtune_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// An ordered set of named parameters (a task space or a tuning space).
@@ -101,6 +102,7 @@ impl Space {
     /// (continuous dimensions pass through). Equivalent to
     /// `to_unit(from_unit(u))` but allocation-light.
     pub fn snap_unit(&self, unit: &mut [f64]) {
+        obs::count(obs::names::CTR_SPACE_SNAP, 1);
         for (p, u) in self.params.iter().zip(unit.iter_mut()) {
             if let Some(k) = p.domain.cardinality() {
                 let uu = if u.is_finite() {
@@ -137,6 +139,7 @@ impl Space {
     /// Reals map affinely; integers and categoricals map to the *center* of
     /// their cell so that `from_unit(to_unit(x)) == x` exactly.
     pub fn to_unit(&self, point: &[Value]) -> Result<Vec<f64>, SpaceError> {
+        obs::count(obs::names::CTR_SPACE_TO_UNIT, 1);
         self.validate(point)?;
         Ok(self
             .params
@@ -158,6 +161,7 @@ impl Space {
     /// Map a unit-cube vector back to a concrete point. Coordinates are
     /// clamped into `[0, 1)` first, so any real vector is acceptable.
     pub fn from_unit(&self, unit: &[f64]) -> Result<Point, SpaceError> {
+        obs::count(obs::names::CTR_SPACE_FROM_UNIT, 1);
         if unit.len() != self.dim() {
             return Err(SpaceError::DimensionMismatch {
                 expected: self.dim(),
@@ -235,6 +239,12 @@ impl Space {
             }
         }
         let sub = Space::new(kept_idx.iter().map(|&i| self.params[i].clone()).collect())?;
+        obs::count(obs::names::CTR_SPACE_REDUCE, 1);
+        obs::record_with(|| obs::Event::SpaceReduce {
+            full_dim: self.dim() as u64,
+            kept: kept_idx.len() as u64,
+            fixed: fixed_values.iter().filter(|v| v.is_some()).count() as u64,
+        });
         Ok(ReducedSpace {
             full: self.clone(),
             sub,

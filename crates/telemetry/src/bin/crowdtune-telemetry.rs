@@ -1,0 +1,148 @@
+//! Fleet telemetry CLI: ingest per-run journals into a telemetry store
+//! and run typed queries over it.
+//!
+//! ```text
+//! crowdtune-telemetry ingest <journal.jsonl> --app hypre --machine cori \
+//!     [--owner alice] [--private] [--store results/telemetry.json]
+//! crowdtune-telemetry query [--store results/telemetry.json] [--app hypre] \
+//!     [--machine cori] [--tuner LCM-BO] [--stage fit] [--user alice]
+//! ```
+//!
+//! `ingest` appends to the store (creating it if absent) and prints how
+//! many run records were added. `query` prints matching runs, or — with
+//! `--stage` — an exact per-algorithm p50/p95 table for that stage.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use crowdtune_db::Access;
+use crowdtune_telemetry::{
+    fleet_stage_percentiles, ingest_into, render_stage_table, FleetQuery, IngestMeta,
+    TelemetryCollection,
+};
+
+const DEFAULT_STORE: &str = "results/telemetry.json";
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> String {
+    "usage: crowdtune-telemetry <ingest|query> ...\n\
+     \n\
+     ingest <journal.jsonl> --app <name> --machine <name>\n\
+            [--owner <user>] [--private] [--store <path>]\n\
+     query  [--store <path>] [--app <name>] [--machine <name>]\n\
+            [--tuner <name>] [--stage <name>] [--user <name>]\n"
+        .to_string()
+}
+
+fn load_store(path: &Path) -> Result<TelemetryCollection, String> {
+    if path.exists() {
+        TelemetryCollection::load(path)
+            .map_err(|e| format!("failed to load store {}: {e}", path.display()))
+    } else {
+        Ok(TelemetryCollection::new())
+    }
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let journal = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("ingest: missing journal path\n{}", usage()))?
+        .clone();
+    let app = arg_value(args, "--app").ok_or("ingest: --app is required")?;
+    let machine = arg_value(args, "--machine").ok_or("ingest: --machine is required")?;
+    let owner = arg_value(args, "--owner").unwrap_or_else(|| "anonymous".to_string());
+    let store = arg_value(args, "--store").unwrap_or_else(|| DEFAULT_STORE.to_string());
+    let mut meta = IngestMeta::public(&app, &machine, &owner);
+    if args.iter().any(|a| a == "--private") {
+        meta.access = Access::Private;
+    }
+
+    let store_path = Path::new(&store);
+    let collection = load_store(store_path)?;
+    let n = ingest_into(&collection, &journal, &meta)
+        .map_err(|e| format!("failed to ingest {journal}: {e}"))?;
+    if let Some(parent) = store_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("failed to create {}: {e}", parent.display()))?;
+        }
+    }
+    collection
+        .save(store_path)
+        .map_err(|e| format!("failed to save store {store}: {e}"))?;
+    println!(
+        "ingested {n} run record(s) from {journal} into {store} ({} total)",
+        collection.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let store = arg_value(args, "--store").unwrap_or_else(|| DEFAULT_STORE.to_string());
+    let collection = load_store(Path::new(&store))?;
+    let mut query = FleetQuery::all();
+    if let Some(app) = arg_value(args, "--app") {
+        query = query.for_app(&app);
+    }
+    if let Some(machine) = arg_value(args, "--machine") {
+        query = query.on_machine(&machine);
+    }
+    if let Some(tuner) = arg_value(args, "--tuner") {
+        query = query.with_tuner(&tuner);
+    }
+    let user = arg_value(args, "--user");
+    let user = user.as_deref();
+
+    if let Some(stage) = arg_value(args, "--stage") {
+        let groups = fleet_stage_percentiles(&collection, user, &query, &stage);
+        if groups.is_empty() {
+            return Err(format!(
+                "no readable runs in {store} journaled stage `{stage}` for this query"
+            ));
+        }
+        print!("{}", render_stage_table(&stage, &groups));
+        return Ok(());
+    }
+
+    let records = collection.query(user, &query);
+    println!(
+        "{} readable run(s) in {store} match the query",
+        records.len()
+    );
+    for rec in &records {
+        println!(
+            "  {:<28} app={:<10} machine={:<10} tuner={:<10} iters={:>4} best={}",
+            rec.run,
+            rec.app,
+            rec.machine,
+            rec.tuner,
+            rec.iterations,
+            rec.best.map_or("-".to_string(), |b| format!("{b:.6}")),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("ingest") => cmd_ingest(&args),
+        Some("query") => cmd_query(&args),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("crowdtune-telemetry: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

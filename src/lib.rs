@@ -25,6 +25,9 @@
 //!   functions; Cori Haswell/KNL).
 //! - [`linalg`] ([`crowdtune_linalg`]) — the dense linear algebra and
 //!   optimization substrate.
+//! - [`telemetry`] ([`crowdtune_telemetry`]) — fleet telemetry: journal
+//!   ingestion into the shared database, per-algorithm fleet queries,
+//!   and Prometheus-text metrics exposition.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use crowdtune_gp as gp;
 pub use crowdtune_linalg as linalg;
 pub use crowdtune_sensitivity as sensitivity;
 pub use crowdtune_space as space;
+pub use crowdtune_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
