@@ -20,9 +20,30 @@
 //!    identical below two rayon threads, so the speedup here reflects
 //!    thread-level parallelism only.
 //!
-//! Run: `cargo run --release -p crowdtune-bench --bin bench_hotpath`
+//! Two amortization substrates cover the incremental BO loop:
+//!
+//! 4. `incremental_update_n260` — absorb one new observation into a GP
+//!    with 260 training points. Baseline: the from-scratch build the
+//!    pre-amortization tuner paid every iteration (covariance + blocked
+//!    Cholesky + `L⁻¹`, O(n³)). Optimized: `Gp::update`'s rank-1
+//!    Cholesky append + `L⁻¹` extension (O(n²)).
+//! 5. `tune_loop_n260` — an end-to-end 260-evaluation BO loop on a
+//!    synthetic objective. Baseline: per-iteration `Gp::fit` plus fresh
+//!    candidate generation (the seed tuner's shape). Optimized:
+//!    `IncrementalGp` on the default refit schedule plus the reusable
+//!    `CandidatePool`.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin bench_hotpath`.
+//! Pass `--smoke` to shrink the two loop substrates (and suffix their
+//! names with `_smoke` so the regression gate never compares smoke-scale
+//! stats against full-scale baselines) — that is what CI runs.
 
-use crowdtune_gp::{DimKind, Gp, Kernel, KernelKind, Lcm, LcmConfig, TaskData};
+use crowdtune_core::acquisition::{propose_ei_failure_aware, propose_ei_pooled, CandidatePool};
+use crowdtune_core::SearchOptions;
+use crowdtune_gp::{
+    DimKind, Gp, GpConfig, IncrementalGp, Kernel, KernelKind, Lcm, LcmConfig, RefitSchedule,
+    TaskData,
+};
 use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -304,7 +325,69 @@ fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
     crowdtune_core::expected_improvement(mean, std, best)
 }
 
+/// One distilled BO iteration loop over a synthetic 3-d objective.
+/// `incremental = false` replays the pre-amortization tuner: a
+/// from-scratch `Gp::fit` and a fresh candidate sweep every iteration.
+/// `incremental = true` maintains an [`IncrementalGp`] on the default
+/// refit schedule and reuses a [`CandidatePool`].
+fn tune_loop(budget: usize, incremental: bool) -> f64 {
+    const D: usize = 3;
+    const N_INIT: usize = 8;
+    let objective =
+        |p: &[f64]| (p[0] * 4.0).sin() + 10.0 * (p[1] - 0.4) * (p[1] - 0.4) + 0.5 * p[2];
+    let mut rng = StdRng::seed_from_u64(51);
+    let opts = SearchOptions {
+        n_uniform: 128,
+        n_local: 16,
+        local_scales: vec![0.1],
+        ..SearchOptions::default()
+    };
+    let mut gp_config = GpConfig::continuous(D);
+    gp_config.restarts = 0;
+    gp_config.max_opt_iter = 8;
+    let mut surrogate = IncrementalGp::new(gp_config.clone(), RefitSchedule::default());
+    let pool = CandidatePool::new(D, &opts, &mut rng);
+    let mut x: Vec<Vec<f64>> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    for i in 0..budget {
+        let cand: Vec<f64> = if i < N_INIT {
+            (0..D).map(|_| rng.gen()).collect()
+        } else {
+            let (bi, by) = y
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, &v)| (i, v))
+                .expect("non-empty");
+            if incremental {
+                let gp = surrogate.gp().expect("fitted");
+                propose_ei_pooled(
+                    gp,
+                    &pool,
+                    Some((&x[bi], by)),
+                    &x,
+                    &[],
+                    &opts,
+                    None,
+                    &mut rng,
+                )
+            } else {
+                let gp = Gp::fit(&x, &y, &gp_config, &mut rng).expect("fit");
+                propose_ei_failure_aware(&gp, D, Some((&x[bi], by)), &x, &[], &opts, None, &mut rng)
+            }
+        };
+        let value = objective(&cand);
+        if incremental {
+            surrogate.observe(&cand, value, &mut rng).expect("observe");
+        }
+        x.push(cand);
+        y.push(value);
+    }
+    y.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let threads = rayon::current_num_threads();
     let mut rows: Vec<String> = Vec::new();
 
@@ -391,6 +474,59 @@ fn main() {
             std::hint::black_box(a.matmul(&b));
         });
         rows.push(substrate_row("matmul_256", before, after));
+    }
+
+    // Substrate 4: absorb one observation into a GP at n = 260 (64 in
+    // smoke mode): from-scratch rebuild vs rank-1 Cholesky append.
+    {
+        let (n, reps, name) = if smoke {
+            (64, 1, "incremental_update_n64_smoke")
+        } else {
+            (260, 5, "incremental_update_n260")
+        };
+        let d = 3;
+        let x = unit_points(n + 1, d, 61);
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| (p[0] * 4.0).sin() + 10.0 * (p[1] - 0.4) * (p[1] - 0.4) + 0.5 * p[2])
+            .collect();
+        let mut kernel = Kernel::new(KernelKind::Matern52, vec![DimKind::Continuous; d]);
+        for l in kernel.log_lengthscales.iter_mut() {
+            *l = (0.3f64).ln();
+        }
+        let log_noise = (1e-4f64).ln();
+        let base = Gp::with_hypers(kernel.clone(), log_noise, &x[..n], &y[..n]).unwrap();
+        let (xnew, ynew) = (x[n].clone(), y[n]);
+        let before = median_ns(reps, || {
+            // The pre-amortization cost of "one more point": rebuild the
+            // covariance, the factor, and L⁻¹ from scratch at n + 1.
+            std::hint::black_box(Gp::with_hypers(kernel.clone(), log_noise, &x, &y).unwrap());
+        });
+        let after = median_ns(reps, || {
+            // The clone is an O(n²) memcpy so the append can be repeated;
+            // the tuner itself mutates in place and skips even that.
+            let mut gp = base.clone();
+            gp.update(&xnew, ynew).unwrap();
+            std::hint::black_box(gp.predict(&xnew).mean);
+        });
+        rows.push(substrate_row(name, before, after));
+    }
+
+    // Substrate 5: the end-to-end BO loop, per-iteration refit vs the
+    // amortized schedule + reusable candidate pool.
+    {
+        let (budget, reps, name) = if smoke {
+            (48, 1, "tune_loop_n48_smoke")
+        } else {
+            (260, 3, "tune_loop_n260")
+        };
+        let before = median_ns(reps, || {
+            std::hint::black_box(tune_loop(budget, false));
+        });
+        let after = median_ns(reps, || {
+            std::hint::black_box(tune_loop(budget, true));
+        });
+        rows.push(substrate_row(name, before, after));
     }
 
     let json = format!(

@@ -7,9 +7,11 @@
 //! analysis and space reduction run (saltelli, sobol, spacereduce), a
 //! transfer-learning tune runs with deterministic early failures
 //! (iteration, fit, restart, acquisition, weights, exclusion,
-//! runstart/runend, profile), and a degenerate Gram factorization
-//! exercises jitter escalation (jitter). The journal is then validated
-//! with `crowdtune-report --min-kinds 12` in CI.
+//! runstart/runend, profile), a `NoTLA` tune on a tight refit schedule
+//! exercises the amortized surrogate (refit, warmstart), and a
+//! degenerate Gram factorization exercises jitter escalation (jitter).
+//! The journal is then validated with `crowdtune-report --min-kinds 14`
+//! in CI.
 //!
 //! With `--expose <addr>` the live metrics are additionally served in
 //! Prometheus text format for the duration of the run (and scraped once
@@ -22,9 +24,10 @@
 
 use crowdtune_apps::{Application, DemoFunction};
 use crowdtune_bench::{arg_value, upload_source_data};
-use crowdtune_core::tuner::{tune_tla_constrained, TuneConfig};
+use crowdtune_core::tuner::{tune_notla, tune_tla_constrained, TuneConfig};
 use crowdtune_core::{dims_of, records_to_dataset, SourceTask, WeightedSum};
 use crowdtune_db::{Access, EvalOutcome, FunctionEvaluation, HistoryDb, QuerySpec};
+use crowdtune_gp::RefitSchedule;
 use crowdtune_linalg::{Cholesky, Matrix};
 use crowdtune_obs as obs;
 use crowdtune_sensitivity::{sobol_indices, SaltelliDesign};
@@ -160,6 +163,34 @@ fn main() {
         result.stats.failures,
         result.stats.fit_time_ns as f64 / 1e6,
         result.stats.acquisition_time_ns as f64 / 1e6,
+    );
+
+    // --- NoTLA on a tight refit schedule: refit + warmstart events ------
+    // `every: 4` forces several full refits within a small budget, so the
+    // journal carries both incremental-append refit events and at least
+    // one warm-started (reduced-restart-eligible) full refit.
+    let mut notla_rng = StdRng::seed_from_u64(0xA11C);
+    let mut notla_objective = |p: &Point| {
+        target
+            .evaluate(p, &mut notla_rng)
+            .map_err(|e| e.to_string())
+    };
+    let notla_config = TuneConfig {
+        budget: budget.max(10),
+        seed: 0xC0FFEE,
+        refit: RefitSchedule {
+            every: 4,
+            min_points: 3,
+            ..RefitSchedule::default()
+        },
+        ..Default::default()
+    };
+    let notla = tune_notla(&space, &mut notla_objective, &notla_config);
+    eprintln!(
+        "notla (amortized): best {:?}, {} refits across {} iterations",
+        notla.best().map(|(_, y)| y),
+        notla.stats.surrogate_refits,
+        notla.stats.iterations,
     );
 
     obs::journal_flush();

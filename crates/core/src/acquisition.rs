@@ -366,24 +366,7 @@ fn generate_candidates<R: Rng>(
         }
     }
     if let Some(inc) = incumbent {
-        for &scale in &opts.local_scales {
-            for _ in 0..opts.n_local {
-                let mut c: Vec<f64> = inc
-                    .iter()
-                    .map(|&v| {
-                        // Box-Muller normal perturbation, clamped to the cube.
-                        let u1: f64 = rng.gen::<f64>().max(1e-12);
-                        let u2: f64 = rng.gen();
-                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                        (v + scale * z).clamp(0.0, 1.0 - 1e-12)
-                    })
-                    .collect();
-                snap(&mut c, &opts.cells);
-                if !too_close(&c) {
-                    out.push(c);
-                }
-            }
-        }
+        push_local_candidates(&mut out, inc, opts, &too_close, rng);
     }
     if out.is_empty() {
         // Everything was a duplicate (tiny discrete spaces): fall back to
@@ -393,6 +376,137 @@ fn generate_candidates<R: Rng>(
         out.push(c);
     }
     out
+}
+
+/// Gaussian perturbation candidates around the incumbent, one batch per
+/// scale, snapped and deduped. Shared by the fresh and pooled candidate
+/// generators.
+fn push_local_candidates<R: Rng>(
+    out: &mut Vec<Vec<f64>>,
+    incumbent: &[f64],
+    opts: &SearchOptions,
+    too_close: &dyn Fn(&[f64]) -> bool,
+    rng: &mut R,
+) {
+    for &scale in &opts.local_scales {
+        for _ in 0..opts.n_local {
+            let mut c: Vec<f64> = incumbent
+                .iter()
+                .map(|&v| {
+                    // Box-Muller normal perturbation, clamped to the cube.
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (v + scale * z).clamp(0.0, 1.0 - 1e-12)
+                })
+                .collect();
+            snap(&mut c, &opts.cells);
+            if !too_close(&c) {
+                out.push(c);
+            }
+        }
+    }
+}
+
+/// The θ-independent precomputation of the acquisition search, reusable
+/// across tuner iterations.
+///
+/// The uniform candidate sweep depends only on the dimension, the cell
+/// grid, and the RNG — not on the surrogate's hyperparameters or the
+/// observed data — so a tuning loop can draw and snap it once and reuse
+/// it every iteration. Per-iteration state (dedup against newly
+/// evaluated points, failure exclusion, fresh local candidates around
+/// the moving incumbent) is re-applied on each proposal.
+pub struct CandidatePool {
+    dim: usize,
+    /// Snapped uniform sweep, drawn once.
+    uniform: Vec<Vec<f64>>,
+}
+
+impl CandidatePool {
+    /// Draw and snap the uniform sweep (`opts.n_uniform` points).
+    pub fn new<R: Rng>(dim: usize, opts: &SearchOptions, rng: &mut R) -> Self {
+        let mut uniform = Vec::with_capacity(opts.n_uniform);
+        for _ in 0..opts.n_uniform {
+            let mut c: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+            snap(&mut c, &opts.cells);
+            uniform.push(c);
+        }
+        CandidatePool { dim, uniform }
+    }
+
+    /// Number of cached uniform candidates.
+    pub fn len(&self) -> usize {
+        self.uniform.len()
+    }
+
+    /// True when the pool holds no cached candidates.
+    pub fn is_empty(&self) -> bool {
+        self.uniform.is_empty()
+    }
+
+    /// Per-iteration candidate set: the cached uniforms (minus any that
+    /// are now too close to an evaluated point) plus fresh local
+    /// perturbations around the incumbent.
+    fn candidates<R: Rng>(
+        &self,
+        incumbent: Option<&[f64]>,
+        evaluated: &[Vec<f64>],
+        opts: &SearchOptions,
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        let too_close = |c: &[f64]| {
+            evaluated.iter().any(|e| {
+                e.iter()
+                    .zip(c)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+                    <= opts.dedup_radius
+            })
+        };
+        let mut out: Vec<Vec<f64>> = self
+            .uniform
+            .iter()
+            .filter(|c| !too_close(c))
+            .cloned()
+            .collect();
+        if let Some(inc) = incumbent {
+            push_local_candidates(&mut out, inc, opts, &too_close, rng);
+        }
+        if out.is_empty() {
+            let mut c: Vec<f64> = (0..self.dim).map(|_| rng.gen::<f64>()).collect();
+            snap(&mut c, &opts.cells);
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// [`propose_ei_failure_aware`] drawing its uniform sweep from a
+/// [`CandidatePool`] instead of regenerating it, amortizing the
+/// θ-independent candidate work across a tuning run.
+#[allow(clippy::too_many_arguments)]
+pub fn propose_ei_pooled<S: Surrogate, R: Rng>(
+    surrogate: &S,
+    pool: &CandidatePool,
+    incumbent: Option<(&[f64], f64)>,
+    evaluated: &[Vec<f64>],
+    failed: &[Vec<f64>],
+    opts: &SearchOptions,
+    valid: Option<&ValidityFn<'_>>,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut candidates = pool.candidates(incumbent.map(|(x, _)| x), evaluated, opts, rng);
+    apply_failure_exclusion(&mut candidates, failed, opts.failure_radius);
+    if let Some(valid) = valid {
+        candidates.retain(|c| valid(c));
+    }
+    if candidates.is_empty() {
+        // The cached sweep was entirely excluded: fall back to the fresh
+        // generator, which rejection-samples feasible points.
+        return propose_ei_constrained(surrogate, pool.dim, incumbent, evaluated, opts, valid, rng);
+    }
+    score_candidates(surrogate, candidates, incumbent, opts)
 }
 
 #[cfg(test)]
@@ -453,6 +567,41 @@ mod tests {
             &mut rng,
         );
         assert!((x[0] - 0.7).abs() < 0.15, "proposed {x:?}");
+    }
+
+    #[test]
+    fn pooled_proposal_finds_low_mean_region_and_dedups_across_calls() {
+        let surrogate = |x: &[f64]| ((x[0] - 0.25).powi(2), 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = SearchOptions::default();
+        let pool = CandidatePool::new(1, &opts, &mut rng);
+        assert_eq!(pool.len(), opts.n_uniform);
+        let inc = vec![0.9];
+        let x = propose_ei_pooled(
+            &surrogate,
+            &pool,
+            Some((inc.as_slice(), 0.42)),
+            std::slice::from_ref(&inc),
+            &[],
+            &opts,
+            None,
+            &mut rng,
+        );
+        assert!((x[0] - 0.25).abs() < 0.15, "proposed {x:?}");
+        // The winner came from the cached sweep; once evaluated it must
+        // not be proposed again even though the pool still contains it.
+        let evaluated = vec![x.clone()];
+        let x2 = propose_ei_pooled(
+            &surrogate,
+            &pool,
+            Some((x.as_slice(), 0.0)),
+            &evaluated,
+            &[],
+            &opts,
+            None,
+            &mut rng,
+        );
+        assert_ne!(x2, x, "evaluated point re-proposed from the pool");
     }
 
     #[test]

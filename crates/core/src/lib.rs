@@ -30,8 +30,8 @@ pub mod tuner;
 pub mod utilities;
 
 pub use acquisition::{
-    expected_improvement, lower_confidence_bound, AcquisitionKind, LcmTaskSurrogate, SearchOptions,
-    Surrogate,
+    expected_improvement, lower_confidence_bound, AcquisitionKind, CandidatePool, LcmTaskSurrogate,
+    SearchOptions, Surrogate,
 };
 pub use analytics::{
     detect_variability, loo_validation, morris_screening_of_session, LooValidation,

@@ -10,11 +10,11 @@
 //! note: with no target data there is nothing for dynamic weights or the
 //! LCM to use).
 
-use crate::acquisition::{propose_ei_failure_aware, SearchOptions, ValidityFn};
+use crate::acquisition::{propose_ei_pooled, CandidatePool, SearchOptions, ValidityFn};
 use crate::data::Dataset;
 use crate::tla::weighted::WeightedSum;
 use crate::tla::{SourceTask, TlaContext, TlaStrategy};
-use crowdtune_gp::{DimKind, Gp, GpConfig};
+use crowdtune_gp::{DimKind, GpConfig, IncrementalGp, RefitSchedule};
 use crowdtune_obs as obs;
 use crowdtune_space::{sample_lhs, Domain, Point, Space};
 use rand::rngs::StdRng;
@@ -35,6 +35,9 @@ pub struct TuneConfig {
     pub search: SearchOptions,
     /// Per-task sample cap for LCM fitting.
     pub max_lcm_samples: usize,
+    /// When the `NoTLA` surrogate pays for a full refit instead of a
+    /// rank-1 append (see [`RefitSchedule`]).
+    pub refit: RefitSchedule,
 }
 
 impl Default for TuneConfig {
@@ -45,6 +48,7 @@ impl Default for TuneConfig {
             seed: 0,
             search: SearchOptions::default(),
             max_lcm_samples: 150,
+            refit: RefitSchedule::default(),
         }
     }
 }
@@ -176,6 +180,16 @@ pub fn tune_notla_constrained(
     // Unit-space view of the constraint for the acquisition search.
     let valid_holder = constraint.map(|c| make_unit_validity(space, c));
     let valid: Option<&ValidityFn<'_>> = valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
+    // The θ-independent uniform sweep, drawn once and reused every
+    // iteration; dedup/exclusion re-apply per proposal.
+    let pool = CandidatePool::new(space.dim(), &search, &mut rng);
+    // The surrogate persists across iterations: most observations are
+    // absorbed by a rank-1 append, with full refits on `config.refit`'s
+    // schedule.
+    let mut gp_config = GpConfig::new(dims);
+    gp_config.restarts = 1;
+    gp_config.max_opt_iter = 40;
+    let mut surrogate = IncrementalGp::new(gp_config, config.refit.clone());
 
     let mut init_points = sample_lhs(space, config.n_init.min(config.budget), &mut rng);
     if let Some(c) = constraint {
@@ -201,16 +215,13 @@ pub fn tune_notla_constrained(
             let p = sample_lhs(space, 1, &mut rng).pop().expect("one point");
             space.to_unit(&p).expect("sampled point valid")
         } else {
-            let mut gp_config = GpConfig::new(dims.clone());
-            gp_config.restarts = 1;
-            gp_config.max_opt_iter = 40;
-            match Gp::fit(&observed.x, &observed.y, &gp_config, &mut rng) {
-                Ok(gp) => {
+            match surrogate.gp() {
+                Some(gp) => {
                     let best = observed.best().expect("non-empty");
                     let idx = observed.y.iter().position(|&v| v == best).expect("best");
-                    propose_ei_failure_aware(
-                        &gp,
-                        space.dim(),
+                    propose_ei_pooled(
+                        gp,
+                        &pool,
                         Some((&observed.x[idx], best)),
                         &evaluated_units,
                         &failed_units,
@@ -219,7 +230,9 @@ pub fn tune_notla_constrained(
                         &mut rng,
                     )
                 }
-                Err(_) => crate::tla::random_proposal(space.dim(), &mut rng),
+                // The last fit attempt failed (degenerate data): fall back
+                // to random until the next observation triggers a rebuild.
+                None => crate::tla::random_proposal(space.dim(), &mut rng),
             }
         };
         drop(propose_span);
@@ -238,8 +251,18 @@ pub fn tune_notla_constrained(
             &mut evaluated_units,
             &mut result,
         );
-        if y.is_none() {
-            failed_units.push(result.history.last().expect("just pushed").unit.clone());
+        match y {
+            // Absorb the success into the maintained surrogate (rank-1
+            // append or scheduled refit). On numerical failure the
+            // surrogate empties itself and the next iterations propose
+            // randomly until a rebuild succeeds.
+            Some(y) => {
+                let unit_snapped = result.history.last().expect("just pushed").unit.clone();
+                let _ = surrogate.observe(&unit_snapped, y, &mut rng);
+            }
+            None => {
+                failed_units.push(result.history.last().expect("just pushed").unit.clone());
+            }
         }
         observer.iteration(
             i,
@@ -496,6 +519,37 @@ mod tests {
         assert_eq!(res.history.len(), 15);
         let (_, best) = res.best().unwrap();
         assert!(best < 3.2, "best = {best}");
+    }
+
+    #[test]
+    fn notla_append_path_converges_and_is_deterministic() {
+        // Push the run past the refit warmup so most iterations take the
+        // rank-1 append path, and check convergence quality and fixed-seed
+        // reproducibility are unaffected.
+        let space = quad_space();
+        let config = TuneConfig {
+            budget: 24,
+            seed: 42,
+            refit: RefitSchedule {
+                every: 6,
+                min_points: 4,
+                ..RefitSchedule::default()
+            },
+            ..Default::default()
+        };
+        let mut obj1 = quad_objective;
+        let r1 = tune_notla(&space, &mut obj1, &config);
+        assert_eq!(r1.history.len(), 24);
+        assert!(
+            r1.best().unwrap().1 < 3.2,
+            "best = {}",
+            r1.best().unwrap().1
+        );
+        let mut obj2 = quad_objective;
+        let r2 = tune_notla(&space, &mut obj2, &config);
+        for (a, b) in r1.history.iter().zip(&r2.history) {
+            assert_eq!(a.point, b.point);
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub enum SurrogateKind {
 }
 
 enum Model {
-    Gp(Gp),
+    Gp(Box<Gp>),
     Linear {
         weights: Vec<f64>,
         intercept: f64,
@@ -118,10 +118,10 @@ pub fn query_surrogate_model_with(
             config.noise = NoiseModel::Estimated(1e-2);
             config.restarts = 1;
             let mut rng = StdRng::seed_from_u64(seed);
-            Model::Gp(
+            Model::Gp(Box::new(
                 Gp::fit(&ds.x, &ds.y, &config, &mut rng)
                     .map_err(|e| MetaError::BadField(e.to_string()))?,
-            )
+            ))
         }
         SurrogateKind::LinearRidge => {
             // Design matrix with a bias column.

@@ -295,6 +295,68 @@ impl FunctionEvaluation {
         }
     }
 
+    /// Every queryable field path of this document with its value — the
+    /// inverse of [`FunctionEvaluation::field`], used to build the
+    /// store's field indexes. Paths absent here resolve to `None` in
+    /// `field`, so indexing exactly this set is complete.
+    pub fn indexed_fields(&self) -> Vec<(String, Scalar)> {
+        let mut out = vec![
+            ("problem".to_string(), Scalar::Str(self.problem.clone())),
+            ("owner".to_string(), Scalar::Str(self.owner.clone())),
+            (
+                "status".to_string(),
+                Scalar::Str(if self.result.is_ok() { "ok" } else { "failed" }.to_string()),
+            ),
+            (
+                "machine.name".to_string(),
+                Scalar::Str(self.machine.machine_name.clone()),
+            ),
+            (
+                "machine.node_type".to_string(),
+                Scalar::Str(self.machine.node_type.clone()),
+            ),
+            (
+                "machine.nodes".to_string(),
+                Scalar::Int(self.machine.nodes as i64),
+            ),
+            (
+                "machine.cores".to_string(),
+                Scalar::Int(self.machine.cores_per_node as i64),
+            ),
+        ];
+        for (k, v) in &self.task_parameters {
+            out.push((format!("task.{k}"), v.clone()));
+        }
+        for (k, v) in &self.tuning_parameters {
+            out.push((format!("param.{k}"), v.clone()));
+        }
+        if let EvalOutcome::Ok { outputs } = &self.result {
+            for (k, v) in outputs {
+                out.push((format!("output.{k}"), Scalar::Real(*v)));
+            }
+        }
+        for sw in &self.software {
+            // `field` resolves the bare package path to version_major.
+            out.push((
+                format!("software.{}", sw.name),
+                Scalar::Int(sw.version[0] as i64),
+            ));
+            out.push((
+                format!("software.{}.version_major", sw.name),
+                Scalar::Int(sw.version[0] as i64),
+            ));
+            out.push((
+                format!("software.{}.version_minor", sw.name),
+                Scalar::Int(sw.version[1] as i64),
+            ));
+            out.push((
+                format!("software.{}.version_patch", sw.name),
+                Scalar::Int(sw.version[2] as i64),
+            ));
+        }
+        out
+    }
+
     /// True when `user` (or anonymous, `None`) may read this document.
     pub fn readable_by(&self, user: Option<&str>) -> bool {
         match &self.access {

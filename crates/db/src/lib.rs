@@ -34,7 +34,7 @@ pub use document::{
     Access, EvalOutcome, FunctionEvaluation, MachineConfig, ParamMap, Scalar, SoftwareConfig,
 };
 pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
-pub use query::{parse_query, Filter, ParseError};
+pub use query::{parse_query, FieldIndexes, Filter, ParseError};
 pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
 pub use store::{DocumentStore, ScanStats, StoreError};
 pub use telemetry::{FleetQuery, RunRecord, TelemetryCollection};

@@ -92,6 +92,183 @@ fn num(e: &FunctionEvaluation, path: &str) -> Option<f64> {
     e.field(path).and_then(|s| s.as_f64())
 }
 
+/// Numeric index key with a total order (`f64::total_cmp`), normalized so
+/// index lookups agree with [`scalar_eq`]'s `==` semantics: `-0.0` maps
+/// to `+0.0` and every NaN payload to one canonical NaN. Canonicalizing
+/// NaN can only produce false positives (a NaN probe finding NaN docs),
+/// which the post-index `matches` verification discards.
+#[derive(Debug, Clone, Copy)]
+struct NumKey(f64);
+
+impl NumKey {
+    fn new(v: f64) -> Self {
+        if v == 0.0 {
+            NumKey(0.0)
+        } else if v.is_nan() {
+            NumKey(f64::NAN)
+        } else {
+            NumKey(v)
+        }
+    }
+}
+
+impl PartialEq for NumKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for NumKey {}
+impl PartialOrd for NumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NumKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Normalized index key. Numeric scalars (Int and Real alike) share the
+/// f64 key space, mirroring [`scalar_eq`]'s coercion; strings are
+/// lowercased, mirroring its case-insensitive comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum IndexKey {
+    /// Numbers sort before strings; only this variant participates in
+    /// range plans.
+    Num(NumKey),
+    /// Case-normalized string.
+    Str(String),
+}
+
+fn key_of(s: &Scalar) -> IndexKey {
+    match s.as_f64() {
+        Some(v) => IndexKey::Num(NumKey::new(v)),
+        None => IndexKey::Str(s.as_str().unwrap_or_default().to_ascii_lowercase()),
+    }
+}
+
+/// Secondary indexes over every queryable field path, mapping normalized
+/// values to the (ascending) positions of the documents holding them.
+///
+/// [`FieldIndexes::plan`] turns a [`Filter`] into a candidate-position
+/// list that is guaranteed to be a superset of the filter's matches, so
+/// the store only examines those candidates (still verifying each with
+/// [`Filter::matches`]) instead of scanning the whole collection.
+#[derive(Debug, Default)]
+pub struct FieldIndexes {
+    fields: std::collections::HashMap<String, std::collections::BTreeMap<IndexKey, Vec<usize>>>,
+}
+
+impl FieldIndexes {
+    /// Index one document at collection position `pos`. Positions must be
+    /// fed in ascending order (the store appends).
+    pub fn insert_doc(&mut self, pos: usize, doc: &FunctionEvaluation) {
+        for (path, value) in doc.indexed_fields() {
+            self.fields
+                .entry(path)
+                .or_default()
+                .entry(key_of(&value))
+                .or_default()
+                .push(pos);
+        }
+    }
+
+    /// Rebuild from scratch (after deletions or a load).
+    pub fn rebuild(&mut self, docs: &[FunctionEvaluation]) {
+        self.fields.clear();
+        for (pos, doc) in docs.iter().enumerate() {
+            self.insert_doc(pos, doc);
+        }
+    }
+
+    /// Candidate document positions for a filter: `Some(sorted positions)`
+    /// when the indexes can prune the scan (every match is guaranteed to
+    /// be among the candidates), `None` when only a full scan is sound.
+    pub fn plan(&self, filter: &Filter) -> Option<Vec<usize>> {
+        match filter {
+            Filter::Eq(path, v) => self.postings_eq(path, std::slice::from_ref(v)),
+            Filter::In(path, vs) => self.postings_eq(path, vs),
+            Filter::Lt(path, v) => self.postings_range(path, f64::NEG_INFINITY, *v, true, false),
+            Filter::Le(path, v) => self.postings_range(path, f64::NEG_INFINITY, *v, true, true),
+            Filter::Gt(path, v) => self.postings_range(path, *v, f64::INFINITY, false, true),
+            Filter::Ge(path, v) => self.postings_range(path, *v, f64::INFINITY, true, true),
+            Filter::Between(path, lo, hi) => self.postings_range(path, *lo, *hi, true, false),
+            // Any prunable conjunct bounds the whole conjunction; take the
+            // tightest one.
+            Filter::And(fs) => fs
+                .iter()
+                .filter_map(|f| self.plan(f))
+                .min_by_key(|c| c.len()),
+            // A disjunction prunes only when every branch does.
+            Filter::Or(fs) => {
+                let mut union: Vec<usize> = Vec::new();
+                for f in fs {
+                    union.extend(self.plan(f)?);
+                }
+                union.sort_unstable();
+                union.dedup();
+                Some(union)
+            }
+            // Ne/Not match documents *lacking* indexed values (missing
+            // fields under Not), and True matches everything: no pruning.
+            Filter::True | Filter::Ne(..) | Filter::Not(_) => None,
+        }
+    }
+
+    fn postings_eq(&self, path: &str, values: &[Scalar]) -> Option<Vec<usize>> {
+        // An unknown path means no document carries the field, but only
+        // paths enumerated by `indexed_fields` are indexed — stay sound
+        // for any future alias by falling back to a scan.
+        let index = self.fields.get(path)?;
+        let mut out: Vec<usize> = Vec::new();
+        for v in values {
+            if let Some(postings) = index.get(&key_of(v)) {
+                out.extend(postings);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    fn postings_range(
+        &self,
+        path: &str,
+        lo: f64,
+        hi: f64,
+        lo_inclusive: bool,
+        hi_inclusive: bool,
+    ) -> Option<Vec<usize>> {
+        use std::ops::Bound;
+        let index = self.fields.get(path)?;
+        let lo_key = IndexKey::Num(NumKey::new(lo));
+        let hi_key = IndexKey::Num(NumKey::new(hi));
+        // An inverted or degenerate-exclusive interval matches nothing —
+        // and would panic inside BTreeMap::range.
+        if lo_key > hi_key || (lo_key == hi_key && !(lo_inclusive && hi_inclusive)) {
+            return Some(Vec::new());
+        }
+        let lo = if lo_inclusive {
+            Bound::Included(lo_key)
+        } else {
+            Bound::Excluded(lo_key)
+        };
+        let hi = if hi_inclusive {
+            Bound::Included(hi_key)
+        } else {
+            Bound::Excluded(hi_key)
+        };
+        let mut out: Vec<usize> = index
+            .range((lo, hi))
+            .flat_map(|(_, postings)| postings.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+}
+
 /// Parse error for the text query language.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {

@@ -350,6 +350,7 @@ impl HistoryDb {
             .filter(|e| spec.configuration.matches(e, &self.tags))
             .collect();
         obs::count(obs::names::CTR_DB_SCANNED, stats.scanned as u64);
+        obs::count(obs::names::CTR_DB_PRUNED, stats.pruned as u64);
         obs::count(obs::names::CTR_DB_RETURNED, kept.len() as u64);
         obs::count(obs::names::CTR_DB_DENIED, stats.denied as u64);
         obs::record_with(|| obs::Event::DbQuery {

@@ -7,7 +7,7 @@
 //! concurrent tuner instances (the "crowd") can submit and query at once.
 
 use crate::document::FunctionEvaluation;
-use crate::query::Filter;
+use crate::query::{FieldIndexes, Filter};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -53,6 +53,9 @@ struct Inner {
     /// problem name -> doc indexes (not ids), rebuilt on load.
     #[serde(skip)]
     by_problem: HashMap<String, Vec<usize>>,
+    /// Field-value indexes over every queryable path, rebuilt on load.
+    #[serde(skip)]
+    indexes: FieldIndexes,
 }
 
 impl Inner {
@@ -64,17 +67,40 @@ impl Inner {
                 .or_default()
                 .push(i);
         }
+        self.indexes.rebuild(&self.docs);
     }
 }
 
 /// Scan statistics from a counted query: how many index entries were
-/// examined and how many documents access control withheld.
+/// examined, how many the field indexes let the scan skip, and how many
+/// documents access control withheld.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Documents examined (index entries visited).
     pub scanned: usize,
+    /// Documents skipped outright because the field indexes proved they
+    /// cannot match the filter.
+    pub pruned: usize,
     /// Documents withheld because the querying user may not read them.
     pub denied: usize,
+}
+
+/// Intersection of two ascending position lists (two-pointer merge).
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// An in-memory (optionally file-persisted) document store.
@@ -102,6 +128,7 @@ impl DocumentStore {
             .entry(doc.problem.clone())
             .or_default()
             .push(idx);
+        inner.indexes.insert_doc(idx, &doc);
         inner.docs.push(doc);
         inner.next_id
     }
@@ -151,8 +178,17 @@ impl DocumentStore {
         let mut stats = ScanStats::default();
         let hits = match inner.by_problem.get(problem) {
             Some(idxs) => {
-                stats.scanned = idxs.len();
-                idxs.iter()
+                // Narrow the problem's postings through the field indexes
+                // before touching any document; candidates are still
+                // verified by `matches`.
+                let candidates: Vec<usize> = match inner.indexes.plan(filter) {
+                    Some(plan) => intersect_sorted(idxs, &plan),
+                    None => idxs.clone(),
+                };
+                stats.pruned = idxs.len() - candidates.len();
+                stats.scanned = candidates.len();
+                candidates
+                    .iter()
                     .map(|&i| &inner.docs[i])
                     .filter(|d| {
                         if !d.readable_by(user) {
@@ -171,23 +207,47 @@ impl DocumentStore {
 
     /// Full-collection query (no problem restriction).
     pub fn query(&self, filter: &Filter, user: Option<&str>) -> Vec<FunctionEvaluation> {
+        self.query_counted(filter, user).0
+    }
+
+    /// Like [`DocumentStore::query`], but also reports how many documents
+    /// the field indexes let the scan skip.
+    pub fn query_counted(
+        &self,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
         let inner = self.inner.read();
-        inner
-            .docs
+        let mut stats = ScanStats::default();
+        let candidates: Vec<usize> = match inner.indexes.plan(filter) {
+            Some(plan) => plan,
+            None => (0..inner.docs.len()).collect(),
+        };
+        stats.pruned = inner.docs.len() - candidates.len();
+        stats.scanned = candidates.len();
+        let hits = candidates
             .iter()
-            .filter(|d| d.readable_by(user) && filter.matches(d))
+            .map(|&i| &inner.docs[i])
+            .filter(|d| {
+                if !d.readable_by(user) {
+                    stats.denied += 1;
+                    return false;
+                }
+                filter.matches(d)
+            })
             .cloned()
-            .collect()
+            .collect();
+        (hits, stats)
     }
 
     /// Count of matching documents without cloning them.
     pub fn count(&self, filter: &Filter, user: Option<&str>) -> usize {
         let inner = self.inner.read();
-        inner
-            .docs
-            .iter()
-            .filter(|d| d.readable_by(user) && filter.matches(d))
-            .count()
+        let verify = |d: &FunctionEvaluation| d.readable_by(user) && filter.matches(d);
+        match inner.indexes.plan(filter) {
+            Some(plan) => plan.iter().filter(|&&i| verify(&inner.docs[i])).count(),
+            None => inner.docs.iter().filter(|d| verify(d)).count(),
+        }
     }
 
     /// Distinct problem names present in the store.
@@ -318,6 +378,85 @@ mod tests {
         );
         // Index still consistent after rebuild.
         assert_eq!(store.query_problem("P", &Filter::True, None).len(), 1);
+    }
+
+    #[test]
+    fn indexed_equality_scans_fewer_docs_than_collection() {
+        let store = DocumentStore::new();
+        for m in 0..40i64 {
+            store.insert(eval("P", "alice", m % 4, m as f64));
+        }
+        // Equality on an indexed field: only matching postings examined.
+        let f = parse_query("task.m = 1").unwrap();
+        let (hits, stats) = store.query_counted(&f, None);
+        assert_eq!(hits.len(), 10);
+        assert!(
+            stats.scanned < store.len(),
+            "scanned {} of {}",
+            stats.scanned,
+            store.len()
+        );
+        assert_eq!(stats.scanned, 10);
+        assert_eq!(stats.pruned, 30);
+        // The problem-scoped path prunes through the same indexes.
+        let (hits, stats) = store.query_problem_counted("P", &f, None);
+        assert_eq!(hits.len(), 10);
+        assert_eq!(stats.scanned, 10);
+        assert_eq!(stats.pruned, 30);
+    }
+
+    #[test]
+    fn range_plans_prune_and_agree_with_full_scan() {
+        let store = DocumentStore::new();
+        for m in 0..50i64 {
+            store.insert(eval("P", "alice", m, m as f64 / 10.0));
+        }
+        for (q, expect) in [
+            ("task.m BETWEEN 10 AND 20", 10),
+            ("task.m < 5", 5),
+            ("task.m >= 45", 5),
+            ("output.runtime <= 0.95 AND task.m > 3", 6),
+            ("task.m = 7 OR task.m = 9", 2),
+            ("task.m BETWEEN 20 AND 10", 0), // inverted: matches nothing
+        ] {
+            let f = parse_query(q).unwrap();
+            let (hits, stats) = store.query_counted(&f, None);
+            assert_eq!(hits.len(), expect, "query {q}");
+            assert!(stats.scanned < store.len(), "query {q} did a full scan");
+            assert_eq!(stats.scanned + stats.pruned, store.len(), "query {q}");
+            // The planner's candidate set must be a superset of the full
+            // scan's matches.
+            let brute: Vec<u64> = (1..=50)
+                .filter(|&id| f.matches(&store.get(id).unwrap()))
+                .collect();
+            assert_eq!(hits.iter().map(|d| d.id).collect::<Vec<_>>(), brute);
+        }
+        // Unprunable shapes fall back to a sound full scan.
+        for q in ["NOT task.m = 1", "task.m != 1", ""] {
+            let f = parse_query(q).unwrap();
+            let (_, stats) = store.query_counted(&f, None);
+            assert_eq!(stats.scanned, store.len(), "query {q:?}");
+            assert_eq!(stats.pruned, 0);
+        }
+    }
+
+    #[test]
+    fn indexes_survive_delete_and_case_insensitive_strings() {
+        let store = DocumentStore::new();
+        store.insert(eval("P", "alice", 1, 1.0));
+        store.insert(eval("P", "bob", 1, 2.0));
+        store.insert(eval("P", "bob", 2, 3.0));
+        // String equality is case-insensitive through the index too.
+        let f = parse_query("owner = 'BOB'").unwrap();
+        let (hits, stats) = store.query_counted(&f, None);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(stats.scanned, 2);
+        store.delete_owned("bob", &parse_query("task.m = 2").unwrap());
+        // Postings rebuilt: positions still valid after compaction.
+        let (hits, stats) = store.query_counted(&f, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.scanned, 1);
+        assert_eq!(stats.pruned, 1);
     }
 
     #[test]

@@ -122,6 +122,9 @@ pub struct Gp {
     /// that pipeline, instead of a loop-carried triangular solve per
     /// query point.
     linv: Matrix,
+    /// Standardized training targets, kept so incremental updates can
+    /// re-solve `alpha` in O(n²) and recompute the NLL in closed form.
+    ys: Vec<f64>,
     y_mean: f64,
     y_std: f64,
     lml: f64,
@@ -147,6 +150,22 @@ impl Gp {
         y: &[f64],
         config: &GpConfig,
         rng: &mut R,
+    ) -> Result<Self, GpError> {
+        Self::fit_with_starts(x, y, config, rng, &[])
+    }
+
+    /// [`Gp::fit`] with extra L-BFGS starts prepended before the default
+    /// start — the warm-start entry point for incremental refits. Each
+    /// extra start must have the fit's θ layout
+    /// (`[kernel hypers..., log_noise?]`); mismatched lengths are
+    /// skipped. The multistart winner is still reduced in start order,
+    /// so determinism at any thread count is unchanged.
+    pub fn fit_with_starts<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &GpConfig,
+        rng: &mut R,
+        extra_starts: &[Vec<f64>],
     ) -> Result<Self, GpError> {
         let fit_span = obs::span(obs::names::SPAN_GP_FIT);
         let n = x.len();
@@ -211,8 +230,16 @@ impl Gp {
             }
         };
 
-        // Multi-start: default start plus `restarts` random starts.
-        let mut starts: Vec<Vec<f64>> = Vec::with_capacity(config.restarts + 1);
+        // Multi-start: warm starts (if any), the default start, then
+        // `restarts` random starts.
+        let mut starts: Vec<Vec<f64>> =
+            Vec::with_capacity(extra_starts.len() + config.restarts + 1);
+        starts.extend(
+            extra_starts
+                .iter()
+                .filter(|s| s.len() == theta_len)
+                .cloned(),
+        );
         let mut default_start = vec![0.0; theta_len];
         // Default lengthscale ~ 0.3 of the cube, sf2 = 1.
         for ls in default_start.iter_mut().take(d) {
@@ -281,6 +308,7 @@ impl Gp {
             alpha,
             chol,
             linv,
+            ys,
             y_mean,
             y_std,
             lml: -nlml,
@@ -322,10 +350,96 @@ impl Gp {
             alpha,
             chol,
             linv,
+            ys,
             y_mean,
             y_std,
             lml,
         })
+    }
+
+    /// Absorb one new observation with a rank-1 Cholesky append instead
+    /// of a full refit: O(n²) total (forward substitution for the new
+    /// factor row, inverse-factor extension, and an `alpha` re-solve)
+    /// versus the O(n³) rebuild.
+    ///
+    /// Hyperparameters and the target standardization stay **frozen** at
+    /// their last-fit values, so the updated model is exactly the model
+    /// a full rebuild at the current θ would produce (see
+    /// [`Gp::refit_at_current_hypers`]) up to rounding. The caller is
+    /// expected to schedule genuine refits; on numerical failure of the
+    /// append (jitter ladder exhausted) the model is left unchanged and
+    /// the caller should fall back to a full refit.
+    pub fn update(&mut self, xnew: &[f64], ynew: f64) -> Result<(), GpError> {
+        if !ynew.is_finite() {
+            return Err(GpError::NonFiniteTarget);
+        }
+        let d = self.kernel.dim();
+        if xnew.len() != d {
+            return Err(GpError::DimensionMismatch {
+                expected: d,
+                got: xnew.len(),
+            });
+        }
+        let params = self.kernel.params();
+        let sn2 = self.log_noise.exp();
+        let mut k_new = vec![0.0; self.x.len()];
+        for (k, xi) in k_new.iter_mut().zip(self.x.iter()) {
+            *k = self.kernel.eval_params(xnew, xi, &params);
+        }
+        let k_diag = self.kernel.eval_params(xnew, xnew, &params) + sn2;
+        // Same jitter ceiling policy as `Cholesky::robust`, scaled by the
+        // appended diagonal.
+        let max_jitter = 1e-4 * k_diag.abs().max(1e-12);
+        let mut chol = self.chol.clone();
+        chol.append_row(&k_new, k_diag, max_jitter)
+            .map_err(|_| GpError::NumericalFailure)?;
+        self.linv = chol.extend_inverse_lower(&self.linv);
+        self.chol = chol;
+        self.x.push(xnew.to_vec());
+        self.ys.push((ynew - self.y_mean) / self.y_std);
+        self.alpha = self.chol.solve_vec(&self.ys);
+        let n = self.ys.len() as f64;
+        self.lml = -0.5 * crowdtune_linalg::dot(&self.ys, &self.alpha)
+            - 0.5 * self.chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        Ok(())
+    }
+
+    /// Rebuild the covariance, factor, and `alpha` from scratch at the
+    /// **current** hyperparameters and the current (frozen) target
+    /// standardization. This is the reference the incremental append
+    /// path is equivalent to, and the fallback when an append fails.
+    pub fn refit_at_current_hypers(&mut self) -> Result<(), GpError> {
+        let k = build_covariance(&self.kernel, self.log_noise, &self.x);
+        let chol = Cholesky::robust(&k).map_err(|_| GpError::NumericalFailure)?;
+        self.alpha = chol.solve_vec(&self.ys);
+        self.linv = chol.inverse_lower();
+        let n = self.ys.len() as f64;
+        self.lml = -0.5 * crowdtune_linalg::dot(&self.ys, &self.alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        self.chol = chol;
+        Ok(())
+    }
+
+    /// Negative log marginal likelihood in **raw** (unstandardized) y
+    /// units: `-lml + n·ln(y_std)`. Comparable across models fitted with
+    /// different target standardizations, which the incremental refit
+    /// schedule needs when it weighs a frozen-standardization model
+    /// against a freshly restandardized fit.
+    pub fn nll_raw(&self) -> f64 {
+        -self.lml + self.ys.len() as f64 * self.y_std.ln()
+    }
+
+    /// The fit's θ vector (`[kernel hypers..., log_noise?]`), suitable as
+    /// a warm start for [`Gp::fit_with_starts`] under the same noise
+    /// model. Pass `fixed_noise = true` to omit the noise coordinate.
+    pub fn pack_theta(&self, fixed_noise: bool) -> Vec<f64> {
+        let mut theta = self.kernel.pack();
+        if !fixed_noise {
+            theta.push(self.log_noise);
+        }
+        theta
     }
 
     /// Posterior prediction at a unit-cube point.

@@ -137,6 +137,9 @@ pub struct Lcm {
     /// `prior - ||L^{-1} k*||^2` — independent triangular dots instead
     /// of a per-query loop-carried triangular solve.
     linv: Matrix,
+    /// Standardized training targets, kept so incremental updates can
+    /// re-solve `alpha` in O(n²) through `linv`.
+    ys: Vec<f64>,
     /// Per-task standardization.
     y_mean: Vec<f64>,
     y_std: Vec<f64>,
@@ -175,6 +178,21 @@ impl Lcm {
         tasks: &[TaskData],
         config: &LcmConfig,
         rng: &mut R,
+    ) -> Result<Self, LcmError> {
+        Self::fit_with_starts(tasks, config, rng, &[])
+    }
+
+    /// [`Lcm::fit`] with extra L-BFGS starts prepended before the default
+    /// start — the warm-start entry point for incremental refits
+    /// (typically [`Lcm::pack_theta`] of the previous fit). Starts whose
+    /// length does not match the current packing (e.g. the task count
+    /// changed) are skipped. The multistart winner is still reduced in
+    /// start order, so determinism at any thread count is unchanged.
+    pub fn fit_with_starts<R: Rng>(
+        tasks: &[TaskData],
+        config: &LcmConfig,
+        rng: &mut R,
+        extra_starts: &[Vec<f64>],
     ) -> Result<Self, LcmError> {
         let fit_span = obs::span(obs::names::SPAN_LCM_FIT);
         let t_count = tasks.len();
@@ -266,8 +284,15 @@ impl Lcm {
             }
         };
 
-        // Starts: a deterministic default plus random restarts.
-        let mut starts = Vec::with_capacity(config.restarts + 1);
+        // Starts: warm starts (if any), a deterministic default, then
+        // random restarts.
+        let mut starts = Vec::with_capacity(extra_starts.len() + config.restarts + 1);
+        starts.extend(
+            extra_starts
+                .iter()
+                .filter(|s| s.len() == pack.len())
+                .cloned(),
+        );
         let mut s0 = vec![0.0; pack.len()];
         for q in 0..q_count {
             for dim in 0..d {
@@ -360,11 +385,188 @@ impl Lcm {
             task_of,
             alpha,
             linv,
+            ys,
             y_mean,
             y_std,
             n_tasks: t_count,
             lml: -nlml,
         })
+    }
+
+    /// Absorb one new observation for `task` with a rank-1 factor append
+    /// instead of a full refit: O(n²) total. The factor itself is not
+    /// stored — the new row `l₂₁ = L⁻¹ k_new` comes straight from the
+    /// precomputed inverse factor, which then grows by one
+    /// vector-matrix product, and `alpha = L⁻ᵀ(L⁻¹ ys)` re-solves
+    /// through the same inverse.
+    ///
+    /// Hyperparameters, coregionalization, and the per-task target
+    /// standardization stay **frozen** at their last-fit values; the
+    /// caller schedules genuine refits (see [`Lcm::fit_with_starts`] +
+    /// [`Lcm::pack_theta`] for warm-started ones). On numerical failure
+    /// (the appended pivot stays non-positive past the jitter ladder)
+    /// the model is left unchanged.
+    pub fn update(&mut self, task: usize, xnew: &[f64], ynew: f64) -> Result<(), LcmError> {
+        if !ynew.is_finite() {
+            return Err(LcmError::NonFiniteTarget);
+        }
+        assert!(task < self.n_tasks, "task index out of range");
+        let d = self.kernels[0].dim();
+        if xnew.len() != d {
+            return Err(LcmError::DimensionMismatch {
+                expected: d,
+                got: xnew.len(),
+            });
+        }
+        let n = self.x_all.len();
+        let params = self.hoisted_params();
+        let mut k_new = vec![0.0; n];
+        for (i, xi) in self.x_all.iter().enumerate() {
+            let ti = self.task_of[i];
+            let mut v = 0.0;
+            for (q, kq) in self.kernels.iter().enumerate() {
+                let b = self.a[q][task] * self.a[q][ti]
+                    + if ti == task { self.kappa[q][task] } else { 0.0 };
+                v += b * kq.eval_params(xnew, xi, &params[q]);
+            }
+            k_new[i] = v;
+        }
+        let prior: f64 = (0..self.kernels.len())
+            .map(|q| self.a[q][task] * self.a[q][task] + self.kappa[q][task])
+            .sum();
+        let k_diag = prior + self.log_noise[task].exp();
+        // New factor row through the inverse factor: l21 = L⁻¹ k_new.
+        let mut l21 = vec![0.0; n];
+        for (i, l) in l21.iter_mut().enumerate() {
+            *l = crowdtune_linalg::dot(&self.linv.row(i)[..=i], &k_new[..=i]);
+        }
+        let norm_sq: f64 = l21.iter().map(|v| v * v).sum();
+        // Same pivot-rescue ladder as `Cholesky::append_row`: extra
+        // jitter on the appended diagonal only, eps-scale start, 10×
+        // steps, `robust`-style ceiling.
+        let max_jitter = 1e-4 * k_diag.abs().max(1e-12);
+        let fallback_start = 1e-12 * k_diag.abs().max(1e-300);
+        let mut extra = 0.0f64;
+        let mut attempts: u64 = 0;
+        let pivot = loop {
+            attempts += 1;
+            let p = k_diag + extra - norm_sq;
+            if p > 0.0 && p.is_finite() {
+                break p;
+            }
+            let next = if extra == 0.0 {
+                fallback_start
+            } else {
+                extra * 10.0
+            };
+            if next > max_jitter || !next.is_finite() {
+                obs::count(obs::names::CTR_JITTER_EXHAUSTED, 1);
+                obs::record_with(|| obs::Event::Jitter {
+                    dim: (n + 1) as u64,
+                    jitter: extra,
+                    attempts,
+                    recovered: false,
+                });
+                return Err(LcmError::NumericalFailure);
+            }
+            extra = next;
+        };
+        if attempts > 1 {
+            obs::count(obs::names::CTR_JITTER_ESCALATIONS, 1);
+            obs::record_with(|| obs::Event::Jitter {
+                dim: (n + 1) as u64,
+                jitter: extra,
+                attempts,
+                recovered: true,
+            });
+        }
+        let lambda = pivot.sqrt();
+        // Grow L⁻¹: old rows unchanged, new row is
+        // [-(1/λ)·(l₂₁ᵀ L⁻¹), 1/λ].
+        let mut linv = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            linv.row_mut(i)[..=i].copy_from_slice(&self.linv.row(i)[..=i]);
+        }
+        {
+            let new_row = linv.row_mut(n);
+            for (i, &li) in l21.iter().enumerate() {
+                if li != 0.0 {
+                    let src = &self.linv.row(i)[..=i];
+                    for (o, &s) in new_row.iter_mut().zip(src.iter()) {
+                        *o += li * s;
+                    }
+                }
+            }
+            let inv_lambda = 1.0 / lambda;
+            for v in new_row[..n].iter_mut() {
+                *v = -*v * inv_lambda;
+            }
+            new_row[n] = inv_lambda;
+        }
+        self.linv = linv;
+        self.x_all.push(xnew.to_vec());
+        self.task_of.push(task);
+        self.ys.push((ynew - self.y_mean[task]) / self.y_std[task]);
+        let n1 = n + 1;
+        // alpha = K⁻¹ ys = L⁻ᵀ (L⁻¹ ys), two O(n²) triangular products.
+        let mut v = vec![0.0; n1];
+        for (i, vi) in v.iter_mut().enumerate() {
+            *vi = crowdtune_linalg::dot(&self.linv.row(i)[..=i], &self.ys[..=i]);
+        }
+        let mut alpha = vec![0.0; n1];
+        for (j, aj) in alpha.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (i, &vi) in v.iter().enumerate().skip(j) {
+                s += self.linv[(i, j)] * vi;
+            }
+            *aj = s;
+        }
+        self.alpha = alpha;
+        // log det K = 2 Σ ln L_ii = -2 Σ ln L⁻¹_ii.
+        let mut log_det = 0.0;
+        for i in 0..n1 {
+            log_det -= 2.0 * self.linv[(i, i)].ln();
+        }
+        self.lml = -0.5 * crowdtune_linalg::dot(&self.ys, &self.alpha)
+            - 0.5 * log_det
+            - 0.5 * n1 as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(())
+    }
+
+    /// The fit's packed θ vector, suitable as a warm start for
+    /// [`Lcm::fit_with_starts`] on a model with the same `q`, dimension
+    /// count, and task count.
+    pub fn pack_theta(&self) -> Vec<f64> {
+        let pack = Packing {
+            q: self.kernels.len(),
+            d: self.kernels[0].dim(),
+            t: self.n_tasks,
+        };
+        let mut theta = vec![0.0; pack.len()];
+        for (q, kq) in self.kernels.iter().enumerate() {
+            for (dim, &ls) in kq.log_lengthscales.iter().enumerate() {
+                theta[pack.ls(q, dim)] = ls;
+            }
+            for t in 0..self.n_tasks {
+                theta[pack.a(q, t)] = self.a[q][t];
+                // κ is stored exponentiated; clamp the round trip back
+                // inside the optimizer bounds (exp→ln can cross a
+                // boundary by one ulp).
+                theta[pack.kappa(q, t)] = self.kappa[q][t].ln().clamp(LOG_KAPPA_MIN, LOG_KAPPA_MAX);
+            }
+        }
+        for t in 0..self.n_tasks {
+            theta[pack.noise(t)] = self.log_noise[t];
+        }
+        theta
+    }
+
+    /// Negative log marginal likelihood in **raw** (unstandardized) y
+    /// units, comparable across fits with different per-task
+    /// standardizations.
+    pub fn nll_raw(&self) -> f64 {
+        let scale: f64 = self.task_of.iter().map(|&t| self.y_std[t].ln()).sum();
+        -self.lml + scale
     }
 
     /// Posterior prediction for `task` at unit-cube point `xstar`.
@@ -854,5 +1056,99 @@ mod tests {
             // verify via Cholesky.
             assert!(Cholesky::robust(&b).is_ok(), "B_{q} not PSD");
         }
+    }
+
+    #[test]
+    fn incremental_update_matches_refit_at_same_hypers() {
+        // Appending target-task points one at a time must agree with a
+        // from-scratch model at the same θ and the same frozen per-task
+        // standardization, to well under the 1e-6 contract.
+        let mut tasks = correlated_tasks(25, 6, 41);
+        let mut rng = StdRng::seed_from_u64(42);
+        let config = LcmConfig::continuous(1);
+        let mut inc = Lcm::fit(&tasks, &config, &mut rng).unwrap();
+        let f_tgt = |x: f64| (4.0 * x).sin() * 2.5 + 3.0;
+        for k in 0..5 {
+            let x = 0.1 + 0.17 * k as f64;
+            let y = f_tgt(x);
+            inc.update(1, &[x], y).unwrap();
+            tasks[1].x.push(vec![x]);
+            tasks[1].y.push(y);
+        }
+        // Reference: same θ and standardization, rebuilt from scratch.
+        let mut full = inc.clone();
+        let k_full = build_lcm_covariance(
+            &full.kernels,
+            &full.a,
+            &full.kappa,
+            &full.log_noise,
+            &full.x_all,
+            &full.task_of,
+        );
+        let chol = Cholesky::robust(&k_full).unwrap();
+        full.alpha = chol.solve_vec(&full.ys);
+        full.linv = chol.inverse_lower();
+        for task in 0..2 {
+            for q in [0.03, 0.33, 0.71, 0.96] {
+                let a = inc.predict(task, &[q]);
+                let b = full.predict(task, &[q]);
+                assert!(
+                    (a.mean - b.mean).abs() < 1e-6,
+                    "task {task} q {q}: mean {} vs {}",
+                    a.mean,
+                    b.mean
+                );
+                assert!(
+                    (a.std - b.std).abs() < 1e-6,
+                    "task {task} q {q}: std {} vs {}",
+                    a.std,
+                    b.std
+                );
+            }
+        }
+        assert_eq!(inc.n_samples(), 36);
+    }
+
+    #[test]
+    fn warm_started_refit_is_no_worse_than_cold() {
+        let tasks = correlated_tasks(20, 6, 55);
+        let config = LcmConfig::continuous(1);
+        let cold = Lcm::fit(&tasks, &config, &mut StdRng::seed_from_u64(56)).unwrap();
+        let warm_theta = cold.pack_theta();
+        // Zero random restarts: the warm start plus the default must
+        // still reach at least the cold optimum (the warm start IS the
+        // cold optimum).
+        let mut reduced = config.clone();
+        reduced.restarts = 0;
+        let warm = Lcm::fit_with_starts(
+            &tasks,
+            &reduced,
+            &mut StdRng::seed_from_u64(57),
+            &[warm_theta],
+        )
+        .unwrap();
+        assert!(
+            warm.log_marginal_likelihood() >= cold.log_marginal_likelihood() - 1e-6,
+            "warm {} vs cold {}",
+            warm.log_marginal_likelihood(),
+            cold.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn update_rejects_bad_inputs_and_keeps_model_usable() {
+        let tasks = correlated_tasks(10, 4, 60);
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut lcm = Lcm::fit(&tasks, &LcmConfig::continuous(1), &mut rng).unwrap();
+        assert!(matches!(
+            lcm.update(0, &[0.5], f64::NAN),
+            Err(LcmError::NonFiniteTarget)
+        ));
+        assert!(matches!(
+            lcm.update(0, &[0.5, 0.5], 1.0),
+            Err(LcmError::DimensionMismatch { .. })
+        ));
+        assert_eq!(lcm.n_samples(), 14);
+        assert!(lcm.predict(1, &[0.5]).std.is_finite());
     }
 }

@@ -12,13 +12,18 @@
 //!   support for unequal per-task sample counts, the substrate of the
 //!   paper's `Multitask(PS)` and `Multitask(TS)` transfer-learning
 //!   algorithms.
+//! - [`incremental`] — amortized surrogate maintenance: rank-1 Cholesky
+//!   appends between scheduled full refits, warm-started hyperparameter
+//!   optimization.
 
 #![warn(missing_docs)]
 
 pub mod gp;
+pub mod incremental;
 pub mod kernel;
 pub mod lcm;
 
 pub use gp::{Gp, GpConfig, GpError, NoiseModel, Prediction};
+pub use incremental::{IncrementalGp, RefitSchedule};
 pub use kernel::{DimKind, Kernel, KernelKind};
 pub use lcm::{Lcm, LcmConfig, LcmError, TaskData};

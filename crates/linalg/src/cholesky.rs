@@ -278,6 +278,143 @@ impl Cholesky {
         self.assemble_columns(n, solve_col, n * n * n / 6)
     }
 
+    /// Extend the factor with one new row/column in O(n²).
+    ///
+    /// Given the current factor of an `n × n` matrix `A` and the new
+    /// covariance column `k_new = A⁺[0..n, n]` plus diagonal
+    /// `k_diag = A⁺[n, n]` of the grown matrix `A⁺`, this appends the row
+    /// `[l₂₁ᵀ, λ]` with
+    ///
+    /// ```text
+    /// L l₂₁ = k_new          (forward substitution, O(n²))
+    /// λ     = sqrt(k_diag + jitter - ‖l₂₁‖²)
+    /// ```
+    ///
+    /// so that `L⁺ L⁺ᵀ = A⁺ + jitter·I` continues to hold. The existing
+    /// `self.jitter` is applied to the new diagonal for consistency with
+    /// the factored block. When the pivot is non-positive the appended
+    /// diagonal escalates extra jitter through the same 10× ladder as
+    /// [`Cholesky::with_jitter`] (eps-scale start, capped at
+    /// `max_jitter`), journaling the recovery; the extra jitter lands on
+    /// the appended diagonal only, so a caller that needs a uniform-jitter
+    /// factor should refactorize from scratch — the GP layer's scheduled
+    /// full refits do exactly that. Returns an error when the ladder is
+    /// exhausted (the appended point makes the matrix numerically
+    /// indefinite), leaving the factor untouched.
+    pub fn append_row(
+        &mut self,
+        k_new: &[f64],
+        k_diag: f64,
+        max_jitter: f64,
+    ) -> Result<(), NotPositiveDefinite> {
+        let n = self.dim();
+        assert_eq!(
+            k_new.len(),
+            n,
+            "append_row needs one entry per factored row"
+        );
+        let mut l21 = k_new.to_vec();
+        solve_lower_in_place(&self.l, &mut l21);
+        let norm_sq: f64 = l21.iter().map(|v| v * v).sum();
+        // The pivot is a scalar, so "retry at higher jitter" is pure
+        // arithmetic — same ladder as the full factorization, no O(n²)
+        // work repeated.
+        let fallback_start = 1e-12 * k_diag.abs().max(1e-300);
+        let mut extra = 0.0f64;
+        let mut attempts: u64 = 0;
+        let pivot = loop {
+            attempts += 1;
+            let d = k_diag + self.jitter + extra - norm_sq;
+            if d > 0.0 && d.is_finite() {
+                break d;
+            }
+            let next = if extra == 0.0 {
+                fallback_start
+            } else {
+                extra * 10.0
+            };
+            if next > max_jitter || !next.is_finite() {
+                obs::count(obs::names::CTR_JITTER_EXHAUSTED, 1);
+                obs::record_with(|| obs::Event::Jitter {
+                    dim: (n + 1) as u64,
+                    jitter: self.jitter + extra,
+                    attempts,
+                    recovered: false,
+                });
+                return Err(NotPositiveDefinite {
+                    max_jitter_tried: self.jitter + extra,
+                });
+            }
+            extra = next;
+        };
+        if attempts > 1 {
+            obs::count(obs::names::CTR_JITTER_ESCALATIONS, 1);
+            obs::record_with(|| obs::Event::Jitter {
+                dim: (n + 1) as u64,
+                jitter: self.jitter + extra,
+                attempts,
+                recovered: true,
+            });
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            grown.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        grown.row_mut(n)[..n].copy_from_slice(&l21);
+        grown[(n, n)] = pivot.sqrt();
+        self.l = grown;
+        // Report the largest diagonal jitter present in the factor.
+        self.jitter = self.jitter.max(self.jitter + extra);
+        Ok(())
+    }
+
+    /// Extend a precomputed `L⁻¹` to match a factor just grown by
+    /// [`Cholesky::append_row`], in O(n²).
+    ///
+    /// With `L⁺ = [[L, 0], [l₂₁ᵀ, λ]]`, the inverse grows as
+    ///
+    /// ```text
+    /// L⁺⁻¹ = [[L⁻¹, 0], [-(1/λ)·(l₂₁ᵀ L⁻¹), 1/λ]]
+    /// ```
+    ///
+    /// — the existing rows are unchanged and the new row is one
+    /// vector-matrix product against the old inverse. `linv` must be the
+    /// inverse of the factor *before* the append (`linv.rows() + 1 ==
+    /// self.dim()`).
+    pub fn extend_inverse_lower(&self, linv: &Matrix) -> Matrix {
+        let n1 = self.dim();
+        assert!(n1 >= 1, "extend_inverse_lower needs an appended factor");
+        let n = n1 - 1;
+        assert_eq!(
+            linv.rows(),
+            n,
+            "linv must invert the factor before the append"
+        );
+        let lrow = self.l.row(n);
+        let lambda = lrow[n];
+        let mut out = Matrix::zeros(n1, n1);
+        for i in 0..n {
+            out.row_mut(i)[..=i].copy_from_slice(&linv.row(i)[..=i]);
+        }
+        // new_row[j] = -(1/λ) Σ_i l₂₁[i]·L⁻¹[i][j]; L⁻¹ is lower
+        // triangular, so row i only contributes to columns j ≤ i.
+        let new_row = out.row_mut(n);
+        for (i, &li) in lrow.iter().enumerate().take(n) {
+            if li != 0.0 {
+                let src = &linv.row(i)[..=i];
+                for (o, &s) in new_row.iter_mut().zip(src.iter()) {
+                    *o += li * s;
+                }
+            }
+        }
+        let inv_lambda = 1.0 / lambda;
+        for v in new_row[..n].iter_mut() {
+            *v = -*v * inv_lambda;
+        }
+        new_row[n] = inv_lambda;
+        out
+    }
+
     /// Run `solve_col` for every column index in `0..m` — in parallel
     /// when `work` (a flop estimate) crosses the cutoff — and pack the
     /// results into a row-major matrix.
@@ -688,5 +825,89 @@ mod tests {
         let ch = Cholesky::new(&a).unwrap();
         assert!((ch.l()[(0, 0)] - 3.0).abs() < 1e-15);
         assert_eq!(ch.solve_vec(&[18.0]), vec![2.0]);
+    }
+
+    /// Leading principal submatrix of `a`.
+    fn leading(a: &Matrix, n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| a[(i, j)])
+    }
+
+    #[test]
+    fn append_row_matches_from_scratch_factor() {
+        let n = 40;
+        let a = spd_large(n);
+        let mut ch = Cholesky::new(&leading(&a, n - 5)).unwrap();
+        for m in (n - 5)..n {
+            let k_new: Vec<f64> = (0..m).map(|i| a[(i, m)]).collect();
+            ch.append_row(&k_new, a[(m, m)], 1e-4).unwrap();
+        }
+        let full = Cholesky::new(&a).unwrap();
+        assert!(ch.l().max_abs_diff(full.l()) < 1e-11);
+        assert_eq!(ch.jitter, 0.0);
+    }
+
+    #[test]
+    fn append_row_crosses_blocked_boundary() {
+        // Grow an unblocked-size factor past BLOCKED_MIN_DIM; appended
+        // rows must stay consistent with the blocked from-scratch path.
+        let n = super::BLOCKED_MIN_DIM + 3;
+        let a = spd_large(n);
+        let start = super::BLOCKED_MIN_DIM - 2;
+        let mut ch = Cholesky::new(&leading(&a, start)).unwrap();
+        for m in start..n {
+            let k_new: Vec<f64> = (0..m).map(|i| a[(i, m)]).collect();
+            ch.append_row(&k_new, a[(m, m)], 1e-4).unwrap();
+        }
+        let full = Cholesky::new(&a).unwrap();
+        assert!(ch.l().max_abs_diff(full.l()) < 1e-10);
+    }
+
+    #[test]
+    fn extend_inverse_lower_matches_recomputed() {
+        let n = 30;
+        let a = spd_large(n);
+        let mut ch = Cholesky::new(&leading(&a, n - 1)).unwrap();
+        let linv = ch.inverse_lower();
+        let k_new: Vec<f64> = (0..n - 1).map(|i| a[(i, n - 1)]).collect();
+        ch.append_row(&k_new, a[(n - 1, n - 1)], 1e-4).unwrap();
+        let extended = ch.extend_inverse_lower(&linv);
+        assert!(extended.max_abs_diff(&ch.inverse_lower()) < 1e-11);
+        let prod = ch.l().matmul(&extended);
+        assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-11);
+    }
+
+    #[test]
+    fn append_jitter_rescues_duplicate_point() {
+        // Appending an exact duplicate row makes the grown matrix
+        // singular; the escalation ladder must rescue the pivot.
+        let a = spd_3x3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let dup: Vec<f64> = (0..3).map(|i| a[(i, 0)]).collect();
+        ch.append_row(&dup, a[(0, 0)], 1e-4).unwrap();
+        assert!(ch.jitter > 0.0, "escalation must be recorded");
+        assert_eq!(ch.dim(), 4);
+        // The factor stays usable: L L^T matches the grown matrix up to
+        // the appended-diagonal jitter.
+        let mut grown = Matrix::from_fn(4, 4, |i, j| a[(i.min(2), j.min(2))]);
+        grown[(3, 3)] = a[(0, 0)];
+        for i in 0..3 {
+            grown[(i, 3)] = a[(i, 0)];
+            grown[(3, i)] = a[(0, i)];
+        }
+        let recon = ch.l().matmul(&ch.l().transpose());
+        assert!(recon.max_abs_diff(&grown) < ch.jitter * 2.0 + 1e-10);
+    }
+
+    #[test]
+    fn append_exhaustion_leaves_factor_untouched() {
+        let a = spd_3x3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let l_before = ch.l().clone();
+        // A wildly inconsistent column: no small jitter can fix a
+        // pivot this negative.
+        let bad = vec![100.0, 100.0, 100.0];
+        assert!(ch.append_row(&bad, 1.0, 1e-4).is_err());
+        assert_eq!(ch.dim(), 3);
+        assert_eq!(ch.l().max_abs_diff(&l_before), 0.0);
     }
 }

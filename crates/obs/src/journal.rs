@@ -196,6 +196,39 @@ pub enum Event {
         /// Folded stack path → total nanoseconds.
         folded: BTreeMap<String, u64>,
     },
+    /// An incremental surrogate decided between a cheap rank-1 append
+    /// and a scheduled/triggered full refit.
+    Refit {
+        /// Surrogate model ("gp" or "lcm").
+        model: String,
+        /// Training points after this observation.
+        points: u64,
+        /// Why this path was taken: "append", "schedule", "nll",
+        /// or "fallback" (append failed, forced full rebuild).
+        reason: String,
+        /// `true` when a full refit ran, `false` for a rank-1 append.
+        full: bool,
+        /// Incremental updates absorbed since the last full refit.
+        updates_since_full: u64,
+        /// Per-point NLL under the current hyperparameters, `null` if
+        /// non-finite.
+        nll_per_point: Option<f64>,
+    },
+    /// A hyperparameter fit seeded L-BFGS from the previous optimum.
+    Warmstart {
+        /// Surrogate model ("gp" or "lcm").
+        model: String,
+        /// NLL of the warm start before optimization, `null` if
+        /// non-finite.
+        warm_nll: Option<f64>,
+        /// NLL of the multi-start winner, `null` if non-finite.
+        best_nll: Option<f64>,
+        /// Restarts actually run (reduced when the warm start was
+        /// competitive on the previous fit).
+        restarts: u64,
+        /// `true` when the restart count was reduced.
+        reduced: bool,
+    },
     /// A tuning run finished.
     RunEnd {
         /// Iterations executed.
@@ -229,6 +262,8 @@ impl Event {
             Event::Sobol { .. } => "sobol",
             Event::SpaceReduce { .. } => "spacereduce",
             Event::Profile { .. } => "profile",
+            Event::Refit { .. } => "refit",
+            Event::Warmstart { .. } => "warmstart",
             Event::RunEnd { .. } => "runend",
         }
     }

@@ -85,6 +85,16 @@ pub struct JournalReport {
     /// Sensitivity-driven space reductions journaled.
     #[serde(default)]
     pub space_reductions: u64,
+    /// Full surrogate refits journaled by the incremental path.
+    #[serde(default)]
+    pub full_refits: u64,
+    /// Rank-1 incremental surrogate updates journaled.
+    #[serde(default)]
+    pub incremental_updates: u64,
+    /// Hyperparameter fits that ran with a reduced restart count because
+    /// the warm start was competitive.
+    #[serde(default)]
+    pub warmstarts_reduced: u64,
     /// Merged collapsed-stack profile across all `profile` events: folded
     /// span path (`tune;propose;gp_fit`) → total nanoseconds.
     #[serde(default)]
@@ -212,6 +222,18 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                     .add(*duration_us);
             }
             Event::SpaceReduce { .. } => r.space_reductions += 1,
+            Event::Refit { full, .. } => {
+                if *full {
+                    r.full_refits += 1;
+                } else {
+                    r.incremental_updates += 1;
+                }
+            }
+            Event::Warmstart { reduced, .. } => {
+                if *reduced {
+                    r.warmstarts_reduced += 1;
+                }
+            }
             Event::Profile { folded } => {
                 for (path, ns) in folded {
                     *r.profile.entry(path.clone()).or_insert(0) += ns;

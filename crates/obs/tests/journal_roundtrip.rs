@@ -111,6 +111,29 @@ fn all_variants() -> Vec<Event> {
             .into_iter()
             .collect(),
         },
+        Event::Refit {
+            model: "gp".into(),
+            points: 130,
+            reason: "schedule".into(),
+            full: true,
+            updates_since_full: 16,
+            nll_per_point: Some(1.375),
+        },
+        Event::Refit {
+            model: "gp".into(),
+            points: 131,
+            reason: "append".into(),
+            full: false,
+            updates_since_full: 1,
+            nll_per_point: crowdtune_obs::finite(f64::NAN),
+        },
+        Event::Warmstart {
+            model: "lcm".into(),
+            warm_nll: Some(-12.5),
+            best_nll: Some(-12.625),
+            restarts: 1,
+            reduced: true,
+        },
         Event::RunEnd {
             iterations: 20,
             failures: 2,
@@ -140,11 +163,11 @@ fn every_variant_round_trips_bitwise() {
     }
     let back = read_journal(&path).unwrap();
     assert_eq!(back, events);
-    // All 16 kinds distinct.
+    // All 18 kinds distinct.
     let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 16);
+    assert_eq!(kinds.len(), 18);
     std::fs::remove_file(&path).ok();
 }
 
