@@ -1,0 +1,354 @@
+//! Deterministic fault injection for simulated machines.
+//!
+//! Real crowd workers fail in every way the paper worries about: nodes
+//! crash mid-evaluation (transient), jobs hit their walltime (timeout),
+//! shared machines go through flaky episodes that corrupt timings
+//! (noise), and uploads arrive mangled (corrupt payload). None of those
+//! happen on our simulated machines by default, so the crowd-facing
+//! failure paths would never be exercised. A [`FaultPlan`] makes them
+//! happen *reproducibly*: every decision is a pure function of
+//! `(seed, call index)` via a splitmix64 hash, so the same plan injects
+//! the same faults no matter when or in what order calls are replayed —
+//! the property checkpoint/resume needs to reproduce a crashed run
+//! bitwise.
+//!
+//! [`FaultInjector`] wraps an objective with a plan plus a call counter.
+//! After a tuner resumes from a checkpoint, [`FaultInjector::advance_to`]
+//! fast-forwards the counter to the recorded call count; because
+//! decisions are counter-indexed rather than drawn from a sequential
+//! RNG, skipping ahead is exact.
+//!
+//! Error-message convention (shared with `crowdtune-core`'s retry
+//! policy): transient and timeout faults produce errors prefixed
+//! `"transient:"` / `"timeout:"`, which the tuner retries; everything
+//! else (e.g. a real OOM from the application model) is permanent.
+
+use crowdtune_obs as obs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A fault class injected into one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectedFault {
+    /// The worker died mid-evaluation (node crash, network partition).
+    /// Retryable.
+    Transient,
+    /// The evaluation blew past its walltime deadline, in simulated
+    /// seconds. Retryable.
+    Timeout {
+        /// The deadline that was exceeded.
+        deadline_s: f64,
+    },
+    /// A flaky-machine episode: the measurement completes but is
+    /// inflated by this factor (silent data corruption of the mild
+    /// kind — the tuner sees a valid, wrong number).
+    Noise {
+        /// Multiplicative inflation applied to the measurement.
+        factor: f64,
+    },
+    /// The upload payload arrived corrupted and failed its checksum.
+    /// Retryable (the worker re-uploads).
+    Corrupt,
+}
+
+impl InjectedFault {
+    /// Journal tag for this fault class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InjectedFault::Transient => "transient",
+            InjectedFault::Timeout { .. } => "timeout",
+            InjectedFault::Noise { .. } => "noise",
+            InjectedFault::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// A deterministic, seed-driven schedule of evaluation faults.
+///
+/// Probabilities are evaluated in order (transient, timeout, corrupt,
+/// noise) against one uniform draw per call, so they partition the unit
+/// interval; their sum must stay ≤ 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the plan (independent of the tuner's seed).
+    pub seed: u64,
+    /// Probability an evaluation dies transiently.
+    pub p_transient: f64,
+    /// Probability an evaluation exceeds its deadline.
+    pub p_timeout: f64,
+    /// Probability an upload payload is corrupted.
+    pub p_corrupt: f64,
+    /// Probability an evaluation lands in a flaky-noise episode.
+    pub p_noise: f64,
+    /// Walltime deadline in simulated seconds for injected timeouts.
+    pub deadline_s: f64,
+    /// Largest noise inflation factor (episodes draw from
+    /// `[1, max_noise_factor]`).
+    pub max_noise_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            p_transient: 0.0,
+            p_timeout: 0.0,
+            p_corrupt: 0.0,
+            p_noise: 0.0,
+            deadline_s: f64::INFINITY,
+            max_noise_factor: 1.0,
+        }
+    }
+
+    /// A dense plan for chaos tests: roughly one in three evaluations is
+    /// perturbed, covering every fault class.
+    pub fn dense(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            p_transient: 0.12,
+            p_timeout: 0.08,
+            p_corrupt: 0.06,
+            p_noise: 0.08,
+            deadline_s: 600.0,
+            max_noise_factor: 4.0,
+        }
+    }
+
+    /// The fault (if any) injected at objective-call `index`. Pure in
+    /// `(self.seed, index)`: replaying or skipping calls cannot change
+    /// the schedule.
+    pub fn decide(&self, index: u64) -> Option<InjectedFault> {
+        let h = splitmix64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = self.p_transient;
+        if u < edge {
+            return Some(InjectedFault::Transient);
+        }
+        edge += self.p_timeout;
+        if u < edge {
+            return Some(InjectedFault::Timeout {
+                deadline_s: self.deadline_s,
+            });
+        }
+        edge += self.p_corrupt;
+        if u < edge {
+            return Some(InjectedFault::Corrupt);
+        }
+        edge += self.p_noise;
+        if u < edge {
+            // A second hash decides the episode's severity.
+            let h2 = splitmix64(h ^ 0xA5A5_A5A5_A5A5_A5A5);
+            let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+            let factor = 1.0 + (self.max_noise_factor - 1.0) * u2;
+            return Some(InjectedFault::Noise { factor });
+        }
+        None
+    }
+}
+
+/// SplitMix64: the standard 64-bit avalanche mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Wraps an objective with a [`FaultPlan`] and a call counter.
+///
+/// Each [`FaultInjector::apply`] call perturbs (or passes through) one
+/// underlying evaluation result and advances the counter. The per-call
+/// RNG handed out by [`FaultInjector::call_rng`] is seeded from
+/// `(seed, index)` too, so an objective that wants measurement noise
+/// stays counter-based — and therefore resumable — instead of consuming
+/// a sequential stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    calls: u64,
+}
+
+impl FaultInjector {
+    /// A new injector at call index 0.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, calls: 0 }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Objective calls made (equivalently: the next call's index).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Fast-forward to call index `calls` without evaluating anything —
+    /// used when a tuning run resumes from a checkpoint that recorded
+    /// this many objective calls. Exact because fault decisions and
+    /// per-call RNGs are indexed, not sequential.
+    pub fn advance_to(&mut self, calls: u64) {
+        self.calls = calls;
+    }
+
+    /// A deterministic RNG for the *current* call, derived from
+    /// `(plan.seed, call index)`. Call before [`FaultInjector::apply`]
+    /// (both key off the same index).
+    pub fn call_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.plan.seed ^ (self.calls << 1 | 1)))
+    }
+
+    /// Perturb one evaluation result according to the plan and advance
+    /// the call counter. Journals a `faultinject` event when a fault
+    /// fires.
+    pub fn apply(&mut self, result: Result<f64, String>) -> Result<f64, String> {
+        let index = self.calls;
+        self.calls += 1;
+        let Some(fault) = self.plan.decide(index) else {
+            return result;
+        };
+        obs::count(obs::names::CTR_FAULTS_INJECTED, 1);
+        let outcome = match &fault {
+            InjectedFault::Transient => Err(format!(
+                "transient: simulated worker failure at call {index}"
+            )),
+            InjectedFault::Timeout { deadline_s } => Err(format!(
+                "timeout: evaluation exceeded {deadline_s}s walltime (simulated)"
+            )),
+            InjectedFault::Corrupt => Err(format!(
+                "transient: upload payload failed checksum at call {index}"
+            )),
+            InjectedFault::Noise { factor } => result.map(|y| y * factor),
+        };
+        obs::record_with(|| obs::Event::FaultInject {
+            index,
+            kind: fault.kind().to_string(),
+            detail: match &outcome {
+                Err(e) => e.clone(),
+                Ok(y) => format!("noise episode inflated measurement to {y}"),
+            },
+        });
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_in_seed_and_index() {
+        let plan = FaultPlan::dense(42);
+        let a: Vec<_> = (0..200).map(|i| plan.decide(i)).collect();
+        let b: Vec<_> = (0..200).map(|i| plan.decide(i)).collect();
+        assert_eq!(a, b);
+        // Order independence: deciding out of order changes nothing.
+        let c: Vec<_> = (0..200).rev().map(|i| plan.decide(i)).collect();
+        let c: Vec<_> = c.into_iter().rev().collect();
+        assert_eq!(a, c);
+        // A different seed gives a different schedule.
+        let other = FaultPlan::dense(43);
+        let d: Vec<_> = (0..200).map(|i| other.decide(i)).collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn dense_plan_covers_every_fault_class() {
+        let plan = FaultPlan::dense(7);
+        let mut kinds = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            if let Some(f) = plan.decide(i) {
+                kinds.insert(f.kind());
+            }
+        }
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            vec!["corrupt", "noise", "timeout", "transient"]
+        );
+        // And most evaluations still succeed.
+        let clean = (0..500).filter(|&i| plan.decide(i).is_none()).count();
+        assert!(clean > 250, "only {clean}/500 clean");
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..50 {
+            assert_eq!(inj.apply(Ok(i as f64)), Ok(i as f64));
+        }
+        assert_eq!(inj.calls(), 50);
+    }
+
+    #[test]
+    fn advance_to_matches_sequential_application() {
+        let plan = FaultPlan::dense(11);
+        // Apply 100 calls sequentially.
+        let mut seq = FaultInjector::new(plan.clone());
+        let mut tail_seq = Vec::new();
+        for i in 0..100u64 {
+            let r = seq.apply(Ok(1.0 + i as f64));
+            if i >= 60 {
+                tail_seq.push(r);
+            }
+        }
+        // Skip straight to call 60 and apply the tail.
+        let mut skip = FaultInjector::new(plan);
+        skip.advance_to(60);
+        let tail_skip: Vec<_> = (60..100u64)
+            .map(|i| skip.apply(Ok(1.0 + i as f64)))
+            .collect();
+        assert_eq!(tail_seq, tail_skip);
+        assert_eq!(seq.calls(), skip.calls());
+    }
+
+    #[test]
+    fn retryable_faults_use_the_transient_and_timeout_prefixes() {
+        let plan = FaultPlan {
+            p_transient: 1.0,
+            ..FaultPlan::dense(1)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let err = inj.apply(Ok(1.0)).unwrap_err();
+        assert!(err.starts_with("transient:"), "{err}");
+        let plan = FaultPlan {
+            p_transient: 0.0,
+            p_timeout: 1.0,
+            ..FaultPlan::dense(1)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let err = inj.apply(Ok(1.0)).unwrap_err();
+        assert!(err.starts_with("timeout:"), "{err}");
+    }
+
+    #[test]
+    fn noise_episodes_inflate_but_never_fail() {
+        let plan = FaultPlan {
+            p_transient: 0.0,
+            p_timeout: 0.0,
+            p_corrupt: 0.0,
+            p_noise: 1.0,
+            ..FaultPlan::dense(5)
+        };
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..20 {
+            let y = inj.apply(Ok(2.0)).unwrap();
+            assert!((2.0..=8.0).contains(&y), "inflated to {y}");
+        }
+    }
+
+    #[test]
+    fn call_rng_is_stable_per_index() {
+        use rand::RngCore;
+        let plan = FaultPlan::dense(3);
+        let mut a = FaultInjector::new(plan.clone());
+        a.advance_to(17);
+        let mut b = FaultInjector::new(plan);
+        b.advance_to(17);
+        assert_eq!(a.call_rng().next_u64(), b.call_rng().next_u64());
+        b.advance_to(18);
+        assert_ne!(a.call_rng().next_u64(), b.call_rng().next_u64());
+    }
+}

@@ -17,10 +17,14 @@
 //!   structure reproduces Table IV (paper §VI-D).
 //! - [`hypre`] — Hypre GMRES+BoomerAMG 12-parameter cost model whose
 //!   sensitivity structure reproduces Table V (paper §VI-E).
+//! - [`fault`] — deterministic, seed-driven fault injection (transient
+//!   failures, walltime timeouts, flaky-noise episodes, corrupted
+//!   uploads) so every crowd failure class is reproducible in tests.
 
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod fault;
 pub mod hypre;
 pub mod machine;
 pub mod nimrod;
@@ -29,6 +33,7 @@ pub mod superlu;
 pub mod synthetic;
 
 pub use app::{timing_noise, Application, EvalFailure};
+pub use fault::{FaultInjector, FaultPlan, InjectedFault};
 pub use hypre::{HypreAmg, HypreConfig, COARSEN_TYPES, INTERP_TYPES, RELAX_TYPES, SMOOTH_TYPES};
 pub use machine::{MachineModel, NodeArch};
 pub use nimrod::Nimrod;

@@ -18,11 +18,15 @@
 //!   stated future work).
 //! - [`data`] — dataset plumbing between database records, spaces, and
 //!   the GP stack.
+//! - [`checkpoint`] — the fault model: retry policy for transient
+//!   evaluation failures and checkpoint/resume with bitwise-identical
+//!   replay (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
 pub mod acquisition;
 pub mod analytics;
+pub mod checkpoint;
 pub mod data;
 pub mod meta;
 pub mod tla;
@@ -37,6 +41,9 @@ pub use analytics::{
     detect_variability, loo_validation, morris_screening_of_session, LooValidation,
     VariabilityReport,
 };
+pub use checkpoint::{
+    is_transient_error, CheckpointRecord, Checkpointing, ResumeError, RetryPolicy, TunerCheckpoint,
+};
 pub use data::{records_to_dataset, Dataset};
 pub use meta::{CrowdSession, MetaDescription, MetaError};
 pub use tla::ensemble::{Ensemble, EnsemblePolicy};
@@ -45,8 +52,9 @@ pub use tla::stacking::Stacking;
 pub use tla::weighted::WeightedSum;
 pub use tla::{SourceTask, TlaContext, TlaStrategy};
 pub use tuner::{
-    dims_of, tune_notla, tune_notla_constrained, tune_tla, tune_tla_constrained, Constraint,
-    EvalRecord, RunStats, TuneConfig, TuneResult,
+    dims_of, resume_notla_from_checkpoint, resume_tla_from_checkpoint, tune_notla,
+    tune_notla_constrained, tune_tla, tune_tla_constrained, Constraint, EvalRecord, RunStats,
+    TuneConfig, TuneResult,
 };
 pub use utilities::{
     query_predict_output, query_sensitivity_analysis, query_surrogate_model,

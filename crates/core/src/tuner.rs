@@ -11,6 +11,9 @@
 //! LCM to use).
 
 use crate::acquisition::{propose_ei_pooled, CandidatePool, SearchOptions, ValidityFn};
+use crate::checkpoint::{
+    is_transient_error, CheckpointRecord, Checkpointing, ResumeError, RetryPolicy, TunerCheckpoint,
+};
 use crate::data::Dataset;
 use crate::tla::weighted::WeightedSum;
 use crate::tla::{SourceTask, TlaContext, TlaStrategy};
@@ -38,6 +41,12 @@ pub struct TuneConfig {
     /// When the `NoTLA` surrogate pays for a full refit instead of a
     /// rank-1 append (see [`RefitSchedule`]).
     pub refit: RefitSchedule,
+    /// How transient evaluation failures (`"transient:"`/`"timeout:"`
+    /// errors) are retried. Backoff is charged in simulated seconds —
+    /// nothing sleeps — so retries never perturb determinism.
+    pub retry: RetryPolicy,
+    /// Periodic checkpointing through a durable store; `None` disables.
+    pub checkpoint: Option<Checkpointing>,
 }
 
 impl Default for TuneConfig {
@@ -49,6 +58,8 @@ impl Default for TuneConfig {
             search: SearchOptions::default(),
             max_lcm_samples: 150,
             refit: RefitSchedule::default(),
+            retry: RetryPolicy::default(),
+            checkpoint: None,
         }
     }
 }
@@ -64,6 +75,9 @@ pub struct EvalRecord {
     pub result: Result<f64, String>,
     /// Which algorithm proposed it (diagnostics).
     pub proposed_by: String,
+    /// Objective attempts consumed: 1 plus transient retries (0 when the
+    /// proposal never reached the objective).
+    pub attempts: u32,
 }
 
 /// Summary statistics for one tuning run, populated by the tuning loops
@@ -168,6 +182,40 @@ pub fn tune_notla_constrained(
     config: &TuneConfig,
     constraint: Option<&Constraint<'_>>,
 ) -> TuneResult {
+    // With no replay prefix the driver cannot observe divergence, so the
+    // error arm is unreachable.
+    run_notla(space, objective, config, constraint, &[]).unwrap_or_default()
+}
+
+/// Resume a `NoTLA` run from a checkpoint. The recorded prefix is
+/// replayed deterministically — proposals re-consume the RNG and feed
+/// the surrogate exactly as the original run did, while recorded
+/// outcomes stand in for objective calls — then the loop continues live
+/// up to `config.budget`. The result is bitwise identical to an
+/// uninterrupted run with the same seed. `config.budget` may exceed the
+/// checkpoint's original budget to extend a finished run.
+///
+/// Contract: a *stateful* objective (e.g. one wrapped in a fault
+/// injector) must be fast-forwarded to
+/// [`TunerCheckpoint::objective_calls`] before resuming.
+pub fn resume_notla_from_checkpoint(
+    space: &Space,
+    objective: &mut Objective,
+    config: &TuneConfig,
+    ckpt: &TunerCheckpoint,
+) -> Result<TuneResult, ResumeError> {
+    ckpt.validate("NoTLA", space.dim(), config)?;
+    note_resume(ckpt);
+    run_notla(space, objective, config, None, &ckpt.history)
+}
+
+fn run_notla(
+    space: &Space,
+    objective: &mut Objective,
+    config: &TuneConfig,
+    constraint: Option<&Constraint<'_>>,
+    replay: &[CheckpointRecord],
+) -> Result<TuneResult, ResumeError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let dims = dims_of(space);
     // Snap acquisition candidates to the space's discrete cell centers.
@@ -197,9 +245,10 @@ pub fn tune_notla_constrained(
         for p in init_points.iter_mut() {
             let mut tries = 0;
             while !c(p) && tries < 256 {
-                *p = crowdtune_space::sample_uniform(space, 1, &mut rng)
-                    .pop()
-                    .expect("one point");
+                match crowdtune_space::sample_uniform(space, 1, &mut rng).pop() {
+                    Some(q) => *p = q,
+                    None => break,
+                }
                 tries += 1;
             }
         }
@@ -209,30 +258,37 @@ pub fn tune_notla_constrained(
         let iter_start = Instant::now();
         let propose_span = obs::span(obs::names::SPAN_PROPOSE);
         let unit = if i < init_points.len() {
-            space.to_unit(&init_points[i]).expect("sampled point valid")
+            space
+                .to_unit(&init_points[i])
+                .unwrap_or_else(|_| crate::tla::random_proposal(space.dim(), &mut rng))
         } else if observed.is_empty() {
             // All initial samples failed: keep space-filling.
-            let p = sample_lhs(space, 1, &mut rng).pop().expect("one point");
-            space.to_unit(&p).expect("sampled point valid")
+            match sample_lhs(space, 1, &mut rng)
+                .pop()
+                .map(|p| space.to_unit(&p))
+            {
+                Some(Ok(u)) => u,
+                _ => crate::tla::random_proposal(space.dim(), &mut rng),
+            }
         } else {
-            match surrogate.gp() {
-                Some(gp) => {
-                    let best = observed.best().expect("non-empty");
-                    let idx = observed.y.iter().position(|&v| v == best).expect("best");
-                    propose_ei_pooled(
-                        gp,
-                        &pool,
-                        Some((&observed.x[idx], best)),
-                        &evaluated_units,
-                        &failed_units,
-                        &search,
-                        valid,
-                        &mut rng,
-                    )
-                }
+            // The incumbent, when dataset and surrogate agree on one.
+            let incumbent = observed
+                .best()
+                .and_then(|b| observed.y.iter().position(|&v| v == b).map(|idx| (idx, b)));
+            match (surrogate.gp(), incumbent) {
+                (Some(gp), Some((idx, best))) => propose_ei_pooled(
+                    gp,
+                    &pool,
+                    Some((&observed.x[idx], best)),
+                    &evaluated_units,
+                    &failed_units,
+                    &search,
+                    valid,
+                    &mut rng,
+                ),
                 // The last fit attempt failed (degenerate data): fall back
                 // to random until the next observation triggers a rebuild.
-                None => crate::tla::random_proposal(space.dim(), &mut rng),
+                _ => crate::tla::random_proposal(space.dim(), &mut rng),
             }
         };
         drop(propose_span);
@@ -242,36 +298,42 @@ pub fn tune_notla_constrained(
             "NoTLA"
         }
         .to_string();
-        let y = step(
-            space,
-            objective,
-            unit,
-            proposed_by,
-            &mut observed,
-            &mut evaluated_units,
-            &mut result,
-        );
-        match y {
+        let rec = match next_record(space, objective, unit, proposed_by, i, config, replay) {
+            Ok(rec) => rec,
+            Err(e) => {
+                observer.finish(&mut result);
+                return Err(e);
+            }
+        };
+        evaluated_units.push(rec.unit.clone());
+        match &rec.result {
             // Absorb the success into the maintained surrogate (rank-1
             // append or scheduled refit). On numerical failure the
             // surrogate empties itself and the next iterations propose
             // randomly until a rebuild succeeds.
-            Some(y) => {
-                let unit_snapped = result.history.last().expect("just pushed").unit.clone();
-                let _ = surrogate.observe(&unit_snapped, y, &mut rng);
+            Ok(y) => {
+                observed.push(rec.unit.clone(), *y);
+                let _ = surrogate.observe(&rec.unit, *y, &mut rng);
             }
-            None => {
-                failed_units.push(result.history.last().expect("just pushed").unit.clone());
-            }
+            Err(_) => failed_units.push(rec.unit.clone()),
         }
         observer.iteration(
             i,
-            result.history.last().expect("just pushed"),
+            &rec,
             u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        result.history.push(rec);
+        maybe_checkpoint(
+            "NoTLA",
+            space.dim(),
+            config,
+            &result.history,
+            i,
+            replay.len(),
         );
     }
     observer.finish(&mut result);
-    result
+    Ok(result)
 }
 
 /// Tune the target task with a TLA strategy and pre-collected sources.
@@ -294,6 +356,45 @@ pub fn tune_tla_constrained(
     config: &TuneConfig,
     constraint: Option<&Constraint<'_>>,
 ) -> TuneResult {
+    // With no replay prefix the driver cannot observe divergence, so the
+    // error arm is unreachable.
+    run_tla(space, objective, sources, strategy, config, constraint, &[]).unwrap_or_default()
+}
+
+/// Resume a TLA run from a checkpoint — the transfer-learning analogue
+/// of [`resume_notla_from_checkpoint`], with the same replay semantics
+/// and the same stateful-objective contract. The checkpoint must have
+/// been taken by a strategy with the same name.
+pub fn resume_tla_from_checkpoint(
+    space: &Space,
+    objective: &mut Objective,
+    sources: &[SourceTask],
+    strategy: &mut dyn TlaStrategy,
+    config: &TuneConfig,
+    ckpt: &TunerCheckpoint,
+) -> Result<TuneResult, ResumeError> {
+    ckpt.validate(strategy.name(), space.dim(), config)?;
+    note_resume(ckpt);
+    run_tla(
+        space,
+        objective,
+        sources,
+        strategy,
+        config,
+        None,
+        &ckpt.history,
+    )
+}
+
+fn run_tla(
+    space: &Space,
+    objective: &mut Objective,
+    sources: &[SourceTask],
+    strategy: &mut dyn TlaStrategy,
+    config: &TuneConfig,
+    constraint: Option<&Constraint<'_>>,
+    replay: &[CheckpointRecord],
+) -> Result<TuneResult, ResumeError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let dims = dims_of(space);
     let mut search = config.search.clone();
@@ -334,29 +435,59 @@ pub fn tune_tla_constrained(
             strategy.name().to_string()
         };
         let was_cold = target.is_empty();
-        let y = step(
+        let rec = match next_record(
             space,
             objective,
             unit.clone(),
             proposed_by,
-            &mut target,
-            &mut evaluated_units,
-            &mut result,
-        );
-        if y.is_none() {
-            failed_units.push(result.history.last().expect("just pushed").unit.clone());
+            i,
+            config,
+            replay,
+        ) {
+            Ok(rec) => rec,
+            Err(e) => {
+                observer.finish(&mut result);
+                return Err(e);
+            }
+        };
+        evaluated_units.push(rec.unit.clone());
+        let y = rec.result.as_ref().ok().copied();
+        match y {
+            Some(y) => target.push(rec.unit.clone(), y),
+            None => failed_units.push(rec.unit.clone()),
         }
         if !was_cold {
             strategy.observe(&unit, y);
         }
         observer.iteration(
             i,
-            result.history.last().expect("just pushed"),
+            &rec,
             u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        result.history.push(rec);
+        maybe_checkpoint(
+            strategy.name(),
+            space.dim(),
+            config,
+            &result.history,
+            i,
+            replay.len(),
         );
     }
     observer.finish(&mut result);
-    result
+    Ok(result)
+}
+
+/// Journal that a run is resuming from a checkpoint.
+fn note_resume(ckpt: &TunerCheckpoint) {
+    obs::count(obs::names::CTR_TUNE_RESUMES, 1);
+    obs::record_with(|| obs::Event::Recovery {
+        source: "checkpoint".to_string(),
+        docs: 0,
+        records: ckpt.iter as u64,
+        torn: false,
+        resumed_iter: Some(ckpt.iter as u64),
+    });
 }
 
 /// Per-run observability bookkeeping shared by the NoTLA and TLA loops:
@@ -457,36 +588,135 @@ fn make_unit_validity<'a>(
     }
 }
 
-/// Evaluate one proposal and update all bookkeeping. Returns the
-/// successful objective value, if any.
-fn step(
+/// Produce iteration `iter`'s record: replayed from a checkpoint when
+/// its prefix covers the iteration (the recorded outcome stands in for
+/// the objective call), live through the retry loop otherwise.
+fn next_record(
     space: &Space,
     objective: &mut Objective,
     unit: Vec<f64>,
     proposed_by: String,
-    observed: &mut Dataset,
-    evaluated_units: &mut Vec<Vec<f64>>,
-    result: &mut TuneResult,
-) -> Option<f64> {
-    let point = space.from_unit(&unit).expect("unit vector of space dim");
+    iter: usize,
+    config: &TuneConfig,
+    replay: &[CheckpointRecord],
+) -> Result<EvalRecord, ResumeError> {
+    match replay.get(iter) {
+        Some(saved) => {
+            // The proposal path already re-consumed the RNG; the
+            // recomputed proposal must land on the recorded configuration
+            // or the checkpoint belongs to a different run.
+            let snapped = match space.from_unit(&unit) {
+                Ok(p) => space.to_unit(&p).unwrap_or(unit),
+                Err(_) => unit,
+            };
+            if snapped != saved.unit {
+                return Err(ResumeError::Incompatible(format!(
+                    "replay diverged at iteration {iter}: the checkpoint does not match \
+                     this seed/space/objective"
+                )));
+            }
+            Ok(saved.to_eval())
+        }
+        None => Ok(evaluate_with_retry(
+            space,
+            objective,
+            unit,
+            proposed_by,
+            iter,
+            &config.retry,
+        )),
+    }
+}
+
+/// Evaluate one proposal, retrying transient failures per the policy.
+/// Never panics: un-mappable proposals become recorded failures, so an
+/// injected fault (or a numerical edge case) can't abort the run.
+fn evaluate_with_retry(
+    space: &Space,
+    objective: &mut Objective,
+    unit: Vec<f64>,
+    proposed_by: String,
+    iter: usize,
+    retry: &RetryPolicy,
+) -> EvalRecord {
+    let point = match space.from_unit(&unit) {
+        Ok(p) => p,
+        Err(e) => {
+            // The proposal can't be mapped into the space — record a
+            // permanent failure instead of aborting the run.
+            return EvalRecord {
+                point: Point::new(),
+                unit,
+                result: Err(format!("internal: proposal rejected by space: {e}")),
+                proposed_by,
+                attempts: 0,
+            };
+        }
+    };
     // Snap the unit coordinates to the cell the point actually maps to,
     // so dedup works in the discrete space.
-    let unit_snapped = space.to_unit(&point).expect("point from space");
-    let eval_span = obs::span(obs::names::SPAN_EVAL);
-    let res = objective(&point);
-    drop(eval_span);
-    evaluated_units.push(unit_snapped.clone());
-    let y = res.as_ref().ok().copied();
-    if let Ok(y) = res {
-        observed.push(unit_snapped.clone(), y);
-    }
-    result.history.push(EvalRecord {
+    let unit_snapped = space.to_unit(&point).unwrap_or(unit);
+    let max_attempts = retry.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let res = loop {
+        attempts += 1;
+        let eval_span = obs::span(obs::names::SPAN_EVAL);
+        let res = objective(&point);
+        drop(eval_span);
+        match res {
+            Ok(y) => break Ok(y),
+            Err(e) if attempts < max_attempts && is_transient_error(&e) => {
+                // Transient: back off (in simulated time — the journal
+                // records the charge, nothing sleeps) and retry.
+                let backoff_s = retry.backoff_s(attempts);
+                obs::count(obs::names::CTR_TUNE_RETRIES, 1);
+                obs::record_with(|| obs::Event::Retry {
+                    iter: iter as u64,
+                    attempt: attempts as u64,
+                    backoff_s,
+                    error: e.clone(),
+                });
+            }
+            // Permanent, or out of attempts: record and exclude.
+            Err(e) => break Err(e),
+        }
+    };
+    EvalRecord {
         point,
         unit: unit_snapped,
         result: res,
         proposed_by,
-    });
-    y
+        attempts,
+    }
+}
+
+/// Persist a checkpoint if configured: after every `every`-th iteration,
+/// only past a resume's replayed prefix. Persistence failures are
+/// dropped by design — losing a checkpoint degrades resumability, never
+/// the run.
+fn maybe_checkpoint(
+    tuner: &str,
+    dim: usize,
+    config: &TuneConfig,
+    history: &[EvalRecord],
+    iter: usize,
+    replayed: usize,
+) {
+    let Some(ck) = &config.checkpoint else { return };
+    if ck.every == 0 || !(iter + 1).is_multiple_of(ck.every) || iter < replayed {
+        return;
+    }
+    let ckpt = TunerCheckpoint::capture(tuner, dim, config, history);
+    let Ok(json) = ckpt.to_json() else { return };
+    let bytes = json.len() as u64;
+    if ck.store.put_blob(&ck.key, &json).is_ok() {
+        obs::count(obs::names::CTR_TUNE_CHECKPOINTS, 1);
+        obs::record_with(|| obs::Event::Checkpoint {
+            iter: iter as u64,
+            bytes,
+            key: ck.key.clone(),
+        });
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,10 @@
 //! - [`telemetry`] — the fleet-telemetry collection: cross-run records
 //!   distilled from per-run event journals, with the same per-record
 //!   access control as performance samples.
+//! - [`wal`] — crash-safe persistence: a checksummed write-ahead log in
+//!   front of the store, snapshot + replay recovery that truncates torn
+//!   tails, atomic compaction, and a blob side table for tuner
+//!   checkpoints.
 
 #![warn(missing_docs)]
 
@@ -28,6 +32,7 @@ pub mod query;
 pub mod repo;
 pub mod store;
 pub mod telemetry;
+pub mod wal;
 
 pub use access::{AuthError, KeyRecord, User, UserRegistry};
 pub use document::{
@@ -38,3 +43,4 @@ pub use query::{parse_query, FieldIndexes, Filter, ParseError};
 pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
 pub use store::{DocumentStore, ScanStats, StoreError};
 pub use telemetry::{FleetQuery, RunRecord, TelemetryCollection};
+pub use wal::{crc32, DurableStore, RecoveryReport, WalConfig, WalRecord};

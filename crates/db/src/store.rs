@@ -20,6 +20,18 @@ pub enum StoreError {
     Io(std::io::Error),
     /// JSON (de)serialization failure.
     Json(serde_json::Error),
+    /// A persisted snapshot is structurally incomplete: the file was cut
+    /// mid-write (crash, full disk, partial copy) rather than merely
+    /// malformed.
+    Truncated {
+        /// File the torn snapshot was read from.
+        path: std::path::PathBuf,
+        /// Bytes actually present in the file.
+        bytes: u64,
+    },
+    /// A write-ahead log record failed its integrity check somewhere
+    /// other than the tail (tail tears are recovered, not errored).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -27,6 +39,13 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::Json(e) => write!(f, "store JSON error: {e}"),
+            StoreError::Truncated { path, bytes } => write!(
+                f,
+                "store snapshot {} is truncated after {bytes} bytes \
+                 (torn write?)",
+                path.display()
+            ),
+            StoreError::Corrupt(why) => write!(f, "store corruption: {why}"),
         }
     }
 }
@@ -116,7 +135,19 @@ impl DocumentStore {
     }
 
     /// Insert a document; returns the assigned id.
-    pub fn insert(&self, mut doc: FunctionEvaluation) -> u64 {
+    pub fn insert(&self, doc: FunctionEvaluation) -> u64 {
+        self.insert_stored(doc).id
+    }
+
+    /// Insert many documents; returns the assigned ids.
+    pub fn insert_batch(&self, docs: Vec<FunctionEvaluation>) -> Vec<u64> {
+        docs.into_iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Insert a document and return it exactly as stored (id and logical
+    /// timestamp assigned) — what a write-ahead log must record so that
+    /// replay reproduces the store byte for byte.
+    pub fn insert_stored(&self, mut doc: FunctionEvaluation) -> FunctionEvaluation {
         let mut inner = self.inner.write();
         inner.next_id += 1;
         inner.clock += 1;
@@ -129,13 +160,64 @@ impl DocumentStore {
             .or_default()
             .push(idx);
         inner.indexes.insert_doc(idx, &doc);
-        inner.docs.push(doc);
-        inner.next_id
+        inner.docs.push(doc.clone());
+        doc
     }
 
-    /// Insert many documents; returns the assigned ids.
-    pub fn insert_batch(&self, docs: Vec<FunctionEvaluation>) -> Vec<u64> {
-        docs.into_iter().map(|d| self.insert(d)).collect()
+    /// Replay an insert whose id and logical timestamp were already
+    /// assigned (WAL recovery). Idempotent: a document whose id is
+    /// already present is skipped, so re-replaying records that made it
+    /// into a snapshot before a crash cannot duplicate them. The id/clock
+    /// counters advance to cover the replayed document.
+    pub fn insert_exact(&self, doc: FunctionEvaluation) {
+        let mut inner = self.inner.write();
+        if inner.docs.iter().any(|d| d.id == doc.id) {
+            return;
+        }
+        inner.next_id = inner.next_id.max(doc.id);
+        inner.clock = inner.clock.max(doc.logical_time);
+        let idx = inner.docs.len();
+        inner
+            .by_problem
+            .entry(doc.problem.clone())
+            .or_default()
+            .push(idx);
+        inner.indexes.insert_doc(idx, &doc);
+        inner.docs.push(doc);
+    }
+
+    /// Delete documents by id (WAL replay of a logged delete). Missing
+    /// ids are ignored, keeping replay idempotent. Returns the number
+    /// removed.
+    pub fn delete_ids(&self, ids: &[u64]) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.docs.len();
+        inner.docs.retain(|d| !ids.contains(&d.id));
+        let removed = before - inner.docs.len();
+        if removed > 0 {
+            inner.rebuild_index();
+        }
+        removed
+    }
+
+    /// Like [`DocumentStore::delete_owned`], but returns the ids of the
+    /// removed documents so a write-ahead log can record the exact
+    /// effect.
+    pub fn delete_owned_ids(&self, owner: &str, filter: &Filter) -> Vec<u64> {
+        let mut inner = self.inner.write();
+        let removed: Vec<u64> = inner
+            .docs
+            .iter()
+            .filter(|d| d.owner == owner && filter.matches(d))
+            .map(|d| d.id)
+            .collect();
+        if !removed.is_empty() {
+            inner
+                .docs
+                .retain(|d| !(d.owner == owner && filter.matches(d)));
+            inner.rebuild_index();
+        }
+        removed
     }
 
     /// Total number of stored documents.
@@ -273,23 +355,104 @@ impl DocumentStore {
         removed
     }
 
-    /// Persist the whole store to a JSON file.
-    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+    /// Serialize the store's persistent state to a JSON string (the
+    /// snapshot payload used by [`DocumentStore::save`] and the durable
+    /// store's compaction).
+    pub fn snapshot_json(&self) -> Result<String, StoreError> {
         let inner = self.inner.read();
-        let json = serde_json::to_string(&*inner)?;
-        std::fs::write(path, json)?;
-        Ok(())
+        Ok(serde_json::to_string(&*inner)?)
     }
 
-    /// Load a store from a JSON file produced by [`DocumentStore::save`].
-    pub fn load(path: &Path) -> Result<Self, StoreError> {
-        let json = std::fs::read_to_string(path)?;
-        let mut inner: Inner = serde_json::from_str(&json)?;
+    /// Rebuild a store from a snapshot produced by
+    /// [`DocumentStore::snapshot_json`].
+    pub fn from_snapshot_json(json: &str) -> Result<Self, StoreError> {
+        let mut inner: Inner = serde_json::from_str(json)?;
         inner.rebuild_index();
         Ok(DocumentStore {
             inner: RwLock::new(inner),
         })
     }
+
+    /// Persist the whole store to a JSON file, atomically: the snapshot
+    /// is written to `<path>.tmp`, fsynced, renamed over `path`, and the
+    /// parent directory is fsynced so the rename itself is durable. A
+    /// crash at any point leaves either the old snapshot or the new one,
+    /// never a torn file.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let json = self.snapshot_json()?;
+        write_atomic(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Load a store from a JSON file produced by [`DocumentStore::save`].
+    ///
+    /// A snapshot that was cut mid-write (its JSON is an incomplete
+    /// prefix) is reported as [`StoreError::Truncated`] rather than an
+    /// opaque parse error, so callers can distinguish "torn write" from
+    /// "not a snapshot".
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let json = std::fs::read_to_string(path)?;
+        match Self::from_snapshot_json(&json) {
+            Ok(store) => Ok(store),
+            Err(StoreError::Json(_)) if json_is_truncated(&json) => Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                bytes: json.len() as u64,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file + fsync + rename +
+/// parent-directory fsync.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // Directory fsync makes the rename durable; best-effort on
+            // filesystems that refuse to open directories.
+            if let Ok(d) = std::fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural truncation check: valid JSON text has balanced braces and
+/// brackets outside string literals and does not end inside a string. A
+/// snapshot whose tail was cut off fails this; a complete-but-malformed
+/// document passes it and keeps its parse error.
+pub(crate) fn json_is_truncated(json: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    in_string || depth > 0 || json.trim().is_empty()
 }
 
 #[cfg(test)]

@@ -1,0 +1,534 @@
+//! Crash-safe persistence: a write-ahead log in front of the document
+//! store.
+//!
+//! The paper's shared repository is fed by unreliable crowd workers, so
+//! the store must survive being killed mid-write. [`DurableStore`] wraps
+//! a [`DocumentStore`] with the classic snapshot + WAL design:
+//!
+//! * every mutation (insert, delete, checkpoint blob) is first appended
+//!   to `wal.log` as a length-framed, CRC-32-checksummed JSON record and
+//!   fsynced, then applied in memory;
+//! * [`DurableStore::open`] (or [`DocumentStore::open_durable`]) replays
+//!   `snapshot.json` + the WAL on startup. A torn final record — a crash
+//!   mid-append — is detected by the framing/checksum and the log is
+//!   truncated back to the last valid prefix, so recovery restores
+//!   exactly the acknowledged writes;
+//! * [`DurableStore::compact`] folds the log into a fresh snapshot
+//!   written atomically (temp + fsync + rename + dir fsync) and then
+//!   truncates the WAL. Replay is idempotent (inserts carry their
+//!   assigned ids and skip duplicates), so a crash *between* snapshot
+//!   write and WAL truncation merely replays records the snapshot
+//!   already contains.
+//!
+//! The record framing is `len: u32 LE | crc32(payload): u32 LE |
+//! payload`, with the payload a JSON-serialized [`WalRecord`]. Anything
+//! after the first invalid record is unreachable (appends are strictly
+//! sequential), so recovery treats it as the torn tail.
+
+use crate::document::FunctionEvaluation;
+use crate::query::Filter;
+use crate::store::{json_is_truncated, write_atomic, DocumentStore, StoreError};
+use crowdtune_obs as obs;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// One logged mutation. Inserts carry the document exactly as stored
+/// (id and logical timestamp assigned) so replay is byte-faithful;
+/// deletes carry the resolved ids, not the filter, so replay cannot
+/// re-evaluate a predicate against a different state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A document was inserted (post-assignment form).
+    Insert {
+        /// The stored document, id and logical time included.
+        doc: FunctionEvaluation,
+    },
+    /// Documents were deleted by id.
+    Delete {
+        /// Ids removed.
+        ids: Vec<u64>,
+    },
+    /// A named blob (e.g. a tuner checkpoint) was written.
+    Blob {
+        /// Blob key.
+        key: String,
+        /// Blob payload (opaque to the store; JSON by convention).
+        value: String,
+    },
+}
+
+/// What [`DurableStore::open`] found and did during recovery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Documents restored from the snapshot.
+    pub snapshot_docs: usize,
+    /// Blobs restored from the snapshot.
+    pub snapshot_blobs: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records: usize,
+    /// Bytes of the WAL's valid prefix.
+    pub wal_bytes: u64,
+    /// Bytes discarded from a torn tail (0 when the log ended cleanly).
+    pub torn_bytes: u64,
+    /// Whether a torn tail was detected (and truncated).
+    pub torn: bool,
+}
+
+impl RecoveryReport {
+    /// True when recovery found anything to restore.
+    pub fn recovered_anything(&self) -> bool {
+        self.snapshot_docs > 0 || self.snapshot_blobs > 0 || self.wal_records > 0
+    }
+}
+
+/// Durability knobs for a [`DurableStore`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// fsync the log after every append (the crash-safety guarantee;
+    /// disable only for throughput experiments).
+    pub sync_every_append: bool,
+    /// Compact automatically after this many appended records
+    /// (0 disables auto-compaction).
+    pub compact_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            sync_every_append: true,
+            compact_every: 1024,
+        }
+    }
+}
+
+/// Snapshot payload: the document store's state plus the blob table.
+/// The store state is embedded as a JSON string so the snapshot schema
+/// is independent of the store's internal serialization.
+#[derive(Serialize, Deserialize)]
+struct DurableSnapshot {
+    store: String,
+    blobs: HashMap<String, String>,
+}
+
+/// A crash-safe [`DocumentStore`]: WAL-fronted mutations, snapshot +
+/// log replay on open, periodic atomic compaction, and a named-blob
+/// side table for tuner checkpoints.
+pub struct DurableStore {
+    store: DocumentStore,
+    blobs: RwLock<HashMap<String, String>>,
+    wal: Mutex<WalWriter>,
+    dir: PathBuf,
+    config: WalConfig,
+}
+
+struct WalWriter {
+    file: File,
+    records_since_compact: u64,
+}
+
+impl DurableStore {
+    /// Open (or create) a durable store rooted at directory `dir`,
+    /// replaying `snapshot.json` and `wal.log`. Returns the recovered
+    /// store and a [`RecoveryReport`] describing what was restored.
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_with(dir, WalConfig::default())
+    }
+
+    /// [`DurableStore::open`] with explicit durability knobs.
+    pub fn open_with(dir: &Path, config: WalConfig) -> Result<(Self, RecoveryReport), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = RecoveryReport::default();
+
+        // 1. Snapshot, if one exists.
+        let snapshot_path = dir.join("snapshot.json");
+        let (store, blobs) = match std::fs::read_to_string(&snapshot_path) {
+            Ok(json) => {
+                let snap: DurableSnapshot = match serde_json::from_str(&json) {
+                    Ok(s) => s,
+                    Err(_) if json_is_truncated(&json) => {
+                        return Err(StoreError::Truncated {
+                            path: snapshot_path,
+                            bytes: json.len() as u64,
+                        })
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let store = DocumentStore::from_snapshot_json(&snap.store)?;
+                report.snapshot_docs = store.len();
+                report.snapshot_blobs = snap.blobs.len();
+                (store, snap.blobs)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (DocumentStore::new(), HashMap::new())
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // 2. WAL replay: apply every intact record, truncate a torn tail.
+        let wal_path = dir.join("wal.log");
+        let bytes = match std::fs::read(&wal_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let blobs = RwLock::new(blobs);
+        let mut offset = 0usize;
+        loop {
+            match next_record(&bytes, offset) {
+                Some(Ok((record, end))) => {
+                    match record {
+                        WalRecord::Insert { doc } => store.insert_exact(doc),
+                        WalRecord::Delete { ids } => {
+                            store.delete_ids(&ids);
+                        }
+                        WalRecord::Blob { key, value } => {
+                            blobs.write().insert(key, value);
+                        }
+                    }
+                    offset = end;
+                    report.wal_records += 1;
+                }
+                Some(Err(())) => {
+                    // Torn/corrupt tail: everything from `offset` on is
+                    // unreachable. Truncate the log to the valid prefix.
+                    report.torn = true;
+                    report.torn_bytes = (bytes.len() - offset) as u64;
+                    break;
+                }
+                None => break,
+            }
+        }
+        report.wal_bytes = offset as u64;
+
+        if report.torn {
+            // Physically truncate so future appends start at the valid
+            // prefix and a re-open sees a clean log.
+            let f = OpenOptions::new().write(true).open(&wal_path);
+            if let Ok(f) = f {
+                f.set_len(report.wal_bytes)?;
+                f.sync_all()?;
+            }
+            obs::count(obs::names::CTR_WAL_TORN, 1);
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        obs::count(obs::names::CTR_WAL_REPLAYED, report.wal_records as u64);
+        obs::record_with(|| obs::Event::Recovery {
+            source: "wal".to_string(),
+            docs: store.len() as u64,
+            records: report.wal_records as u64,
+            torn: report.torn,
+            resumed_iter: None,
+        });
+
+        Ok((
+            DurableStore {
+                store,
+                blobs,
+                wal: Mutex::new(WalWriter {
+                    file,
+                    records_since_compact: 0,
+                }),
+                dir: dir.to_path_buf(),
+                config,
+            },
+            report,
+        ))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read access to the underlying document store (queries, counts).
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Insert a document durably: WAL append (fsynced) before the ack.
+    pub fn insert(&self, doc: FunctionEvaluation) -> Result<u64, StoreError> {
+        let stored = self.store.insert_stored(doc);
+        let id = stored.id;
+        self.append(&WalRecord::Insert { doc: stored })?;
+        Ok(id)
+    }
+
+    /// Delete documents matching `filter` owned by `owner`; logs the
+    /// resolved ids. Returns the number removed.
+    pub fn delete_owned(&self, owner: &str, filter: &Filter) -> Result<usize, StoreError> {
+        let ids = self.store.delete_owned_ids(owner, filter);
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        let n = ids.len();
+        self.append(&WalRecord::Delete { ids })?;
+        Ok(n)
+    }
+
+    /// Write a named blob durably (tuner checkpoints ride on this).
+    pub fn put_blob(&self, key: &str, value: &str) -> Result<(), StoreError> {
+        self.blobs
+            .write()
+            .insert(key.to_string(), value.to_string());
+        self.append(&WalRecord::Blob {
+            key: key.to_string(),
+            value: value.to_string(),
+        })
+    }
+
+    /// Fetch a named blob.
+    pub fn get_blob(&self, key: &str) -> Option<String> {
+        self.blobs.read().get(key).cloned()
+    }
+
+    /// Keys of every stored blob, sorted.
+    pub fn blob_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.blobs.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Fold the WAL into a fresh snapshot (written atomically) and
+    /// truncate the log. Safe against a crash at any point: the rename
+    /// is atomic and replay is idempotent.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut wal = self.wal.lock();
+        let snap = DurableSnapshot {
+            store: self.store.snapshot_json()?,
+            blobs: self.blobs.read().clone(),
+        };
+        let json = serde_json::to_string(&snap)?;
+        write_atomic(&self.dir.join("snapshot.json"), json.as_bytes())?;
+        // Snapshot durable: the log can now be emptied. Recreate rather
+        // than set_len(0) so the file handle's append offset resets on
+        // every platform.
+        let wal_path = self.dir.join("wal.log");
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)?;
+        file.sync_all()?;
+        wal.file = OpenOptions::new().append(true).open(&wal_path)?;
+        wal.records_since_compact = 0;
+        obs::count(obs::names::CTR_WAL_COMPACTIONS, 1);
+        Ok(())
+    }
+
+    /// Append one record: frame, checksum, write, (optionally) fsync.
+    fn append(&self, record: &WalRecord) -> Result<(), StoreError> {
+        let payload = serde_json::to_string(record)?;
+        let bytes = payload.as_bytes();
+        let mut framed = Vec::with_capacity(8 + bytes.len());
+        framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(bytes).to_le_bytes());
+        framed.extend_from_slice(bytes);
+        let compact_due = {
+            let mut wal = self.wal.lock();
+            wal.file.write_all(&framed)?;
+            if self.config.sync_every_append {
+                wal.file.sync_all()?;
+            }
+            wal.records_since_compact += 1;
+            self.config.compact_every > 0 && wal.records_since_compact >= self.config.compact_every
+        };
+        obs::count(obs::names::CTR_WAL_APPENDS, 1);
+        if compact_due {
+            self.compact()?;
+        }
+        Ok(())
+    }
+}
+
+impl DocumentStore {
+    /// Open a crash-safe, WAL-backed store rooted at directory `dir`
+    /// (see [`DurableStore`]). Replays snapshot + WAL, truncating a torn
+    /// final record, and reports what was recovered.
+    pub fn open_durable(dir: &Path) -> Result<(DurableStore, RecoveryReport), StoreError> {
+        DurableStore::open(dir)
+    }
+}
+
+/// Frame-decode the record starting at `offset`. Returns `None` at a
+/// clean end of log, `Some(Err(()))` for a torn/corrupt record, and
+/// `Some(Ok((record, next_offset)))` for an intact one.
+#[allow(clippy::type_complexity)]
+fn next_record(bytes: &[u8], offset: usize) -> Option<Result<(WalRecord, usize), ()>> {
+    if offset == bytes.len() {
+        return None;
+    }
+    if bytes.len() - offset < 8 {
+        return Some(Err(())); // torn header
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().ok()?);
+    let start = offset + 8;
+    if bytes.len() - start < len {
+        return Some(Err(())); // torn payload
+    }
+    let payload = &bytes[start..start + len];
+    if crc32(payload) != crc {
+        return Some(Err(())); // bit rot or mid-record tear
+    }
+    let record: WalRecord = match std::str::from_utf8(payload)
+        .ok()
+        .and_then(|s| serde_json::from_str(s).ok())
+    {
+        Some(r) => r,
+        None => return Some(Err(())),
+    };
+    Some(Ok((record, start + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{EvalOutcome, MachineConfig};
+
+    fn eval(problem: &str, owner: &str, m: i64) -> FunctionEvaluation {
+        FunctionEvaluation::new(problem, owner)
+            .task("m", m)
+            .param("mb", 4i64)
+            .outcome(EvalOutcome::single("runtime", m as f64))
+            .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("crowdtune_wal_unit")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn durable_roundtrip_inserts_deletes_blobs() {
+        let dir = temp_dir("roundtrip");
+        {
+            let (store, report) = DurableStore::open(&dir).unwrap();
+            assert!(!report.recovered_anything());
+            for m in 0..5 {
+                store.insert(eval("P", "alice", m)).unwrap();
+            }
+            store
+                .delete_owned("alice", &crate::query::parse_query("task.m = 3").unwrap())
+                .unwrap();
+            store.put_blob("ckpt/run1", "{\"iter\":5}").unwrap();
+        }
+        let (store, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.wal_records, 7); // 5 inserts + 1 delete + 1 blob
+        assert!(!report.torn);
+        assert_eq!(store.store().len(), 4);
+        assert_eq!(store.get_blob("ckpt/run1").unwrap(), "{\"iter\":5}");
+        // Ids keep rising after recovery.
+        let id = store.insert(eval("P", "alice", 99)).unwrap();
+        assert!(id > 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let dir = temp_dir("compact");
+        {
+            let (store, _) = DurableStore::open(&dir).unwrap();
+            for m in 0..6 {
+                store.insert(eval("P", "alice", m)).unwrap();
+            }
+            store.put_blob("k", "v").unwrap();
+            store.compact().unwrap();
+            // Post-compaction appends land in the fresh log.
+            store.insert(eval("P", "bob", 100)).unwrap();
+        }
+        let (store, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.snapshot_docs, 6);
+        assert_eq!(report.snapshot_blobs, 1);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(store.store().len(), 7);
+        assert_eq!(store.get_blob("k").unwrap(), "v");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let dir = temp_dir("auto");
+        let config = WalConfig {
+            compact_every: 4,
+            ..WalConfig::default()
+        };
+        {
+            let (store, _) = DurableStore::open_with(&dir, config.clone()).unwrap();
+            for m in 0..9 {
+                store.insert(eval("P", "alice", m)).unwrap();
+            }
+        }
+        let (store, report) = DurableStore::open_with(&dir, config).unwrap();
+        // Two compactions happened (at 4 and 8); only the tail remains
+        // in the log.
+        assert_eq!(report.snapshot_docs, 8);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(store.store().len(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let dir = temp_dir("torn");
+        {
+            let (store, _) = DurableStore::open(&dir).unwrap();
+            for m in 0..3 {
+                store.insert(eval("P", "alice", m)).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: garbage tail bytes.
+        let wal_path = dir.join("wal.log");
+        let mut f = OpenOptions::new().append(true).open(&wal_path).unwrap();
+        f.write_all(&[0x42, 0x42, 0x42]).unwrap();
+        drop(f);
+        let before = std::fs::metadata(&wal_path).unwrap().len();
+        {
+            let (store, report) = DurableStore::open(&dir).unwrap();
+            assert!(report.torn);
+            assert_eq!(report.torn_bytes, 3);
+            assert_eq!(report.wal_records, 3);
+            assert_eq!(store.store().len(), 3);
+            // The log was physically truncated.
+            assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), before - 3);
+            // And appends after recovery are clean.
+            store.insert(eval("P", "alice", 50)).unwrap();
+        }
+        let (store, report) = DurableStore::open(&dir).unwrap();
+        assert!(!report.torn);
+        assert_eq!(store.store().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

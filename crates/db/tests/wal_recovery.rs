@@ -1,0 +1,224 @@
+//! Crash-recovery guarantees of the WAL-backed durable store.
+//!
+//! The kill-point matrix simulates a crash at *every byte position* of
+//! the write-ahead log — record boundaries and mid-record — and asserts
+//! that recovery restores exactly the acknowledged prefix: every record
+//! whose final byte reached disk is replayed, everything after the cut
+//! is discarded, and the [`RecoveryReport`] says so.
+
+use crowdtune_db::{
+    parse_query, DocumentStore, DurableStore, EvalOutcome, FunctionEvaluation, MachineConfig,
+    StoreError, WalConfig,
+};
+use std::path::PathBuf;
+
+fn eval(m: i64) -> FunctionEvaluation {
+    FunctionEvaluation::new("P", "alice")
+        .task("m", m)
+        .param("mb", 4i64)
+        .outcome(EvalOutcome::single("runtime", m as f64 * 0.5))
+        .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("crowdtune_wal_recovery")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Frame boundaries of a WAL file: byte offsets at which a record ends.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut bounds = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let end = off + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        bounds.push(end);
+        off = end;
+    }
+    bounds
+}
+
+#[test]
+fn kill_point_matrix_recovers_exactly_the_acked_prefix() {
+    // Build a reference WAL: 6 inserts, 1 delete, 1 blob — no
+    // auto-compaction so the whole history stays in the log.
+    let src = temp_dir("kill_src");
+    let no_compact = WalConfig {
+        compact_every: 0,
+        ..WalConfig::default()
+    };
+    {
+        let (store, _) = DurableStore::open_with(&src, no_compact.clone()).unwrap();
+        for m in 0..6 {
+            store.insert(eval(m)).unwrap();
+        }
+        store
+            .delete_owned("alice", &parse_query("task.m = 2").unwrap())
+            .unwrap();
+        store.put_blob("ckpt", "{\"iter\":3}").unwrap();
+    }
+    let wal = std::fs::read(src.join("wal.log")).unwrap();
+    let bounds = record_boundaries(&wal);
+    assert_eq!(bounds.len(), 8, "6 inserts + 1 delete + 1 blob");
+
+    // Expected store size after the first k complete records.
+    let docs_after = |k: usize| -> usize {
+        // Records 1..=6 are inserts, record 7 deletes one doc, record 8
+        // is a blob.
+        if k <= 6 {
+            k
+        } else {
+            5
+        }
+    };
+    let blobs_after = |k: usize| -> usize { usize::from(k >= 8) };
+
+    // Crash after every byte of the log (the file existed up to `cut`).
+    let work = temp_dir("kill_work");
+    for cut in 0..=wal.len() {
+        let complete = bounds.iter().filter(|&&b| b <= cut).count();
+        let at_boundary = cut == 0 || bounds.contains(&cut);
+        std::fs::write(work.join("wal.log"), &wal[..cut]).unwrap();
+        let (store, report) = DurableStore::open_with(&work, no_compact.clone()).unwrap();
+        assert_eq!(
+            report.wal_records, complete,
+            "cut at byte {cut}: wrong record count"
+        );
+        assert_eq!(
+            store.store().len(),
+            docs_after(complete),
+            "cut at byte {cut}: wrong doc count"
+        );
+        assert_eq!(
+            store.blob_keys().len(),
+            blobs_after(complete),
+            "cut at byte {cut}: wrong blob count"
+        );
+        assert_eq!(
+            report.torn, !at_boundary,
+            "cut at byte {cut}: torn flag wrong (complete={complete})"
+        );
+        if report.torn {
+            let valid_prefix = bounds
+                .iter()
+                .filter(|&&b| b <= cut)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(report.wal_bytes, valid_prefix as u64);
+            assert_eq!(report.torn_bytes, (cut - valid_prefix) as u64);
+            // The torn tail was physically truncated.
+            assert_eq!(
+                std::fs::metadata(work.join("wal.log")).unwrap().len(),
+                valid_prefix as u64,
+                "cut at byte {cut}: tail not truncated"
+            );
+        }
+        drop(store);
+    }
+    std::fs::remove_dir_all(&src).ok();
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+fn flipped_bit_in_tail_record_is_detected_by_checksum() {
+    let dir = temp_dir("bitrot");
+    let no_compact = WalConfig {
+        compact_every: 0,
+        ..WalConfig::default()
+    };
+    {
+        let (store, _) = DurableStore::open_with(&dir, no_compact.clone()).unwrap();
+        for m in 0..4 {
+            store.insert(eval(m)).unwrap();
+        }
+    }
+    let wal_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    let bounds = record_boundaries(&bytes);
+    // Flip a payload bit inside the final record.
+    let target = bounds[2] + 12;
+    bytes[target] ^= 0x01;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    let (store, report) = DurableStore::open_with(&dir, no_compact).unwrap();
+    assert!(report.torn, "checksum must catch the flipped bit");
+    assert_eq!(report.wal_records, 3);
+    assert_eq!(store.store().len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_durable_entry_point_on_document_store() {
+    let dir = temp_dir("entry");
+    {
+        let (store, report) = DocumentStore::open_durable(&dir).unwrap();
+        assert!(!report.recovered_anything());
+        store.insert(eval(1)).unwrap();
+    }
+    let (store, report) = DocumentStore::open_durable(&dir).unwrap();
+    assert_eq!(report.wal_records, 1);
+    assert_eq!(store.store().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn atomic_save_leaves_no_temp_file_and_replaces_whole() {
+    let dir = temp_dir("atomic");
+    let store = DocumentStore::new();
+    for m in 0..10 {
+        store.insert(eval(m));
+    }
+    let path = dir.join("db.json");
+    store.save(&path).unwrap();
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "temp file left behind"
+    );
+    // Overwrite with a smaller store; the file must be fully replaced,
+    // not partially overwritten.
+    let small = DocumentStore::new();
+    small.insert(eval(1));
+    small.save(&path).unwrap();
+    let loaded = DocumentStore::load(&path).unwrap();
+    assert_eq!(loaded.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let dir = temp_dir("truncated");
+    let store = DocumentStore::new();
+    for m in 0..10 {
+        store.insert(eval(m));
+    }
+    let path = dir.join("db.json");
+    store.save(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    // Tear the snapshot at several byte positions; every cut must be
+    // reported as Truncated, never as an opaque JSON error.
+    for frac in [1, 3, 7, 9] {
+        let cut = json.len() * frac / 10;
+        std::fs::write(&path, &json[..cut]).unwrap();
+        match DocumentStore::load(&path) {
+            Err(StoreError::Truncated { bytes, .. }) => {
+                assert_eq!(bytes, cut as u64, "cut at {cut}")
+            }
+            Err(other) => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            Ok(_) => panic!("cut at {cut}: torn snapshot loaded successfully"),
+        }
+    }
+    // A complete-but-malformed file keeps its parse error.
+    std::fs::write(&path, "{\"docs\": \"nope\"}").unwrap();
+    assert!(matches!(
+        DocumentStore::load(&path),
+        Err(StoreError::Json(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -229,6 +229,54 @@ pub enum Event {
         /// `true` when the restart count was reduced.
         reduced: bool,
     },
+    /// A transient evaluation failure was retried by the tuner's retry
+    /// policy instead of being recorded as permanent.
+    Retry {
+        /// Zero-based tuner iteration the retried evaluation belongs to.
+        iter: u64,
+        /// Attempt number that just failed (1 = first try).
+        attempt: u64,
+        /// Deterministic backoff charged before the next attempt, in
+        /// simulated seconds (no wall-clock sleep is performed).
+        backoff_s: f64,
+        /// The transient error message.
+        error: String,
+    },
+    /// A fault-injection plan perturbed a simulated evaluation.
+    FaultInject {
+        /// Zero-based objective-call index the fault was injected at.
+        index: u64,
+        /// Fault class (`transient`, `timeout`, `noise`, `corrupt`).
+        kind: String,
+        /// Human-readable description of the injected fault.
+        detail: String,
+    },
+    /// The tuner persisted a resumable checkpoint to the durable store.
+    Checkpoint {
+        /// Iterations completed at the time of the checkpoint.
+        iter: u64,
+        /// Serialized checkpoint size in bytes.
+        bytes: u64,
+        /// Blob key the checkpoint was stored under.
+        key: String,
+    },
+    /// Durable state was recovered after a crash: a WAL replay on store
+    /// startup, or a tuning run resumed from a checkpoint.
+    Recovery {
+        /// What recovered: `"wal"` (store startup) or `"checkpoint"`
+        /// (tuner resume).
+        source: String,
+        /// Documents live after recovery (WAL) or history records
+        /// restored (checkpoint).
+        docs: u64,
+        /// WAL records replayed on top of the snapshot (0 for checkpoint
+        /// resumes).
+        records: u64,
+        /// Whether a torn tail was detected and truncated.
+        torn: bool,
+        /// Iteration the run resumed from, `null` for store recoveries.
+        resumed_iter: Option<u64>,
+    },
     /// A tuning run finished.
     RunEnd {
         /// Iterations executed.
@@ -264,6 +312,10 @@ impl Event {
             Event::Profile { .. } => "profile",
             Event::Refit { .. } => "refit",
             Event::Warmstart { .. } => "warmstart",
+            Event::Retry { .. } => "retry",
+            Event::FaultInject { .. } => "faultinject",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Recovery { .. } => "recovery",
             Event::RunEnd { .. } => "runend",
         }
     }

@@ -95,6 +95,21 @@ pub struct JournalReport {
     /// the warm start was competitive.
     #[serde(default)]
     pub warmstarts_reduced: u64,
+    /// Transient evaluation failures retried by the tuner's retry policy.
+    #[serde(default)]
+    pub retries: u64,
+    /// Faults injected into simulated evaluations, per kind.
+    #[serde(default)]
+    pub faults_injected: BTreeMap<String, u64>,
+    /// Resumable tuner checkpoints persisted.
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Recoveries journaled (WAL replays + checkpoint resumes).
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Recoveries that detected and truncated a torn WAL tail.
+    #[serde(default)]
+    pub torn_recoveries: u64,
     /// Merged collapsed-stack profile across all `profile` events: folded
     /// span path (`tune;propose;gp_fit`) → total nanoseconds.
     #[serde(default)]
@@ -234,6 +249,17 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                     r.warmstarts_reduced += 1;
                 }
             }
+            Event::Retry { .. } => r.retries += 1,
+            Event::FaultInject { kind, .. } => {
+                *r.faults_injected.entry(kind.clone()).or_insert(0) += 1;
+            }
+            Event::Checkpoint { .. } => r.checkpoints += 1,
+            Event::Recovery { torn, .. } => {
+                r.recoveries += 1;
+                if *torn {
+                    r.torn_recoveries += 1;
+                }
+            }
             Event::Profile { folded } => {
                 for (path, ns) in folded {
                     *r.profile.entry(path.clone()).or_insert(0) += ns;
@@ -335,6 +361,16 @@ pub fn render_report(r: &JournalReport) -> String {
         "  uploads rejected    {:>8}\n",
         r.uploads_rejected
     ));
+    out.push_str("\nfault tolerance\n");
+    out.push_str(&format!("  retries             {:>8}\n", r.retries));
+    let faults_total: u64 = r.faults_injected.values().sum();
+    out.push_str(&format!("  faults injected     {faults_total:>8}\n"));
+    for (kind, n) in &r.faults_injected {
+        out.push_str(&format!("    {kind:<16} {n:>8}\n"));
+    }
+    out.push_str(&format!("  checkpoints         {:>8}\n", r.checkpoints));
+    out.push_str(&format!("  recoveries          {:>8}\n", r.recoveries));
+    out.push_str(&format!("  torn-tail recoveries{:>8}\n", r.torn_recoveries));
     out.push_str("\nsensitivity\n");
     out.push_str(&format!("  saltelli evals      {:>8}\n", r.saltelli_evals));
     out.push_str(&format!("  sobol estimates     {:>8}\n", r.sobol_estimates));
@@ -437,6 +473,64 @@ mod tests {
             assert!(!path.is_empty());
             value.parse::<u64>().expect("numeric value");
         }
+    }
+
+    #[test]
+    fn fault_tolerance_events_are_rolled_up() {
+        let events = vec![
+            Event::Retry {
+                iter: 3,
+                attempt: 1,
+                backoff_s: 1.0,
+                error: "transient: node failure".into(),
+            },
+            Event::Retry {
+                iter: 3,
+                attempt: 2,
+                backoff_s: 2.0,
+                error: "transient: node failure".into(),
+            },
+            Event::FaultInject {
+                index: 9,
+                kind: "transient".into(),
+                detail: "simulated node failure".into(),
+            },
+            Event::FaultInject {
+                index: 11,
+                kind: "noise".into(),
+                detail: "flaky episode x4.0".into(),
+            },
+            Event::Checkpoint {
+                iter: 5,
+                bytes: 2048,
+                key: "ckpt/run".into(),
+            },
+            Event::Recovery {
+                source: "wal".into(),
+                docs: 12,
+                records: 4,
+                torn: true,
+                resumed_iter: None,
+            },
+            Event::Recovery {
+                source: "checkpoint".into(),
+                docs: 5,
+                records: 0,
+                torn: false,
+                resumed_iter: Some(5),
+            },
+        ];
+        let r = summarize("f.jsonl", &events);
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.faults_injected["transient"], 1);
+        assert_eq!(r.faults_injected["noise"], 1);
+        assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.recoveries, 2);
+        assert_eq!(r.torn_recoveries, 1);
+        let rendered = render_report(&r);
+        assert!(rendered.contains("fault tolerance"));
+        assert!(rendered.contains("faults injected"));
+        assert!(rendered.contains("torn-tail recoveries"));
     }
 
     #[test]

@@ -134,6 +134,36 @@ fn all_variants() -> Vec<Event> {
             restarts: 1,
             reduced: true,
         },
+        Event::Retry {
+            iter: 6,
+            attempt: 1,
+            backoff_s: 2.5,
+            error: "transient: simulated node failure".into(),
+        },
+        Event::FaultInject {
+            index: 13,
+            kind: "timeout".into(),
+            detail: "evaluation exceeded 600s deadline (simulated)".into(),
+        },
+        Event::Checkpoint {
+            iter: 10,
+            bytes: 4096,
+            key: "ckpt/NoTLA-seed7".into(),
+        },
+        Event::Recovery {
+            source: "wal".into(),
+            docs: 42,
+            records: 7,
+            torn: true,
+            resumed_iter: None,
+        },
+        Event::Recovery {
+            source: "checkpoint".into(),
+            docs: 10,
+            records: 0,
+            torn: false,
+            resumed_iter: Some(10),
+        },
         Event::RunEnd {
             iterations: 20,
             failures: 2,
@@ -163,11 +193,11 @@ fn every_variant_round_trips_bitwise() {
     }
     let back = read_journal(&path).unwrap();
     assert_eq!(back, events);
-    // All 18 kinds distinct.
+    // All 22 kinds distinct.
     let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 18);
+    assert_eq!(kinds.len(), 22);
     std::fs::remove_file(&path).ok();
 }
 
