@@ -1,0 +1,335 @@
+//! Fleet-scale load generator for the crowd repository: many concurrent
+//! clients running a mixed upload + TLA-style query workload against
+//! (a) the embedded store behind one service mutex — the classic
+//! single-loop deployment — and (b) the sharded [`CrowdService`].
+//!
+//! Reports read-query throughput for both engines, the service's
+//! p50/p99 read latency, durable upload throughput under group commit,
+//! and the cache/fsync counters, then merges a `crowd_query[_smoke]`
+//! substrate row plus a `crowd` detail block into
+//! `results/bench_hotpath.json` so `bench_gate` tracks
+//! `cost.crowd_query` (1/speedup) and `tail.crowd_query` (p99/p50)
+//! across the trajectory.
+//!
+//! Run: `cargo run --release -p crowdtune-bench --bin crowd_load`.
+//! Pass `--smoke` for the CI-sized workload (names suffixed `_smoke`
+//! so smoke stats never pool with full-scale baselines), and
+//! `--threads N` to change the client count (default 8).
+
+use crowdtune_db::{
+    CrowdService, DocumentStore, EvalOutcome, Filter, FunctionEvaluation, MachineConfig,
+    ServiceConfig, WalConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn eval_doc(problem: &str, m: i64, rng: &mut StdRng) -> FunctionEvaluation {
+    FunctionEvaluation::new(problem, "crowd")
+        .task("m", m)
+        .task("n", m * 2)
+        .param("mb", rng.gen_range(1..64) as i64)
+        .param("nb", rng.gen_range(1..64) as i64)
+        .outcome(EvalOutcome::single("runtime", rng.gen::<f64>() * 10.0))
+        .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+}
+
+/// The TLA query mix: what a transfer-learning tuner actually asks the
+/// crowd database on every fit — "all samples for my problem", plus
+/// narrowing variants.
+fn query_mix() -> Vec<Filter> {
+    [
+        "task.m >= 0",
+        "task.m BETWEEN 100 AND 5000",
+        "param.mb <= 32",
+        "task.n >= 200 AND param.nb <= 48",
+    ]
+    .iter()
+    .map(|q| crowdtune_db::parse_query(q).expect("query parses"))
+    .collect()
+}
+
+struct ReadPhase {
+    wall_s: f64,
+    reads: u64,
+    uploads: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl ReadPhase {
+    fn read_qps(&self) -> f64 {
+        self.reads as f64 / self.wall_s
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
+        self.latencies_ns[idx] as f64 / 1_000.0
+    }
+}
+
+/// Drive `threads` clients through `ops_per_thread` mixed operations
+/// (1 upload per 32 ops, the rest problem-scoped queries) against an
+/// engine exposed as (query, upload) closures.
+fn drive<Q, U>(
+    threads: usize,
+    ops_per_thread: usize,
+    problems: &[String],
+    filters: &[Filter],
+    query: Q,
+    upload: U,
+) -> ReadPhase
+where
+    Q: Fn(&str, &Filter) -> usize + Sync,
+    U: Fn(FunctionEvaluation) + Sync,
+{
+    let reads = AtomicU64::new(0);
+    let uploads = AtomicU64::new(0);
+    let all_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (reads, uploads, all_latencies) = (&reads, &uploads, &all_latencies);
+            let (query, upload) = (&query, &upload);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x10ad + t as u64);
+                let mut latencies = Vec::with_capacity(ops_per_thread);
+                for i in 0..ops_per_thread {
+                    if i % 32 == 31 {
+                        let problem = &problems[rng.gen_range(0..problems.len())];
+                        upload(eval_doc(problem, rng.gen_range(0..10_000), &mut rng));
+                        uploads.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let problem = &problems[(t + i) % problems.len()];
+                        let filter = &filters[i % filters.len()];
+                        let q0 = Instant::now();
+                        let n = query(problem, filter);
+                        latencies.push(q0.elapsed().as_nanos() as u64);
+                        std::hint::black_box(n);
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                all_latencies.lock().unwrap().extend(latencies);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut latencies_ns = all_latencies.into_inner().unwrap();
+    latencies_ns.sort_unstable();
+    ReadPhase {
+        wall_s,
+        reads: reads.load(Ordering::Relaxed),
+        uploads: uploads.load(Ordering::Relaxed),
+        latencies_ns,
+    }
+}
+
+/// Merge `(key, value)` into an object `Value`, replacing any existing
+/// entry with the same key.
+fn obj_set(v: &mut Value, key: &str, value: Value) {
+    if let Value::Object(fields) = v {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_string(), value));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = arg_value(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let (n_problems, docs_per_problem, ops_per_thread, durable_uploads) = if smoke {
+        (4usize, 25usize, 96usize, 10usize)
+    } else {
+        (16, 200, 800, 50)
+    };
+    let suffix = if smoke { "_smoke" } else { "" };
+    let name = format!("crowd_query{suffix}");
+    let problems: Vec<String> = (0..n_problems).map(|p| format!("PROBLEM{p}")).collect();
+    let filters = query_mix();
+
+    // ---- Prepopulate both engines with an identical corpus. ----
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus: Vec<FunctionEvaluation> = problems
+        .iter()
+        .flat_map(|p| {
+            (0..docs_per_problem)
+                .map(|i| eval_doc(p, i as i64, &mut rng))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let embedded = Mutex::new(DocumentStore::new());
+    let service = CrowdService::new(ServiceConfig {
+        shards: 16,
+        cache_capacity: 128,
+        ..ServiceConfig::default()
+    });
+    for doc in &corpus {
+        embedded.lock().unwrap().insert(doc.clone());
+        service.insert(doc.clone()).expect("in-memory insert");
+    }
+
+    // ---- Read phase A: the serialized embedded store. One mutex in
+    // front of the store models the classic single-service-loop
+    // deployment every client funnels through. ----
+    let emb = drive(
+        threads,
+        ops_per_thread,
+        &problems,
+        &filters,
+        |problem, filter| {
+            let store = embedded.lock().unwrap();
+            store.query_problem_counted(problem, filter, None).0.len()
+        },
+        |doc| {
+            embedded.lock().unwrap().insert(doc);
+        },
+    );
+
+    // ---- Read phase B: the sharded crowd service. ----
+    let svc = drive(
+        threads,
+        ops_per_thread,
+        &problems,
+        &filters,
+        // The service hot path: a cache hit hands back the shared
+        // snapshot (one Arc clone) instead of copying every document.
+        |problem, filter| service.query_problem_shared(problem, filter, None).0.len(),
+        |doc| {
+            service.insert(doc).expect("in-memory insert");
+        },
+    );
+    let (cache_hits, cache_misses) = service.cache_counts();
+    let speedup = svc.read_qps() / emb.read_qps().max(1e-9);
+
+    // ---- Durable upload burst: group-commit WAL throughput. ----
+    let dir = std::env::temp_dir().join(format!("crowdtune_crowd_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) = CrowdService::open_durable(
+        &dir,
+        ServiceConfig {
+            shards: 16,
+            wal: WalConfig {
+                group_commit: true,
+                compact_every: 0,
+                ..WalConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open durable service");
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (durable, problems) = (&durable, &problems);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xd00d + t as u64);
+                for _ in 0..durable_uploads {
+                    let problem = &problems[rng.gen_range(0..problems.len())];
+                    durable
+                        .insert(eval_doc(problem, rng.gen_range(0..10_000), &mut rng))
+                        .expect("durable insert");
+                }
+            });
+        }
+    });
+    let durable_wall_s = t0.elapsed().as_secs_f64();
+    let upload_qps = (threads * durable_uploads) as f64 / durable_wall_s;
+    let (fsyncs, fsync_batched) = (durable.fsync_count(), durable.fsync_batched_count());
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Report + merge into results/bench_hotpath.json. ----
+    println!(
+        "crowd_load: {threads} client threads, {n_problems} problems x {docs_per_problem} docs"
+    );
+    println!(
+        "  embedded (serialized): {:.0} reads/s  (p50 {:.1} us, p99 {:.1} us, {} uploads)",
+        emb.read_qps(),
+        emb.percentile_us(0.50),
+        emb.percentile_us(0.99),
+        emb.uploads,
+    );
+    println!(
+        "  crowd service (16 shards): {:.0} reads/s  (p50 {:.1} us, p99 {:.1} us, {} uploads)",
+        svc.read_qps(),
+        svc.percentile_us(0.50),
+        svc.percentile_us(0.99),
+        svc.uploads,
+    );
+    println!("  read speedup: {speedup:.2}x   cache: {cache_hits} hits / {cache_misses} misses");
+    println!(
+        "  durable uploads (group commit): {upload_qps:.0} docs/s, {fsyncs} fsyncs ({fsync_batched} batched)"
+    );
+
+    let row = format!(
+        "{{\"name\": \"{name}\", \"median_ns_before\": {}, \"median_ns_after\": {}, \"speedup\": {speedup:.3}}}",
+        (emb.percentile_us(0.50) * 1_000.0) as u64,
+        (svc.percentile_us(0.50) * 1_000.0) as u64,
+    );
+    let crowd = format!(
+        "{{\"name\": \"{name}\", \"client_threads\": {threads}, \
+         \"problems\": {n_problems}, \"docs_per_problem\": {docs_per_problem}, \
+         \"read_qps_embedded\": {:.1}, \"read_qps_service\": {:.1}, \"speedup\": {speedup:.3}, \
+         \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"upload_qps\": {upload_qps:.1}, \
+         \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \
+         \"fsyncs\": {fsyncs}, \"fsync_batched\": {fsync_batched}}}",
+        emb.read_qps(),
+        svc.read_qps(),
+        svc.percentile_us(0.50),
+        svc.percentile_us(0.99),
+    );
+    let row: Value = serde_json::from_str(&row).expect("row json");
+    let crowd: Value = serde_json::from_str(&crowd).expect("crowd json");
+
+    let path = std::path::Path::new("results/bench_hotpath.json");
+    let mut root: Value = match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str(&body).expect("parse existing bench_hotpath.json"),
+        Err(_) => serde_json::from_str(&format!(
+            "{{\"threads\": {}, \"substrates\": []}}",
+            rayon::current_num_threads()
+        ))
+        .expect("fresh hotpath json"),
+    };
+    if let Some(Value::Array(subs)) = root_mut_substrates(&mut root) {
+        // Re-runs replace their own row instead of accumulating.
+        subs.retain(|s| s.get("name") != row.get("name"));
+        subs.push(row);
+    }
+    obj_set(&mut root, "crowd", crowd);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(path, serde_json::to_string(&root).expect("render json"))
+        .expect("write bench_hotpath.json");
+    println!("merged into {}", path.display());
+
+    if !smoke && speedup < 4.0 {
+        eprintln!("WARNING: read speedup {speedup:.2}x is below the 4x target");
+        std::process::exit(1);
+    }
+}
+
+fn root_mut_substrates(root: &mut Value) -> Option<&mut Value> {
+    if let Value::Object(fields) = root {
+        fields
+            .iter_mut()
+            .find(|(k, _)| k == "substrates")
+            .map(|(_, v)| v)
+    } else {
+        None
+    }
+}

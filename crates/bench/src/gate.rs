@@ -43,6 +43,9 @@ pub struct TrajectoryEntry {
 struct HotpathJson {
     threads: usize,
     substrates: Vec<HotpathSubstrate>,
+    /// Crowd-service load-generator detail, merged in by `crowd_load`.
+    #[serde(default)]
+    crowd: Option<CrowdJson>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -50,6 +53,16 @@ struct HotpathSubstrate {
     name: String,
     median_ns_after: u64,
     speedup: f64,
+}
+
+/// The `crowd` detail block `crowd_load` merges into the hotpath file.
+/// Only the fields the gate tracks are parsed; the block carries more
+/// (throughputs, cache counters) for humans.
+#[derive(Debug, Deserialize)]
+struct CrowdJson {
+    name: String,
+    p50_us: f64,
+    p99_us: f64,
 }
 
 /// One tracked stat regressing past the noise band.
@@ -89,6 +102,15 @@ pub fn collect_stats(
         }
         if sub.name == "matmul_256" {
             matmul_ns = Some(sub.median_ns_after as f64);
+        }
+    }
+    if let Some(crowd) = &hotpath.crowd {
+        // Tail-latency ratio of the crowd read path: dimensionless and
+        // higher-is-worse, so a fairness collapse under load (p99
+        // ballooning while p50 stays flat) trips the gate even when
+        // throughput still looks fine.
+        if crowd.p50_us > 0.0 {
+            stats.insert(format!("tail.{}", crowd.name), crowd.p99_us / crowd.p50_us);
         }
     }
     if let Some(matmul_ns) = matmul_ns {
@@ -250,6 +272,26 @@ mod tests {
         // 10_000 us mean * 1000 / 5_000_000 ns matmul = 2.0
         assert!((stats["norm.fit"] - 2.0).abs() < 1e-12);
         assert!(!stats.contains_key("norm.acquisition"), "no acq events");
+    }
+
+    #[test]
+    fn crowd_block_contributes_a_tail_ratio_stat() {
+        let hotpath = r#"{
+          "threads": 8,
+          "substrates": [
+            {"name": "crowd_query", "median_ns_before": 900000, "median_ns_after": 90000, "speedup": 10.0}
+          ],
+          "crowd": {"name": "crowd_query", "p50_us": 90.0, "p99_us": 450.0, "read_qps": 1.0e6}
+        }"#;
+        let (threads, stats) = collect_stats(hotpath, &[]).unwrap();
+        assert_eq!(threads, 8);
+        assert!((stats["cost.crowd_query"] - 0.1).abs() < 1e-12);
+        assert!((stats["tail.crowd_query"] - 5.0).abs() < 1e-12);
+        // Without the block, no tail stat appears.
+        let bare = r#"{"threads": 8, "substrates": [
+            {"name": "crowd_query", "median_ns_before": 1, "median_ns_after": 1, "speedup": 1.0}]}"#;
+        let (_, stats) = collect_stats(bare, &[]).unwrap();
+        assert!(!stats.contains_key("tail.crowd_query"));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   environments) and machine/software tag normalization.
 //! - [`repo`] — the [`HistoryDb`] facade: authenticated submit, meta-
 //!   description-shaped queries (problem space + configuration space).
+//! - [`service`] — the concurrent sharded crowd service: parallel
+//!   problem-sharded reads, group-commit WAL writes, and an
+//!   epoch-invalidated query-result cache.
 //! - [`telemetry`] — the fleet-telemetry collection: cross-run records
 //!   distilled from per-run event journals, with the same per-record
 //!   access control as performance samples.
@@ -30,6 +33,7 @@ pub mod document;
 pub mod env;
 pub mod query;
 pub mod repo;
+pub mod service;
 pub mod store;
 pub mod telemetry;
 pub mod wal;
@@ -41,6 +45,7 @@ pub use document::{
 pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
 pub use query::{parse_query, FieldIndexes, Filter, ParseError};
 pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
+pub use service::{CrowdService, ServiceConfig};
 pub use store::{DocumentStore, ScanStats, StoreError};
 pub use telemetry::{FleetQuery, RunRecord, TelemetryCollection};
 pub use wal::{crc32, DurableStore, RecoveryReport, WalConfig, WalRecord};

@@ -11,7 +11,8 @@ use crate::access::{AuthError, UserRegistry};
 use crate::document::{FunctionEvaluation, MachineConfig, SoftwareConfig};
 use crate::env::TagRegistry;
 use crate::query::Filter;
-use crate::store::{DocumentStore, StoreError};
+use crate::service::{CrowdService, ServiceConfig};
+use crate::store::{DocumentStore, ScanStats, StoreError};
 use crowdtune_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -217,9 +218,37 @@ impl QuerySpec {
     }
 }
 
+/// Storage engine behind a [`HistoryDb`]: the single-lock embedded
+/// store, or the sharded concurrent crowd service.
+enum Backend {
+    Embedded(DocumentStore),
+    Service(CrowdService),
+}
+
+impl Backend {
+    fn insert(&self, eval: FunctionEvaluation) -> Result<u64, StoreError> {
+        match self {
+            Backend::Embedded(store) => Ok(store.insert(eval)),
+            Backend::Service(svc) => svc.insert(eval),
+        }
+    }
+
+    fn query_problem_counted(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        match self {
+            Backend::Embedded(store) => store.query_problem_counted(problem, filter, user),
+            Backend::Service(svc) => svc.query_problem_counted(problem, filter, user),
+        }
+    }
+}
+
 /// The shared crowd-tuning database.
 pub struct HistoryDb {
-    store: DocumentStore,
+    backend: Backend,
     users: UserRegistry,
     tags: TagRegistry,
 }
@@ -231,12 +260,34 @@ impl Default for HistoryDb {
 }
 
 impl HistoryDb {
-    /// A database with the built-in tag registry.
+    /// A database with the built-in tag registry, backed by the embedded
+    /// single-lock store (the right shape for one tuner process).
     pub fn new() -> Self {
         HistoryDb {
-            store: DocumentStore::new(),
+            backend: Backend::Embedded(DocumentStore::new()),
             users: UserRegistry::new(),
             tags: TagRegistry::with_builtin_entries(),
+        }
+    }
+
+    /// A database backed by the concurrent sharded [`CrowdService`] —
+    /// parallel reads across client threads, cached repeat queries. The
+    /// facade API is identical; a single-threaded caller sees the same
+    /// ids and query results as [`HistoryDb::new`].
+    pub fn concurrent(config: ServiceConfig) -> Self {
+        HistoryDb {
+            backend: Backend::Service(CrowdService::new(config)),
+            users: UserRegistry::new(),
+            tags: TagRegistry::with_builtin_entries(),
+        }
+    }
+
+    /// The sharded service behind this database, if it is concurrent
+    /// (cache/fsync observability for benchmarks and reports).
+    pub fn service(&self) -> Option<&CrowdService> {
+        match &self.backend {
+            Backend::Service(svc) => Some(svc),
+            Backend::Embedded(_) => None,
         }
     }
 
@@ -286,7 +337,7 @@ impl HistoryDb {
         for sw in &mut eval.software {
             self.tags.normalize_software(sw);
         }
-        Ok(self.store.insert(eval))
+        Ok(self.backend.insert(eval)?)
     }
 
     /// Submit a batch of evaluations. Stops at the first rejected record;
@@ -342,7 +393,7 @@ impl HistoryDb {
     fn query_as(&self, user: Option<&str>, spec: &QuerySpec) -> Vec<FunctionEvaluation> {
         let span = obs::span(obs::names::SPAN_DB_QUERY);
         let (hits, stats) = self
-            .store
+            .backend
             .query_problem_counted(&spec.problem, &spec.filter, user);
         let kept: Vec<FunctionEvaluation> = hits
             .into_iter()
@@ -353,11 +404,15 @@ impl HistoryDb {
         obs::count(obs::names::CTR_DB_PRUNED, stats.pruned as u64);
         obs::count(obs::names::CTR_DB_RETURNED, kept.len() as u64);
         obs::count(obs::names::CTR_DB_DENIED, stats.denied as u64);
+        obs::count(obs::names::CTR_DB_CACHE_HITS, stats.cache_hits as u64);
+        obs::count(obs::names::CTR_DB_CACHE_MISSES, stats.cache_misses as u64);
         obs::record_with(|| obs::Event::DbQuery {
             query: spec.problem.clone(),
             scanned: stats.scanned as u64,
             returned: kept.len() as u64,
             denied: stats.denied as u64,
+            cache_hits: stats.cache_hits as u64,
+            cache_misses: stats.cache_misses as u64,
             duration_us: span.elapsed_ns() / 1_000,
         });
         kept
@@ -385,23 +440,34 @@ impl HistoryDb {
 
     /// Number of stored documents.
     pub fn len(&self) -> usize {
-        self.store.len()
+        match &self.backend {
+            Backend::Embedded(store) => store.len(),
+            Backend::Service(svc) => svc.len(),
+        }
     }
 
     /// True when the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.len() == 0
     }
 
     /// Distinct problems with data.
     pub fn problems(&self) -> Vec<String> {
-        self.store.problems()
+        match &self.backend {
+            Backend::Embedded(store) => store.problems(),
+            Backend::Service(svc) => svc.problems(),
+        }
     }
 
     /// Persist the document collection to a JSON file. (User records are
-    /// credentials and deliberately not serialized.)
+    /// credentials and deliberately not serialized.) A concurrent
+    /// database saves its merged single-store form, so the file loads
+    /// identically whichever backend wrote it.
     pub fn save_documents(&self, path: &std::path::Path) -> Result<(), DbError> {
-        Ok(self.store.save(path)?)
+        match &self.backend {
+            Backend::Embedded(store) => Ok(store.save(path)?),
+            Backend::Service(svc) => Ok(svc.merged_store().save(path)?),
+        }
     }
 
     /// Export the records a query matches as a JSON array — the

@@ -1,0 +1,748 @@
+//! The concurrent sharded crowd repository: parallel reads, group-commit
+//! writes, and an epoch-invalidated query cache.
+//!
+//! The embedded [`DocumentStore`] serializes every operation behind one
+//! `RwLock`, which is the right shape for a single tuner process but not
+//! for the paper's crowd service, where many clients upload and query the
+//! shared history concurrently. [`CrowdService`] re-hosts the same
+//! document model for fleet-scale access:
+//!
+//! * **Sharding** — documents are partitioned by problem name across N
+//!   [`DocumentStore`] shards. Problem-scoped queries (the TLA hot path:
+//!   "give me every PDGEQRF sample") touch exactly one shard, so queries
+//!   for different problems never contend; each shard's interior `RwLock`
+//!   still lets any number of readers scan one shard in parallel. A
+//!   per-shard write mutex serializes writers *per shard* while writers
+//!   to other shards proceed.
+//! * **Group commit** — in durable mode all shards share one
+//!   [`WalAppender`]: concurrent uploads enqueue framed records under
+//!   their shard lock (so per-shard log order matches apply order) and
+//!   then wait; overlapping commits coalesce into a single
+//!   `write_all` + fsync. Durability is unchanged — no upload is
+//!   acknowledged before the fsync covering its record returns.
+//! * **Query cache** — each shard keeps a small FIFO cache of query
+//!   results keyed on (filter fingerprint, user, problem scope) and
+//!   stamped with the shard's write epoch. Any write bumps the epoch,
+//!   so a stale entry can never be served; entries are stamped with the
+//!   epoch observed *before* their scan, so a write racing a scan
+//!   invalidates conservatively.
+//!
+//! Global id/logical-time counters are atomics, so ids stay unique and
+//! monotone across shards; a single-threaded client sees exactly the
+//! ids, query results, and (in durable mode) WAL bytes the embedded
+//! store would produce.
+
+use crate::document::FunctionEvaluation;
+use crate::query::Filter;
+use crate::store::write_atomic;
+use crate::store::{DocumentStore, ScanStats, StoreError};
+use crate::wal::{
+    frame_record, load_snapshot, open_wal_append, scan_wal, DurableSnapshot, RecoveryReport,
+    WalAppender, WalConfig, WalRecord,
+};
+use crowdtune_obs as obs;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for a [`CrowdService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards. Problem names hash to shards, so this bounds
+    /// how many unrelated-problem writers can proceed in parallel.
+    pub shards: usize,
+    /// Query-cache entries per shard; 0 disables caching entirely
+    /// (no hit/miss accounting, byte-identical `ScanStats` to the
+    /// embedded store).
+    pub cache_capacity: usize,
+    /// Durability knobs for the shared WAL (durable mode only).
+    pub wal: WalConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            cache_capacity: 128,
+            wal: WalConfig::default(),
+        }
+    }
+}
+
+/// One cached query result, valid only while the shard's epoch still
+/// equals `epoch`. The full key (filter, user, problem scope) is stored
+/// so a fingerprint collision degrades to a miss, never a wrong answer.
+/// Results are `Arc`-shared: a hit hands out the snapshot without
+/// copying a single document.
+struct CacheEntry {
+    epoch: u64,
+    filter: Filter,
+    user: Option<String>,
+    problem: Option<String>,
+    results: Arc<Vec<FunctionEvaluation>>,
+    stats: ScanStats,
+}
+
+/// FIFO query cache for one shard.
+#[derive(Default)]
+struct QueryCache {
+    map: HashMap<u64, CacheEntry>,
+    order: VecDeque<u64>,
+}
+
+/// One shard: an embedded store plus its write serialization, write
+/// epoch, and result cache.
+struct Shard {
+    store: DocumentStore,
+    /// Serializes writers on this shard (readers go straight to the
+    /// store's interior `RwLock`). Held across memory-apply + WAL
+    /// enqueue so the per-shard log order matches apply order.
+    write: Mutex<()>,
+    /// Bumped (Release) on every write; read (Acquire) before every
+    /// cached scan. A cache entry is valid only for the exact epoch it
+    /// was scanned under.
+    epoch: AtomicU64,
+    cache: Mutex<QueryCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            store: DocumentStore::new(),
+            write: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(QueryCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The durable half: one WAL shared by all shards, plus the blob side
+/// table. The on-disk layout (snapshot.json + wal.log) is interchangeable
+/// with a [`crate::DurableStore`] directory.
+struct Durable {
+    wal: WalAppender,
+    dir: PathBuf,
+    config: WalConfig,
+    blobs: RwLock<HashMap<String, String>>,
+}
+
+/// A concurrent, optionally durable, sharded crowd repository. See the
+/// module docs for the design.
+pub struct CrowdService {
+    shards: Vec<Shard>,
+    next_id: AtomicU64,
+    clock: AtomicU64,
+    cache_capacity: usize,
+    durable: Option<Durable>,
+}
+
+/// FNV-1a over a problem name — the shard router. Stable across runs so
+/// durable directories re-shard identically on reopen.
+fn shard_hash(problem: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in problem.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key: filter fingerprint folded with the querying user and the
+/// problem scope (`None` for whole-shard queries).
+fn cache_key(filter: &Filter, user: Option<&str>, problem: Option<&str>) -> u64 {
+    let mut h = filter.fingerprint();
+    let mut fold = |s: &str| {
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for &b in s.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(user.unwrap_or("\u{0}anon"));
+    fold(problem.unwrap_or("\u{0}all"));
+    h
+}
+
+impl CrowdService {
+    /// An in-memory service (no persistence) with the given layout.
+    pub fn new(config: ServiceConfig) -> Self {
+        let n = config.shards.max(1);
+        CrowdService {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            next_id: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            cache_capacity: config.cache_capacity,
+            durable: None,
+        }
+    }
+
+    /// Open (or create) a durable service rooted at `dir`, replaying
+    /// `snapshot.json` + `wal.log` into the shards. The directory format
+    /// is shared with [`crate::DurableStore`], so a store written by one
+    /// can be reopened by the other.
+    pub fn open_durable(
+        dir: &Path,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut service = Self::new(config.clone());
+        let mut report = RecoveryReport::default();
+        let mut blobs = HashMap::new();
+        let mut next_id = 0u64;
+        let mut clock = 0u64;
+
+        if let Some(snap) = load_snapshot(dir)? {
+            let store = DocumentStore::from_snapshot_json(&snap.store)?;
+            report.snapshot_docs = store.len();
+            report.snapshot_blobs = snap.blobs.len();
+            let (nid, clk) = store.counters();
+            next_id = nid;
+            clock = clk;
+            for doc in store.all_docs() {
+                service.shard_for(&doc.problem).store.insert_assigned(doc);
+            }
+            blobs = snap.blobs;
+        }
+
+        let scan = scan_wal(dir)?;
+        for record in scan.records {
+            match record {
+                WalRecord::Insert { doc } => {
+                    next_id = next_id.max(doc.id);
+                    clock = clock.max(doc.logical_time);
+                    // insert_exact (not insert_assigned): a record that
+                    // made it into the snapshot before a crash replays as
+                    // a skipped duplicate.
+                    service.shard_for(&doc.problem).store.insert_exact(doc);
+                }
+                WalRecord::Delete { ids } => {
+                    for shard in &service.shards {
+                        shard.store.delete_ids(&ids);
+                    }
+                }
+                WalRecord::Blob { key, value } => {
+                    blobs.insert(key, value);
+                }
+            }
+            report.wal_records += 1;
+        }
+        report.wal_bytes = scan.wal_bytes;
+        report.torn = scan.torn;
+        report.torn_bytes = scan.torn_bytes;
+
+        service.next_id.store(next_id, Ordering::Relaxed);
+        service.clock.store(clock, Ordering::Relaxed);
+
+        let file = open_wal_append(dir)?;
+        obs::count(obs::names::CTR_WAL_REPLAYED, report.wal_records as u64);
+        obs::record_with(|| obs::Event::Recovery {
+            source: "crowd".to_string(),
+            docs: service.len() as u64,
+            records: report.wal_records as u64,
+            torn: report.torn,
+            resumed_iter: None,
+        });
+        service.durable = Some(Durable {
+            wal: WalAppender::new(file, &config.wal),
+            dir: dir.to_path_buf(),
+            config: config.wal,
+            blobs: RwLock::new(blobs),
+        });
+        Ok((service, report))
+    }
+
+    fn shard_for(&self, problem: &str) -> &Shard {
+        &self.shards[(shard_hash(problem) % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of shards (for reporting).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Insert a document: id and logical time are drawn from the global
+    /// counters under the shard write lock, the shard applies it in
+    /// memory, and (durable mode) the WAL record is enqueued before the
+    /// lock drops and waited on after — so concurrent uploads to one
+    /// shard commit in apply order, and overlapping commits share a
+    /// group fsync.
+    pub fn insert(&self, mut doc: FunctionEvaluation) -> Result<u64, StoreError> {
+        let shard = self.shard_for(&doc.problem);
+        let (id, ticket) = {
+            let _w = shard.write.lock();
+            doc.id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            doc.logical_time = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let id = doc.id;
+            let framed = match &self.durable {
+                Some(_) => Some(frame_record(&WalRecord::Insert { doc: doc.clone() })?),
+                None => None,
+            };
+            shard.store.insert_assigned(doc);
+            shard.epoch.fetch_add(1, Ordering::Release);
+            let ticket = match (&self.durable, framed) {
+                (Some(d), Some(f)) => d.wal.enqueue(&f)?,
+                _ => 0,
+            };
+            (id, ticket)
+        };
+        if let Some(d) = &self.durable {
+            d.wal.wait_durable(ticket)?;
+            obs::count(obs::names::CTR_WAL_APPENDS, 1);
+            if d.wal.compact_due(d.config.compact_every) {
+                self.compact()?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Delete documents matching `filter` owned by `owner` across every
+    /// shard; durable mode logs the resolved ids per shard. Returns the
+    /// number removed.
+    pub fn delete_owned(&self, owner: &str, filter: &Filter) -> Result<usize, StoreError> {
+        let mut removed = 0usize;
+        let mut tickets = Vec::new();
+        for shard in &self.shards {
+            let _w = shard.write.lock();
+            let ids = shard.store.delete_owned_ids(owner, filter);
+            if ids.is_empty() {
+                continue;
+            }
+            removed += ids.len();
+            shard.epoch.fetch_add(1, Ordering::Release);
+            if let Some(d) = &self.durable {
+                tickets.push(d.wal.enqueue(&frame_record(&WalRecord::Delete { ids })?)?);
+            }
+        }
+        if let Some(d) = &self.durable {
+            for t in tickets {
+                d.wal.wait_durable(t)?;
+                obs::count(obs::names::CTR_WAL_APPENDS, 1);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Problem-scoped query (the hot path): touches exactly one shard,
+    /// answered from that shard's cache when the filter+user was asked
+    /// at the current write epoch.
+    pub fn query_problem_counted(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        let (results, stats) = self.query_problem_shared(problem, filter, user);
+        let owned = Arc::try_unwrap(results).unwrap_or_else(|shared| (*shared).clone());
+        (owned, stats)
+    }
+
+    /// Problem-scoped query returning the shared result snapshot. This
+    /// is the service's cheapest read: a cache hit clones one `Arc`
+    /// instead of every matching document, so repeat queries cost O(1)
+    /// regardless of result size. The snapshot is immutable — later
+    /// writes produce new entries rather than mutating this one.
+    pub fn query_problem_shared(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
+        let shard = self.shard_for(problem);
+        self.cached_query(shard, Some(problem), filter, user)
+    }
+
+    /// Full-collection query: scans every shard (in parallel with any
+    /// other readers), merges by id so the order matches the embedded
+    /// store's insertion order.
+    pub fn query_counted(
+        &self,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        let mut out = Vec::new();
+        let mut stats = ScanStats::default();
+        for shard in &self.shards {
+            let (hits, s) = self.cached_query(shard, None, filter, user);
+            match Arc::try_unwrap(hits) {
+                Ok(owned) => out.extend(owned),
+                Err(shared) => out.extend(shared.iter().cloned()),
+            }
+            stats.absorb(&s);
+        }
+        out.sort_by_key(|d| d.id);
+        (out, stats)
+    }
+
+    /// One shard's cached scan. A hit reports `scanned = pruned = 0`
+    /// (nothing was examined) but preserves the scan's `denied` count —
+    /// access-control observability must not vanish just because the
+    /// answer was cached.
+    fn cached_query(
+        &self,
+        shard: &Shard,
+        problem: Option<&str>,
+        filter: &Filter,
+        user: Option<&str>,
+    ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
+        let run_scan = || match problem {
+            Some(p) => shard.store.query_problem_counted(p, filter, user),
+            None => shard.store.query_counted(filter, user),
+        };
+        if self.cache_capacity == 0 {
+            let (results, stats) = run_scan();
+            return (Arc::new(results), stats);
+        }
+        // The epoch must be read BEFORE the scan: if a write lands during
+        // the scan it bumps the epoch past this value, so the entry we
+        // store below can never be mistaken for current.
+        let epoch = shard.epoch.load(Ordering::Acquire);
+        let key = cache_key(filter, user, problem);
+        {
+            let cache = shard.cache.lock();
+            if let Some(e) = cache.map.get(&key) {
+                if e.epoch == epoch
+                    && e.filter == *filter
+                    && e.user.as_deref() == user
+                    && e.problem.as_deref() == problem
+                {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    let stats = ScanStats {
+                        scanned: 0,
+                        pruned: 0,
+                        denied: e.stats.denied,
+                        cache_hits: 1,
+                        cache_misses: 0,
+                    };
+                    return (Arc::clone(&e.results), stats);
+                }
+            }
+        }
+        let (results, mut stats) = run_scan();
+        let results = Arc::new(results);
+        stats.cache_misses = 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = shard.cache.lock();
+        if !cache.map.contains_key(&key) {
+            if cache.map.len() >= self.cache_capacity {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.map.remove(&old);
+                }
+            }
+            cache.order.push_back(key);
+        }
+        cache.map.insert(
+            key,
+            CacheEntry {
+                epoch,
+                filter: filter.clone(),
+                user: user.map(str::to_string),
+                problem: problem.map(str::to_string),
+                results: Arc::clone(&results),
+                stats,
+            },
+        );
+        (results, stats)
+    }
+
+    /// Count of matching documents across all shards.
+    pub fn count(&self, filter: &Filter, user: Option<&str>) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.store.count(filter, user))
+            .sum()
+    }
+
+    /// Fetch a document by id (searches the owning shard by scan; ids do
+    /// not encode shards).
+    pub fn get(&self, id: u64) -> Option<FunctionEvaluation> {
+        self.shards.iter().find_map(|s| s.store.get(id))
+    }
+
+    /// Total documents across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.store.len()).sum()
+    }
+
+    /// True when no shard holds any document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct problem names, sorted, across all shards.
+    pub fn problems(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.store.problems())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Total query-cache (hits, misses) across all shards since open.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            (
+                h + s.hits.load(Ordering::Relaxed),
+                m + s.misses.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Physical WAL fsyncs since open (0 for in-memory services).
+    pub fn fsync_count(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.wal.fsync_count())
+    }
+
+    /// Records whose durability rode on another record's fsync.
+    pub fn fsync_batched_count(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.wal.fsync_batched_count())
+    }
+
+    /// Write a named blob durably (tuner checkpoints). No-op store in
+    /// memory when the service is not durable.
+    pub fn put_blob(&self, key: &str, value: &str) -> Result<(), StoreError> {
+        if let Some(d) = &self.durable {
+            d.blobs.write().insert(key.to_string(), value.to_string());
+            let framed = frame_record(&WalRecord::Blob {
+                key: key.to_string(),
+                value: value.to_string(),
+            })?;
+            let ticket = d.wal.enqueue(&framed)?;
+            d.wal.wait_durable(ticket)?;
+            obs::count(obs::names::CTR_WAL_APPENDS, 1);
+        }
+        Ok(())
+    }
+
+    /// Fetch a named blob.
+    pub fn get_blob(&self, key: &str) -> Option<String> {
+        self.durable
+            .as_ref()
+            .and_then(|d| d.blobs.read().get(key).cloned())
+    }
+
+    /// Materialize the whole service as one embedded [`DocumentStore`]
+    /// (id order, counters carried over) — for JSON export/save and for
+    /// checking service/embedded equivalence.
+    pub fn merged_store(&self) -> DocumentStore {
+        let mut docs: Vec<FunctionEvaluation> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.store.all_docs())
+            .collect();
+        docs.sort_by_key(|d| d.id);
+        let store = DocumentStore::new();
+        for doc in docs {
+            store.insert_assigned(doc);
+        }
+        store.advance_counters(
+            self.next_id.load(Ordering::Relaxed),
+            self.clock.load(Ordering::Relaxed),
+        );
+        store
+    }
+
+    /// Fold the WAL into a fresh snapshot and truncate the log, exactly
+    /// like [`crate::DurableStore::compact`]. The merged snapshot is
+    /// captured inside the quiesce so every enqueued-but-unflushed
+    /// record (already applied in memory) is covered before the buffer
+    /// is dropped. No-op for in-memory services.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let wal_path = d.dir.join("wal.log");
+        let snapshot_path = d.dir.join("snapshot.json");
+        d.wal.quiesce(|file| {
+            let snap = DurableSnapshot {
+                store: self.merged_store().snapshot_json()?,
+                blobs: d.blobs.read().clone(),
+            };
+            let json = serde_json::to_string(&snap)?;
+            write_atomic(&snapshot_path, json.as_bytes())?;
+            let fresh = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&wal_path)?;
+            fresh.sync_all()?;
+            *file = OpenOptions::new().append(true).open(&wal_path)?;
+            Ok(())
+        })?;
+        obs::count(obs::names::CTR_WAL_COMPACTIONS, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{EvalOutcome, MachineConfig};
+    use crate::query::parse_query;
+
+    fn eval(problem: &str, owner: &str, m: i64) -> FunctionEvaluation {
+        FunctionEvaluation::new(problem, owner)
+            .task("m", m)
+            .param("mb", 4i64)
+            .outcome(EvalOutcome::single("runtime", m as f64))
+            .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("crowdtune_service_unit")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ids_are_global_and_monotone_across_shards() {
+        let svc = CrowdService::new(ServiceConfig::default());
+        let mut last = 0;
+        for i in 0..20 {
+            let id = svc
+                .insert(eval(&format!("P{}", i % 5), "alice", i))
+                .unwrap();
+            assert!(id > last);
+            last = id;
+        }
+        assert_eq!(svc.len(), 20);
+        assert_eq!(svc.problems().len(), 5);
+    }
+
+    #[test]
+    fn query_matches_embedded_semantics() {
+        let svc = CrowdService::new(ServiceConfig::default());
+        let embedded = DocumentStore::new();
+        for i in 0..30 {
+            let doc = eval(&format!("P{}", i % 3), "alice", i);
+            svc.insert(doc.clone()).unwrap();
+            embedded.insert(doc);
+        }
+        let filter = parse_query("task.m >= 10").unwrap();
+        let (svc_hits, _) = svc.query_counted(&filter, None);
+        let (emb_hits, _) = embedded.query_counted(&filter, None);
+        assert_eq!(svc_hits, emb_hits);
+        let (svc_p, _) = svc.query_problem_counted("P1", &filter, None);
+        let (emb_p, _) = embedded.query_problem_counted("P1", &filter, None);
+        assert_eq!(svc_p, emb_p);
+    }
+
+    #[test]
+    fn cache_hits_and_epoch_invalidation() {
+        let svc = CrowdService::new(ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        });
+        for i in 0..10 {
+            svc.insert(eval("P", "alice", i)).unwrap();
+        }
+        let filter = parse_query("task.m >= 3").unwrap();
+        let (first, s1) = svc.query_problem_counted("P", &filter, None);
+        assert_eq!(s1.cache_misses, 1);
+        assert_eq!(s1.cache_hits, 0);
+        let (second, s2) = svc.query_problem_counted("P", &filter, None);
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.scanned, 0, "a hit scans nothing");
+        assert_eq!(first, second);
+        // A write invalidates: the next query re-scans and sees the new doc.
+        svc.insert(eval("P", "alice", 50)).unwrap();
+        let (third, s3) = svc.query_problem_counted("P", &filter, None);
+        assert_eq!(s3.cache_misses, 1);
+        assert_eq!(third.len(), first.len() + 1);
+        assert_eq!(svc.cache_counts().0, 1);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_accounting() {
+        let svc = CrowdService::new(ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        svc.insert(eval("P", "alice", 1)).unwrap();
+        let filter = parse_query("task.m >= 0").unwrap();
+        let (_, s) = svc.query_problem_counted("P", &filter, None);
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+        let (_, s) = svc.query_problem_counted("P", &filter, None);
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+        assert_eq!(svc.cache_counts(), (0, 0));
+    }
+
+    #[test]
+    fn durable_roundtrip_through_service() {
+        let dir = temp_dir("svc_roundtrip");
+        {
+            let (svc, report) = CrowdService::open_durable(&dir, ServiceConfig::default()).unwrap();
+            assert!(!report.recovered_anything());
+            for i in 0..8 {
+                svc.insert(eval(&format!("P{}", i % 4), "alice", i))
+                    .unwrap();
+            }
+            svc.delete_owned("alice", &parse_query("task.m = 3").unwrap())
+                .unwrap();
+            svc.put_blob("ckpt/x", "{\"iter\":1}").unwrap();
+        }
+        let (svc, report) = CrowdService::open_durable(&dir, ServiceConfig::default()).unwrap();
+        assert_eq!(report.wal_records, 10); // 8 inserts + 1 delete + 1 blob
+        assert_eq!(svc.len(), 7);
+        assert_eq!(svc.get_blob("ckpt/x").unwrap(), "{\"iter\":1}");
+        let id = svc.insert(eval("P0", "alice", 99)).unwrap();
+        assert!(id > 8, "ids keep rising after recovery, got {id}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn service_directory_interchangeable_with_durable_store() {
+        let dir = temp_dir("svc_interchange");
+        {
+            let (svc, _) = CrowdService::open_durable(&dir, ServiceConfig::default()).unwrap();
+            for i in 0..5 {
+                svc.insert(eval("P", "alice", i)).unwrap();
+            }
+            svc.compact().unwrap();
+            svc.insert(eval("Q", "bob", 9)).unwrap();
+        }
+        // A DurableStore reads the service's directory...
+        let (store, report) = crate::wal::DurableStore::open(&dir).unwrap();
+        assert_eq!(report.snapshot_docs, 5);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(store.store().len(), 6);
+        store.insert(eval("R", "carol", 1)).unwrap();
+        drop(store);
+        // ...and the service reads it back.
+        let (svc, _) = CrowdService::open_durable(&dir, ServiceConfig::default()).unwrap();
+        assert_eq!(svc.len(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_store_preserves_counters_past_deletes() {
+        let svc = CrowdService::new(ServiceConfig::default());
+        for i in 0..4 {
+            svc.insert(eval("P", "alice", i)).unwrap();
+        }
+        // Delete the highest-id doc; the merged store must still hand out
+        // fresh ids above it.
+        svc.delete_owned("alice", &parse_query("task.m = 3").unwrap())
+            .unwrap();
+        let merged = svc.merged_store();
+        assert_eq!(merged.len(), 3);
+        let id = merged.insert(eval("P", "alice", 10));
+        assert_eq!(id, 5);
+    }
+}

@@ -102,6 +102,23 @@ pub struct ScanStats {
     pub pruned: usize,
     /// Documents withheld because the querying user may not read them.
     pub denied: usize,
+    /// Queries answered from a shard result cache (always 0 on the
+    /// embedded store path; a cache hit reports `scanned = pruned = 0`
+    /// because nothing was examined).
+    pub cache_hits: usize,
+    /// Cacheable lookups that missed the cache and ran a real scan.
+    pub cache_misses: usize,
+}
+
+impl ScanStats {
+    /// Element-wise accumulation (merging per-shard stats).
+    pub fn absorb(&mut self, other: &ScanStats) {
+        self.scanned += other.scanned;
+        self.pruned += other.pruned;
+        self.denied += other.denied;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// Intersection of two ascending position lists (two-pointer merge).
@@ -184,6 +201,49 @@ impl DocumentStore {
             .push(idx);
         inner.indexes.insert_doc(idx, &doc);
         inner.docs.push(doc);
+    }
+
+    /// Insert a document whose id and logical timestamp were assigned by
+    /// an external allocator (the sharded crowd service's global
+    /// counters). Skips the duplicate scan [`DocumentStore::insert_exact`]
+    /// pays — the allocator guarantees uniqueness — and advances the local
+    /// counters to cover the document so a later unsharded load continues
+    /// from the right id.
+    pub(crate) fn insert_assigned(&self, doc: FunctionEvaluation) {
+        let mut inner = self.inner.write();
+        inner.next_id = inner.next_id.max(doc.id);
+        inner.clock = inner.clock.max(doc.logical_time);
+        let idx = inner.docs.len();
+        inner
+            .by_problem
+            .entry(doc.problem.clone())
+            .or_default()
+            .push(idx);
+        inner.indexes.insert_doc(idx, &doc);
+        inner.docs.push(doc);
+    }
+
+    /// Every stored document, access control NOT applied — for moving a
+    /// store's contents between the embedded and sharded representations.
+    pub(crate) fn all_docs(&self) -> Vec<FunctionEvaluation> {
+        self.inner.read().docs.clone()
+    }
+
+    /// Current `(next_id, clock)` counters, for seeding an external
+    /// allocator from recovered state.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.next_id, inner.clock)
+    }
+
+    /// Advance the id/clock counters to at least the given values. Used
+    /// when materializing an embedded store from sharded service state:
+    /// deleted documents may have held the highest id, so counters must
+    /// carry over even when no surviving document proves them.
+    pub(crate) fn advance_counters(&self, next_id: u64, clock: u64) {
+        let mut inner = self.inner.write();
+        inner.next_id = inner.next_id.max(next_id);
+        inner.clock = inner.clock.max(clock);
     }
 
     /// Delete documents by id (WAL replay of a logged delete). Missing

@@ -29,12 +29,14 @@ use crate::document::FunctionEvaluation;
 use crate::query::Filter;
 use crate::store::{json_is_truncated, write_atomic, DocumentStore, StoreError};
 use crowdtune_obs as obs;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -102,12 +104,24 @@ impl RecoveryReport {
 /// Durability knobs for a [`DurableStore`].
 #[derive(Debug, Clone)]
 pub struct WalConfig {
-    /// fsync the log after every append (the crash-safety guarantee;
+    /// fsync the log after every commit (the crash-safety guarantee;
     /// disable only for throughput experiments).
     pub sync_every_append: bool,
     /// Compact automatically after this many appended records
     /// (0 disables auto-compaction).
     pub compact_every: u64,
+    /// Coalesce concurrent appends into one framed write + fsync (group
+    /// commit). Durability is unchanged — an append is not acknowledged
+    /// until the fsync covering its record returns — but N writers
+    /// blocked on the same flush share one fsync instead of paying N.
+    /// A single-threaded writer flushes every record immediately, so the
+    /// log bytes are identical to the non-grouped path.
+    pub group_commit: bool,
+    /// Extra microseconds a group-commit leader waits before flushing,
+    /// letting more concurrent appends join the batch. 0 (the default)
+    /// relies on the natural window: appends arriving while the previous
+    /// fsync is in flight batch into the next one.
+    pub group_window_us: u64,
 }
 
 impl Default for WalConfig {
@@ -115,17 +129,21 @@ impl Default for WalConfig {
         WalConfig {
             sync_every_append: true,
             compact_every: 1024,
+            group_commit: true,
+            group_window_us: 0,
         }
     }
 }
 
 /// Snapshot payload: the document store's state plus the blob table.
 /// The store state is embedded as a JSON string so the snapshot schema
-/// is independent of the store's internal serialization.
+/// is independent of the store's internal serialization. Shared with the
+/// sharded crowd service, whose durable directories are interchangeable
+/// with a [`DurableStore`]'s.
 #[derive(Serialize, Deserialize)]
-struct DurableSnapshot {
-    store: String,
-    blobs: HashMap<String, String>,
+pub(crate) struct DurableSnapshot {
+    pub(crate) store: String,
+    pub(crate) blobs: HashMap<String, String>,
 }
 
 /// A crash-safe [`DocumentStore`]: WAL-fronted mutations, snapshot +
@@ -134,14 +152,230 @@ struct DurableSnapshot {
 pub struct DurableStore {
     store: DocumentStore,
     blobs: RwLock<HashMap<String, String>>,
-    wal: Mutex<WalWriter>,
+    wal: WalAppender,
     dir: PathBuf,
     config: WalConfig,
 }
 
-struct WalWriter {
-    file: File,
-    records_since_compact: u64,
+/// Frame `record` as `len | crc32 | payload` bytes.
+pub(crate) fn frame_record(record: &WalRecord) -> Result<Vec<u8>, StoreError> {
+    let payload = serde_json::to_string(record)?;
+    let bytes = payload.as_bytes();
+    let mut framed = Vec::with_capacity(8 + bytes.len());
+    framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(bytes).to_le_bytes());
+    framed.extend_from_slice(bytes);
+    Ok(framed)
+}
+
+/// Group-commit state: framed-but-unflushed bytes plus the ticket
+/// counters of the leader/follower protocol. Tickets are issued per
+/// enqueued record; `resolved` marks tickets no longer pending and `ok`
+/// the prefix that reached disk, so a waiter learns both *that* its
+/// record was handled and *whether* the flush succeeded.
+struct GroupState {
+    buf: Vec<u8>,
+    enqueued: u64,
+    resolved: u64,
+    ok: u64,
+    flushing: bool,
+    poisoned: Option<String>,
+}
+
+/// The WAL's write half: a framed append pipe with optional group
+/// commit. Concurrent appenders enqueue under the group mutex; the first
+/// to find no flush in progress becomes the leader, drains the whole
+/// buffer with one `write_all` + one fsync (file mutex held, group mutex
+/// released), then wakes every waiter whose ticket the flush covered.
+/// `std::sync` primitives are used here because the protocol needs a
+/// `Condvar`, which the vendored `parking_lot` stand-in does not carry.
+pub(crate) struct WalAppender {
+    file: StdMutex<File>,
+    group: StdMutex<GroupState>,
+    cv: Condvar,
+    fsyncs: AtomicU64,
+    fsync_batched: AtomicU64,
+    records_since_compact: AtomicU64,
+    sync_every_append: bool,
+    group_commit: bool,
+    window: std::time::Duration,
+}
+
+/// std mutex lock that shrugs off poisoning (a panicking appender must
+/// not wedge every other writer — the WAL state itself is guarded by the
+/// `poisoned` field, not by unwind propagation).
+fn lock<'a, T>(m: &'a StdMutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl WalAppender {
+    pub(crate) fn new(file: File, config: &WalConfig) -> Self {
+        WalAppender {
+            file: StdMutex::new(file),
+            group: StdMutex::new(GroupState {
+                buf: Vec::new(),
+                enqueued: 0,
+                resolved: 0,
+                ok: 0,
+                flushing: false,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            fsyncs: AtomicU64::new(0),
+            fsync_batched: AtomicU64::new(0),
+            records_since_compact: AtomicU64::new(0),
+            sync_every_append: config.sync_every_append,
+            group_commit: config.group_commit,
+            window: std::time::Duration::from_micros(config.group_window_us),
+        }
+    }
+
+    /// Physical fsyncs issued since open.
+    pub(crate) fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Records whose durability rode on another record's fsync.
+    pub(crate) fn fsync_batched_count(&self) -> u64 {
+        self.fsync_batched.load(Ordering::Relaxed)
+    }
+
+    /// Stage one framed record for commit and return its ticket. With
+    /// group commit the record is only buffered — the caller must
+    /// [`WalAppender::wait_durable`] on the ticket before acknowledging
+    /// the write. Without group commit the record is written (and
+    /// fsynced) before this returns and the ticket wait is a no-op.
+    /// Callers that need the log order to match their in-memory apply
+    /// order enqueue while still holding their write lock; the wait can
+    /// (and should) happen after releasing it.
+    pub(crate) fn enqueue(&self, framed: &[u8]) -> Result<u64, StoreError> {
+        self.records_since_compact.fetch_add(1, Ordering::Relaxed);
+        if !self.group_commit {
+            let mut file = lock(&self.file);
+            file.write_all(framed)?;
+            if self.sync_every_append {
+                file.sync_all()?;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                obs::count(obs::names::CTR_WAL_FSYNCS, 1);
+            }
+            return Ok(0);
+        }
+        let mut g = lock(&self.group);
+        if let Some(why) = &g.poisoned {
+            return Err(StoreError::Corrupt(format!("WAL poisoned: {why}")));
+        }
+        g.buf.extend_from_slice(framed);
+        g.enqueued += 1;
+        Ok(g.enqueued)
+    }
+
+    /// Block until the record behind `ticket` is durable (or its flush
+    /// failed). The first waiter that finds no flush in progress becomes
+    /// the leader and flushes the whole buffer for everyone.
+    pub(crate) fn wait_durable(&self, ticket: u64) -> Result<(), StoreError> {
+        if !self.group_commit || ticket == 0 {
+            return Ok(());
+        }
+        let mut g = lock(&self.group);
+        loop {
+            if g.resolved >= ticket {
+                return if ticket <= g.ok {
+                    Ok(())
+                } else {
+                    Err(StoreError::Corrupt(format!(
+                        "WAL flush failed: {}",
+                        g.poisoned.as_deref().unwrap_or("unknown")
+                    )))
+                };
+            }
+            if !g.flushing {
+                g.flushing = true;
+                if !self.window.is_zero() {
+                    // Tunable window: give concurrent appenders a beat to
+                    // join this batch before it seals.
+                    drop(g);
+                    std::thread::sleep(self.window);
+                    g = lock(&self.group);
+                }
+                let batch = std::mem::take(&mut g.buf);
+                let from = g.resolved;
+                let upto = g.enqueued;
+                drop(g);
+                let flushed = {
+                    let mut file = lock(&self.file);
+                    file.write_all(&batch).and_then(|()| {
+                        if self.sync_every_append {
+                            file.sync_all()
+                        } else {
+                            Ok(())
+                        }
+                    })
+                };
+                g = lock(&self.group);
+                g.flushing = false;
+                g.resolved = upto;
+                match flushed {
+                    Ok(()) => {
+                        g.ok = upto;
+                        let n = upto - from;
+                        if self.sync_every_append {
+                            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            obs::count(obs::names::CTR_WAL_FSYNCS, 1);
+                        }
+                        if n > 1 {
+                            self.fsync_batched.fetch_add(n - 1, Ordering::Relaxed);
+                            obs::count(obs::names::CTR_WAL_FSYNC_BATCHED, n - 1);
+                        }
+                    }
+                    Err(e) => g.poisoned = Some(e.to_string()),
+                }
+                self.cv.notify_all();
+            } else {
+                g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Enqueue + wait: one fully-committed record.
+    pub(crate) fn append(&self, framed: &[u8]) -> Result<(), StoreError> {
+        let ticket = self.enqueue(framed)?;
+        self.wait_durable(ticket)
+    }
+
+    /// True once `compact_every` records have been appended since the
+    /// last compaction.
+    pub(crate) fn compact_due(&self, compact_every: u64) -> bool {
+        compact_every > 0 && self.records_since_compact.load(Ordering::Relaxed) >= compact_every
+    }
+
+    /// Quiesce the pipe and run `f` on the underlying file (compaction:
+    /// write a snapshot, truncate + swap the log). Waits out any
+    /// in-flight flush, then holds both locks across `f`, so no append
+    /// can interleave. Any still-buffered records were already applied
+    /// in memory — the snapshot `f` writes covers them — so on success
+    /// the buffer is dropped and every pending ticket resolves durable.
+    pub(crate) fn quiesce<R>(
+        &self,
+        f: impl FnOnce(&mut File) -> Result<R, StoreError>,
+    ) -> Result<R, StoreError> {
+        let mut g = lock(&self.group);
+        while g.flushing {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        let result = {
+            let mut file = lock(&self.file);
+            f(&mut file)
+        };
+        if result.is_ok() {
+            g.buf.clear();
+            g.resolved = g.enqueued;
+            g.ok = g.enqueued;
+            self.records_since_compact.store(0, Ordering::Relaxed);
+        }
+        drop(g);
+        self.cv.notify_all();
+        result
+    }
 }
 
 impl DurableStore {
@@ -158,81 +392,36 @@ impl DurableStore {
         let mut report = RecoveryReport::default();
 
         // 1. Snapshot, if one exists.
-        let snapshot_path = dir.join("snapshot.json");
-        let (store, blobs) = match std::fs::read_to_string(&snapshot_path) {
-            Ok(json) => {
-                let snap: DurableSnapshot = match serde_json::from_str(&json) {
-                    Ok(s) => s,
-                    Err(_) if json_is_truncated(&json) => {
-                        return Err(StoreError::Truncated {
-                            path: snapshot_path,
-                            bytes: json.len() as u64,
-                        })
-                    }
-                    Err(e) => return Err(e.into()),
-                };
+        let (store, blobs) = match load_snapshot(dir)? {
+            Some(snap) => {
                 let store = DocumentStore::from_snapshot_json(&snap.store)?;
                 report.snapshot_docs = store.len();
                 report.snapshot_blobs = snap.blobs.len();
                 (store, snap.blobs)
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                (DocumentStore::new(), HashMap::new())
-            }
-            Err(e) => return Err(e.into()),
+            None => (DocumentStore::new(), HashMap::new()),
         };
 
         // 2. WAL replay: apply every intact record, truncate a torn tail.
-        let wal_path = dir.join("wal.log");
-        let bytes = match std::fs::read(&wal_path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
+        let scan = scan_wal(dir)?;
         let blobs = RwLock::new(blobs);
-        let mut offset = 0usize;
-        loop {
-            match next_record(&bytes, offset) {
-                Some(Ok((record, end))) => {
-                    match record {
-                        WalRecord::Insert { doc } => store.insert_exact(doc),
-                        WalRecord::Delete { ids } => {
-                            store.delete_ids(&ids);
-                        }
-                        WalRecord::Blob { key, value } => {
-                            blobs.write().insert(key, value);
-                        }
-                    }
-                    offset = end;
-                    report.wal_records += 1;
+        for record in scan.records {
+            match record {
+                WalRecord::Insert { doc } => store.insert_exact(doc),
+                WalRecord::Delete { ids } => {
+                    store.delete_ids(&ids);
                 }
-                Some(Err(())) => {
-                    // Torn/corrupt tail: everything from `offset` on is
-                    // unreachable. Truncate the log to the valid prefix.
-                    report.torn = true;
-                    report.torn_bytes = (bytes.len() - offset) as u64;
-                    break;
+                WalRecord::Blob { key, value } => {
+                    blobs.write().insert(key, value);
                 }
-                None => break,
             }
+            report.wal_records += 1;
         }
-        report.wal_bytes = offset as u64;
+        report.wal_bytes = scan.wal_bytes;
+        report.torn = scan.torn;
+        report.torn_bytes = scan.torn_bytes;
 
-        if report.torn {
-            // Physically truncate so future appends start at the valid
-            // prefix and a re-open sees a clean log.
-            let f = OpenOptions::new().write(true).open(&wal_path);
-            if let Ok(f) = f {
-                f.set_len(report.wal_bytes)?;
-                f.sync_all()?;
-            }
-            obs::count(obs::names::CTR_WAL_TORN, 1);
-        }
-
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&wal_path)?;
+        let file = open_wal_append(dir)?;
         obs::count(obs::names::CTR_WAL_REPLAYED, report.wal_records as u64);
         obs::record_with(|| obs::Event::Recovery {
             source: "wal".to_string(),
@@ -246,15 +435,23 @@ impl DurableStore {
             DurableStore {
                 store,
                 blobs,
-                wal: Mutex::new(WalWriter {
-                    file,
-                    records_since_compact: 0,
-                }),
+                wal: WalAppender::new(file, &config),
                 dir: dir.to_path_buf(),
                 config,
             },
             report,
         ))
+    }
+
+    /// Physical fsyncs the WAL has issued since open.
+    pub fn fsync_count(&self) -> u64 {
+        self.wal.fsync_count()
+    }
+
+    /// Records whose durability rode on another record's fsync (group
+    /// commit coalescing). Always 0 with `group_commit: false`.
+    pub fn fsync_batched_count(&self) -> u64 {
+        self.wal.fsync_batched_count()
     }
 
     /// The directory this store persists into.
@@ -314,48 +511,41 @@ impl DurableStore {
     /// truncate the log. Safe against a crash at any point: the rename
     /// is atomic and replay is idempotent.
     pub fn compact(&self) -> Result<(), StoreError> {
-        let mut wal = self.wal.lock();
-        let snap = DurableSnapshot {
-            store: self.store.snapshot_json()?,
-            blobs: self.blobs.read().clone(),
-        };
-        let json = serde_json::to_string(&snap)?;
-        write_atomic(&self.dir.join("snapshot.json"), json.as_bytes())?;
-        // Snapshot durable: the log can now be emptied. Recreate rather
-        // than set_len(0) so the file handle's append offset resets on
-        // every platform.
         let wal_path = self.dir.join("wal.log");
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&wal_path)?;
-        file.sync_all()?;
-        wal.file = OpenOptions::new().append(true).open(&wal_path)?;
-        wal.records_since_compact = 0;
+        let snapshot_path = self.dir.join("snapshot.json");
+        self.wal.quiesce(|file| {
+            // The snapshot must be captured *inside* the quiesce: a write
+            // that applied in memory and enqueued between an earlier
+            // snapshot and the buffer drop below would otherwise be lost
+            // from both.
+            let snap = DurableSnapshot {
+                store: self.store.snapshot_json()?,
+                blobs: self.blobs.read().clone(),
+            };
+            let json = serde_json::to_string(&snap)?;
+            write_atomic(&snapshot_path, json.as_bytes())?;
+            // Snapshot durable: the log can now be emptied. Recreate
+            // rather than set_len(0) so the file handle's append offset
+            // resets on every platform.
+            let fresh = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&wal_path)?;
+            fresh.sync_all()?;
+            *file = OpenOptions::new().append(true).open(&wal_path)?;
+            Ok(())
+        })?;
         obs::count(obs::names::CTR_WAL_COMPACTIONS, 1);
         Ok(())
     }
 
-    /// Append one record: frame, checksum, write, (optionally) fsync.
+    /// Append one record: frame, checksum, commit (group-batched when
+    /// concurrent appends overlap).
     fn append(&self, record: &WalRecord) -> Result<(), StoreError> {
-        let payload = serde_json::to_string(record)?;
-        let bytes = payload.as_bytes();
-        let mut framed = Vec::with_capacity(8 + bytes.len());
-        framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&crc32(bytes).to_le_bytes());
-        framed.extend_from_slice(bytes);
-        let compact_due = {
-            let mut wal = self.wal.lock();
-            wal.file.write_all(&framed)?;
-            if self.config.sync_every_append {
-                wal.file.sync_all()?;
-            }
-            wal.records_since_compact += 1;
-            self.config.compact_every > 0 && wal.records_since_compact >= self.config.compact_every
-        };
+        self.wal.append(&frame_record(record)?)?;
         obs::count(obs::names::CTR_WAL_APPENDS, 1);
-        if compact_due {
+        if self.wal.compact_due(self.config.compact_every) {
             self.compact()?;
         }
         Ok(())
@@ -371,11 +561,94 @@ impl DocumentStore {
     }
 }
 
+/// Result of scanning a durable directory's `wal.log`: the intact
+/// records in append order, plus what the scan did about the tail.
+pub(crate) struct WalScan {
+    pub(crate) records: Vec<WalRecord>,
+    /// Bytes of the valid prefix.
+    pub(crate) wal_bytes: u64,
+    /// Bytes discarded from a torn tail (0 when the log ended cleanly).
+    pub(crate) torn_bytes: u64,
+    /// Whether a torn tail was detected (and physically truncated).
+    pub(crate) torn: bool,
+}
+
+/// Load `snapshot.json` from `dir`, distinguishing "no snapshot yet"
+/// (`Ok(None)`) from a truncated or corrupt one (an error). Shared by
+/// [`DurableStore`] and the sharded crowd service.
+pub(crate) fn load_snapshot(dir: &Path) -> Result<Option<DurableSnapshot>, StoreError> {
+    let snapshot_path = dir.join("snapshot.json");
+    match std::fs::read_to_string(&snapshot_path) {
+        Ok(json) => match serde_json::from_str(&json) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) if json_is_truncated(&json) => Err(StoreError::Truncated {
+                path: snapshot_path,
+                bytes: json.len() as u64,
+            }),
+            Err(e) => Err(e.into()),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Read and frame-decode `dir/wal.log`, physically truncating a torn
+/// tail back to the last valid prefix so future appends start clean.
+/// A missing log reads as empty.
+pub(crate) fn scan_wal(dir: &Path) -> Result<WalScan, StoreError> {
+    let wal_path = dir.join("wal.log");
+    let bytes = match std::fs::read(&wal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let mut scan = WalScan {
+        records: Vec::new(),
+        wal_bytes: 0,
+        torn_bytes: 0,
+        torn: false,
+    };
+    let mut offset = 0usize;
+    loop {
+        match next_record(&bytes, offset) {
+            Some(Ok((record, end))) => {
+                scan.records.push(record);
+                offset = end;
+            }
+            Some(Err(())) => {
+                // Torn/corrupt tail: everything from `offset` on is
+                // unreachable (appends are strictly sequential).
+                scan.torn = true;
+                scan.torn_bytes = (bytes.len() - offset) as u64;
+                break;
+            }
+            None => break,
+        }
+    }
+    scan.wal_bytes = offset as u64;
+    if scan.torn {
+        if let Ok(f) = OpenOptions::new().write(true).open(&wal_path) {
+            f.set_len(scan.wal_bytes)?;
+            f.sync_all()?;
+        }
+        obs::count(obs::names::CTR_WAL_TORN, 1);
+    }
+    Ok(scan)
+}
+
+/// Open (creating if needed) `dir/wal.log` for appending.
+pub(crate) fn open_wal_append(dir: &Path) -> Result<File, StoreError> {
+    Ok(OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("wal.log"))?)
+}
+
 /// Frame-decode the record starting at `offset`. Returns `None` at a
 /// clean end of log, `Some(Err(()))` for a torn/corrupt record, and
 /// `Some(Ok((record, next_offset)))` for an intact one.
 #[allow(clippy::type_complexity)]
-fn next_record(bytes: &[u8], offset: usize) -> Option<Result<(WalRecord, usize), ()>> {
+pub(crate) fn next_record(bytes: &[u8], offset: usize) -> Option<Result<(WalRecord, usize), ()>> {
     if offset == bytes.len() {
         return None;
     }

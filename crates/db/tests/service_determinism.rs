@@ -1,0 +1,212 @@
+//! Determinism guard: a single-client run through the sharded crowd
+//! service is indistinguishable from the embedded store — same document
+//! ids, same query results, same event journal (timings aside), and in
+//! durable mode a byte-identical write-ahead log — at any shard count.
+//!
+//! Everything lives in ONE test function because the obs journal is
+//! process-global: a second test emitting events concurrently would
+//! interleave into whichever journal is installed.
+
+use crowdtune_db::{
+    CrowdService, DurableStore, EvalOutcome, FunctionEvaluation, HistoryDb, MachineConfig,
+    QuerySpec, ServiceConfig, WalConfig,
+};
+use crowdtune_obs::{install_journal, read_journal, uninstall_journal, Journal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn eval(problem: &str, m: i64) -> FunctionEvaluation {
+    FunctionEvaluation::new(problem, "ignored")
+        .task("m", m)
+        .param("mb", m % 7)
+        .outcome(EvalOutcome::single("runtime", (m as f64) * 0.5))
+        .on_machine(MachineConfig::new("cori", "haswell", 8, 32))
+}
+
+/// The scripted single-client session: register, upload across three
+/// problems, and run a fixed set of queries. Returns every query's
+/// result rows for cross-backend comparison.
+fn run_script(db: &HistoryDb) -> Vec<Vec<FunctionEvaluation>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let key = db
+        .register_user("alice", "a@x.org", true, &mut rng)
+        .unwrap();
+    for m in 1..=30i64 {
+        let problem = ["PDGEQRF", "PDGETRF", "QuantumCircuit"][(m % 3) as usize];
+        db.submit(&key, eval(problem, m)).unwrap();
+    }
+    let mut results = Vec::new();
+    for problem in ["PDGEQRF", "PDGETRF", "QuantumCircuit", "NOSUCH"] {
+        let spec = QuerySpec::all_of(problem)
+            .with_filter(crowdtune_db::parse_query("task.m >= 5").unwrap());
+        results.push(db.query(&key, &spec).unwrap());
+        // Repeat the exact query: on the cached service path this is the
+        // hit case, which must return identical rows.
+        results.push(db.query(&key, &spec).unwrap());
+    }
+    results
+}
+
+/// Record a journal for one scripted run.
+fn journal_of(
+    db: &HistoryDb,
+    path: &PathBuf,
+) -> (Vec<Vec<FunctionEvaluation>>, Vec<serde_json::Value>) {
+    let _ = std::fs::remove_file(path);
+    install_journal(Arc::new(Journal::create(path).unwrap()));
+    let results = run_script(db);
+    let journal = uninstall_journal().unwrap();
+    journal.flush().unwrap();
+    let events = read_journal(path)
+        .unwrap()
+        .iter()
+        .map(|e| {
+            let mut v = serde_json::parse(&serde_json::to_string(e).unwrap()).unwrap();
+            // Wall-clock timings are the one permitted difference.
+            if let serde_json::Value::Object(fields) = &mut v {
+                fields.retain(|(k, _)| k != "duration_us");
+            }
+            v
+        })
+        .collect();
+    (results, events)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("crowdtune_svc_determinism")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The durable-mode script, shared by both WAL writers.
+fn durable_ops_store(store: &DurableStore) {
+    for m in 1..=12i64 {
+        store
+            .insert(eval(["PDGEQRF", "PDGETRF"][(m % 2) as usize], m))
+            .unwrap();
+    }
+    store
+        .delete_owned("ignored", &crowdtune_db::parse_query("task.m = 4").unwrap())
+        .unwrap();
+    store.put_blob("ckpt/run", "{\"iter\":3}").unwrap();
+}
+
+fn durable_ops_service(svc: &CrowdService) {
+    for m in 1..=12i64 {
+        svc.insert(eval(["PDGEQRF", "PDGETRF"][(m % 2) as usize], m))
+            .unwrap();
+    }
+    svc.delete_owned("ignored", &crowdtune_db::parse_query("task.m = 4").unwrap())
+        .unwrap();
+    svc.put_blob("ckpt/run", "{\"iter\":3}").unwrap();
+}
+
+#[test]
+fn single_client_service_is_bitwise_identical_to_embedded() {
+    // ---- Journal + results: embedded reference run. ----
+    let dir = temp_dir("journals");
+    let embedded_path = dir.join("embedded.jsonl");
+    let embedded_db = HistoryDb::new();
+    let (embedded_results, embedded_events) = journal_of(&embedded_db, &embedded_path);
+
+    for shards in [1usize, 2, 8] {
+        // Cache OFF: the journal (counters included) must match the
+        // embedded store event for event.
+        let svc_path = dir.join(format!("service_{shards}.jsonl"));
+        let db = HistoryDb::concurrent(ServiceConfig {
+            shards,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let (svc_results, svc_events) = journal_of(&db, &svc_path);
+        assert_eq!(
+            svc_results, embedded_results,
+            "query results diverged at {shards} shards"
+        );
+        assert_eq!(
+            svc_events, embedded_events,
+            "event journal diverged at {shards} shards (cache off)"
+        );
+
+        // Cache ON: results must still be identical; only the cache
+        // counters in the journal may differ.
+        let cached = HistoryDb::concurrent(ServiceConfig {
+            shards,
+            cache_capacity: 64,
+            ..ServiceConfig::default()
+        });
+        let cached_results = run_script(&cached);
+        assert_eq!(
+            cached_results, embedded_results,
+            "cached query results diverged at {shards} shards"
+        );
+        let (hits, _) = cached.service().unwrap().cache_counts();
+        assert!(hits > 0, "repeat queries should have hit the cache");
+    }
+
+    // ---- WAL byte identity: DurableStore vs durable service. ----
+    for shards in [1usize, 4] {
+        let store_dir = temp_dir(&format!("wal_store_{shards}"));
+        let svc_dir = temp_dir(&format!("wal_service_{shards}"));
+        {
+            let (store, _) = DurableStore::open_with(
+                &store_dir,
+                WalConfig {
+                    compact_every: 0,
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap();
+            durable_ops_store(&store);
+        }
+        {
+            let (svc, _) = CrowdService::open_durable(
+                &svc_dir,
+                ServiceConfig {
+                    shards,
+                    wal: WalConfig {
+                        compact_every: 0,
+                        ..WalConfig::default()
+                    },
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            durable_ops_service(&svc);
+        }
+        let store_wal = std::fs::read(store_dir.join("wal.log")).unwrap();
+        let svc_wal = std::fs::read(svc_dir.join("wal.log")).unwrap();
+        assert_eq!(store_wal, svc_wal, "WAL bytes diverged at {shards} shards");
+
+        // And after compaction the snapshots are byte-identical too.
+        {
+            let (store, _) = DurableStore::open(&store_dir).unwrap();
+            store.compact().unwrap();
+        }
+        {
+            let (svc, _) = CrowdService::open_durable(
+                &svc_dir,
+                ServiceConfig {
+                    shards,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            svc.compact().unwrap();
+        }
+        let store_snap = std::fs::read(store_dir.join("snapshot.json")).unwrap();
+        let svc_snap = std::fs::read(svc_dir.join("snapshot.json")).unwrap();
+        assert_eq!(
+            store_snap, svc_snap,
+            "snapshot bytes diverged at {shards} shards"
+        );
+        std::fs::remove_dir_all(&store_dir).ok();
+        std::fs::remove_dir_all(&svc_dir).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

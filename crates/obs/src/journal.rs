@@ -142,6 +142,13 @@ pub enum Event {
         returned: u64,
         /// Records withheld by access control.
         denied: u64,
+        /// Results served from the shard query cache (0 on the embedded
+        /// store path or with caching disabled).
+        #[serde(default)]
+        cache_hits: u64,
+        /// Cacheable lookups that missed the query cache.
+        #[serde(default)]
+        cache_misses: u64,
         /// Wall-clock microseconds spent in the query.
         duration_us: u64,
     },

@@ -72,6 +72,12 @@ pub struct JournalReport {
     pub db_returned: u64,
     /// DB records withheld by access control.
     pub db_denied: u64,
+    /// Journaled queries answered from the shard query cache.
+    #[serde(default)]
+    pub db_cache_hits: u64,
+    /// Journaled cacheable queries that missed the query cache.
+    #[serde(default)]
+    pub db_cache_misses: u64,
     /// Records accepted by journaled uploads.
     pub uploads_accepted: u64,
     /// Records rejected by journaled uploads.
@@ -195,12 +201,16 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                 scanned,
                 returned,
                 denied,
+                cache_hits,
+                cache_misses,
                 duration_us,
                 ..
             } => {
                 r.db_scanned += scanned;
                 r.db_returned += returned;
                 r.db_denied += denied;
+                r.db_cache_hits += cache_hits;
+                r.db_cache_misses += cache_misses;
                 r.stages
                     .entry("db_query".to_string())
                     .or_default()
@@ -353,6 +363,8 @@ pub fn render_report(r: &JournalReport) -> String {
     out.push_str(&format!("  records scanned     {:>8}\n", r.db_scanned));
     out.push_str(&format!("  records returned    {:>8}\n", r.db_returned));
     out.push_str(&format!("  records denied      {:>8}\n", r.db_denied));
+    out.push_str(&format!("  cache hits          {:>8}\n", r.db_cache_hits));
+    out.push_str(&format!("  cache misses        {:>8}\n", r.db_cache_misses));
     out.push_str(&format!(
         "  uploads accepted    {:>8}\n",
         r.uploads_accepted

@@ -76,6 +76,8 @@ fn all_variants() -> Vec<Event> {
             scanned: 100,
             returned: 40,
             denied: 3,
+            cache_hits: 1,
+            cache_misses: 2,
             duration_us: 55,
         },
         Event::Upload {
