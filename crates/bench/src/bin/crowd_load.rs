@@ -15,11 +15,21 @@
 //! Pass `--smoke` for the CI-sized workload (names suffixed `_smoke`
 //! so smoke stats never pool with full-scale baselines), and
 //! `--threads N` to change the client count (default 8).
+//!
+//! `--trace` re-runs the service read phase and a durable burst with
+//! request tracing on: every op carries a [`RequestCtx`], the drained
+//! journal lands in `results/crowd_trace.jsonl` (metrics snapshot in
+//! `results/crowd_metrics.json`), stage durations are reconciled
+//! against op wall time, follower commits are checked for causal links
+//! to their leader's fsync, and the traced/untraced read-p50 ratio is
+//! merged into the `crowd` block as `trace_overhead` for the gate.
 
 use crowdtune_db::{
     CrowdService, DocumentStore, EvalOutcome, Filter, FunctionEvaluation, MachineConfig,
     ServiceConfig, WalConfig,
 };
+use crowdtune_obs as obs;
+use obs::{OpKind, RequestCtx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -81,7 +91,8 @@ impl ReadPhase {
 
 /// Drive `threads` clients through `ops_per_thread` mixed operations
 /// (1 upload per 32 ops, the rest problem-scoped queries) against an
-/// engine exposed as (query, upload) closures.
+/// engine exposed as (query, upload) closures. Closures receive the
+/// client-thread index so a traced run can stamp per-client contexts.
 fn drive<Q, U>(
     threads: usize,
     ops_per_thread: usize,
@@ -91,8 +102,8 @@ fn drive<Q, U>(
     upload: U,
 ) -> ReadPhase
 where
-    Q: Fn(&str, &Filter) -> usize + Sync,
-    U: Fn(FunctionEvaluation) + Sync,
+    Q: Fn(usize, &str, &Filter) -> usize + Sync,
+    U: Fn(usize, FunctionEvaluation) + Sync,
 {
     let reads = AtomicU64::new(0);
     let uploads = AtomicU64::new(0);
@@ -108,13 +119,13 @@ where
                 for i in 0..ops_per_thread {
                     if i % 32 == 31 {
                         let problem = &problems[rng.gen_range(0..problems.len())];
-                        upload(eval_doc(problem, rng.gen_range(0..10_000), &mut rng));
+                        upload(t, eval_doc(problem, rng.gen_range(0..10_000), &mut rng));
                         uploads.fetch_add(1, Ordering::Relaxed);
                     } else {
                         let problem = &problems[(t + i) % problems.len()];
                         let filter = &filters[i % filters.len()];
                         let q0 = Instant::now();
-                        let n = query(problem, filter);
+                        let n = query(t, problem, filter);
                         latencies.push(q0.elapsed().as_nanos() as u64);
                         std::hint::black_box(n);
                         reads.fetch_add(1, Ordering::Relaxed);
@@ -192,11 +203,11 @@ fn main() {
         ops_per_thread,
         &problems,
         &filters,
-        |problem, filter| {
+        |_, problem, filter| {
             let store = embedded.lock().unwrap();
             store.query_problem_counted(problem, filter, None).0.len()
         },
-        |doc| {
+        |_, doc| {
             embedded.lock().unwrap().insert(doc);
         },
     );
@@ -209,8 +220,8 @@ fn main() {
         &filters,
         // The service hot path: a cache hit hands back the shared
         // snapshot (one Arc clone) instead of copying every document.
-        |problem, filter| service.query_problem_shared(problem, filter, None).0.len(),
-        |doc| {
+        |_, problem, filter| service.query_problem_shared(problem, filter, None).0.len(),
+        |_, doc| {
             service.insert(doc).expect("in-memory insert");
         },
     );
@@ -254,6 +265,23 @@ fn main() {
     drop(durable);
     let _ = std::fs::remove_dir_all(&dir);
 
+    // ---- Traced re-run: same read mix + durable burst with request
+    // tracing on, journaled and reconciled against wall time. ----
+    let trace = args.iter().any(|a| a == "--trace");
+    let trace_overhead = if trace {
+        Some(run_traced(
+            threads,
+            ops_per_thread,
+            durable_uploads,
+            &problems,
+            &filters,
+            &service,
+            svc.percentile_us(0.50),
+        ))
+    } else {
+        None
+    };
+
     // ---- Report + merge into results/bench_hotpath.json. ----
     println!(
         "crowd_load: {threads} client threads, {n_problems} problems x {docs_per_problem} docs"
@@ -295,7 +323,10 @@ fn main() {
         svc.percentile_us(0.99),
     );
     let row: Value = serde_json::from_str(&row).expect("row json");
-    let crowd: Value = serde_json::from_str(&crowd).expect("crowd json");
+    let mut crowd: Value = serde_json::from_str(&crowd).expect("crowd json");
+    if let Some(overhead) = trace_overhead {
+        obj_set(&mut crowd, "trace_overhead", Value::Float(overhead));
+    }
 
     let path = std::path::Path::new("results/bench_hotpath.json");
     let mut root: Value = match std::fs::read_to_string(path) {
@@ -321,6 +352,151 @@ fn main() {
         eprintln!("WARNING: read speedup {speedup:.2}x is below the 4x target");
         std::process::exit(1);
     }
+}
+
+/// The `--trace` phase: re-drive the service read mix and a durable
+/// upload burst with request tracing enabled, write the trace journal
+/// (`results/crowd_trace.jsonl`) and metrics snapshot
+/// (`results/crowd_metrics.json`), assert the accounting holds — no
+/// ring drops, stage totals reconcile with op wall time, followers
+/// causally link a leader fsync — print the p99 tail attribution per
+/// op kind, and return the traced/untraced read-p50 overhead ratio.
+fn run_traced(
+    threads: usize,
+    ops_per_thread: usize,
+    durable_uploads: usize,
+    problems: &[String],
+    filters: &[Filter],
+    service: &CrowdService,
+    untraced_p50_us: f64,
+) -> f64 {
+    obs::set_ring_capacity(1 << 16);
+    obs::reset_traces();
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+
+    let traced = drive(
+        threads,
+        ops_per_thread,
+        problems,
+        filters,
+        |t, problem, filter| {
+            let ctx = RequestCtx::new(OpKind::Query, t as u32 + 1);
+            service
+                .query_problem_shared_ctx(problem, filter, None, ctx)
+                .0
+                .len()
+        },
+        |t, doc| {
+            let ctx = RequestCtx::new(OpKind::Upload, t as u32 + 1);
+            service.insert_ctx(doc, ctx).expect("traced insert");
+        },
+    );
+
+    // Traced durable burst under a coalescing group-commit window so
+    // follower commits (and their causal links) appear.
+    let dir = std::env::temp_dir().join(format!("crowdtune_crowd_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) = CrowdService::open_durable(
+        &dir,
+        ServiceConfig {
+            shards: 16,
+            wal: WalConfig {
+                group_commit: true,
+                group_window_us: 200,
+                compact_every: 0,
+                ..WalConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open traced durable service");
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let durable = &durable;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x7ace + t as u64);
+                for _ in 0..durable_uploads {
+                    let problem = &problems[rng.gen_range(0..problems.len())];
+                    let ctx = RequestCtx::new(OpKind::Upload, t as u32 + 1);
+                    durable
+                        .insert_ctx(eval_doc(problem, rng.gen_range(0..10_000), &mut rng), ctx)
+                        .expect("traced durable insert");
+                }
+            });
+        }
+    });
+    let batched = durable.fsync_batched_count();
+    assert_eq!(service.verify_cache_coherence(), 0, "stale cache entries");
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    obs::set_tracing_enabled(false);
+    let journal = obs::drain_traces();
+    assert_eq!(
+        journal.dropped, 0,
+        "trace rings must not overflow at 64Ki slots per thread"
+    );
+
+    // Stage durations must reconcile with op wall time: per trace the
+    // children may not exceed the op by more than 5% + 200 us, and in
+    // aggregate the stages must explain a sane share of the wall time.
+    let rec = crowdtune_telemetry::reconcile(&journal.records, 0.05, 200_000);
+    assert!(rec.ops > 0, "traced run produced no complete operations");
+    assert_eq!(
+        rec.overruns, 0,
+        "stage totals exceed op wall time on {} op(s)",
+        rec.overruns
+    );
+    assert!(
+        rec.coverage > 0.0 && rec.coverage <= 1.0,
+        "aggregate stage coverage {} outside (0, 1]",
+        rec.coverage
+    );
+
+    if batched > 0 {
+        let linked = journal.records.iter().any(|r| {
+            r.stage == obs::TraceStage::WalFollowerWait
+                && r.link != 0
+                && journal
+                    .records
+                    .iter()
+                    .any(|l| l.trace == r.link && l.stage == obs::TraceStage::WalFsync)
+        });
+        assert!(
+            linked,
+            "coalesced fsyncs ({batched}) but no follower links a leader fsync"
+        );
+    }
+
+    let rows = crowdtune_telemetry::tail_attribution(&journal.records, 0.99);
+    let aggregates: Vec<_> = rows.iter().filter(|r| r.shard.is_none()).collect();
+    assert!(!aggregates.is_empty(), "attribution names no op kinds");
+    println!(
+        "  traced: {} records across {} ops, stage coverage {:.2}",
+        journal.records.len(),
+        rec.ops,
+        rec.coverage
+    );
+    for row in &aggregates {
+        println!(
+            "    p99 dominant stage for {}: {} (tail {} us, n_tail={})",
+            row.op, row.dominant_stage, row.tail_us, row.tail_count
+        );
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    obs::write_trace_journal("results/crowd_trace.jsonl", &journal).expect("write trace journal");
+    let snap = serde_json::to_string(&obs::snapshot()).expect("render metrics snapshot");
+    std::fs::write("results/crowd_metrics.json", snap).expect("write metrics snapshot");
+    obs::set_metrics_enabled(false);
+
+    let overhead = traced.percentile_us(0.50) / untraced_p50_us.max(1e-9);
+    println!(
+        "  traced read p50 {:.2} us vs untraced {untraced_p50_us:.2} us: {overhead:.3}x overhead",
+        traced.percentile_us(0.50),
+    );
+    overhead
 }
 
 fn root_mut_substrates(root: &mut Value) -> Option<&mut Value> {

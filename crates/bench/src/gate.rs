@@ -63,6 +63,10 @@ struct CrowdJson {
     name: String,
     p50_us: f64,
     p99_us: f64,
+    /// Traced/untraced read-p50 ratio, present when `crowd_load` ran
+    /// with `--trace`.
+    #[serde(default)]
+    trace_overhead: Option<f64>,
 }
 
 /// One tracked stat regressing past the noise band.
@@ -111,6 +115,16 @@ pub fn collect_stats(
         // throughput still looks fine.
         if crowd.p50_us > 0.0 {
             stats.insert(format!("tail.{}", crowd.name), crowd.p99_us / crowd.p50_us);
+        }
+        // Tracing tax on the read path: the traced/untraced p50 ratio
+        // is already dimensionless and higher-is-worse. Against the
+        // default band, the gate holds it to 1.75x its trajectory
+        // median, so an always-on probe that grows a lock or allocation
+        // fails loudly.
+        if let Some(overhead) = crowd.trace_overhead {
+            if overhead > 0.0 {
+                stats.insert(format!("trace.{}", crowd.name), overhead);
+            }
         }
     }
     if let Some(matmul_ns) = matmul_ns {
@@ -281,17 +295,27 @@ mod tests {
           "substrates": [
             {"name": "crowd_query", "median_ns_before": 900000, "median_ns_after": 90000, "speedup": 10.0}
           ],
-          "crowd": {"name": "crowd_query", "p50_us": 90.0, "p99_us": 450.0, "read_qps": 1.0e6}
+          "crowd": {"name": "crowd_query", "p50_us": 90.0, "p99_us": 450.0, "read_qps": 1.0e6,
+                    "trace_overhead": 1.25}
         }"#;
         let (threads, stats) = collect_stats(hotpath, &[]).unwrap();
         assert_eq!(threads, 8);
         assert!((stats["cost.crowd_query"] - 0.1).abs() < 1e-12);
         assert!((stats["tail.crowd_query"] - 5.0).abs() < 1e-12);
-        // Without the block, no tail stat appears.
+        assert!((stats["trace.crowd_query"] - 1.25).abs() < 1e-12);
+        // Without the block, no tail or trace stat appears; without
+        // `trace_overhead` in the block, only the trace stat is absent.
         let bare = r#"{"threads": 8, "substrates": [
             {"name": "crowd_query", "median_ns_before": 1, "median_ns_after": 1, "speedup": 1.0}]}"#;
         let (_, stats) = collect_stats(bare, &[]).unwrap();
         assert!(!stats.contains_key("tail.crowd_query"));
+        assert!(!stats.contains_key("trace.crowd_query"));
+        let untraced = r#"{"threads": 8, "substrates": [
+            {"name": "crowd_query", "median_ns_before": 1, "median_ns_after": 1, "speedup": 1.0}],
+            "crowd": {"name": "crowd_query", "p50_us": 90.0, "p99_us": 450.0}}"#;
+        let (_, stats) = collect_stats(untraced, &[]).unwrap();
+        assert!((stats["tail.crowd_query"] - 5.0).abs() < 1e-12);
+        assert!(!stats.contains_key("trace.crowd_query"));
     }
 
     #[test]

@@ -87,8 +87,9 @@ fn run_tla(seed: u64, source: &SourceTask) -> TuneResult {
     )
 }
 
-/// Run `f` once with obs disabled and once with metrics + a journal
-/// installed; the histories must match bit for bit.
+/// Run `f` once with obs disabled, once with metrics + a journal
+/// installed, and once with request tracing also enabled; all three
+/// histories must match bit for bit.
 fn assert_obs_invariant<F: Fn() -> TuneResult>(label: &str, f: F) {
     obs::set_metrics_enabled(false);
     let baseline = fingerprint(&f());
@@ -100,12 +101,24 @@ fn assert_obs_invariant<F: Fn() -> TuneResult>(label: &str, f: F) {
     let journal = Arc::new(obs::Journal::create(&path).unwrap());
     obs::install_journal(journal);
     let instrumented = fingerprint(&f());
+
+    // Request tracing on top: the trace layer records timestamps into
+    // thread-local rings and never consumes RNG, so it must not move a
+    // single bit either.
+    obs::set_tracing_enabled(true);
+    let traced = fingerprint(&f());
+    obs::set_tracing_enabled(false);
+    obs::reset_traces();
     obs::uninstall_journal();
     obs::set_metrics_enabled(false);
 
     assert_eq!(
         baseline, instrumented,
         "{label}: instrumented run diverged from baseline"
+    );
+    assert_eq!(
+        baseline, traced,
+        "{label}: traced run diverged from baseline"
     );
     std::fs::remove_file(&path).ok();
 }

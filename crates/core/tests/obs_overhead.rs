@@ -23,8 +23,10 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-/// Median per-call cost (ns) of one disabled counter hit plus one
-/// disabled journal record.
+/// Median per-call cost (ns) of one disabled counter hit, one disabled
+/// journal record, and one full disabled request-trace interaction
+/// (context creation plus a stage record) — the hooks a service op
+/// executes when tracing is off.
 fn disabled_hook_cost_ns() -> f64 {
     const CALLS: u64 = 200_000;
     let mut samples = Vec::new();
@@ -33,6 +35,9 @@ fn disabled_hook_cost_ns() -> f64 {
         for i in 0..CALLS {
             obs::count(obs::names::CTR_TUNE_ITERATIONS, i & 1);
             obs::record_with(|| obs::Event::LineSearch { iteration: i });
+            let ctx = obs::RequestCtx::new(obs::OpKind::Query, i as u32);
+            ctx.record(obs::TraceStage::Op, obs::NO_SHARD, ctx.begin());
+            std::hint::black_box(ctx.trace_id);
         }
         samples.push(start.elapsed().as_nanos() as f64 / CALLS as f64);
     }

@@ -226,10 +226,10 @@ enum Backend {
 }
 
 impl Backend {
-    fn insert(&self, eval: FunctionEvaluation) -> Result<u64, StoreError> {
+    fn insert(&self, eval: FunctionEvaluation, ctx: obs::RequestCtx) -> Result<u64, StoreError> {
         match self {
             Backend::Embedded(store) => Ok(store.insert(eval)),
-            Backend::Service(svc) => svc.insert(eval),
+            Backend::Service(svc) => svc.insert_ctx(eval, ctx),
         }
     }
 
@@ -238,12 +238,25 @@ impl Backend {
         problem: &str,
         filter: &Filter,
         user: Option<&str>,
+        ctx: obs::RequestCtx,
     ) -> (Vec<FunctionEvaluation>, ScanStats) {
         match self {
             Backend::Embedded(store) => store.query_problem_counted(problem, filter, user),
-            Backend::Service(svc) => svc.query_problem_counted(problem, filter, user),
+            Backend::Service(svc) => svc.query_problem_counted_ctx(problem, filter, user, ctx),
         }
     }
+}
+
+/// FNV-1a over a client identity, folding usernames into the compact
+/// `client` field request traces carry (0 = anonymous/unknown).
+fn client_hash(user: Option<&str>) -> u32 {
+    let Some(user) = user else { return 0 };
+    let mut h = 0x811c_9dc5u32;
+    for &b in user.as_bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h.max(1)
 }
 
 /// The shared crowd-tuning database.
@@ -337,7 +350,8 @@ impl HistoryDb {
         for sw in &mut eval.software {
             self.tags.normalize_software(sw);
         }
-        Ok(self.backend.insert(eval)?)
+        let ctx = obs::RequestCtx::new(obs::OpKind::Upload, client_hash(Some(&eval.owner)));
+        Ok(self.backend.insert(eval, ctx)?)
     }
 
     /// Submit a batch of evaluations. Stops at the first rejected record;
@@ -392,9 +406,10 @@ impl HistoryDb {
 
     fn query_as(&self, user: Option<&str>, spec: &QuerySpec) -> Vec<FunctionEvaluation> {
         let span = obs::span(obs::names::SPAN_DB_QUERY);
-        let (hits, stats) = self
-            .backend
-            .query_problem_counted(&spec.problem, &spec.filter, user);
+        let ctx = obs::RequestCtx::new(obs::OpKind::Query, client_hash(user));
+        let (hits, stats) =
+            self.backend
+                .query_problem_counted(&spec.problem, &spec.filter, user, ctx);
         let kept: Vec<FunctionEvaluation> = hits
             .into_iter()
             .filter(|e| spec.include_failures || e.result.is_ok())

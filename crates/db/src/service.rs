@@ -41,6 +41,7 @@ use crate::wal::{
     WalAppender, WalConfig, WalRecord,
 };
 use crowdtune_obs as obs;
+use obs::{OpKind, RequestCtx, TraceStage};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -260,8 +261,65 @@ impl CrowdService {
         Ok((service, report))
     }
 
+    fn shard_index(&self, problem: &str) -> usize {
+        (shard_hash(problem) % self.shards.len() as u64) as usize
+    }
+
     fn shard_for(&self, problem: &str) -> &Shard {
-        &self.shards[(shard_hash(problem) % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(problem)]
+    }
+
+    /// Acquire a shard's write lock, timing the wait into the
+    /// `db.shard_lock_wait_us` histogram and (when `ctx` is traced) a
+    /// `shard_lock_wait` trace stage. Timing is gated on metrics or an
+    /// active trace so the disabled path stays at two relaxed loads.
+    fn lock_shard_timed<'a>(
+        &self,
+        shard: &'a Shard,
+        sidx: usize,
+        ctx: &RequestCtx,
+    ) -> parking_lot::MutexGuard<'a, ()> {
+        let timed = obs::metrics_enabled() || ctx.active();
+        let lock_start = if timed { obs::now_ns() } else { 0 };
+        let guard = shard.write.lock();
+        if timed {
+            let waited = obs::now_ns().saturating_sub(lock_start);
+            obs::observe(obs::names::HIST_SHARD_LOCK_WAIT, waited / 1000);
+            ctx.record_span(
+                TraceStage::ShardLockWait,
+                sidx as u16,
+                lock_start,
+                waited,
+                0,
+            );
+        }
+        guard
+    }
+
+    /// Record the WAL commit stages of one `wait_durable_traced` outcome:
+    /// a leader's measured fsync span, or a follower's wait causally
+    /// linked to the leader trace whose fsync covered its record.
+    fn record_commit(&self, ctx: &RequestCtx, sidx: u16, outcome: &crate::wal::CommitOutcome) {
+        if !ctx.active() {
+            return;
+        }
+        if outcome.leader {
+            ctx.record_span(
+                TraceStage::WalFsync,
+                sidx,
+                outcome.fsync_start_ns,
+                outcome.fsync_dur_ns,
+                0,
+            );
+        } else if outcome.wait_ns > 0 {
+            ctx.record_span(
+                TraceStage::WalFollowerWait,
+                sidx,
+                outcome.wait_start_ns,
+                outcome.wait_ns,
+                outcome.leader_trace,
+            );
+        }
     }
 
     /// Number of shards (for reporting).
@@ -275,10 +333,24 @@ impl CrowdService {
     /// lock drops and waited on after — so concurrent uploads to one
     /// shard commit in apply order, and overlapping commits share a
     /// group fsync.
-    pub fn insert(&self, mut doc: FunctionEvaluation) -> Result<u64, StoreError> {
-        let shard = self.shard_for(&doc.problem);
+    pub fn insert(&self, doc: FunctionEvaluation) -> Result<u64, StoreError> {
+        self.insert_ctx(doc, RequestCtx::new(OpKind::Upload, 0))
+    }
+
+    /// [`CrowdService::insert`] under an explicit request context: each
+    /// stage of the upload (shard lock wait, in-memory apply, WAL
+    /// enqueue, and how the commit reached disk) is recorded against
+    /// `ctx`'s trace.
+    pub fn insert_ctx(
+        &self,
+        mut doc: FunctionEvaluation,
+        ctx: RequestCtx,
+    ) -> Result<u64, StoreError> {
+        let op_start = ctx.begin();
+        let sidx = self.shard_index(&doc.problem);
+        let shard = &self.shards[sidx];
         let (id, ticket) = {
-            let _w = shard.write.lock();
+            let _w = self.lock_shard_timed(shard, sidx, &ctx);
             doc.id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
             doc.logical_time = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
             let id = doc.id;
@@ -286,21 +358,27 @@ impl CrowdService {
                 Some(_) => Some(frame_record(&WalRecord::Insert { doc: doc.clone() })?),
                 None => None,
             };
+            let apply_start = ctx.begin();
             shard.store.insert_assigned(doc);
             shard.epoch.fetch_add(1, Ordering::Release);
+            ctx.record(TraceStage::MemApply, sidx as u16, apply_start);
+            let enqueue_start = ctx.begin();
             let ticket = match (&self.durable, framed) {
                 (Some(d), Some(f)) => d.wal.enqueue(&f)?,
                 _ => 0,
             };
+            ctx.record(TraceStage::WalEnqueue, sidx as u16, enqueue_start);
             (id, ticket)
         };
         if let Some(d) = &self.durable {
-            d.wal.wait_durable(ticket)?;
+            let outcome = d.wal.wait_durable_traced(ticket, ctx.trace_id)?;
+            self.record_commit(&ctx, sidx as u16, &outcome);
             obs::count(obs::names::CTR_WAL_APPENDS, 1);
             if d.wal.compact_due(d.config.compact_every) {
-                self.compact()?;
+                self.compact_linked(ctx.trace_id)?;
             }
         }
+        ctx.record(TraceStage::Op, sidx as u16, op_start);
         Ok(id)
     }
 
@@ -308,26 +386,46 @@ impl CrowdService {
     /// shard; durable mode logs the resolved ids per shard. Returns the
     /// number removed.
     pub fn delete_owned(&self, owner: &str, filter: &Filter) -> Result<usize, StoreError> {
+        self.delete_owned_ctx(owner, filter, RequestCtx::new(OpKind::Delete, 0))
+    }
+
+    /// [`CrowdService::delete_owned`] under an explicit request context.
+    pub fn delete_owned_ctx(
+        &self,
+        owner: &str,
+        filter: &Filter,
+        ctx: RequestCtx,
+    ) -> Result<usize, StoreError> {
+        let op_start = ctx.begin();
         let mut removed = 0usize;
         let mut tickets = Vec::new();
-        for shard in &self.shards {
-            let _w = shard.write.lock();
+        for (sidx, shard) in self.shards.iter().enumerate() {
+            let _w = self.lock_shard_timed(shard, sidx, &ctx);
+            let apply_start = ctx.begin();
             let ids = shard.store.delete_owned_ids(owner, filter);
             if ids.is_empty() {
                 continue;
             }
             removed += ids.len();
             shard.epoch.fetch_add(1, Ordering::Release);
+            ctx.record(TraceStage::MemApply, sidx as u16, apply_start);
             if let Some(d) = &self.durable {
-                tickets.push(d.wal.enqueue(&frame_record(&WalRecord::Delete { ids })?)?);
+                let enqueue_start = ctx.begin();
+                tickets.push((
+                    sidx,
+                    d.wal.enqueue(&frame_record(&WalRecord::Delete { ids })?)?,
+                ));
+                ctx.record(TraceStage::WalEnqueue, sidx as u16, enqueue_start);
             }
         }
         if let Some(d) = &self.durable {
-            for t in tickets {
-                d.wal.wait_durable(t)?;
+            for (sidx, t) in tickets {
+                let outcome = d.wal.wait_durable_traced(t, ctx.trace_id)?;
+                self.record_commit(&ctx, sidx as u16, &outcome);
                 obs::count(obs::names::CTR_WAL_APPENDS, 1);
             }
         }
+        ctx.record(TraceStage::Op, obs::NO_SHARD, op_start);
         Ok(removed)
     }
 
@@ -340,7 +438,19 @@ impl CrowdService {
         filter: &Filter,
         user: Option<&str>,
     ) -> (Vec<FunctionEvaluation>, ScanStats) {
-        let (results, stats) = self.query_problem_shared(problem, filter, user);
+        self.query_problem_counted_ctx(problem, filter, user, RequestCtx::new(OpKind::Query, 0))
+    }
+
+    /// [`CrowdService::query_problem_counted`] under an explicit request
+    /// context.
+    pub fn query_problem_counted_ctx(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+        ctx: RequestCtx,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        let (results, stats) = self.query_problem_shared_ctx(problem, filter, user, ctx);
         let owned = Arc::try_unwrap(results).unwrap_or_else(|shared| (*shared).clone());
         (owned, stats)
     }
@@ -356,8 +466,24 @@ impl CrowdService {
         filter: &Filter,
         user: Option<&str>,
     ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
-        let shard = self.shard_for(problem);
-        self.cached_query(shard, Some(problem), filter, user)
+        self.query_problem_shared_ctx(problem, filter, user, RequestCtx::new(OpKind::Query, 0))
+    }
+
+    /// [`CrowdService::query_problem_shared`] under an explicit request
+    /// context: the cache probe (hit path) or shard scan (miss path) is
+    /// recorded against `ctx`'s trace, plus one end-to-end `op` stage.
+    pub fn query_problem_shared_ctx(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+        ctx: RequestCtx,
+    ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
+        let op_start = ctx.begin();
+        let sidx = self.shard_index(problem);
+        let out = self.cached_query(sidx, Some(problem), filter, user, &ctx);
+        ctx.record(TraceStage::Op, sidx as u16, op_start);
+        out
     }
 
     /// Full-collection query: scans every shard (in parallel with any
@@ -368,10 +494,22 @@ impl CrowdService {
         filter: &Filter,
         user: Option<&str>,
     ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        self.query_counted_ctx(filter, user, RequestCtx::new(OpKind::Query, 0))
+    }
+
+    /// [`CrowdService::query_counted`] under an explicit request context:
+    /// per-shard cache/scan stages plus one end-to-end `op` stage.
+    pub fn query_counted_ctx(
+        &self,
+        filter: &Filter,
+        user: Option<&str>,
+        ctx: RequestCtx,
+    ) -> (Vec<FunctionEvaluation>, ScanStats) {
+        let op_start = ctx.begin();
         let mut out = Vec::new();
         let mut stats = ScanStats::default();
-        for shard in &self.shards {
-            let (hits, s) = self.cached_query(shard, None, filter, user);
+        for sidx in 0..self.shards.len() {
+            let (hits, s) = self.cached_query(sidx, None, filter, user, &ctx);
             match Arc::try_unwrap(hits) {
                 Ok(owned) => out.extend(owned),
                 Err(shared) => out.extend(shared.iter().cloned()),
@@ -379,28 +517,37 @@ impl CrowdService {
             stats.absorb(&s);
         }
         out.sort_by_key(|d| d.id);
+        ctx.record(TraceStage::Op, obs::NO_SHARD, op_start);
         (out, stats)
     }
 
     /// One shard's cached scan. A hit reports `scanned = pruned = 0`
     /// (nothing was examined) but preserves the scan's `denied` count —
     /// access-control observability must not vanish just because the
-    /// answer was cached.
+    /// answer was cached — and, when metrics or tracing are on, reports
+    /// the epoch-check + `Arc`-clone time in `cache_check_ns` so hits
+    /// stop reading as free.
     fn cached_query(
         &self,
-        shard: &Shard,
+        sidx: usize,
         problem: Option<&str>,
         filter: &Filter,
         user: Option<&str>,
+        ctx: &RequestCtx,
     ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
+        let shard = &self.shards[sidx];
         let run_scan = || match problem {
             Some(p) => shard.store.query_problem_counted(p, filter, user),
             None => shard.store.query_counted(filter, user),
         };
         if self.cache_capacity == 0 {
+            let scan_start = ctx.begin();
             let (results, stats) = run_scan();
+            ctx.record(TraceStage::Scan, sidx as u16, scan_start);
             return (Arc::new(results), stats);
         }
+        let timed = obs::metrics_enabled() || ctx.active();
+        let check_start = if timed { obs::now_ns() } else { 0 };
         // The epoch must be read BEFORE the scan: if a write lands during
         // the scan it bumps the epoch past this value, so the entry we
         // store below can never be mistaken for current.
@@ -415,18 +562,35 @@ impl CrowdService {
                     && e.problem.as_deref() == problem
                 {
                     shard.hits.fetch_add(1, Ordering::Relaxed);
-                    let stats = ScanStats {
+                    let mut stats = ScanStats {
                         scanned: 0,
                         pruned: 0,
                         denied: e.stats.denied,
                         cache_hits: 1,
                         cache_misses: 0,
+                        cache_check_ns: 0,
                     };
-                    return (Arc::clone(&e.results), stats);
+                    let results = Arc::clone(&e.results);
+                    drop(cache);
+                    if timed {
+                        let check_ns = obs::now_ns().saturating_sub(check_start);
+                        stats.cache_check_ns = check_ns;
+                        obs::observe(obs::names::HIST_CACHE_HIT_NS, check_ns);
+                        ctx.record_span(
+                            TraceStage::CacheCheck,
+                            sidx as u16,
+                            check_start,
+                            check_ns,
+                            0,
+                        );
+                    }
+                    return (results, stats);
                 }
             }
         }
+        let scan_start = ctx.begin();
         let (results, mut stats) = run_scan();
+        ctx.record(TraceStage::Scan, sidx as u16, scan_start);
         let results = Arc::new(results);
         stats.cache_misses = 1;
         shard.misses.fetch_add(1, Ordering::Relaxed);
@@ -561,9 +725,18 @@ impl CrowdService {
     /// record (already applied in memory) is covered before the buffer
     /// is dropped. No-op for in-memory services.
     pub fn compact(&self) -> Result<(), StoreError> {
+        self.compact_linked(0)
+    }
+
+    /// [`CrowdService::compact`] recorded under its own `compact` trace;
+    /// `link` names the trace of the upload whose `compact_every`
+    /// threshold triggered this compaction (0 for explicit calls).
+    fn compact_linked(&self, link: u64) -> Result<(), StoreError> {
         let Some(d) = &self.durable else {
             return Ok(());
         };
+        let ctx = RequestCtx::new(OpKind::Compact, 0);
+        let op_start = ctx.begin();
         let wal_path = d.dir.join("wal.log");
         let snapshot_path = d.dir.join("snapshot.json");
         d.wal.quiesce(|file| {
@@ -582,8 +755,58 @@ impl CrowdService {
             *file = OpenOptions::new().append(true).open(&wal_path)?;
             Ok(())
         })?;
+        ctx.record_linked(TraceStage::Compact, obs::NO_SHARD, op_start, link);
+        ctx.record(TraceStage::Op, obs::NO_SHARD, op_start);
         obs::count(obs::names::CTR_WAL_COMPACTIONS, 1);
         Ok(())
+    }
+
+    /// Audit the query caches for staleness: re-scan every entry still
+    /// stamped with its shard's *current* epoch and count entries whose
+    /// cached results differ from a fresh scan. Any nonzero count is a
+    /// cache coherence bug; the count feeds the `db.cache_stale_serves`
+    /// counter that the "query staleness = 0" SLO objective watches.
+    ///
+    /// Intended to run while the service is quiescent (no concurrent
+    /// writers) — a write racing the audit could stamp an entry stale
+    /// spuriously.
+    pub fn verify_cache_coherence(&self) -> usize {
+        let mut stale = 0usize;
+        for shard in &self.shards {
+            let entries: Vec<(Filter, Option<String>, Option<String>, u64)> = {
+                let cache = shard.cache.lock();
+                cache
+                    .map
+                    .values()
+                    .map(|e| (e.filter.clone(), e.user.clone(), e.problem.clone(), e.epoch))
+                    .collect()
+            };
+            for (filter, user, problem, epoch) in entries {
+                if shard.epoch.load(Ordering::Acquire) != epoch {
+                    // Entry is already invalid — a lookup would miss, so
+                    // it cannot serve stale data.
+                    continue;
+                }
+                let (fresh, _) = match problem.as_deref() {
+                    Some(p) => shard
+                        .store
+                        .query_problem_counted(p, &filter, user.as_deref()),
+                    None => shard.store.query_counted(&filter, user.as_deref()),
+                };
+                let cached = {
+                    let cache = shard.cache.lock();
+                    let key = cache_key(&filter, user.as_deref(), problem.as_deref());
+                    cache.map.get(&key).map(|e| Arc::clone(&e.results))
+                };
+                if let Some(cached) = cached {
+                    if *cached != fresh {
+                        stale += 1;
+                    }
+                }
+            }
+        }
+        obs::count(obs::names::CTR_DB_CACHE_STALE, stale as u64);
+        stale
     }
 }
 

@@ -108,6 +108,12 @@ pub struct ScanStats {
     pub cache_hits: usize,
     /// Cacheable lookups that missed the cache and ran a real scan.
     pub cache_misses: usize,
+    /// Nanoseconds the cache-hit path spent on the epoch check plus the
+    /// result `Arc` clone, so hits stop reading as free in per-op
+    /// timings. 0 on the embedded path, on misses, and whenever neither
+    /// metrics nor tracing is enabled (timing is gated to keep the
+    /// disabled path cheap).
+    pub cache_check_ns: u64,
 }
 
 impl ScanStats {
@@ -118,6 +124,7 @@ impl ScanStats {
         self.denied += other.denied;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_check_ns += other.cache_check_ns;
     }
 }
 

@@ -31,7 +31,7 @@ use crate::store::{json_is_truncated, write_atomic, DocumentStore, StoreError};
 use crowdtune_obs as obs;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -180,6 +180,28 @@ struct GroupState {
     ok: u64,
     flushing: bool,
     poisoned: Option<String>,
+    /// Recent successful flushes as `(covered_upto, leader_trace)`, so a
+    /// woken follower can name the leader trace whose fsync made its
+    /// record durable (the causal link in request traces). Bounded; an
+    /// evicted entry just degrades a follower's link to "unknown" (0).
+    flushes: VecDeque<(u64, u64)>,
+}
+
+/// How many recent flushes to remember for follower causal links.
+const FLUSH_LOG_CAP: usize = 128;
+
+/// What [`WalAppender::wait_durable_traced`] learned about how a grouped
+/// record reached disk: whether this waiter led the flush, the leader's
+/// measured fsync span (leaders only), the covering leader's trace id
+/// (followers; 0 when unknown), and the total time spent waiting.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CommitOutcome {
+    pub(crate) leader: bool,
+    pub(crate) fsync_start_ns: u64,
+    pub(crate) fsync_dur_ns: u64,
+    pub(crate) leader_trace: u64,
+    pub(crate) wait_start_ns: u64,
+    pub(crate) wait_ns: u64,
 }
 
 /// The WAL's write half: a framed append pipe with optional group
@@ -219,6 +241,7 @@ impl WalAppender {
                 ok: 0,
                 flushing: false,
                 poisoned: None,
+                flushes: VecDeque::new(),
             }),
             cv: Condvar::new(),
             fsyncs: AtomicU64::new(0),
@@ -273,19 +296,56 @@ impl WalAppender {
     /// failed). The first waiter that finds no flush in progress becomes
     /// the leader and flushes the whole buffer for everyone.
     pub(crate) fn wait_durable(&self, ticket: u64) -> Result<(), StoreError> {
+        self.wait_durable_traced(ticket, 0).map(|_| ())
+    }
+
+    /// [`WalAppender::wait_durable`] that also reports *how* the record
+    /// became durable, for request tracing and the group-wait histogram.
+    /// `trace` is the waiter's trace id (0 = untraced); a leader's id is
+    /// logged against the flush so woken followers can causally link to
+    /// it. Timing is gated on metrics or an active trace, keeping the
+    /// disabled path at the existing relaxed-load cost.
+    pub(crate) fn wait_durable_traced(
+        &self,
+        ticket: u64,
+        trace: u64,
+    ) -> Result<CommitOutcome, StoreError> {
+        let mut outcome = CommitOutcome::default();
         if !self.group_commit || ticket == 0 {
-            return Ok(());
+            return Ok(outcome);
         }
+        let timed = obs::metrics_enabled() || trace != 0;
+        let wait_start = if timed { obs::now_ns() } else { 0 };
+        outcome.wait_start_ns = wait_start;
+        let finish = |outcome: &mut CommitOutcome| {
+            if timed {
+                outcome.wait_ns = obs::now_ns().saturating_sub(wait_start);
+                obs::observe(obs::names::HIST_WAL_GROUP_WAIT, outcome.wait_ns / 1000);
+            }
+        };
         let mut g = lock(&self.group);
         loop {
             if g.resolved >= ticket {
-                return if ticket <= g.ok {
-                    Ok(())
+                if !outcome.leader {
+                    // Find the flush that covered this ticket so the
+                    // follower can reference its leader's trace.
+                    outcome.leader_trace = g
+                        .flushes
+                        .iter()
+                        .find(|(upto, _)| *upto >= ticket)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(0);
+                }
+                let failure = if ticket <= g.ok {
+                    None
                 } else {
-                    Err(StoreError::Corrupt(format!(
-                        "WAL flush failed: {}",
-                        g.poisoned.as_deref().unwrap_or("unknown")
-                    )))
+                    Some(g.poisoned.clone().unwrap_or_else(|| "unknown".to_string()))
+                };
+                drop(g);
+                finish(&mut outcome);
+                return match failure {
+                    None => Ok(outcome),
+                    Some(why) => Err(StoreError::Corrupt(format!("WAL flush failed: {why}"))),
                 };
             }
             if !g.flushing {
@@ -301,6 +361,7 @@ impl WalAppender {
                 let from = g.resolved;
                 let upto = g.enqueued;
                 drop(g);
+                let fsync_start = if timed { obs::now_ns() } else { 0 };
                 let flushed = {
                     let mut file = lock(&self.file);
                     file.write_all(&batch).and_then(|()| {
@@ -311,12 +372,21 @@ impl WalAppender {
                         }
                     })
                 };
+                outcome.leader = true;
+                outcome.fsync_start_ns = fsync_start;
+                if timed {
+                    outcome.fsync_dur_ns = obs::now_ns().saturating_sub(fsync_start);
+                }
                 g = lock(&self.group);
                 g.flushing = false;
                 g.resolved = upto;
                 match flushed {
                     Ok(()) => {
                         g.ok = upto;
+                        g.flushes.push_back((upto, trace));
+                        if g.flushes.len() > FLUSH_LOG_CAP {
+                            g.flushes.pop_front();
+                        }
                         let n = upto - from;
                         if self.sync_every_append {
                             self.fsyncs.fetch_add(1, Ordering::Relaxed);

@@ -1,32 +1,86 @@
-//! `crowdtune-report` — summarize a per-run JSONL event journal.
+//! `crowdtune-report` — summarize a per-run JSONL event journal, or
+//! evaluate SLOs against a request-trace journal.
 //!
 //! ```text
 //! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile]
+//! crowdtune-report --slo <spec.json> [--trace <trace.jsonl>] [--metrics <metrics.json>]
 //! ```
 //!
-//! Reads the journal, schema-checking every line, prints a per-stage
-//! time/count breakdown, and writes the aggregated metrics snapshot to
-//! `--snapshot` (default `results/obs_snapshot.json`). With `--profile` it
-//! instead prints the run's merged collapsed-stack span profile (one
-//! `frame;frame;frame nanoseconds` line per stack — pipe into any
-//! flamegraph renderer). Exits non-zero on an unreadable, truncated or
-//! empty journal, any schema violation, or fewer distinct event kinds than
-//! `--min-kinds` (default 1).
+//! In journal mode it reads the journal, schema-checking every line,
+//! prints a per-stage time/count breakdown, and writes the aggregated
+//! metrics snapshot to `--snapshot` (default `results/obs_snapshot.json`).
+//! With `--profile` it instead prints the run's merged collapsed-stack
+//! span profile (one `frame;frame;frame nanoseconds` line per stack —
+//! pipe into any flamegraph renderer). Exits non-zero on an unreadable,
+//! truncated or empty journal, any schema violation, or fewer distinct
+//! event kinds than `--min-kinds` (default 1).
+//!
+//! In SLO mode (`--slo`) it parses the declarative objective spec,
+//! evaluates latency objectives with multi-window burn rates over the
+//! `--trace` journal (written by `crowd_load --trace`) and counter
+//! objectives against the `--metrics` snapshot, prints the per-objective
+//! report, and exits non-zero if any objective breached.
 
 use std::process::ExitCode;
 
-use crowdtune_obs::{read_journal, render_profile, render_report, summarize};
+use crowdtune_obs::{
+    evaluate_slos, parse_slo_file, read_journal, read_trace_journal, render_profile, render_report,
+    render_slo_report, summarize, MetricsSnapshot,
+};
+use serde::Deserialize;
+
+fn run_slo(
+    spec_path: &str,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+) -> Result<(), String> {
+    let spec = parse_slo_file(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let traces = match trace_path {
+        Some(p) => {
+            read_trace_journal(p)
+                .map_err(|e| format!("{p}: {e}"))?
+                .records
+        }
+        None => Vec::new(),
+    };
+    let snapshot = match metrics_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let value = serde_json::parse(&text).map_err(|e| format!("{p}: {e}"))?;
+            Some(MetricsSnapshot::from_value(&value).map_err(|e| format!("{p}: {e}"))?)
+        }
+        None => None,
+    };
+    let report = evaluate_slos(&spec, &traces, snapshot.as_ref());
+    print!("{}", render_slo_report(&report));
+    if report.any_breached() {
+        return Err(format!(
+            "{} objective(s) breached",
+            report.outcomes.iter().filter(|o| o.breached).count()
+        ));
+    }
+    println!(
+        "all {} objectives within budget ({} trace records)",
+        report.outcomes.len(),
+        traces.len()
+    );
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
+    const USAGE: &str = "usage: crowdtune-report <journal.jsonl> [--snapshot <path>] \
+         [--min-kinds <n>] [--profile] | --slo <spec.json> [--trace <trace.jsonl>] \
+         [--metrics <metrics.json>]";
     let mut args = std::env::args().skip(1);
-    let journal_path = args.next().ok_or(
-        "usage: crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile]",
-    )?;
+    let mut journal_path: Option<String> = None;
     let mut snapshot_path = String::from("results/obs_snapshot.json");
     let mut min_kinds = 1usize;
     let mut profile = false;
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
+    let mut slo_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
             "--snapshot" => {
                 snapshot_path = args.next().ok_or("--snapshot requires a path")?;
             }
@@ -38,9 +92,20 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("--min-kinds: {e}"))?;
             }
             "--profile" => profile = true,
-            other => return Err(format!("unknown flag `{other}`")),
+            "--slo" => slo_path = Some(args.next().ok_or("--slo requires a spec path")?),
+            "--trace" => trace_path = Some(args.next().ok_or("--trace requires a path")?),
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics requires a path")?),
+            other if !other.starts_with('-') && journal_path.is_none() => {
+                journal_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
+
+    if let Some(spec) = &slo_path {
+        return run_slo(spec, trace_path.as_deref(), metrics_path.as_deref());
+    }
+    let journal_path = journal_path.ok_or(USAGE)?;
 
     let events = read_journal(&journal_path).map_err(|e| format!("{journal_path}: {e}"))?;
     if events.is_empty() {

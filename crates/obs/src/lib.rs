@@ -31,7 +31,9 @@ pub mod metrics;
 pub mod names;
 pub mod report;
 pub mod scope;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use journal::{
     finite, install_journal, journal_active, journal_flush, journal_path, read_journal,
@@ -45,4 +47,13 @@ pub use report::{
     profile_depth, render_profile, render_report, summarize, JournalReport, StageSummary,
 };
 pub use scope::{scope_active, scope_begin, scope_count, scope_end, ScopeStats};
+pub use slo::{
+    evaluate_slos, parse_slo_file, render_slo_report, SloFile, SloObjective, SloOutcome, SloReport,
+    SloWindows, WindowBurn,
+};
 pub use span::{current_span, span, SpanGuard};
+pub use trace::{
+    drain_traces, now_ns, read_trace_journal, reset_traces, set_ring_capacity, set_tracing_enabled,
+    tracing_enabled, write_trace_journal, OpKind, RequestCtx, TraceJournal, TraceRecord,
+    TraceStage, NO_SHARD,
+};

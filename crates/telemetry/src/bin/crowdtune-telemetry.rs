@@ -6,19 +6,25 @@
 //!     [--owner alice] [--private] [--store results/telemetry.json]
 //! crowdtune-telemetry query [--store results/telemetry.json] [--app hypre] \
 //!     [--machine cori] [--tuner LCM-BO] [--stage fit] [--user alice]
+//! crowdtune-telemetry attribute <trace.jsonl> [--q 0.99] [--op upload]
 //! ```
 //!
 //! `ingest` appends to the store (creating it if absent) and prints how
 //! many run records were added. `query` prints matching runs, or — with
 //! `--stage` — an exact per-algorithm p50/p95 table for that stage.
+//! `attribute` runs the tail-attribution pass over a request-trace
+//! journal (written by `crowd_load --trace`): for each op kind and shard
+//! it names the stage dominating the q-quantile tail, and fails if the
+//! journal contains no assembled operations.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use crowdtune_db::Access;
+use crowdtune_obs::read_trace_journal;
 use crowdtune_telemetry::{
-    fleet_stage_percentiles, ingest_into, render_stage_table, FleetQuery, IngestMeta,
-    TelemetryCollection,
+    fleet_stage_percentiles, ingest_into, render_attribution, render_stage_table, tail_attribution,
+    FleetQuery, IngestMeta, TelemetryCollection,
 };
 
 const DEFAULT_STORE: &str = "results/telemetry.json";
@@ -31,12 +37,13 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn usage() -> String {
-    "usage: crowdtune-telemetry <ingest|query> ...\n\
+    "usage: crowdtune-telemetry <ingest|query|attribute> ...\n\
      \n\
-     ingest <journal.jsonl> --app <name> --machine <name>\n\
-            [--owner <user>] [--private] [--store <path>]\n\
-     query  [--store <path>] [--app <name>] [--machine <name>]\n\
-            [--tuner <name>] [--stage <name>] [--user <name>]\n"
+     ingest    <journal.jsonl> --app <name> --machine <name>\n\
+               [--owner <user>] [--private] [--store <path>]\n\
+     query     [--store <path>] [--app <name>] [--machine <name>]\n\
+               [--tuner <name>] [--stage <name>] [--user <name>]\n\
+     attribute <trace.jsonl> [--q <quantile>] [--op <kind>]\n"
         .to_string()
 }
 
@@ -131,11 +138,45 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_attribute(args: &[String]) -> Result<(), String> {
+    let trace = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("attribute: missing trace journal path\n{}", usage()))?
+        .clone();
+    let q: f64 = match arg_value(args, "--q") {
+        Some(s) => s.parse().map_err(|e| format!("--q: {e}"))?,
+        None => 0.99,
+    };
+    let journal = read_trace_journal(&trace).map_err(|e| format!("{trace}: {e}"))?;
+    let mut rows = tail_attribution(&journal.records, q);
+    if let Some(op) = arg_value(args, "--op") {
+        rows.retain(|r| r.op == op);
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "{trace}: no complete operations to attribute ({} records, {} dropped)",
+            journal.records.len(),
+            journal.dropped
+        ));
+    }
+    print!("{}", render_attribution(&rows, q));
+    if journal.dropped > 0 {
+        println!(
+            "note: {} trace record(s) were dropped at capture",
+            journal.dropped
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("ingest") => cmd_ingest(&args),
         Some("query") => cmd_query(&args),
+        Some("attribute") => cmd_attribute(&args),
         _ => Err(usage()),
     };
     match result {

@@ -63,6 +63,32 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders an SLO evaluation in Prometheus text exposition format: one
+/// `crowdtune_slo_burn` gauge sample per objective window (labelled with
+/// the objective and window length) and one `crowdtune_slo_breached`
+/// gauge per objective (1 = breached). Deterministic sample order.
+pub fn render_slo_prometheus(report: &crowdtune_obs::SloReport) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE crowdtune_slo_burn gauge\n");
+    for o in &report.outcomes {
+        for w in &o.windows {
+            out.push_str(&format!(
+                "crowdtune_slo_burn{{slo=\"{}\",window_us=\"{}\"}} {}\n",
+                o.name, w.window_us, w.burn
+            ));
+        }
+    }
+    out.push_str("# TYPE crowdtune_slo_breached gauge\n");
+    for o in &report.outcomes {
+        out.push_str(&format!(
+            "crowdtune_slo_breached{{slo=\"{}\"}} {}\n",
+            o.name,
+            u8::from(o.breached)
+        ));
+    }
+    out
+}
+
 /// Renders the current process-global metrics to `path`, creating parent
 /// directories as needed — the `--oneshot` CI mode.
 pub fn write_oneshot<P: AsRef<Path>>(path: P) -> std::io::Result<()> {

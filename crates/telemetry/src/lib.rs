@@ -24,12 +24,19 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod exposition;
 pub mod fleet;
 pub mod ingest;
 
+pub use attribution::{
+    assemble_ops, reconcile, render_attribution, tail_attribution, OpTrace, Reconciliation,
+    TailAttribution,
+};
 pub use crowdtune_db::{Access, FleetQuery, RunRecord, TelemetryCollection};
-pub use exposition::{render_prometheus, sanitize, write_oneshot, ExpositionServer};
+pub use exposition::{
+    render_prometheus, render_slo_prometheus, sanitize, scrape, write_oneshot, ExpositionServer,
+};
 pub use fleet::{
     fleet_stage_percentiles, percentile_us, render_stage_table, stage_percentiles_by_tuner,
     StagePercentiles,
