@@ -205,6 +205,15 @@ impl FaultInjector {
     /// the call counter. Journals a `faultinject` event when a fault
     /// fires.
     pub fn apply(&mut self, result: Result<f64, String>) -> Result<f64, String> {
+        self.apply_to(result, 0)
+    }
+
+    /// [`FaultInjector::apply`], naming the store document the evaluation
+    /// will land in (0 = unknown/not stored). The journaled `faultinject`
+    /// event carries the doc id, giving quality-scoring validation its
+    /// ground truth: "doc N was corrupted" can be checked against "doc N
+    /// was flagged".
+    pub fn apply_to(&mut self, result: Result<f64, String>, doc: u64) -> Result<f64, String> {
         let index = self.calls;
         self.calls += 1;
         let Some(fault) = self.plan.decide(index) else {
@@ -230,6 +239,7 @@ impl FaultInjector {
                 Err(e) => e.clone(),
                 Ok(y) => format!("noise episode inflated measurement to {y}"),
             },
+            doc,
         });
         outcome
     }

@@ -8,10 +8,13 @@
 //! transfer-learning tune runs with deterministic early failures
 //! (iteration, fit, restart, acquisition, weights, exclusion,
 //! runstart/runend, profile), a `NoTLA` tune on a tight refit schedule
-//! exercises the amortized surrogate (refit, warmstart), and a
-//! degenerate Gram factorization exercises jitter escalation (jitter).
-//! The journal is then validated with `crowdtune-report --min-kinds 14`
-//! in CI.
+//! exercises the amortized surrogate (refit, warmstart — and, with a
+//! journal installed, calibration events from the held-out scoring
+//! hook), a degenerate Gram factorization exercises jitter escalation
+//! (jitter), and a quality scorer is driven over a synthetic stream
+//! with one outlier and one duplicate disagreement (qualityscore,
+//! quarantine). The journal is then validated with
+//! `crowdtune-report --min-kinds N` in CI.
 //!
 //! With `--expose <addr>` the live metrics are additionally served in
 //! Prometheus text format for the duration of the run (and scraped once
@@ -25,9 +28,11 @@
 use crowdtune_apps::{Application, DemoFunction};
 use crowdtune_bench::{arg_value, upload_source_data};
 use crowdtune_core::tuner::{tune_notla, tune_tla_constrained, TuneConfig};
-use crowdtune_core::{dims_of, records_to_dataset, SourceTask, WeightedSum};
+use crowdtune_core::{
+    dims_of, records_to_dataset, QualityConfig, QualityScorer, SourceTask, WeightedSum,
+};
 use crowdtune_db::{Access, EvalOutcome, FunctionEvaluation, HistoryDb, QuerySpec};
-use crowdtune_gp::RefitSchedule;
+use crowdtune_gp::{Prediction, RefitSchedule};
 use crowdtune_linalg::{Cholesky, Matrix};
 use crowdtune_obs as obs;
 use crowdtune_sensitivity::{sobol_indices, SaltelliDesign};
@@ -191,6 +196,59 @@ fn main() {
         notla.best().map(|(_, y)| y),
         notla.stats.surrogate_refits,
         notla.stats.iterations,
+    );
+
+    // --- Data-quality scoring: qualityscore + quarantine events ---------
+    // The NoTLA loop above already journals `calibration` events; here a
+    // scorer is driven directly with a synthetic stream containing one
+    // gross outlier and one duplicate-config disagreement, so the journal
+    // deterministically carries flagged `qualityscore` events and their
+    // `quarantine` lifecycle markers.
+    let mut scorer = QualityScorer::new("smoke", QualityConfig::default());
+    for i in 0..8u64 {
+        let x = i as f64 * 0.1;
+        scorer.observe(
+            i,
+            &[x],
+            1.0 + 0.01 * x,
+            Some(Prediction {
+                mean: 1.0,
+                std: 0.1,
+            }),
+        );
+    }
+    // Same configuration, wildly different measurement: duplicate
+    // disagreement.
+    scorer.observe(
+        8,
+        &[0.0],
+        3.0,
+        Some(Prediction {
+            mean: 1.0,
+            std: 0.1,
+        }),
+    );
+    // A measurement hundreds of sigma from a confident prediction:
+    // guaranteed outlier flag.
+    scorer.observe(
+        9,
+        &[0.95],
+        500.0,
+        Some(Prediction {
+            mean: 1.0,
+            std: 0.1,
+        }),
+    );
+    let quality = scorer.finalize(None);
+    eprintln!(
+        "quality: {} scored, {} flagged, {} duplicate disagreements",
+        scorer.scored(),
+        quality.flagged.len(),
+        quality.duplicates,
+    );
+    assert!(
+        !quality.flagged.is_empty(),
+        "synthetic outlier must be flagged"
     );
 
     obs::journal_flush();

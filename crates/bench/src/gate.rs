@@ -127,8 +127,8 @@ pub fn collect_stats(
             }
         }
     }
+    let report = summarize("gate", journal_events);
     if let Some(matmul_ns) = matmul_ns {
-        let report = summarize("gate", journal_events);
         for stage in ["fit", "acquisition", "iteration"] {
             if let Some(s) = report.stages.get(stage) {
                 if s.count > 0 {
@@ -136,6 +136,19 @@ pub fn collect_stats(
                 }
             }
         }
+    }
+    // Data-quality health: already dimensionless and higher-is-worse.
+    // A scorer change that starts flagging a materially larger share of
+    // uploads, or a surrogate whose interval coverage walks away from
+    // its nominal 90%, trips the same band as a latency regression.
+    if report.quality_scored > 0 {
+        stats.insert(
+            "quality.outlier_rate".to_string(),
+            report.quality_flagged as f64 / report.quality_scored as f64,
+        );
+    }
+    if let Some(cov) = report.coverage90 {
+        stats.insert("quality.coverage_error".to_string(), (cov - 0.90).abs());
     }
     if stats.is_empty() {
         return Err("no stats could be collected (empty hotpath?)".to_string());
@@ -316,6 +329,37 @@ mod tests {
         let (_, stats) = collect_stats(untraced, &[]).unwrap();
         assert!((stats["tail.crowd_query"] - 5.0).abs() < 1e-12);
         assert!(!stats.contains_key("trace.crowd_query"));
+    }
+
+    #[test]
+    fn quality_events_contribute_rate_and_coverage_stats() {
+        let mut events = journal_with_fit(10_000);
+        for flagged in [true, false, false, true] {
+            events.push(Event::QualityScore {
+                iter: 0,
+                doc: 0,
+                contributor: "alice".into(),
+                residual: Some(1.0),
+                score: Some(if flagged { 12.0 } else { 0.5 }),
+                flagged,
+                duplicate: false,
+            });
+        }
+        events.push(Event::Calibration {
+            model: "gp".into(),
+            points: 4,
+            coverage90: Some(0.75),
+            nll_pp: Some(1.0),
+            drift: None,
+            best: None,
+        });
+        let (_, stats) = collect_stats(HOTPATH, &events).unwrap();
+        assert!((stats["quality.outlier_rate"] - 0.5).abs() < 1e-12);
+        assert!((stats["quality.coverage_error"] - 0.15).abs() < 1e-12);
+        // Without quality events, neither stat appears.
+        let (_, bare) = collect_stats(HOTPATH, &journal_with_fit(10_000)).unwrap();
+        assert!(!bare.contains_key("quality.outlier_rate"));
+        assert!(!bare.contains_key("quality.coverage_error"));
     }
 
     #[test]

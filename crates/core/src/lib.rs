@@ -21,6 +21,9 @@
 //! - [`checkpoint`] — the fault model: retry policy for transient
 //!   evaluation failures and checkpoint/resume with bitwise-identical
 //!   replay (DESIGN.md §9).
+//! - [`quality`] — observe-only data-quality scoring of crowd uploads:
+//!   held-out standardized-residual outlier detection, duplicate-config
+//!   disagreement, and per-contributor trust statistics (DESIGN.md §12).
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod analytics;
 pub mod checkpoint;
 pub mod data;
 pub mod meta;
+pub mod quality;
 pub mod tla;
 pub mod tuner;
 pub mod utilities;
@@ -46,6 +50,7 @@ pub use checkpoint::{
 };
 pub use data::{records_to_dataset, Dataset};
 pub use meta::{CrowdSession, MetaDescription, MetaError};
+pub use quality::{ContributorTrust, FlaggedRecord, QualityConfig, QualityReport, QualityScorer};
 pub use tla::ensemble::{Ensemble, EnsemblePolicy};
 pub use tla::multitask::{MultitaskPs, MultitaskTs};
 pub use tla::stacking::Stacking;
@@ -53,8 +58,8 @@ pub use tla::weighted::WeightedSum;
 pub use tla::{SourceTask, TlaContext, TlaStrategy};
 pub use tuner::{
     dims_of, resume_notla_from_checkpoint, resume_tla_from_checkpoint, tune_notla,
-    tune_notla_constrained, tune_tla, tune_tla_constrained, Constraint, EvalRecord, RunStats,
-    TuneConfig, TuneResult,
+    tune_notla_constrained, tune_notla_with_quality, tune_tla, tune_tla_constrained, Constraint,
+    EvalRecord, RunStats, TuneConfig, TuneResult,
 };
 pub use utilities::{
     query_predict_output, query_sensitivity_analysis, query_surrogate_model,

@@ -15,9 +15,10 @@ use crate::checkpoint::{
     is_transient_error, CheckpointRecord, Checkpointing, ResumeError, RetryPolicy, TunerCheckpoint,
 };
 use crate::data::Dataset;
+use crate::quality::QualityScorer;
 use crate::tla::weighted::WeightedSum;
 use crate::tla::{SourceTask, TlaContext, TlaStrategy};
-use crowdtune_gp::{DimKind, GpConfig, IncrementalGp, RefitSchedule};
+use crowdtune_gp::{CalibrationTracker, DimKind, GpConfig, IncrementalGp, RefitSchedule};
 use crowdtune_obs as obs;
 use crowdtune_space::{sample_lhs, Domain, Point, Space};
 use rand::rngs::StdRng;
@@ -184,7 +185,23 @@ pub fn tune_notla_constrained(
 ) -> TuneResult {
     // With no replay prefix the driver cannot observe divergence, so the
     // error arm is unreachable.
-    run_notla(space, objective, config, constraint, &[]).unwrap_or_default()
+    run_notla(space, objective, config, constraint, &[], None).unwrap_or_default()
+}
+
+/// [`tune_notla`] with online data-quality scoring: every accepted
+/// observation is scored against the surrogate's pre-update prediction
+/// (see [`crate::quality`]) and the scorer is finalized against the
+/// final surrogate when the budget is spent. Scoring is observe-only —
+/// the result is bitwise identical to [`tune_notla`] at the same seed.
+/// The scorer is deliberately NOT part of [`TuneConfig`], so checkpoint
+/// payloads (and therefore WAL bytes) are identical scoring on or off.
+pub fn tune_notla_with_quality(
+    space: &Space,
+    objective: &mut Objective,
+    config: &TuneConfig,
+    scorer: &mut QualityScorer,
+) -> TuneResult {
+    run_notla(space, objective, config, None, &[], Some(scorer)).unwrap_or_default()
 }
 
 /// Resume a `NoTLA` run from a checkpoint. The recorded prefix is
@@ -206,7 +223,7 @@ pub fn resume_notla_from_checkpoint(
 ) -> Result<TuneResult, ResumeError> {
     ckpt.validate("NoTLA", space.dim(), config)?;
     note_resume(ckpt);
-    run_notla(space, objective, config, None, &ckpt.history)
+    run_notla(space, objective, config, None, &ckpt.history, None)
 }
 
 fn run_notla(
@@ -215,6 +232,7 @@ fn run_notla(
     config: &TuneConfig,
     constraint: Option<&Constraint<'_>>,
     replay: &[CheckpointRecord],
+    mut quality: Option<&mut QualityScorer>,
 ) -> Result<TuneResult, ResumeError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let dims = dims_of(space);
@@ -253,6 +271,11 @@ fn run_notla(
             }
         }
     }
+    // Surrogate-health diagnostics: every accepted observation is scored
+    // against the prediction made *before* it is absorbed, so each point
+    // is held out from the model predicting it. Read-only on the
+    // surrogate — never changes tuner output.
+    let mut calibration = CalibrationTracker::new();
     let mut observer = RunObserver::begin("NoTLA", space.dim(), config);
     for i in 0..config.budget {
         let iter_start = Instant::now();
@@ -312,6 +335,25 @@ fn run_notla(
             // surrogate empties itself and the next iterations propose
             // randomly until a rebuild succeeds.
             Ok(y) => {
+                // Hold-out scoring happens before the observation is
+                // folded in. `predict` is deterministic and mutates
+                // nothing, so the prediction (and everything downstream
+                // of it) cannot perturb the run.
+                if quality.is_some() || obs::journal_active() || obs::metrics_enabled() {
+                    let pred = surrogate.gp().map(|g| g.predict(&rec.unit));
+                    if let Some(p) = &pred {
+                        obs::count(obs::names::CTR_CALIBRATION_POINTS, 1);
+                        if calibration.record(p, *y) {
+                            obs::count(obs::names::CTR_CALIBRATION_INSIDE90, 1);
+                        }
+                        if calibration.points().is_multiple_of(8) {
+                            note_calibration(&mut calibration, observer.best);
+                        }
+                    }
+                    if let Some(q) = quality.as_deref_mut() {
+                        q.observe(i as u64, &rec.unit, *y, pred);
+                    }
+                }
                 observed.push(rec.unit.clone(), *y);
                 let _ = surrogate.observe(&rec.unit, *y, &mut rng);
             }
@@ -332,8 +374,33 @@ fn run_notla(
             replay.len(),
         );
     }
+    // Final calibration snapshot carries the run's simple-regret
+    // telemetry (best-so-far), then the scorer sweeps the full history
+    // against the final surrogate.
+    if calibration.points() > 0 {
+        note_calibration(&mut calibration, observer.best);
+    }
+    if let Some(q) = quality {
+        q.finalize(surrogate.gp());
+    }
     observer.finish(&mut result);
     Ok(result)
+}
+
+/// Journal one `calibration` snapshot: held-out 90% coverage, predictive
+/// NLL per point and its drift since the previous snapshot, and the
+/// best-so-far objective (convergence telemetry).
+fn note_calibration(calib: &mut CalibrationTracker, best: Option<f64>) {
+    let points = calib.points();
+    let (coverage90, nll_pp, drift) = calib.snapshot();
+    obs::record_with(|| obs::Event::Calibration {
+        model: "gp".to_string(),
+        points,
+        coverage90: coverage90.and_then(obs::finite),
+        nll_pp: nll_pp.and_then(obs::finite),
+        drift: drift.and_then(obs::finite),
+        best,
+    });
 }
 
 /// Tune the target task with a TLA strategy and pre-collected sources.

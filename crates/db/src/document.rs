@@ -173,6 +173,50 @@ pub enum Access {
     },
 }
 
+/// Where an uploaded evaluation came from: the contributor identity and
+/// enough context to trace it back to the producing run. Simulated
+/// machines additionally record the fault-plan seed and objective call
+/// index, so injected corruptions can be cross-checked against the
+/// stored record (DESIGN.md §12).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Contributor identity (normally the authenticated uploader).
+    pub contributor: String,
+    /// Machine the evaluation ran on (canonical machine name).
+    #[serde(default)]
+    pub machine: String,
+    /// Fault-plan seed when the evaluation came from a simulated machine
+    /// under fault injection.
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+    /// Fault-plan call index of the evaluation, when simulated.
+    #[serde(default)]
+    pub fault_index: Option<u64>,
+    /// Upload batch id assigned by the repository facade (one id per
+    /// `submit`/`submit_batch` call, monotone per repository).
+    #[serde(default)]
+    pub batch: u64,
+}
+
+impl Provenance {
+    /// Provenance for a named contributor (machine and batch filled in by
+    /// the repository at submit time when left empty).
+    pub fn contributor(name: &str) -> Self {
+        Provenance {
+            contributor: name.to_string(),
+            ..Provenance::default()
+        }
+    }
+
+    /// Record the fault-plan coordinates of a simulated evaluation
+    /// (builder style).
+    pub fn simulated(mut self, fault_seed: u64, fault_index: u64) -> Self {
+        self.fault_seed = Some(fault_seed);
+        self.fault_index = Some(fault_index);
+        self
+    }
+}
+
 /// One stored performance-data sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FunctionEvaluation {
@@ -199,6 +243,10 @@ pub struct FunctionEvaluation {
     /// Logical insertion timestamp (store-assigned, monotonic).
     #[serde(default)]
     pub logical_time: u64,
+    /// Upload provenance; `None` on records predating the provenance
+    /// schema (old WAL/snapshot files load with the field absent).
+    #[serde(default)]
+    pub provenance: Option<Provenance>,
 }
 
 impl FunctionEvaluation {
@@ -217,6 +265,7 @@ impl FunctionEvaluation {
             owner: owner.to_string(),
             access: Access::Public,
             logical_time: 0,
+            provenance: None,
         }
     }
 
@@ -257,6 +306,13 @@ impl FunctionEvaluation {
         self
     }
 
+    /// Set upload provenance (builder style). The repository facade fills
+    /// missing contributor/machine/batch fields at submit time.
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = Some(provenance);
+        self
+    }
+
     /// Look up a dotted field path for the generic query language:
     /// `problem`, `owner`, `task.<name>`, `param.<name>`, `output.<name>`,
     /// `machine.name`, `machine.node_type`, `machine.nodes`,
@@ -278,6 +334,17 @@ impl FunctionEvaluation {
                 "node_type" => Some(Scalar::Str(self.machine.node_type.clone())),
                 "nodes" => Some(Scalar::Int(self.machine.nodes as i64)),
                 "cores" => Some(Scalar::Int(self.machine.cores_per_node as i64)),
+                _ => None,
+            },
+            "provenance" => match parts.next()? {
+                "contributor" => self
+                    .provenance
+                    .as_ref()
+                    .map(|p| Scalar::Str(p.contributor.clone())),
+                "batch" => self
+                    .provenance
+                    .as_ref()
+                    .map(|p| Scalar::Int(p.batch as i64)),
                 _ => None,
             },
             "software" => {
@@ -324,6 +391,13 @@ impl FunctionEvaluation {
                 Scalar::Int(self.machine.cores_per_node as i64),
             ),
         ];
+        if let Some(p) = &self.provenance {
+            out.push((
+                "provenance.contributor".to_string(),
+                Scalar::Str(p.contributor.clone()),
+            ));
+            out.push(("provenance.batch".to_string(), Scalar::Int(p.batch as i64)));
+        }
         for (k, v) in &self.task_parameters {
             out.push((format!("task.{k}"), v.clone()));
         }
@@ -451,6 +525,36 @@ mod tests {
         assert_eq!(Scalar::Real(2.5).as_f64(), Some(2.5));
         assert_eq!(Scalar::Str("x".into()).as_f64(), None);
         assert_eq!(Scalar::Str("x".into()).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn provenance_roundtrips_and_resolves() {
+        // Records without provenance (old snapshots/WALs) still load.
+        let bare = sample();
+        let json = serde_json::to_string(&bare).unwrap();
+        let back: FunctionEvaluation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.provenance, None);
+        assert_eq!(bare.field("provenance.contributor"), None);
+
+        let e = sample().with_provenance(Provenance::contributor("mallory").simulated(0xFA17, 7));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FunctionEvaluation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let p = back.provenance.unwrap();
+        assert_eq!(p.contributor, "mallory");
+        assert_eq!(p.fault_seed, Some(0xFA17));
+        assert_eq!(p.fault_index, Some(7));
+        assert_eq!(
+            e.field("provenance.contributor"),
+            Some(Scalar::Str("mallory".into()))
+        );
+        assert_eq!(e.field("provenance.batch"), Some(Scalar::Int(0)));
+        // Indexed fields and `field` agree on the provenance paths.
+        let idx = e.indexed_fields();
+        for (path, value) in &idx {
+            assert_eq!(e.field(path).as_ref(), Some(value), "path {path}");
+        }
+        assert!(idx.iter().any(|(p, _)| p == "provenance.contributor"));
     }
 
     #[test]

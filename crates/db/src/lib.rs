@@ -40,7 +40,8 @@ pub mod wal;
 
 pub use access::{AuthError, KeyRecord, User, UserRegistry};
 pub use document::{
-    Access, EvalOutcome, FunctionEvaluation, MachineConfig, ParamMap, Scalar, SoftwareConfig,
+    Access, EvalOutcome, FunctionEvaluation, MachineConfig, ParamMap, Provenance, Scalar,
+    SoftwareConfig,
 };
 pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
 pub use query::{parse_query, FieldIndexes, Filter, ParseError};

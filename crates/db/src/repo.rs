@@ -8,7 +8,7 @@
 //! normalization, and per-record access control.
 
 use crate::access::{AuthError, UserRegistry};
-use crate::document::{FunctionEvaluation, MachineConfig, SoftwareConfig};
+use crate::document::{FunctionEvaluation, MachineConfig, Provenance, SoftwareConfig};
 use crate::env::TagRegistry;
 use crate::query::Filter;
 use crate::service::{CrowdService, ServiceConfig};
@@ -16,6 +16,7 @@ use crate::store::{DocumentStore, ScanStats, StoreError};
 use crowdtune_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors from repository operations.
 #[derive(Debug)]
@@ -264,6 +265,9 @@ pub struct HistoryDb {
     backend: Backend,
     users: UserRegistry,
     tags: TagRegistry,
+    /// Monotonic upload-batch id; every `submit`/`submit_batch` call gets
+    /// one, stamped into each accepted record's provenance.
+    batch: AtomicU64,
 }
 
 impl Default for HistoryDb {
@@ -280,6 +284,7 @@ impl HistoryDb {
             backend: Backend::Embedded(DocumentStore::new()),
             users: UserRegistry::new(),
             tags: TagRegistry::with_builtin_entries(),
+            batch: AtomicU64::new(0),
         }
     }
 
@@ -292,6 +297,7 @@ impl HistoryDb {
             backend: Backend::Service(CrowdService::new(config)),
             users: UserRegistry::new(),
             tags: TagRegistry::with_builtin_entries(),
+            batch: AtomicU64::new(0),
         }
     }
 
@@ -331,27 +337,47 @@ impl HistoryDb {
     /// assigned document id.
     pub fn submit(&self, api_key: &str, eval: FunctionEvaluation) -> Result<u64, DbError> {
         let span = obs::span(obs::names::SPAN_DB_UPLOAD);
-        let result = self.submit_inner(api_key, eval);
+        let batch = self.batch.fetch_add(1, Ordering::Relaxed) + 1;
+        let result = self.submit_inner(api_key, eval, batch);
         let (accepted, rejected) = if result.is_ok() { (1, 0) } else { (0, 1) };
+        let contributor = match &result {
+            Ok((_, owner)) => owner.clone(),
+            Err(_) => String::new(),
+        };
         obs::count(obs::names::CTR_DB_UPLOADED, accepted);
         obs::count(obs::names::CTR_DB_REJECTED, rejected);
         obs::record_with(|| obs::Event::Upload {
             accepted,
             rejected,
+            contributor: contributor.clone(),
+            batch,
             duration_us: span.elapsed_ns() / 1_000,
         });
-        result
+        result.map(|(id, _)| id)
     }
 
-    fn submit_inner(&self, api_key: &str, mut eval: FunctionEvaluation) -> Result<u64, DbError> {
+    fn submit_inner(
+        &self,
+        api_key: &str,
+        mut eval: FunctionEvaluation,
+        batch: u64,
+    ) -> Result<(u64, String), DbError> {
         let owner = self.users.authenticate(api_key)?;
-        eval.owner = owner;
+        eval.owner = owner.clone();
         self.tags.normalize_machine(&mut eval.machine);
         for sw in &mut eval.software {
             self.tags.normalize_software(sw);
         }
+        // Stamp provenance: the authenticated owner always wins over any
+        // caller-supplied contributor, but simulation markers
+        // (fault_seed/fault_index) set by the caller are preserved.
+        let machine = eval.machine.machine_name.clone();
+        let prov = eval.provenance.get_or_insert_with(Provenance::default);
+        prov.contributor = owner.clone();
+        prov.machine = machine;
+        prov.batch = batch;
         let ctx = obs::RequestCtx::new(obs::OpKind::Upload, client_hash(Some(&eval.owner)));
-        Ok(self.backend.insert(eval, ctx)?)
+        Ok((self.backend.insert(eval, ctx)?, owner))
     }
 
     /// Submit a batch of evaluations. Stops at the first rejected record;
@@ -362,12 +388,17 @@ impl HistoryDb {
         evals: Vec<FunctionEvaluation>,
     ) -> Result<Vec<u64>, DbError> {
         let span = obs::span(obs::names::SPAN_DB_UPLOAD);
+        let batch = self.batch.fetch_add(1, Ordering::Relaxed) + 1;
         let mut ids = Vec::with_capacity(evals.len());
         let mut rejected = 0u64;
         let mut error = None;
+        let mut contributor = String::new();
         for e in evals {
-            match self.submit_inner(api_key, e) {
-                Ok(id) => ids.push(id),
+            match self.submit_inner(api_key, e, batch) {
+                Ok((id, owner)) => {
+                    ids.push(id);
+                    contributor = owner;
+                }
                 Err(err) => {
                     rejected = 1;
                     error = Some(err);
@@ -381,6 +412,8 @@ impl HistoryDb {
         obs::record_with(|| obs::Event::Upload {
             accepted,
             rejected,
+            contributor: contributor.clone(),
+            batch,
             duration_us: span.elapsed_ns() / 1_000,
         });
         match error {
@@ -464,6 +497,15 @@ impl HistoryDb {
     /// True when the store is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Stored-record counts per provenance contributor, sorted by name.
+    /// Records without provenance (pre-schema imports) are not counted.
+    pub fn contributor_counts(&self) -> Vec<(String, u64)> {
+        match &self.backend {
+            Backend::Embedded(store) => store.contributor_counts(),
+            Backend::Service(svc) => svc.contributor_counts(),
+        }
     }
 
     /// Distinct problems with data.
@@ -550,6 +592,40 @@ mod tests {
         assert_eq!(hits[0].owner, "alice");
         assert_eq!(hits[0].machine.machine_name, "cori"); // normalized
         assert_eq!(hits[0].machine.node_type, "haswell");
+    }
+
+    #[test]
+    fn submit_stamps_provenance() {
+        let (db, alice, bob) = setup();
+        db.submit(&alice, pdgeqrf_eval(1000, 3.0, 8, "haswell"))
+            .unwrap();
+        // A simulated upload keeps its fault markers but the contributor,
+        // machine, and batch are always re-stamped from the auth context.
+        let spoofed = pdgeqrf_eval(2000, 4.0, 8, "haswell")
+            .with_provenance(Provenance::contributor("eve").simulated(0xFA17, 7));
+        db.submit(&bob, spoofed).unwrap();
+        let hits = db.query_public(&QuerySpec::all_of("PDGEQRF"));
+        assert_eq!(hits.len(), 2);
+        let by_owner = |o: &str| {
+            hits.iter()
+                .find(|h| h.owner == o)
+                .and_then(|h| h.provenance.as_ref())
+                .expect("provenance stamped")
+        };
+        let pa = by_owner("alice");
+        assert_eq!(pa.contributor, "alice");
+        assert_eq!(pa.machine, "cori");
+        assert_eq!(pa.batch, 1);
+        assert_eq!(pa.fault_seed, None);
+        let pb = by_owner("bob");
+        assert_eq!(pb.contributor, "bob", "spoofed contributor overwritten");
+        assert_eq!(pb.batch, 2);
+        assert_eq!(pb.fault_seed, Some(0xFA17));
+        assert_eq!(pb.fault_index, Some(7));
+        assert_eq!(
+            db.contributor_counts(),
+            vec![("alice".to_string(), 1), ("bob".to_string(), 1)]
+        );
     }
 
     #[test]

@@ -653,6 +653,18 @@ impl CrowdService {
         names
     }
 
+    /// Live-document counts per provenance contributor, merged across all
+    /// shards' per-shard counters and sorted by name.
+    pub fn contributor_counts(&self) -> Vec<(String, u64)> {
+        let mut merged: std::collections::BTreeMap<String, u64> = Default::default();
+        for shard in &self.shards {
+            for (name, n) in shard.store.contributor_counts() {
+                *merged.entry(name).or_insert(0) += n;
+            }
+        }
+        merged.into_iter().collect()
+    }
+
     /// Total query-cache (hits, misses) across all shards since open.
     pub fn cache_counts(&self) -> (u64, u64) {
         self.shards.iter().fold((0, 0), |(h, m), s| {

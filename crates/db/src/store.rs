@@ -10,7 +10,7 @@ use crate::document::FunctionEvaluation;
 use crate::query::{FieldIndexes, Filter};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 /// Store errors.
@@ -75,16 +75,31 @@ struct Inner {
     /// Field-value indexes over every queryable path, rebuilt on load.
     #[serde(skip)]
     indexes: FieldIndexes,
+    /// provenance contributor -> live document count, rebuilt on load.
+    #[serde(skip)]
+    by_contributor: BTreeMap<String, u64>,
+}
+
+/// Count a document against its provenance contributor (records without
+/// provenance — pre-schema imports — are not counted).
+fn bump_contributor(map: &mut BTreeMap<String, u64>, doc: &FunctionEvaluation) {
+    if let Some(p) = &doc.provenance {
+        if !p.contributor.is_empty() {
+            *map.entry(p.contributor.clone()).or_insert(0) += 1;
+        }
+    }
 }
 
 impl Inner {
     fn rebuild_index(&mut self) {
         self.by_problem.clear();
+        self.by_contributor.clear();
         for (i, d) in self.docs.iter().enumerate() {
             self.by_problem
                 .entry(d.problem.clone())
                 .or_default()
                 .push(i);
+            bump_contributor(&mut self.by_contributor, d);
         }
         self.indexes.rebuild(&self.docs);
     }
@@ -184,6 +199,7 @@ impl DocumentStore {
             .or_default()
             .push(idx);
         inner.indexes.insert_doc(idx, &doc);
+        bump_contributor(&mut inner.by_contributor, &doc);
         inner.docs.push(doc.clone());
         doc
     }
@@ -207,6 +223,7 @@ impl DocumentStore {
             .or_default()
             .push(idx);
         inner.indexes.insert_doc(idx, &doc);
+        bump_contributor(&mut inner.by_contributor, &doc);
         inner.docs.push(doc);
     }
 
@@ -227,6 +244,7 @@ impl DocumentStore {
             .or_default()
             .push(idx);
         inner.indexes.insert_doc(idx, &doc);
+        bump_contributor(&mut inner.by_contributor, &doc);
         inner.docs.push(doc);
     }
 
@@ -397,6 +415,17 @@ impl DocumentStore {
             Some(plan) => plan.iter().filter(|&&i| verify(&inner.docs[i])).count(),
             None => inner.docs.iter().filter(|d| verify(d)).count(),
         }
+    }
+
+    /// Live-document counts per provenance contributor, sorted by name.
+    /// Maintained incrementally on insert and rebuilt on deletes/load.
+    pub fn contributor_counts(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.read();
+        inner
+            .by_contributor
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Distinct problem names present in the store.
@@ -687,6 +716,25 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(stats.scanned, 1);
         assert_eq!(stats.pruned, 1);
+    }
+
+    #[test]
+    fn contributor_counts_track_inserts_deletes_and_reload() {
+        use crate::document::Provenance;
+        let store = DocumentStore::new();
+        store.insert(eval("P", "alice", 1, 1.0).with_provenance(Provenance::contributor("alice")));
+        store.insert(eval("P", "alice", 2, 2.0).with_provenance(Provenance::contributor("alice")));
+        store.insert(eval("P", "bob", 3, 3.0).with_provenance(Provenance::contributor("bob")));
+        store.insert(eval("P", "carol", 4, 4.0)); // no provenance: uncounted
+        assert_eq!(
+            store.contributor_counts(),
+            vec![("alice".to_string(), 2), ("bob".to_string(), 1)]
+        );
+        store.delete_owned("bob", &Filter::True);
+        assert_eq!(store.contributor_counts(), vec![("alice".to_string(), 2)]);
+        // Counts are rebuilt from documents on snapshot reload.
+        let reloaded = DocumentStore::from_snapshot_json(&store.snapshot_json().unwrap()).unwrap();
+        assert_eq!(reloaded.contributor_counts(), store.contributor_counts());
     }
 
     #[test]

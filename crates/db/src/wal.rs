@@ -56,6 +56,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// (id and logical timestamp assigned) so replay is byte-faithful;
 /// deletes carry the resolved ids, not the filter, so replay cannot
 /// re-evaluate a predicate against a different state.
+// Insert dominates the WAL by construction; boxing the document would
+// only add a pointer chase on the hottest record kind.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WalRecord {
     /// A document was inserted (post-assignment form).

@@ -15,14 +15,18 @@
 //! - [`incremental`] — amortized surrogate maintenance: rank-1 Cholesky
 //!   appends between scheduled full refits, warm-started hyperparameter
 //!   optimization.
+//! - [`calibration`] — observation-only surrogate-health diagnostics:
+//!   held-out 90%-interval coverage and predictive-NLL drift.
 
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod gp;
 pub mod incremental;
 pub mod kernel;
 pub mod lcm;
 
+pub use calibration::{CalibrationTracker, Z90};
 pub use gp::{Gp, GpConfig, GpError, NoiseModel, Prediction};
 pub use incremental::{IncrementalGp, RefitSchedule};
 pub use kernel::{DimKind, Kernel, KernelKind};

@@ -2,7 +2,7 @@
 //! evaluate SLOs against a request-trace journal.
 //!
 //! ```text
-//! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile]
+//! crowdtune-report <journal.jsonl> [--snapshot <path>] [--min-kinds <n>] [--profile] [--quality]
 //! crowdtune-report --slo <spec.json> [--trace <trace.jsonl>] [--metrics <metrics.json>]
 //! ```
 //!
@@ -11,7 +11,12 @@
 //! metrics snapshot to `--snapshot` (default `results/obs_snapshot.json`).
 //! With `--profile` it instead prints the run's merged collapsed-stack
 //! span profile (one `frame;frame;frame nanoseconds` line per stack —
-//! pipe into any flamegraph renderer). Exits non-zero on an unreadable,
+//! pipe into any flamegraph renderer). With `--quality` it prints only
+//! the data-quality section: per-contributor outlier/duplicate/
+//! quarantine rollup and surrogate calibration diagnostics, failing if
+//! the journal carries no quality or calibration events. In SLO mode a
+//! `--trace` journal whose capture ring overflowed (dropped records)
+//! prints a warning to stderr. Exits non-zero on an unreadable,
 //! truncated or empty journal, any schema violation, or fewer distinct
 //! event kinds than `--min-kinds` (default 1).
 //!
@@ -24,8 +29,8 @@
 use std::process::ExitCode;
 
 use crowdtune_obs::{
-    evaluate_slos, parse_slo_file, read_journal, read_trace_journal, render_profile, render_report,
-    render_slo_report, summarize, MetricsSnapshot,
+    evaluate_slos, parse_slo_file, read_journal, read_trace_journal, render_profile,
+    render_quality, render_report, render_slo_report, summarize, MetricsSnapshot,
 };
 use serde::Deserialize;
 
@@ -37,9 +42,15 @@ fn run_slo(
     let spec = parse_slo_file(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let traces = match trace_path {
         Some(p) => {
-            read_trace_journal(p)
-                .map_err(|e| format!("{p}: {e}"))?
-                .records
+            let journal = read_trace_journal(p).map_err(|e| format!("{p}: {e}"))?;
+            if journal.dropped > 0 {
+                eprintln!(
+                    "crowdtune-report: warning: {} trace record(s) dropped at capture \
+                     (ring over capacity); latency quantiles may be biased",
+                    journal.dropped
+                );
+            }
+            journal.records
         }
         None => Vec::new(),
     };
@@ -69,13 +80,14 @@ fn run_slo(
 
 fn run() -> Result<(), String> {
     const USAGE: &str = "usage: crowdtune-report <journal.jsonl> [--snapshot <path>] \
-         [--min-kinds <n>] [--profile] | --slo <spec.json> [--trace <trace.jsonl>] \
-         [--metrics <metrics.json>]";
+         [--min-kinds <n>] [--profile] [--quality] | --slo <spec.json> \
+         [--trace <trace.jsonl>] [--metrics <metrics.json>]";
     let mut args = std::env::args().skip(1);
     let mut journal_path: Option<String> = None;
     let mut snapshot_path = String::from("results/obs_snapshot.json");
     let mut min_kinds = 1usize;
     let mut profile = false;
+    let mut quality = false;
     let mut slo_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -92,6 +104,7 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("--min-kinds: {e}"))?;
             }
             "--profile" => profile = true,
+            "--quality" => quality = true,
             "--slo" => slo_path = Some(args.next().ok_or("--slo requires a spec path")?),
             "--trace" => trace_path = Some(args.next().ok_or("--trace requires a path")?),
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics requires a path")?),
@@ -120,6 +133,16 @@ fn run() -> Result<(), String> {
             ));
         }
         print!("{}", render_profile(&report));
+        return Ok(());
+    }
+    if quality {
+        if report.quality_scored == 0 && report.calibration_points == 0 {
+            return Err(format!(
+                "{journal_path}: no quality or calibration events in journal (run the tuner \
+                 through `tune_notla_with_quality` with a journal installed)"
+            ));
+        }
+        print!("{}", render_quality(&report));
         return Ok(());
     }
     if report.event_counts.len() < min_kinds {

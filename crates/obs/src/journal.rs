@@ -158,6 +158,15 @@ pub enum Event {
         accepted: u64,
         /// Records rejected (auth/validation).
         rejected: u64,
+        /// Contributor the accepted records belong to (empty when the
+        /// upload was rejected before authentication, or on journals
+        /// predating provenance).
+        #[serde(default)]
+        contributor: String,
+        /// Upload batch id stamped into the records' provenance (0 on
+        /// journals predating provenance).
+        #[serde(default)]
+        batch: u64,
         /// Wall-clock microseconds spent uploading.
         duration_us: u64,
     },
@@ -257,6 +266,12 @@ pub enum Event {
         kind: String,
         /// Human-readable description of the injected fault.
         detail: String,
+        /// Document id the perturbed value was (or is about to be)
+        /// stored under, when the caller uploads evaluations to the
+        /// history database — 0 when unknown, so quality scoring can be
+        /// validated against injected ground truth.
+        #[serde(default)]
+        doc: u64,
     },
     /// The tuner persisted a resumable checkpoint to the durable store.
     Checkpoint {
@@ -283,6 +298,70 @@ pub enum Event {
         torn: bool,
         /// Iteration the run resumed from, `null` for store recoveries.
         resumed_iter: Option<u64>,
+    },
+    /// An upload was scored against the current surrogate's predictive
+    /// distribution by the online data-quality scorer (observe-only:
+    /// scoring never changes what the surrogate fits).
+    QualityScore {
+        /// Zero-based tuner iteration (or upload sequence number) the
+        /// scored observation belongs to.
+        iter: u64,
+        /// Document id of the scored upload, 0 when not database-backed.
+        doc: u64,
+        /// Contributor the observation is attributed to.
+        contributor: String,
+        /// Raw residual `y − μ(x)` against the surrogate's predictive
+        /// mean, `null` when no surrogate was available yet.
+        residual: Option<f64>,
+        /// Standardized residual magnitude `|y − μ(x)| / σ(x)`, `null`
+        /// when no surrogate was available yet.
+        score: Option<f64>,
+        /// Whether the online score crossed the outlier threshold.
+        flagged: bool,
+        /// Whether this configuration was already observed with a
+        /// materially different objective value (duplicate-config
+        /// disagreement).
+        duplicate: bool,
+    },
+    /// A record's quarantine flag changed state. In this PR the
+    /// lifecycle is observe-only: `flagged` records are marked and
+    /// reported but still fitted, so tuner output is bitwise unchanged.
+    Quarantine {
+        /// Zero-based iteration (or upload sequence number) of the
+        /// quarantined observation.
+        iter: u64,
+        /// Document id of the quarantined record, 0 when not
+        /// database-backed.
+        doc: u64,
+        /// Contributor the record is attributed to.
+        contributor: String,
+        /// Why the record was flagged (`outlier`, `duplicate`,
+        /// `sweep-outlier`).
+        reason: String,
+        /// Lifecycle state: `flagged` (this PR) — later PRs may add
+        /// `quarantined`/`cleared` once enforcement lands.
+        state: String,
+    },
+    /// Surrogate calibration diagnostics: predictive-interval coverage
+    /// and NLL-per-point drift, sampled from the tuner loop.
+    Calibration {
+        /// Surrogate model ("gp" or "lcm").
+        model: String,
+        /// Held-out predictions scored so far (each observation is
+        /// predicted before it is absorbed, so every point is held out).
+        points: u64,
+        /// Fraction of held-out observations inside the surrogate's 90%
+        /// predictive interval, `null` before the first prediction.
+        coverage90: Option<f64>,
+        /// Mean predictive NLL per held-out point (y units), `null`
+        /// before the first prediction.
+        nll_pp: Option<f64>,
+        /// Change in predictive NLL-per-point since the previous
+        /// calibration event, `null` on the first.
+        drift: Option<f64>,
+        /// Best successful objective so far (simple-regret/convergence
+        /// telemetry), `null` before the first success.
+        best: Option<f64>,
     },
     /// A tuning run finished.
     RunEnd {
@@ -323,6 +402,9 @@ impl Event {
             Event::FaultInject { .. } => "faultinject",
             Event::Checkpoint { .. } => "checkpoint",
             Event::Recovery { .. } => "recovery",
+            Event::QualityScore { .. } => "qualityscore",
+            Event::Quarantine { .. } => "quarantine",
+            Event::Calibration { .. } => "calibration",
             Event::RunEnd { .. } => "runend",
         }
     }

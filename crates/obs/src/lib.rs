@@ -44,7 +44,8 @@ pub use metrics::{
     set_metrics_enabled, snapshot, Counter, Histogram, HistogramSummary, MetricsSnapshot,
 };
 pub use report::{
-    profile_depth, render_profile, render_report, summarize, JournalReport, StageSummary,
+    profile_depth, render_profile, render_quality, render_report, summarize, worst_contributor,
+    ContributorQuality, JournalReport, StageSummary,
 };
 pub use scope::{scope_active, scope_begin, scope_count, scope_end, ScopeStats};
 pub use slo::{
@@ -53,7 +54,7 @@ pub use slo::{
 };
 pub use span::{current_span, span, SpanGuard};
 pub use trace::{
-    drain_traces, now_ns, read_trace_journal, reset_traces, set_ring_capacity, set_tracing_enabled,
-    tracing_enabled, write_trace_journal, OpKind, RequestCtx, TraceJournal, TraceRecord,
-    TraceStage, NO_SHARD,
+    configure_tracing, drain_traces, now_ns, read_trace_journal, reset_traces, set_ring_capacity,
+    set_tracing_enabled, tracing_enabled, write_trace_journal, OpKind, RequestCtx, TraceConfig,
+    TraceJournal, TraceRecord, TraceStage, NO_SHARD,
 };

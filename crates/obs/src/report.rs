@@ -120,6 +120,59 @@ pub struct JournalReport {
     /// span path (`tune;propose;gp_fit`) → total nanoseconds.
     #[serde(default)]
     pub profile: BTreeMap<String, u64>,
+    /// Uploads scored by the online data-quality scorer.
+    #[serde(default)]
+    pub quality_scored: u64,
+    /// Scored uploads whose standardized residual crossed the outlier
+    /// threshold.
+    #[serde(default)]
+    pub quality_flagged: u64,
+    /// Duplicate-configuration disagreements detected.
+    #[serde(default)]
+    pub quality_duplicates: u64,
+    /// Records moved into the observe-only quarantine-flag state.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Per-contributor data-quality rollup, keyed by contributor id.
+    #[serde(default)]
+    pub contributors: BTreeMap<String, ContributorQuality>,
+    /// Held-out points scored by calibration tracking (last `calibration`
+    /// event's cumulative count).
+    #[serde(default)]
+    pub calibration_points: u64,
+    /// 90%-interval coverage from the last `calibration` event.
+    #[serde(default)]
+    pub coverage90: Option<f64>,
+    /// Predictive NLL per held-out point from the last `calibration`
+    /// event.
+    #[serde(default)]
+    pub calibration_nll_pp: Option<f64>,
+    /// NLL-per-point drift from the last `calibration` event carrying one.
+    #[serde(default)]
+    pub calibration_drift: Option<f64>,
+}
+
+/// Per-contributor slice of the data-quality rollup.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContributorQuality {
+    /// Records this contributor uploaded (from `upload` events).
+    #[serde(default)]
+    pub uploads: u64,
+    /// Observations scored against the surrogate.
+    #[serde(default)]
+    pub scored: u64,
+    /// Scored observations flagged as outliers online.
+    #[serde(default)]
+    pub flagged: u64,
+    /// Duplicate-configuration disagreements attributed here.
+    #[serde(default)]
+    pub duplicates: u64,
+    /// Records of this contributor in the quarantine-flag state.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Largest standardized-residual score observed.
+    #[serde(default)]
+    pub worst_score: Option<f64>,
 }
 
 fn better(best: &mut Option<f64>, candidate: Option<f64>) {
@@ -219,10 +272,18 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
             Event::Upload {
                 accepted,
                 rejected,
+                contributor,
                 duration_us,
+                ..
             } => {
                 r.uploads_accepted += accepted;
                 r.uploads_rejected += rejected;
+                if !contributor.is_empty() {
+                    r.contributors
+                        .entry(contributor.clone())
+                        .or_default()
+                        .uploads += accepted;
+                }
                 r.stages
                     .entry("db_upload".to_string())
                     .or_default()
@@ -268,6 +329,55 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                 r.recoveries += 1;
                 if *torn {
                     r.torn_recoveries += 1;
+                }
+            }
+            Event::QualityScore {
+                contributor,
+                score,
+                flagged,
+                duplicate,
+                ..
+            } => {
+                r.quality_scored += 1;
+                let c = r.contributors.entry(contributor.clone()).or_default();
+                c.scored += 1;
+                if *flagged {
+                    r.quality_flagged += 1;
+                    c.flagged += 1;
+                }
+                if *duplicate {
+                    r.quality_duplicates += 1;
+                    c.duplicates += 1;
+                }
+                if let Some(s) = score {
+                    if c.worst_score.is_none_or(|w| *s > w) {
+                        c.worst_score = Some(*s);
+                    }
+                }
+            }
+            Event::Quarantine { contributor, .. } => {
+                r.quarantined += 1;
+                r.contributors
+                    .entry(contributor.clone())
+                    .or_default()
+                    .quarantined += 1;
+            }
+            Event::Calibration {
+                points,
+                coverage90,
+                nll_pp,
+                drift,
+                ..
+            } => {
+                r.calibration_points = r.calibration_points.max(*points);
+                if coverage90.is_some() {
+                    r.coverage90 = *coverage90;
+                }
+                if nll_pp.is_some() {
+                    r.calibration_nll_pp = *nll_pp;
+                }
+                if drift.is_some() {
+                    r.calibration_drift = *drift;
                 }
             }
             Event::Profile { folded } => {
@@ -390,6 +500,10 @@ pub fn render_report(r: &JournalReport) -> String {
         "  space reductions    {:>8}\n",
         r.space_reductions
     ));
+    if r.quality_scored > 0 || r.calibration_points > 0 || !r.contributors.is_empty() {
+        out.push('\n');
+        out.push_str(&render_quality(r));
+    }
     if !r.profile.is_empty() {
         out.push_str(&format!(
             "\nprofile   {} folded stacks, max depth {} (render with --profile)\n",
@@ -398,6 +512,83 @@ pub fn render_report(r: &JournalReport) -> String {
         ));
     }
     out
+}
+
+/// Formats the data-quality section on its own — the body of
+/// `crowdtune-report --quality`. Covers scorer totals, the per-contributor
+/// rollup (sorted worst-first by flags), and surrogate calibration.
+pub fn render_quality(r: &JournalReport) -> String {
+    let mut out = String::new();
+    out.push_str("data quality\n");
+    out.push_str(&format!("  uploads scored      {:>8}\n", r.quality_scored));
+    out.push_str(&format!("  outliers flagged    {:>8}\n", r.quality_flagged));
+    out.push_str(&format!(
+        "  duplicate disagree  {:>8}\n",
+        r.quality_duplicates
+    ));
+    out.push_str(&format!("  quarantined         {:>8}\n", r.quarantined));
+    if r.quality_scored > 0 {
+        out.push_str(&format!(
+            "  outlier rate        {:>8.4}\n",
+            r.quality_flagged as f64 / r.quality_scored as f64
+        ));
+    }
+    if !r.contributors.is_empty() {
+        out.push_str("\ncontributors (worst first)\n");
+        out.push_str(&format!(
+            "  {:<16} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}\n",
+            "contributor", "uploads", "scored", "flagged", "quarant", "dup", "worst_score"
+        ));
+        let mut rows: Vec<(&String, &ContributorQuality)> = r.contributors.iter().collect();
+        rows.sort_by(|a, b| {
+            (b.1.flagged + b.1.quarantined)
+                .cmp(&(a.1.flagged + a.1.quarantined))
+                .then_with(|| a.0.cmp(b.0))
+        });
+        for (name, c) in rows {
+            let worst = match c.worst_score {
+                Some(w) => format!("{w:>12.2}"),
+                None => format!("{:>12}", "-"),
+            };
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>8} {:>8} {:>8} {:>10} {worst}\n",
+                name, c.uploads, c.scored, c.flagged, c.quarantined, c.duplicates
+            ));
+        }
+    }
+    out.push_str("\ncalibration\n");
+    out.push_str(&format!(
+        "  points scored       {:>8}\n",
+        r.calibration_points
+    ));
+    match r.coverage90 {
+        Some(c) => out.push_str(&format!("  coverage@90         {c:>8.4}\n")),
+        None => out.push_str("  coverage@90             none\n"),
+    }
+    match r.calibration_nll_pp {
+        Some(n) => out.push_str(&format!("  nll per point       {n:>8.4}\n")),
+        None => out.push_str("  nll per point           none\n"),
+    }
+    match r.calibration_drift {
+        Some(d) => out.push_str(&format!("  nll drift           {d:>8.4}\n")),
+        None => out.push_str("  nll drift               none\n"),
+    }
+    out
+}
+
+/// The contributor with the most flagged + quarantined records, if any
+/// contributor has at least one. This is what "names the injected bad
+/// contributor" means operationally: smokes assert on this value.
+pub fn worst_contributor(r: &JournalReport) -> Option<(&str, &ContributorQuality)> {
+    r.contributors
+        .iter()
+        .filter(|(_, c)| c.flagged + c.quarantined > 0)
+        .max_by(|a, b| {
+            (a.1.flagged + a.1.quarantined)
+                .cmp(&(b.1.flagged + b.1.quarantined))
+                .then_with(|| b.0.cmp(a.0))
+        })
+        .map(|(name, c)| (name.as_str(), c))
 }
 
 #[cfg(test)]
@@ -442,6 +633,8 @@ mod tests {
             Event::Upload {
                 accepted: 5,
                 rejected: 1,
+                contributor: "alice".into(),
+                batch: 1,
                 duration_us: 7,
             },
         ];
@@ -506,11 +699,13 @@ mod tests {
                 index: 9,
                 kind: "transient".into(),
                 detail: "simulated node failure".into(),
+                doc: 0,
             },
             Event::FaultInject {
                 index: 11,
                 kind: "noise".into(),
                 detail: "flaky episode x4.0".into(),
+                doc: 42,
             },
             Event::Checkpoint {
                 iter: 5,
@@ -543,6 +738,71 @@ mod tests {
         assert!(rendered.contains("fault tolerance"));
         assert!(rendered.contains("faults injected"));
         assert!(rendered.contains("torn-tail recoveries"));
+    }
+
+    #[test]
+    fn quality_events_roll_up_per_contributor() {
+        let events = vec![
+            Event::Upload {
+                accepted: 3,
+                rejected: 0,
+                contributor: "mallory".into(),
+                batch: 1,
+                duration_us: 5,
+            },
+            Event::QualityScore {
+                iter: 4,
+                doc: 7,
+                contributor: "mallory".into(),
+                residual: Some(9.0),
+                score: Some(12.5),
+                flagged: true,
+                duplicate: false,
+            },
+            Event::QualityScore {
+                iter: 5,
+                doc: 8,
+                contributor: "alice".into(),
+                residual: Some(0.2),
+                score: Some(0.4),
+                flagged: false,
+                duplicate: false,
+            },
+            Event::Quarantine {
+                iter: 4,
+                doc: 7,
+                contributor: "mallory".into(),
+                reason: "outlier".into(),
+                state: "flagged".into(),
+            },
+            Event::Calibration {
+                model: "gp".into(),
+                points: 20,
+                coverage90: Some(0.85),
+                nll_pp: Some(1.3),
+                drift: Some(0.1),
+                best: Some(0.01),
+            },
+        ];
+        let r = summarize("q.jsonl", &events);
+        assert_eq!(r.quality_scored, 2);
+        assert_eq!(r.quality_flagged, 1);
+        assert_eq!(r.quarantined, 1);
+        assert_eq!(r.calibration_points, 20);
+        assert_eq!(r.coverage90, Some(0.85));
+        let m = &r.contributors["mallory"];
+        assert_eq!(m.uploads, 3);
+        assert_eq!(m.flagged, 1);
+        assert_eq!(m.quarantined, 1);
+        assert_eq!(m.worst_score, Some(12.5));
+        assert_eq!(r.contributors["alice"].flagged, 0);
+        let (worst, _) = worst_contributor(&r).expect("has flagged contributor");
+        assert_eq!(worst, "mallory");
+        let rendered = render_quality(&r);
+        assert!(rendered.contains("data quality"));
+        assert!(rendered.contains("mallory"));
+        assert!(rendered.contains("coverage@90"));
+        assert!(render_report(&r).contains("data quality"));
     }
 
     #[test]

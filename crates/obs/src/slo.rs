@@ -70,6 +70,26 @@ pub enum SloObjective {
         /// Counter that must read zero.
         counter: String,
     },
+    /// Data-quality ratio objective over a counter pair. With no
+    /// `target` the observed value is the raw ratio `bad / total`
+    /// (e.g. outlier rate from `quality.outliers_flagged` over
+    /// `quality.uploads_scored`). With a `target` the observed value is
+    /// the absolute deviation `|bad / total - target|` (e.g. coverage
+    /// error against 0.90 from `calibration.points_inside90` over
+    /// `calibration.points_scored`). Breaches when observed > `max`.
+    Quality {
+        /// Objective name.
+        name: String,
+        /// Counter holding the numerator (flagged / inside-interval).
+        bad: String,
+        /// Counter holding the denominator (scored points).
+        total: String,
+        /// Optional target ratio; when set, the objective bounds the
+        /// deviation from it rather than the ratio itself.
+        target: Option<f64>,
+        /// Maximum tolerated observed value in [0, 1].
+        max: f64,
+    },
 }
 
 impl SloObjective {
@@ -78,7 +98,8 @@ impl SloObjective {
         match self {
             SloObjective::Latency { name, .. }
             | SloObjective::Error { name, .. }
-            | SloObjective::Zero { name, .. } => name,
+            | SloObjective::Zero { name, .. }
+            | SloObjective::Quality { name, .. } => name,
         }
     }
 }
@@ -291,6 +312,48 @@ pub fn evaluate_slos(
                     }],
                 }
             }
+            SloObjective::Quality {
+                name,
+                bad,
+                total,
+                target,
+                max,
+            } => {
+                let bad_n = counter(snapshot, bad);
+                let total_n = counter(snapshot, total);
+                let ratio = if total_n == 0 {
+                    // No scored points: observe the target itself (zero
+                    // deviation) so an idle run never breaches.
+                    target.unwrap_or(0.0)
+                } else {
+                    bad_n as f64 / total_n as f64
+                };
+                let observed = match target {
+                    Some(t) => (ratio - t).abs(),
+                    None => ratio,
+                };
+                let detail = match target {
+                    Some(t) => format!("|{bad} / {total} - {t}| <= {max}"),
+                    None => format!("{bad} / {total} <= {max}"),
+                };
+                SloOutcome {
+                    name: name.clone(),
+                    kind: "quality".to_string(),
+                    breached: observed > *max,
+                    detail,
+                    windows: vec![WindowBurn {
+                        window_us: 0,
+                        samples: total_n,
+                        bad: bad_n,
+                        burn: if *max > 0.0 {
+                            observed / *max
+                        } else {
+                            observed
+                        },
+                        observed,
+                    }],
+                }
+            }
             SloObjective::Zero { name, counter: c } => {
                 let v = counter(snapshot, c);
                 SloOutcome {
@@ -458,6 +521,61 @@ mod tests {
         assert!(!report.outcomes[0].breached);
         assert!(report.outcomes[1].breached);
         assert!((report.outcomes[1].windows[0].observed - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_objectives_bound_rates_and_target_deviation() {
+        let mut snap = MetricsSnapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+        };
+        snap.counters
+            .insert("quality.outliers_flagged".to_string(), 8);
+        snap.counters
+            .insert("quality.uploads_scored".to_string(), 100);
+        snap.counters
+            .insert("calibration.points_inside90".to_string(), 70);
+        snap.counters
+            .insert("calibration.points_scored".to_string(), 100);
+        let file = SloFile {
+            windows: SloWindows {
+                fast_us: 1,
+                slow_us: 2,
+            },
+            burn_threshold: Some(1.0),
+            objectives: vec![
+                SloObjective::Quality {
+                    name: "outlier-rate".to_string(),
+                    bad: "quality.outliers_flagged".to_string(),
+                    total: "quality.uploads_scored".to_string(),
+                    target: None,
+                    max: 0.05,
+                },
+                SloObjective::Quality {
+                    name: "coverage-error".to_string(),
+                    bad: "calibration.points_inside90".to_string(),
+                    total: "calibration.points_scored".to_string(),
+                    target: Some(0.90),
+                    max: 0.25,
+                },
+                SloObjective::Quality {
+                    name: "idle-no-breach".to_string(),
+                    bad: "quality.outliers_flagged".to_string(),
+                    total: "nonexistent.counter".to_string(),
+                    target: Some(0.90),
+                    max: 0.01,
+                },
+            ],
+        };
+        let report = evaluate_slos(&file, &[], Some(&snap));
+        // 8% outlier rate over a 5% ceiling: breach.
+        assert!(report.outcomes[0].breached);
+        assert!((report.outcomes[0].windows[0].observed - 0.08).abs() < 1e-12);
+        // Coverage 0.70 vs target 0.90 → deviation 0.20 ≤ 0.25: ok.
+        assert!(!report.outcomes[1].breached);
+        assert!((report.outcomes[1].windows[0].observed - 0.20).abs() < 1e-12);
+        // No scored points: never breaches.
+        assert!(!report.outcomes[2].breached);
     }
 
     #[test]

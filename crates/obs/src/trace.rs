@@ -264,6 +264,35 @@ pub fn set_ring_capacity(slots: usize) {
     RING_CAPACITY.store(slots.clamp(64, 1 << 20), Ordering::Relaxed);
 }
 
+/// Declarative tracing configuration, so drivers can size the capture
+/// ring for their workload instead of hard-coding a capacity and
+/// asserting drops never happen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Per-thread ring capacity in slots (clamped to `[64, 1 << 20]`
+    /// when applied). Rings created before [`configure_tracing`] keep
+    /// their old size.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 4096,
+        }
+    }
+}
+
+/// Apply a [`TraceConfig`] and enable tracing. Overflowing the ring is
+/// not fatal: drops are counted per drain into the
+/// `obs.trace_dropped` counter and reported in the journal header, so
+/// an undersized ring degrades to partial (but unbiased-at-the-tail)
+/// capture rather than aborting the run.
+pub fn configure_tracing(config: &TraceConfig) {
+    set_ring_capacity(config.ring_capacity);
+    set_tracing_enabled(true);
+}
+
 /// Monotonic nanoseconds since the process trace epoch.
 #[inline]
 pub fn now_ns() -> u64 {
@@ -436,6 +465,9 @@ pub fn drain_traces() -> TraceJournal {
         ring.taken.store(head, Ordering::Relaxed);
     }
     records.sort_by_key(|r| (r.start_ns, r.trace, r.stage.as_u8()));
+    if dropped > 0 {
+        crate::metrics::count(crate::names::CTR_TRACE_DROPPED, dropped);
+    }
     TraceJournal { records, dropped }
 }
 

@@ -83,6 +83,8 @@ fn all_variants() -> Vec<Event> {
         Event::Upload {
             accepted: 10,
             rejected: 1,
+            contributor: "alice".into(),
+            batch: 3,
             duration_us: 70,
         },
         Event::Saltelli {
@@ -146,6 +148,31 @@ fn all_variants() -> Vec<Event> {
             index: 13,
             kind: "timeout".into(),
             detail: "evaluation exceeded 600s deadline (simulated)".into(),
+            doc: 27,
+        },
+        Event::QualityScore {
+            iter: 9,
+            doc: 27,
+            contributor: "mallory".into(),
+            residual: Some(14.5),
+            score: Some(9.25),
+            flagged: true,
+            duplicate: false,
+        },
+        Event::Quarantine {
+            iter: 9,
+            doc: 27,
+            contributor: "mallory".into(),
+            reason: "outlier".into(),
+            state: "flagged".into(),
+        },
+        Event::Calibration {
+            model: "gp".into(),
+            points: 40,
+            coverage90: Some(0.875),
+            nll_pp: Some(1.25),
+            drift: crowdtune_obs::finite(f64::NAN),
+            best: Some(0.0625),
         },
         Event::Checkpoint {
             iter: 10,
@@ -195,11 +222,11 @@ fn every_variant_round_trips_bitwise() {
     }
     let back = read_journal(&path).unwrap();
     assert_eq!(back, events);
-    // All 22 kinds distinct.
+    // All 25 kinds distinct.
     let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 22);
+    assert_eq!(kinds.len(), 25);
     std::fs::remove_file(&path).ok();
 }
 

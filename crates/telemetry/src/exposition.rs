@@ -89,6 +89,53 @@ pub fn render_slo_prometheus(report: &crowdtune_obs::SloReport) -> String {
     out
 }
 
+/// Renders a fleet [`QualityRollup`](crate::quality::QualityRollup) in
+/// Prometheus text format: per-contributor gauges labelled by scenario
+/// and contributor (`crowdtune_quality_contributor_scored`,
+/// `..._flagged`, `..._quarantined`) and per-scenario calibration
+/// gauges (`crowdtune_calibration_coverage90`,
+/// `crowdtune_calibration_nll_per_point`). Deterministic sample order
+/// (BTreeMap iteration).
+pub fn render_quality_prometheus(rollup: &crate::quality::QualityRollup) -> String {
+    type Pick = fn(&crate::quality::ContributorAggregate) -> u64;
+    let families: [(&str, Pick); 3] = [
+        ("crowdtune_quality_contributor_scored", |a| a.scored),
+        ("crowdtune_quality_contributor_flagged", |a| a.flagged),
+        ("crowdtune_quality_contributor_quarantined", |a| {
+            a.quarantined
+        }),
+    ];
+    let mut out = String::new();
+    for (family, pick) in families {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (scen, sq) in &rollup.scenarios {
+            for (name, agg) in &sq.contributors {
+                out.push_str(&format!(
+                    "{family}{{scenario=\"{scen}\",contributor=\"{name}\"}} {}\n",
+                    pick(agg)
+                ));
+            }
+        }
+    }
+    out.push_str("# TYPE crowdtune_calibration_coverage90 gauge\n");
+    for (scen, sq) in &rollup.scenarios {
+        if let Some(cov) = sq.coverage90 {
+            out.push_str(&format!(
+                "crowdtune_calibration_coverage90{{scenario=\"{scen}\"}} {cov}\n"
+            ));
+        }
+    }
+    out.push_str("# TYPE crowdtune_calibration_nll_per_point gauge\n");
+    for (scen, sq) in &rollup.scenarios {
+        if let Some(nll) = sq.nll_pp {
+            out.push_str(&format!(
+                "crowdtune_calibration_nll_per_point{{scenario=\"{scen}\"}} {nll}\n"
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the current process-global metrics to `path`, creating parent
 /// directories as needed — the `--oneshot` CI mode.
 pub fn write_oneshot<P: AsRef<Path>>(path: P) -> std::io::Result<()> {
@@ -237,6 +284,48 @@ mod tests {
         assert!(text.contains("quantile=\"0.5\""));
         // Every non-comment line is `name[{labels}] value` with a numeric
         // value — the shape Prometheus's text parser requires.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("space-separated");
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+
+    #[test]
+    fn quality_rollup_renders_labelled_gauges() {
+        let mut roll = crate::quality::QualityRollup::new();
+        roll.ingest(
+            "hypre",
+            &[
+                crowdtune_obs::Event::QualityScore {
+                    iter: 0,
+                    doc: 1,
+                    contributor: "mallory".into(),
+                    residual: Some(10.0),
+                    score: Some(12.0),
+                    flagged: true,
+                    duplicate: false,
+                },
+                crowdtune_obs::Event::Calibration {
+                    model: "gp".into(),
+                    points: 8,
+                    coverage90: Some(0.875),
+                    nll_pp: Some(1.5),
+                    drift: None,
+                    best: None,
+                },
+            ],
+        );
+        let text = render_quality_prometheus(&roll);
+        assert!(text.contains("# TYPE crowdtune_quality_contributor_scored gauge"));
+        assert!(text.contains(
+            "crowdtune_quality_contributor_flagged{scenario=\"hypre\",contributor=\"mallory\"} 1"
+        ));
+        assert!(text.contains("crowdtune_calibration_coverage90{scenario=\"hypre\"} 0.875"));
+        assert!(text.contains("crowdtune_calibration_nll_per_point{scenario=\"hypre\"} 1.5"));
+        // Same line-shape contract as the main exposition.
         for line in text.lines() {
             if line.starts_with('#') {
                 continue;

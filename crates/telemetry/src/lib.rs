@@ -14,6 +14,9 @@
 //!   runs on machine X", "fit-time p50/p95 grouped by TLA algorithm" —
 //!   exact order-statistic percentiles, honoring per-record access
 //!   control.
+//! - [`quality`] rolls per-run quality/calibration events up into
+//!   per-scenario, per-contributor data-quality aggregates — which
+//!   contributor is being flagged, which surrogate is drifting.
 //! - [`exposition`] serves the live process metrics in Prometheus text
 //!   format from a dependency-free blocking HTTP listener (or a
 //!   `--oneshot` file for CI), without perturbing tuner determinism.
@@ -28,6 +31,7 @@ pub mod attribution;
 pub mod exposition;
 pub mod fleet;
 pub mod ingest;
+pub mod quality;
 
 pub use attribution::{
     assemble_ops, reconcile, render_attribution, tail_attribution, OpTrace, Reconciliation,
@@ -35,10 +39,12 @@ pub use attribution::{
 };
 pub use crowdtune_db::{Access, FleetQuery, RunRecord, TelemetryCollection};
 pub use exposition::{
-    render_prometheus, render_slo_prometheus, sanitize, scrape, write_oneshot, ExpositionServer,
+    render_prometheus, render_quality_prometheus, render_slo_prometheus, sanitize, scrape,
+    write_oneshot, ExpositionServer,
 };
 pub use fleet::{
     fleet_stage_percentiles, percentile_us, render_stage_table, stage_percentiles_by_tuner,
     StagePercentiles,
 };
 pub use ingest::{ingest_events, ingest_into, ingest_journal, IngestMeta};
+pub use quality::{render_quality_rollup, ContributorAggregate, QualityRollup, ScenarioQuality};
