@@ -33,21 +33,82 @@
 //!    `IncrementalGp` on the default refit schedule plus the reusable
 //!    `CandidatePool`.
 //!
+//! Two crowd-scale substrates cover the sparse surrogate tier:
+//!
+//! 6. `sparse_fit_acq_n2000` — exact GP build + 2000-candidate batched
+//!    acquisition vs `SparseGp::fit` (inducing selection, subset hyper
+//!    fit, Nyström assembly) + the same sweep, at the largest n where
+//!    the exact build is still runnable. The sparse tier must win by
+//!    ≥ 20x (asserted).
+//! 7. `sparse_scale_n100000` (`_n10000_smoke`) — sparse fit +
+//!    acquisition at crowd scale, serial vs fixed-chunk parallel
+//!    Nyström assembly, with the single-point predict latency tail
+//!    (p50/p99) emitted for the gate's `tail.` stat.
+//!
+//! The tune-loop substrate additionally reports heap-allocation counts
+//! for the pooled proposal path with and without the persistent
+//! `ProposalScratch` (buffer reuse must strictly reduce allocations;
+//! asserted).
+//!
 //! Run: `cargo run --release -p crowdtune-bench --bin bench_hotpath`.
-//! Pass `--smoke` to shrink the two loop substrates (and suffix their
-//! names with `_smoke` so the regression gate never compares smoke-scale
-//! stats against full-scale baselines) — that is what CI runs.
+//! Pass `--smoke` to shrink the loop and crowd-scale substrates (and
+//! suffix their names with `_smoke` so the regression gate never
+//! compares smoke-scale stats against full-scale baselines) — that is
+//! what CI runs.
 
-use crowdtune_core::acquisition::{propose_ei_failure_aware, propose_ei_pooled, CandidatePool};
+use crowdtune_core::acquisition::{
+    propose_ei_failure_aware, propose_ei_pooled, propose_ei_pooled_scratch, CandidatePool,
+    ProposalScratch,
+};
 use crowdtune_core::SearchOptions;
 use crowdtune_gp::{
     DimKind, Gp, GpConfig, IncrementalGp, Kernel, KernelKind, Lcm, LcmConfig, RefitSchedule,
-    TaskData,
+    SparseGp, SparseGpConfig, TaskData,
 };
 use crowdtune_linalg::{lbfgs, Cholesky, LbfgsOptions, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Heap-allocation counter for the scratch-reuse substrate: counts
+/// `alloc`/`realloc` calls (frees are not interesting) while armed.
+/// Counting costs one relaxed atomic increment, far below timing noise.
+struct CountingAlloc;
+
+static ALLOC_ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ALLOC_ARMED.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ALLOC_ARMED.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one run of `f`.
+fn count_allocs<F: FnOnce()>(f: F) -> u64 {
+    ALLOC_COUNT.store(0, Ordering::Relaxed);
+    ALLOC_ARMED.store(true, Ordering::Relaxed);
+    f();
+    ALLOC_ARMED.store(false, Ordering::Relaxed);
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 /// Median wall-clock nanoseconds of `reps` runs of `f`.
 fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
@@ -325,12 +386,25 @@ fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
     crowdtune_core::expected_improvement(mean, std, best)
 }
 
+/// Which proposal path the distilled BO loop exercises.
+#[derive(Clone, Copy, PartialEq)]
+enum LoopMode {
+    /// Pre-amortization tuner: from-scratch `Gp::fit` and a fresh
+    /// candidate sweep every iteration.
+    NaiveRefit,
+    /// `IncrementalGp` + `CandidatePool`, allocating a fresh candidate
+    /// `Vec<Vec<f64>>` per proposal (the pre-scratch shape).
+    Pooled,
+    /// Same, but through `propose_ei_pooled_scratch` with a persistent
+    /// [`ProposalScratch`]: candidate buffers are recycled across
+    /// iterations, so steady-state proposals allocate nothing.
+    PooledScratch,
+}
+
 /// One distilled BO iteration loop over a synthetic 3-d objective.
-/// `incremental = false` replays the pre-amortization tuner: a
-/// from-scratch `Gp::fit` and a fresh candidate sweep every iteration.
-/// `incremental = true` maintains an [`IncrementalGp`] on the default
-/// refit schedule and reuses a [`CandidatePool`].
-fn tune_loop(budget: usize, incremental: bool) -> f64 {
+/// All modes draw RNG in the same order, so they propose bitwise
+/// identical candidates given a mode-matching surrogate.
+fn tune_loop(budget: usize, mode: LoopMode) -> f64 {
     const D: usize = 3;
     const N_INIT: usize = 8;
     let objective =
@@ -347,6 +421,7 @@ fn tune_loop(budget: usize, incremental: bool) -> f64 {
     gp_config.max_opt_iter = 8;
     let mut surrogate = IncrementalGp::new(gp_config.clone(), RefitSchedule::default());
     let pool = CandidatePool::new(D, &opts, &mut rng);
+    let mut scratch = ProposalScratch::new();
     let mut x: Vec<Vec<f64>> = Vec::new();
     let mut y: Vec<f64> = Vec::new();
     for i in 0..budget {
@@ -359,25 +434,51 @@ fn tune_loop(budget: usize, incremental: bool) -> f64 {
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(i, &v)| (i, v))
                 .expect("non-empty");
-            if incremental {
-                let gp = surrogate.gp().expect("fitted");
-                propose_ei_pooled(
-                    gp,
-                    &pool,
-                    Some((&x[bi], by)),
-                    &x,
-                    &[],
-                    &opts,
-                    None,
-                    &mut rng,
-                )
-            } else {
-                let gp = Gp::fit(&x, &y, &gp_config, &mut rng).expect("fit");
-                propose_ei_failure_aware(&gp, D, Some((&x[bi], by)), &x, &[], &opts, None, &mut rng)
+            match mode {
+                LoopMode::NaiveRefit => {
+                    let gp = Gp::fit(&x, &y, &gp_config, &mut rng).expect("fit");
+                    propose_ei_failure_aware(
+                        &gp,
+                        D,
+                        Some((&x[bi], by)),
+                        &x,
+                        &[],
+                        &opts,
+                        None,
+                        &mut rng,
+                    )
+                }
+                LoopMode::Pooled => {
+                    let gp = surrogate.gp().expect("fitted");
+                    propose_ei_pooled(
+                        gp,
+                        &pool,
+                        Some((&x[bi], by)),
+                        &x,
+                        &[],
+                        &opts,
+                        None,
+                        &mut rng,
+                    )
+                }
+                LoopMode::PooledScratch => {
+                    let gp = surrogate.gp().expect("fitted");
+                    propose_ei_pooled_scratch(
+                        gp,
+                        &pool,
+                        Some((&x[bi], by)),
+                        &x,
+                        &[],
+                        &opts,
+                        None,
+                        &mut rng,
+                        &mut scratch,
+                    )
+                }
             }
         };
         let value = objective(&cand);
-        if incremental {
+        if mode != LoopMode::NaiveRefit {
             surrogate.observe(&cand, value, &mut rng).expect("observe");
         }
         x.push(cand);
@@ -513,7 +614,7 @@ fn main() {
     }
 
     // Substrate 5: the end-to-end BO loop, per-iteration refit vs the
-    // amortized schedule + reusable candidate pool.
+    // amortized schedule + reusable candidate pool + proposal scratch.
     {
         let (budget, reps, name) = if smoke {
             (48, 1, "tune_loop_n48_smoke")
@@ -521,12 +622,146 @@ fn main() {
             (260, 3, "tune_loop_n260")
         };
         let before = median_ns(reps, || {
-            std::hint::black_box(tune_loop(budget, false));
+            std::hint::black_box(tune_loop(budget, LoopMode::NaiveRefit));
         });
         let after = median_ns(reps, || {
-            std::hint::black_box(tune_loop(budget, true));
+            std::hint::black_box(tune_loop(budget, LoopMode::PooledScratch));
         });
+        // Scratch-reuse verification: the same pooled loop with and
+        // without the persistent `ProposalScratch`. Recycled candidate
+        // buffers must strictly cut the heap-allocation count.
+        let allocs_pooled = count_allocs(|| {
+            std::hint::black_box(tune_loop(budget, LoopMode::Pooled));
+        });
+        let allocs_scratch = count_allocs(|| {
+            std::hint::black_box(tune_loop(budget, LoopMode::PooledScratch));
+        });
+        assert!(
+            allocs_scratch < allocs_pooled,
+            "ProposalScratch must reduce allocations: scratch {allocs_scratch} \
+             vs pooled {allocs_pooled}"
+        );
+        eprintln!(
+            "tune_loop allocations: pooled {allocs_pooled}, scratch {allocs_scratch} \
+             ({:.1}% fewer)",
+            100.0 * (1.0 - allocs_scratch as f64 / allocs_pooled.max(1) as f64)
+        );
+        rows.push(substrate_row_ext(
+            name,
+            before,
+            after,
+            &format!(", \"allocs_before\": {allocs_pooled}, \"allocs_after\": {allocs_scratch}"),
+        ));
+    }
+
+    // Substrate 6: the crowd-scale tier at the largest exact-runnable n.
+    // Before: exact GP build (O(n³) Cholesky) + a 2000-candidate batched
+    // acquisition sweep. After: `SparseGp::fit` — inducing selection,
+    // subset hyperparameter fit, Nyström assembly — + the same sweep at
+    // O(m²) per candidate. The ≥20x floor is the PR's headline claim
+    // and is asserted, not just reported.
+    {
+        let (n, reps, name) = if smoke {
+            (2000, 1, "sparse_fit_acq_n2000_smoke")
+        } else {
+            (2000, 3, "sparse_fit_acq_n2000")
+        };
+        let d = 4;
+        let x = unit_points(n, d, 71);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).sin() + p[1] * p[2]).collect();
+        let mut kernel = Kernel::new(KernelKind::Matern52, vec![DimKind::Continuous; d]);
+        for l in kernel.log_lengthscales.iter_mut() {
+            *l = (0.3f64).ln();
+        }
+        let log_noise = (1e-4f64).ln();
+        let cands = unit_points(2000, d, 72);
+        let best = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ei_argmax = |preds: &[crowdtune_gp::Prediction]| {
+            let mut best_score = f64::NEG_INFINITY;
+            let mut best_idx = 0;
+            for (i, p) in preds.iter().enumerate() {
+                let sc = expected_improvement(p.mean, p.std, best);
+                if sc.is_finite() && sc > best_score {
+                    best_score = sc;
+                    best_idx = i;
+                }
+            }
+            best_idx
+        };
+        let before = median_ns(reps, || {
+            let gp = Gp::with_hypers(kernel.clone(), log_noise, &x, &y).unwrap();
+            std::hint::black_box(ei_argmax(&gp.predict_batch(&cands)));
+        });
+        let mut scfg = SparseGpConfig::continuous(d);
+        scfg.base.restarts = 0;
+        scfg.base.max_opt_iter = 8;
+        let after = median_ns(reps, || {
+            let mut rng = StdRng::seed_from_u64(73);
+            let sparse = SparseGp::fit(&x, &y, &scfg, &mut rng).unwrap();
+            std::hint::black_box(ei_argmax(&sparse.predict_batch(&cands)));
+        });
+        let speedup = before as f64 / after.max(1) as f64;
+        assert!(
+            speedup >= 20.0,
+            "sparse tier must beat exact by >= 20x at n = {n} (got {speedup:.1}x)"
+        );
+        eprintln!("sparse vs exact at n = {n}: {speedup:.1}x");
         rows.push(substrate_row(name, before, after));
+    }
+
+    // Substrate 7: sparse fit + acquisition at crowd scale — n where the
+    // exact GP is simply not runnable. Before: serial Nyström assembly;
+    // after: the fixed-chunk parallel assembly + batched predictions
+    // (bitwise identical outputs, see the gp crate's assembly test). The
+    // per-candidate predict latency distribution feeds the gate's
+    // `tail.` stat, pinning the O(m²) predict tail at crowd scale.
+    {
+        let (n, name) = if smoke {
+            (10_000, "sparse_scale_n10000_smoke")
+        } else {
+            (100_000, "sparse_scale_n100000")
+        };
+        let d = 4;
+        let x = unit_points(n, d, 81);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).sin() + p[1] * p[2]).collect();
+        let cands = unit_points(2000, d, 82);
+        let mut serial_cfg = SparseGpConfig::continuous(d);
+        serial_cfg.base.restarts = 0;
+        serial_cfg.base.max_opt_iter = 8;
+        serial_cfg.base.parallel = false;
+        let mut par_cfg = serial_cfg.clone();
+        par_cfg.base.parallel = true;
+        let before = median_ns(1, || {
+            let mut rng = StdRng::seed_from_u64(83);
+            let sparse = SparseGp::fit(&x, &y, &serial_cfg, &mut rng).unwrap();
+            std::hint::black_box(sparse.predict_batch(&cands).len());
+        });
+        let mut fitted = None;
+        let after = median_ns(1, || {
+            let mut rng = StdRng::seed_from_u64(83);
+            let sparse = SparseGp::fit(&x, &y, &par_cfg, &mut rng).unwrap();
+            std::hint::black_box(sparse.predict_batch(&cands).len());
+            fitted = Some(sparse);
+        });
+        let sparse = fitted.expect("fitted above");
+        // Single-point predict latency tail over the candidate sweep.
+        let mut lat: Vec<u128> = cands
+            .iter()
+            .map(|c| {
+                let t0 = Instant::now();
+                std::hint::black_box(sparse.predict(c));
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        lat.sort_unstable();
+        let p50 = lat[lat.len() / 2];
+        let p99 = lat[lat.len() * 99 / 100];
+        rows.push(substrate_row_ext(
+            name,
+            before,
+            after,
+            &format!(", \"p50_ns\": {p50}, \"p99_ns\": {p99}"),
+        ));
     }
 
     let json = format!(
@@ -540,9 +775,16 @@ fn main() {
 }
 
 fn substrate_row(name: &str, before_ns: u128, after_ns: u128) -> String {
+    substrate_row_ext(name, before_ns, after_ns, "")
+}
+
+/// A substrate row with extra JSON fields (`extra` must start with a
+/// comma or be empty); the gate parses known fields and ignores the
+/// rest.
+fn substrate_row_ext(name: &str, before_ns: u128, after_ns: u128, extra: &str) -> String {
     let speedup = before_ns as f64 / after_ns.max(1) as f64;
     format!(
         "    {{\"name\": \"{name}\", \"median_ns_before\": {before_ns}, \
-         \"median_ns_after\": {after_ns}, \"speedup\": {speedup:.3}}}"
+         \"median_ns_after\": {after_ns}, \"speedup\": {speedup:.3}{extra}}}"
     )
 }

@@ -27,7 +27,7 @@
 
 use crowdtune_apps::{Application, DemoFunction};
 use crowdtune_bench::{arg_value, upload_source_data};
-use crowdtune_core::tuner::{tune_notla, tune_tla_constrained, TuneConfig};
+use crowdtune_core::tuner::{tune_notla, tune_tla_constrained, SurrogateTier, TuneConfig};
 use crowdtune_core::{
     dims_of, records_to_dataset, QualityConfig, QualityScorer, SourceTask, WeightedSum,
 };
@@ -196,6 +196,30 @@ fn main() {
         notla.best().map(|(_, y)| y),
         notla.stats.surrogate_refits,
         notla.stats.iterations,
+    );
+
+    // --- NoTLA with a crowd-scale tier threshold: tierswitch event ------
+    // A threshold far below the budget forces the escalation from the
+    // exact GP to the sparse inducing-point tier mid-run, so the journal
+    // deterministically carries a `tierswitch` event (and the sparse
+    // tier's own refit/reselection events).
+    let mut tier_rng = StdRng::seed_from_u64(0x71E2);
+    let mut tier_objective =
+        |p: &Point| target.evaluate(p, &mut tier_rng).map_err(|e| e.to_string());
+    let tier_config = TuneConfig {
+        budget: budget.max(14),
+        seed: 0xC0FFEE,
+        tier: SurrogateTier {
+            threshold: 8,
+            m_inducing: 6,
+        },
+        ..Default::default()
+    };
+    let tiered = tune_notla(&space, &mut tier_objective, &tier_config);
+    eprintln!(
+        "notla (sparse tier): best {:?} across {} iterations",
+        tiered.best().map(|(_, y)| y),
+        tiered.stats.iterations,
     );
 
     // --- Data-quality scoring: qualityscore + quarantine events ---------

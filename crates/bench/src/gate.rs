@@ -53,6 +53,13 @@ struct HotpathSubstrate {
     name: String,
     median_ns_after: u64,
     speedup: f64,
+    /// Optional single-operation latency quantiles (the sparse-tier
+    /// substrates emit the per-candidate predict tail). When both are
+    /// present the gate tracks `tail.<name>` = p99/p50.
+    #[serde(default)]
+    p50_ns: Option<f64>,
+    #[serde(default)]
+    p99_ns: Option<f64>,
 }
 
 /// The `crowd` detail block `crowd_load` merges into the hotpath file.
@@ -103,6 +110,14 @@ pub fn collect_stats(
     for sub in &hotpath.substrates {
         if sub.speedup > 0.0 {
             stats.insert(format!("cost.{}", sub.name), 1.0 / sub.speedup);
+        }
+        // Per-operation latency tail (dimensionless, higher-is-worse):
+        // a predict path that grows a lock, an allocation, or a cache
+        // pathology fattens p99 long before the median moves.
+        if let (Some(p50), Some(p99)) = (sub.p50_ns, sub.p99_ns) {
+            if p50 > 0.0 {
+                stats.insert(format!("tail.{}", sub.name), p99 / p50);
+            }
         }
         if sub.name == "matmul_256" {
             matmul_ns = Some(sub.median_ns_after as f64);
@@ -299,6 +314,26 @@ mod tests {
         // 10_000 us mean * 1000 / 5_000_000 ns matmul = 2.0
         assert!((stats["norm.fit"] - 2.0).abs() < 1e-12);
         assert!(!stats.contains_key("norm.acquisition"), "no acq events");
+    }
+
+    #[test]
+    fn substrate_latency_quantiles_contribute_a_tail_stat() {
+        let hotpath = r#"{
+          "threads": 4,
+          "substrates": [
+            {"name": "sparse_scale_n10000_smoke", "median_ns_before": 900000, "median_ns_after": 300000,
+             "speedup": 3.0, "p50_ns": 4000, "p99_ns": 14000},
+            {"name": "tune_loop_n48_smoke", "median_ns_before": 200, "median_ns_after": 100,
+             "speedup": 2.0, "allocs_before": 5000, "allocs_after": 900}
+          ]
+        }"#;
+        let (threads, stats) = collect_stats(hotpath, &[]).unwrap();
+        assert_eq!(threads, 4);
+        assert!((stats["tail.sparse_scale_n10000_smoke"] - 3.5).abs() < 1e-12);
+        assert!((stats["cost.sparse_scale_n10000_smoke"] - 1.0 / 3.0).abs() < 1e-12);
+        // Quantile-free substrates (with or without extra fields like
+        // allocation counts) contribute no tail stat.
+        assert!(!stats.contains_key("tail.tune_loop_n48_smoke"));
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub trait Surrogate: Sync {
     /// into one contiguous chunk per thread and calls
     /// [`Surrogate::predict`] per point — each point's computation is
     /// independent, so the result is identical at any thread count.
+    /// A trailing remainder smaller than a full chunk is merged into the
+    /// final chunk instead of becoming a pathologically small extra one
+    /// (n=65 on 8 threads runs 6×9 + 1×11, not 7×9 + 1×2).
     /// Implementors with a cheaper native batched path may override.
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
         let threads = rayon::current_num_threads();
@@ -36,9 +39,21 @@ pub trait Surrogate: Sync {
             return xs.iter().map(|x| self.predict(x)).collect();
         }
         let chunk = xs.len().div_ceil(threads);
-        let per_chunk: Vec<Vec<(f64, f64)>> = xs
-            .par_chunks(chunk)
-            .map(|c| c.iter().map(|x| self.predict(x)).collect())
+        let n_chunks = (xs.len() / chunk).max(1);
+        let ranges: Vec<(usize, usize)> = (0..n_chunks)
+            .map(|i| {
+                let start = i * chunk;
+                let end = if i + 1 == n_chunks {
+                    xs.len()
+                } else {
+                    (i + 1) * chunk
+                };
+                (start, end)
+            })
+            .collect();
+        let per_chunk: Vec<Vec<(f64, f64)>> = ranges
+            .par_iter()
+            .map(|&(s, e)| xs[s..e].iter().map(|x| self.predict(x)).collect())
             .collect();
         per_chunk.into_iter().flatten().collect()
     }
@@ -60,6 +75,40 @@ impl Surrogate for crowdtune_gp::Gp {
 
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
         crowdtune_gp::Gp::predict_batch(self, xs)
+            .into_iter()
+            .map(|p| (p.mean, p.std))
+            .collect()
+    }
+}
+
+/// The crowd-scale sparse GP is a surrogate directly; its native batch
+/// path hoists the θ constants and kernel-row scratch once per batch
+/// and predicts in O(m²) per point.
+impl Surrogate for crowdtune_gp::SparseGp {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let p = crowdtune_gp::SparseGp::predict(self, x);
+        (p.mean, p.std)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        crowdtune_gp::SparseGp::predict_batch(self, xs)
+            .into_iter()
+            .map(|p| (p.mean, p.std))
+            .collect()
+    }
+}
+
+/// The partitioned local-expert ensemble is a surrogate directly; its
+/// native batch path runs every expert's own batched prediction (each
+/// hoisting its factorizations once) before the per-point gPoE merge.
+impl Surrogate for crowdtune_gp::LocalExperts {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let p = crowdtune_gp::LocalExperts::predict(self, x);
+        (p.mean, p.std)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        crowdtune_gp::LocalExperts::predict_batch(self, xs)
             .into_iter()
             .map(|p| (p.mean, p.std))
             .collect()
@@ -291,37 +340,120 @@ pub fn propose_ei_constrained<S: Surrogate, R: Rng>(
     score_candidates(surrogate, candidates, incumbent, opts)
 }
 
+/// Reusable per-proposal buffers: the candidate set, its scores, and a
+/// build row. A tuning loop allocates one of these and threads it
+/// through every proposal; candidate `Vec`s, the score vector, and the
+/// perturbation row are then recycled instead of being rebuilt (several
+/// hundred allocations) on every iteration. Purely an allocation cache —
+/// proposals through a scratch are bitwise-identical to the scratchless
+/// path.
+#[derive(Debug, Default)]
+pub struct ProposalScratch {
+    /// Candidate buffer freelist; the first `n` entries are live.
+    bufs: Vec<Vec<f64>>,
+    /// Live candidates this proposal.
+    n: usize,
+    /// Score buffer, reused across proposals.
+    scores: Vec<f64>,
+    /// Build row for perturbation/fallback candidates.
+    tmp: Vec<f64>,
+}
+
+impl ProposalScratch {
+    /// An empty scratch; buffers grow to steady state over the first
+    /// proposal and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new proposal: forget live candidates, keep the buffers.
+    fn begin(&mut self) {
+        self.n = 0;
+    }
+
+    /// Append a candidate by copying `src` into a recycled buffer.
+    fn push_from(&mut self, src: &[f64]) {
+        if self.n < self.bufs.len() {
+            let buf = &mut self.bufs[self.n];
+            buf.clear();
+            buf.extend_from_slice(src);
+        } else {
+            self.bufs.push(src.to_vec());
+        }
+        self.n += 1;
+    }
+
+    /// The live candidates.
+    fn active(&self) -> &[Vec<f64>] {
+        &self.bufs[..self.n]
+    }
+
+    /// Order-preserving retain over the live candidates; dropped
+    /// buffers stay on the freelist.
+    fn retain_active(&mut self, mut keep: impl FnMut(&[f64]) -> bool) {
+        let mut w = 0;
+        for r in 0..self.n {
+            if keep(&self.bufs[r]) {
+                if w != r {
+                    self.bufs.swap(w, r);
+                }
+                w += 1;
+            }
+        }
+        self.n = w;
+    }
+}
+
 fn score_candidates<S: Surrogate>(
     surrogate: &S,
-    mut candidates: Vec<Vec<f64>>,
+    candidates: Vec<Vec<f64>>,
+    incumbent: Option<(&[f64], f64)>,
+    opts: &SearchOptions,
+) -> Vec<f64> {
+    let n = candidates.len();
+    let mut scratch = ProposalScratch {
+        bufs: candidates,
+        n,
+        ..ProposalScratch::default()
+    };
+    score_candidates_scratch(surrogate, &mut scratch, incumbent, opts)
+}
+
+fn score_candidates_scratch<S: Surrogate>(
+    surrogate: &S,
+    scratch: &mut ProposalScratch,
     incumbent: Option<(&[f64], f64)>,
     opts: &SearchOptions,
 ) -> Vec<f64> {
     let acq_span = obs::span(obs::names::SPAN_ACQUISITION);
-    obs::count(obs::names::CTR_ACQ_CANDIDATES, candidates.len() as u64);
+    obs::count(obs::names::CTR_ACQ_CANDIDATES, scratch.n as u64);
     // One batched prediction pass (parallel over candidate chunks), then
     // a serial first-wins argmax so ties and non-finite scores resolve
     // exactly as a per-point loop in candidate order would.
-    let predictions = surrogate.predict_batch(&candidates);
-    let scores: Vec<f64> = match (opts.acquisition, incumbent) {
-        (AcquisitionKind::ExpectedImprovement, Some((_, best))) => predictions
-            .iter()
-            .map(|&(m, s)| expected_improvement(m, s, best))
-            .collect(),
-        (AcquisitionKind::LowerConfidenceBound { kappa }, _) => predictions
-            .iter()
-            .map(|&(m, s)| -lower_confidence_bound(m, s, kappa))
-            .collect(),
+    let predictions = surrogate.predict_batch(scratch.active());
+    scratch.scores.clear();
+    match (opts.acquisition, incumbent) {
+        (AcquisitionKind::ExpectedImprovement, Some((_, best))) => scratch.scores.extend(
+            predictions
+                .iter()
+                .map(|&(m, s)| expected_improvement(m, s, best)),
+        ),
+        (AcquisitionKind::LowerConfidenceBound { kappa }, _) => scratch.scores.extend(
+            predictions
+                .iter()
+                .map(|&(m, s)| -lower_confidence_bound(m, s, kappa)),
+        ),
         // No observation yet: minimize LCB (exploit the transferred
         // prior, with an exploration bonus).
-        (AcquisitionKind::ExpectedImprovement, None) => predictions
-            .iter()
-            .map(|&(m, s)| -lower_confidence_bound(m, s, 1.0))
-            .collect(),
+        (AcquisitionKind::ExpectedImprovement, None) => scratch.scores.extend(
+            predictions
+                .iter()
+                .map(|&(m, s)| -lower_confidence_bound(m, s, 1.0)),
+        ),
     };
     let mut best_score = f64::NEG_INFINITY;
     let mut best_idx = 0;
-    for (i, &s) in scores.iter().enumerate() {
+    for (i, &s) in scratch.scores.iter().enumerate() {
         if s.is_finite() && s > best_score {
             best_score = s;
             best_idx = i;
@@ -334,11 +466,12 @@ fn score_candidates<S: Surrogate>(
             (AcquisitionKind::LowerConfidenceBound { .. }, _) => "lcb",
         }
         .to_string(),
-        candidates: scores.len() as u64,
+        candidates: scratch.n as u64,
         best_score: obs::finite(best_score),
         duration_us: acq_span.elapsed_ns() / 1_000,
     });
-    candidates.swap_remove(best_idx)
+    // Clone (not remove) the winner so its buffer stays on the freelist.
+    scratch.bufs[best_idx].clone()
 }
 
 fn generate_candidates<R: Rng>(
@@ -445,16 +578,19 @@ impl CandidatePool {
         self.uniform.is_empty()
     }
 
-    /// Per-iteration candidate set: the cached uniforms (minus any that
-    /// are now too close to an evaluated point) plus fresh local
-    /// perturbations around the incumbent.
-    fn candidates<R: Rng>(
+    /// Per-iteration candidate set written into a [`ProposalScratch`]:
+    /// the cached uniforms (minus any that are now too close to an
+    /// evaluated point) plus fresh local perturbations around the
+    /// incumbent, all built in recycled buffers.
+    fn fill_candidates<R: Rng>(
         &self,
+        scratch: &mut ProposalScratch,
         incumbent: Option<&[f64]>,
         evaluated: &[Vec<f64>],
         opts: &SearchOptions,
         rng: &mut R,
-    ) -> Vec<Vec<f64>> {
+    ) {
+        scratch.begin();
         let too_close = |c: &[f64]| {
             evaluated.iter().any(|e| {
                 e.iter()
@@ -464,21 +600,73 @@ impl CandidatePool {
                     <= opts.dedup_radius
             })
         };
-        let mut out: Vec<Vec<f64>> = self
-            .uniform
-            .iter()
-            .filter(|c| !too_close(c))
-            .cloned()
-            .collect();
+        for c in &self.uniform {
+            if !too_close(c) {
+                scratch.push_from(c);
+            }
+        }
+        let mut tmp = std::mem::take(&mut scratch.tmp);
         if let Some(inc) = incumbent {
-            push_local_candidates(&mut out, inc, opts, &too_close, rng);
+            for &scale in &opts.local_scales {
+                for _ in 0..opts.n_local {
+                    tmp.clear();
+                    for &v in inc {
+                        // Box-Muller normal perturbation, clamped to the
+                        // cube — same draws as `push_local_candidates`.
+                        let u1: f64 = rng.gen::<f64>().max(1e-12);
+                        let u2: f64 = rng.gen();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        tmp.push((v + scale * z).clamp(0.0, 1.0 - 1e-12));
+                    }
+                    snap(&mut tmp, &opts.cells);
+                    if !too_close(&tmp) {
+                        scratch.push_from(&tmp);
+                    }
+                }
+            }
         }
-        if out.is_empty() {
-            let mut c: Vec<f64> = (0..self.dim).map(|_| rng.gen::<f64>()).collect();
-            snap(&mut c, &opts.cells);
-            out.push(c);
+        if scratch.n == 0 {
+            tmp.clear();
+            tmp.extend((0..self.dim).map(|_| rng.gen::<f64>()));
+            snap(&mut tmp, &opts.cells);
+            scratch.push_from(&tmp);
         }
-        out
+        scratch.tmp = tmp;
+    }
+}
+
+/// [`apply_failure_exclusion`] over a scratch's live candidates: same
+/// semantics (never empties the pool; journals what it removed), no
+/// buffer churn.
+fn apply_failure_exclusion_scratch(
+    scratch: &mut ProposalScratch,
+    failed: &[Vec<f64>],
+    radius: f64,
+) {
+    if failed.is_empty() || radius <= 0.0 {
+        return;
+    }
+    let far = |c: &[f64]| {
+        failed.iter().all(|f| {
+            f.iter()
+                .zip(c)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+                > radius
+        })
+    };
+    if scratch.active().iter().any(|c| far(c)) {
+        let before = scratch.n;
+        scratch.retain_active(far);
+        let removed = before - scratch.n;
+        if removed > 0 {
+            obs::count(obs::names::CTR_ACQ_EXCLUDED, removed as u64);
+            obs::record_with(|| obs::Event::Exclusion {
+                failed: failed.len() as u64,
+                removed: removed as u64,
+                pool: scratch.n as u64,
+            });
+        }
     }
 }
 
@@ -496,17 +684,47 @@ pub fn propose_ei_pooled<S: Surrogate, R: Rng>(
     valid: Option<&ValidityFn<'_>>,
     rng: &mut R,
 ) -> Vec<f64> {
-    let mut candidates = pool.candidates(incumbent.map(|(x, _)| x), evaluated, opts, rng);
-    apply_failure_exclusion(&mut candidates, failed, opts.failure_radius);
+    let mut scratch = ProposalScratch::new();
+    propose_ei_pooled_scratch(
+        surrogate,
+        pool,
+        incumbent,
+        evaluated,
+        failed,
+        opts,
+        valid,
+        rng,
+        &mut scratch,
+    )
+}
+
+/// [`propose_ei_pooled`] threading a caller-owned [`ProposalScratch`]
+/// so candidate, score, and perturbation buffers are recycled across a
+/// run's proposals instead of reallocated each iteration. Proposals are
+/// bitwise-identical to [`propose_ei_pooled`].
+#[allow(clippy::too_many_arguments)]
+pub fn propose_ei_pooled_scratch<S: Surrogate, R: Rng>(
+    surrogate: &S,
+    pool: &CandidatePool,
+    incumbent: Option<(&[f64], f64)>,
+    evaluated: &[Vec<f64>],
+    failed: &[Vec<f64>],
+    opts: &SearchOptions,
+    valid: Option<&ValidityFn<'_>>,
+    rng: &mut R,
+    scratch: &mut ProposalScratch,
+) -> Vec<f64> {
+    pool.fill_candidates(scratch, incumbent.map(|(x, _)| x), evaluated, opts, rng);
+    apply_failure_exclusion_scratch(scratch, failed, opts.failure_radius);
     if let Some(valid) = valid {
-        candidates.retain(|c| valid(c));
+        scratch.retain_active(|c| valid(c));
     }
-    if candidates.is_empty() {
+    if scratch.n == 0 {
         // The cached sweep was entirely excluded: fall back to the fresh
         // generator, which rejection-samples feasible points.
         return propose_ei_constrained(surrogate, pool.dim, incumbent, evaluated, opts, valid, rng);
     }
-    score_candidates(surrogate, candidates, incumbent, opts)
+    score_candidates_scratch(surrogate, scratch, incumbent, opts)
 }
 
 #[cfg(test)]
@@ -656,6 +874,64 @@ mod tests {
                 &mut rng,
             );
             assert!(x.iter().all(|&v| (0.0..1.0).contains(&v)), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_default_matches_per_point_at_awkward_sizes() {
+        // n=65 on 8 threads used to produce a 2-point tail chunk; the
+        // merged-remainder split must still reproduce per-point results
+        // bitwise at any thread count (CI re-runs this under
+        // RAYON_NUM_THREADS=1/2/8).
+        let surrogate = |x: &[f64]| ((x[0] * 37.0).sin() * x[1], (x[1] * 11.0).cos().abs());
+        for n in [64usize, 65, 66, 127, 129] {
+            let xs: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![i as f64 / n as f64, (i * 7 % n) as f64 / n as f64])
+                .collect();
+            let batch = Surrogate::predict_batch(&surrogate, &xs);
+            assert_eq!(batch.len(), n);
+            for (x, b) in xs.iter().zip(batch.iter()) {
+                assert_eq!(*b, surrogate(x), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_proposals_match_scratchless_bitwise() {
+        let surrogate = |x: &[f64]| ((x[0] - 0.25).powi(2), 0.05);
+        let opts = SearchOptions::default();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let pool_a = CandidatePool::new(1, &opts, &mut rng_a);
+        let pool_b = CandidatePool::new(1, &opts, &mut rng_b);
+        let mut scratch = ProposalScratch::new();
+        let inc = vec![0.9];
+        let failed = vec![vec![0.6]];
+        let mut evaluated = vec![inc.clone()];
+        for i in 0..5 {
+            let a = propose_ei_pooled(
+                &surrogate,
+                &pool_a,
+                Some((inc.as_slice(), 0.42)),
+                &evaluated,
+                &failed,
+                &opts,
+                None,
+                &mut rng_a,
+            );
+            let b = propose_ei_pooled_scratch(
+                &surrogate,
+                &pool_b,
+                Some((inc.as_slice(), 0.42)),
+                &evaluated,
+                &failed,
+                &opts,
+                None,
+                &mut rng_b,
+                &mut scratch,
+            );
+            assert_eq!(a, b, "iteration {i}");
+            evaluated.push(a);
         }
     }
 

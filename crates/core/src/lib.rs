@@ -24,10 +24,14 @@
 //! - [`quality`] — observe-only data-quality scoring of crowd uploads:
 //!   held-out standardized-residual outlier detection, duplicate-config
 //!   disagreement, and per-contributor trust statistics (DESIGN.md §12).
+//! - [`agreement`] — the EI-ranking agreement harness: top-k overlap and
+//!   Spearman rank correlation between two surrogates' acquisition
+//!   rankings, the accuracy gate for the sparse tier (DESIGN.md §13).
 
 #![warn(missing_docs)]
 
 pub mod acquisition;
+pub mod agreement;
 pub mod analytics;
 pub mod checkpoint;
 pub mod data;
@@ -38,9 +42,10 @@ pub mod tuner;
 pub mod utilities;
 
 pub use acquisition::{
-    expected_improvement, lower_confidence_bound, AcquisitionKind, CandidatePool, LcmTaskSurrogate,
-    SearchOptions, Surrogate,
+    expected_improvement, lower_confidence_bound, propose_ei_pooled_scratch, AcquisitionKind,
+    CandidatePool, LcmTaskSurrogate, ProposalScratch, SearchOptions, Surrogate,
 };
+pub use agreement::{ei_ranking_agreement, AgreementReport};
 pub use analytics::{
     detect_variability, loo_validation, morris_screening_of_session, LooValidation,
     VariabilityReport,
@@ -59,7 +64,7 @@ pub use tla::{SourceTask, TlaContext, TlaStrategy};
 pub use tuner::{
     dims_of, resume_notla_from_checkpoint, resume_tla_from_checkpoint, tune_notla,
     tune_notla_constrained, tune_notla_with_quality, tune_tla, tune_tla_constrained, Constraint,
-    EvalRecord, RunStats, TuneConfig, TuneResult,
+    EvalRecord, RunStats, SurrogateTier, TuneConfig, TuneResult,
 };
 pub use utilities::{
     query_predict_output, query_sensitivity_analysis, query_surrogate_model,

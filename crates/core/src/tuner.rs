@@ -10,7 +10,9 @@
 //! note: with no target data there is nothing for dynamic weights or the
 //! LCM to use).
 
-use crate::acquisition::{propose_ei_pooled, CandidatePool, SearchOptions, ValidityFn};
+use crate::acquisition::{
+    propose_ei_pooled_scratch, CandidatePool, ProposalScratch, SearchOptions, ValidityFn,
+};
 use crate::checkpoint::{
     is_transient_error, CheckpointRecord, Checkpointing, ResumeError, RetryPolicy, TunerCheckpoint,
 };
@@ -18,7 +20,10 @@ use crate::data::Dataset;
 use crate::quality::QualityScorer;
 use crate::tla::weighted::WeightedSum;
 use crate::tla::{SourceTask, TlaContext, TlaStrategy};
-use crowdtune_gp::{CalibrationTracker, DimKind, GpConfig, IncrementalGp, RefitSchedule};
+use crowdtune_gp::{
+    CalibrationTracker, DimKind, Gp, GpConfig, IncrementalGp, IncrementalSparseGp, Prediction,
+    RefitSchedule, SparseGpConfig,
+};
 use crowdtune_obs as obs;
 use crowdtune_space::{sample_lhs, Domain, Point, Space};
 use rand::rngs::StdRng;
@@ -48,6 +53,9 @@ pub struct TuneConfig {
     pub retry: RetryPolicy,
     /// Periodic checkpointing through a durable store; `None` disables.
     pub checkpoint: Option<Checkpointing>,
+    /// When the `NoTLA` surrogate escalates from the exact GP to the
+    /// crowd-scale sparse tier (see [`SurrogateTier`]).
+    pub tier: SurrogateTier,
 }
 
 impl Default for TuneConfig {
@@ -61,6 +69,59 @@ impl Default for TuneConfig {
             refit: RefitSchedule::default(),
             retry: RetryPolicy::default(),
             checkpoint: None,
+            tier: SurrogateTier::default(),
+        }
+    }
+}
+
+/// The surrogate-tier escalation policy: exact GP below the threshold,
+/// inducing-point sparse GP above it.
+///
+/// Below the threshold the policy consumes **zero** extra RNG draws and
+/// performs no extra work, so sub-threshold runs are byte-identical to
+/// the pure exact-GP tuner. The switch itself is journaled (`tierswitch`
+/// event, `tune.tier_switches` counter) and is a deterministic function
+/// of (seed, schedule, history) — never of thread count or timing.
+#[derive(Debug, Clone)]
+pub struct SurrogateTier {
+    /// Successful observations at which the sparse tier takes over.
+    /// `usize::MAX` disables escalation entirely.
+    pub threshold: usize,
+    /// Inducing points `m` for the sparse tier.
+    pub m_inducing: usize,
+}
+
+impl Default for SurrogateTier {
+    fn default() -> Self {
+        SurrogateTier {
+            threshold: 1024,
+            m_inducing: 128,
+        }
+    }
+}
+
+/// The tiered `NoTLA` surrogate: exact below the escalation threshold,
+/// sparse above it.
+enum TierSurrogate {
+    Exact(IncrementalGp),
+    Sparse(IncrementalSparseGp),
+}
+
+impl TierSurrogate {
+    /// Posterior prediction through whichever tier holds a model.
+    fn predict_opt(&self, x: &[f64]) -> Option<Prediction> {
+        match self {
+            TierSurrogate::Exact(inc) => inc.gp().map(|g| g.predict(x)),
+            TierSurrogate::Sparse(inc) => inc.gp().map(|g| g.predict(x)),
+        }
+    }
+
+    /// The exact GP, when the exact tier is active and fitted. The
+    /// quality scorer's final sweep is exact-GP-only by design.
+    fn exact_gp(&self) -> Option<&Gp> {
+        match self {
+            TierSurrogate::Exact(inc) => inc.gp(),
+            TierSurrogate::Sparse(_) => None,
         }
     }
 }
@@ -247,15 +308,19 @@ fn run_notla(
     let valid_holder = constraint.map(|c| make_unit_validity(space, c));
     let valid: Option<&ValidityFn<'_>> = valid_holder.as_ref().map(|f| f as &ValidityFn<'_>);
     // The θ-independent uniform sweep, drawn once and reused every
-    // iteration; dedup/exclusion re-apply per proposal.
+    // iteration; dedup/exclusion re-apply per proposal. The scratch
+    // recycles candidate/score buffers across proposals.
     let pool = CandidatePool::new(space.dim(), &search, &mut rng);
+    let mut scratch = ProposalScratch::new();
     // The surrogate persists across iterations: most observations are
     // absorbed by a rank-1 append, with full refits on `config.refit`'s
-    // schedule.
+    // schedule. Past `config.tier.threshold` successes it escalates to
+    // the crowd-scale sparse tier.
     let mut gp_config = GpConfig::new(dims);
     gp_config.restarts = 1;
     gp_config.max_opt_iter = 40;
-    let mut surrogate = IncrementalGp::new(gp_config, config.refit.clone());
+    let mut surrogate =
+        TierSurrogate::Exact(IncrementalGp::new(gp_config.clone(), config.refit.clone()));
 
     let mut init_points = sample_lhs(space, config.n_init.min(config.budget), &mut rng);
     if let Some(c) = constraint {
@@ -298,17 +363,33 @@ fn run_notla(
             let incumbent = observed
                 .best()
                 .and_then(|b| observed.y.iter().position(|&v| v == b).map(|idx| (idx, b)));
-            match (surrogate.gp(), incumbent) {
-                (Some(gp), Some((idx, best))) => propose_ei_pooled(
-                    gp,
-                    &pool,
-                    Some((&observed.x[idx], best)),
-                    &evaluated_units,
-                    &failed_units,
-                    &search,
-                    valid,
-                    &mut rng,
-                ),
+            match (&surrogate, incumbent) {
+                (TierSurrogate::Exact(inc), Some((idx, best))) if inc.gp().is_some() => {
+                    propose_ei_pooled_scratch(
+                        inc.gp().expect("guarded"),
+                        &pool,
+                        Some((&observed.x[idx], best)),
+                        &evaluated_units,
+                        &failed_units,
+                        &search,
+                        valid,
+                        &mut rng,
+                        &mut scratch,
+                    )
+                }
+                (TierSurrogate::Sparse(inc), Some((idx, best))) if inc.gp().is_some() => {
+                    propose_ei_pooled_scratch(
+                        inc.gp().expect("guarded"),
+                        &pool,
+                        Some((&observed.x[idx], best)),
+                        &evaluated_units,
+                        &failed_units,
+                        &search,
+                        valid,
+                        &mut rng,
+                        &mut scratch,
+                    )
+                }
                 // The last fit attempt failed (degenerate data): fall back
                 // to random until the next observation triggers a rebuild.
                 _ => crate::tla::random_proposal(space.dim(), &mut rng),
@@ -340,7 +421,7 @@ fn run_notla(
                 // nothing, so the prediction (and everything downstream
                 // of it) cannot perturb the run.
                 if quality.is_some() || obs::journal_active() || obs::metrics_enabled() {
-                    let pred = surrogate.gp().map(|g| g.predict(&rec.unit));
+                    let pred = surrogate.predict_opt(&rec.unit);
                     if let Some(p) = &pred {
                         obs::count(obs::names::CTR_CALIBRATION_POINTS, 1);
                         if calibration.record(p, *y) {
@@ -355,7 +436,51 @@ fn run_notla(
                     }
                 }
                 observed.push(rec.unit.clone(), *y);
-                let _ = surrogate.observe(&rec.unit, *y, &mut rng);
+                let escalate = matches!(surrogate, TierSurrogate::Exact(_))
+                    && observed.x.len() >= config.tier.threshold;
+                if escalate {
+                    // Escalate: the sparse tier absorbs the full history
+                    // with one reselection + fit. On a numerical failure
+                    // the exact tier carries on and escalation is
+                    // retried at the next success.
+                    let sparse_config = SparseGpConfig {
+                        base: gp_config.clone(),
+                        m_inducing: config.tier.m_inducing,
+                    };
+                    match IncrementalSparseGp::with_history(
+                        sparse_config,
+                        config.refit.clone(),
+                        observed.x.clone(),
+                        observed.y.clone(),
+                        &mut rng,
+                    ) {
+                        Ok(sp) => {
+                            obs::count(obs::names::CTR_TIER_SWITCHES, 1);
+                            obs::record_with(|| obs::Event::TierSwitch {
+                                from: "exact".to_string(),
+                                to: "sparse".to_string(),
+                                points: observed.x.len() as u64,
+                                threshold: config.tier.threshold as u64,
+                                inducing: config.tier.m_inducing as u64,
+                            });
+                            surrogate = TierSurrogate::Sparse(sp);
+                        }
+                        Err(_) => {
+                            if let TierSurrogate::Exact(inc) = &mut surrogate {
+                                let _ = inc.observe(&rec.unit, *y, &mut rng);
+                            }
+                        }
+                    }
+                } else {
+                    match &mut surrogate {
+                        TierSurrogate::Exact(inc) => {
+                            let _ = inc.observe(&rec.unit, *y, &mut rng);
+                        }
+                        TierSurrogate::Sparse(inc) => {
+                            let _ = inc.observe(&rec.unit, *y, &mut rng);
+                        }
+                    }
+                }
             }
             Err(_) => failed_units.push(rec.unit.clone()),
         }
@@ -381,7 +506,7 @@ fn run_notla(
         note_calibration(&mut calibration, observer.best);
     }
     if let Some(q) = quality {
-        q.finalize(surrogate.gp());
+        q.finalize(surrogate.exact_gp());
     }
     observer.finish(&mut result);
     Ok(result)

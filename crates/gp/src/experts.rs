@@ -1,0 +1,407 @@
+//! Partitioned local experts: many small exact GPs, one smooth posterior.
+//!
+//! The second leg of the crowd-scale surrogate tier. Where [`SparseGp`]
+//! compresses the whole history into `m` inducing points,
+//! [`LocalExperts`] keeps the history *exact* but partitioned:
+//!
+//! - **Cells** — a deterministic farthest-point sweep picks `E` centers;
+//!   every point joins its nearest center (ties toward the lowest center
+//!   index). Each cell holds a small exact [`Gp`], so a cell fit is
+//!   O(c³) with `c = n/E` instead of O(n³). Cells past
+//!   [`LocalExpertsConfig::max_cell_points`] are thinned by a
+//!   deterministic every-k-th-by-index subsample.
+//! - **Cross-task core** — [`LocalExperts::fit_with_core`] reserves the
+//!   LCM for a *bounded* core: per-task subsamples capped at
+//!   [`LocalExpertsConfig::max_core_points`] points, fitted once, and
+//!   queried at the target task. The expensive multitask machinery never
+//!   sees more than `tasks × cap` points.
+//! - **gPoE merge** — predictions from every expert (cells + core) are
+//!   combined by an equal-weight generalized product of experts:
+//!   precisions are averaged, means precision-weighted. Far from data
+//!   every expert reverts to its prior, so the merge degrades gracefully
+//!   instead of stitching hard cell boundaries.
+//!
+//! Determinism: per-cell fit seeds are drawn from the caller's RNG *up
+//! front* in cell order, and cells are fitted serially (each inner
+//! [`Gp::fit`] multistart already parallelizes deterministically), so
+//! the whole ensemble is bitwise-reproducible at any thread count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gp::{Gp, GpConfig, GpError, Prediction};
+use crate::kernel::DimKind;
+use crate::lcm::{Lcm, LcmConfig, TaskData};
+use crate::sparse::{farthest_point_subset, raw_dist2};
+
+/// Precision floor for the gPoE merge: an expert reporting a variance
+/// below this contributes as if it had this variance, keeping the merge
+/// finite when a cell interpolates a query exactly.
+const VAR_FLOOR: f64 = 1e-12;
+
+/// Configuration for fitting [`LocalExperts`].
+#[derive(Debug, Clone)]
+pub struct LocalExpertsConfig {
+    /// Exact-GP configuration used for every cell fit.
+    pub base: GpConfig,
+    /// Number of cells `E` (clamped to `n`).
+    pub n_experts: usize,
+    /// Cells holding more points than this are thinned by a
+    /// deterministic every-k-th-by-index subsample before fitting.
+    pub max_cell_points: usize,
+    /// Per-task point cap for the LCM core in
+    /// [`LocalExperts::fit_with_core`].
+    pub max_core_points: usize,
+}
+
+impl LocalExpertsConfig {
+    /// Defaults: the [`GpConfig`] defaults, 8 cells, 256-point cells,
+    /// 64-point-per-task core.
+    pub fn new(dims: Vec<DimKind>) -> Self {
+        LocalExpertsConfig {
+            base: GpConfig::new(dims),
+            n_experts: 8,
+            max_cell_points: 256,
+            max_core_points: 64,
+        }
+    }
+
+    /// All-continuous convenience constructor.
+    pub fn continuous(dim: usize) -> Self {
+        Self::new(vec![DimKind::Continuous; dim])
+    }
+}
+
+/// One fitted cell: its center (for diagnostics) and its exact GP.
+#[derive(Debug, Clone)]
+struct Cell {
+    center: Vec<f64>,
+    gp: Gp,
+}
+
+/// A partitioned local-expert surrogate with gPoE merging.
+#[derive(Debug, Clone)]
+pub struct LocalExperts {
+    cells: Vec<Cell>,
+    /// Bounded cross-task LCM core and the task index predictions are
+    /// drawn at, when fitted with one.
+    core: Option<(Lcm, usize)>,
+    n: usize,
+}
+
+/// Deterministic every-k-th-by-index thinning down to at most `cap`
+/// elements (always keeps index 0).
+fn thin_indices(len: usize, cap: usize) -> Vec<usize> {
+    if len <= cap {
+        return (0..len).collect();
+    }
+    let stride = len.div_ceil(cap);
+    (0..len).step_by(stride).collect()
+}
+
+impl LocalExperts {
+    /// Fit a single-task local-expert ensemble to `(x, y)` in the unit
+    /// cube: farthest-point centers (one RNG draw for the seed point),
+    /// nearest-center assignment, one small exact GP per non-empty cell.
+    pub fn fit<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &LocalExpertsConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let mut experts = Self::fit_cells(x, y, config, rng)?;
+        experts.n = x.len();
+        Ok(experts)
+    }
+
+    /// [`LocalExperts::fit`] plus a bounded cross-task LCM core: every
+    /// task is thinned to [`LocalExpertsConfig::max_core_points`] points,
+    /// the LCM is fitted once over those subsamples, and its posterior at
+    /// `target_task` joins the gPoE merge as one more expert. Cells are
+    /// built from the target task's data only.
+    pub fn fit_with_core<R: Rng>(
+        tasks: &[TaskData],
+        target_task: usize,
+        config: &LocalExpertsConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let target = tasks.get(target_task).ok_or(GpError::EmptyTrainingSet)?;
+        let mut experts = Self::fit_cells(&target.x, &target.y, config, rng)?;
+        experts.n = target.x.len();
+
+        let bounded: Vec<TaskData> = tasks
+            .iter()
+            .map(|t| {
+                let keep = thin_indices(t.x.len(), config.max_core_points);
+                TaskData {
+                    x: keep.iter().map(|&i| t.x[i].clone()).collect(),
+                    y: keep.iter().map(|&i| t.y[i]).collect(),
+                }
+            })
+            .collect();
+        let mut lcm_config = LcmConfig::new(config.base.dims.clone());
+        lcm_config.kernel = config.base.kernel;
+        lcm_config.restarts = config.base.restarts;
+        lcm_config.parallel = config.base.parallel;
+        let lcm = Lcm::fit(&bounded, &lcm_config, rng).map_err(|_| GpError::NumericalFailure)?;
+        experts.core = Some((lcm, target_task));
+        Ok(experts)
+    }
+
+    fn fit_cells<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &LocalExpertsConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let n = x.len();
+        if n == 0 {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteTarget);
+        }
+        let d = config.base.dims.len();
+        for xi in x {
+            if xi.len() != d {
+                return Err(GpError::DimensionMismatch {
+                    expected: d,
+                    got: xi.len(),
+                });
+            }
+        }
+
+        let e = config.n_experts.max(1).min(n);
+        let first = rng.gen_range(0..n);
+        let centers = farthest_point_subset(x, &config.base.dims, e, first);
+
+        // Nearest-center assignment, ties toward the lowest center index
+        // (strict `<` while scanning centers in ascending order).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); centers.len()];
+        for (i, xi) in x.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, &ci) in centers.iter().enumerate() {
+                let d2 = raw_dist2(&config.base.dims, xi, &x[ci]);
+                if d2 < best_d {
+                    best_d = d2;
+                    best = c;
+                }
+            }
+            members[best].push(i);
+        }
+
+        // Per-cell fit seeds drawn up front in cell order: the RNG
+        // stream never depends on cell sizes or fit internals.
+        let seeds: Vec<u64> = centers.iter().map(|_| rng.gen::<u64>()).collect();
+
+        let mut cells = Vec::with_capacity(centers.len());
+        for (c, member) in members.iter().enumerate() {
+            if member.is_empty() {
+                continue;
+            }
+            let keep = thin_indices(member.len(), config.max_cell_points);
+            let cx: Vec<Vec<f64>> = keep.iter().map(|&k| x[member[k]].clone()).collect();
+            let cy: Vec<f64> = keep.iter().map(|&k| y[member[k]]).collect();
+            let mut cell_rng = StdRng::seed_from_u64(seeds[c]);
+            let gp = Gp::fit(&cx, &cy, &config.base, &mut cell_rng)?;
+            cells.push(Cell {
+                center: x[centers[c]].clone(),
+                gp,
+            });
+        }
+        Ok(LocalExperts {
+            cells,
+            core: None,
+            n,
+        })
+    }
+
+    /// gPoE merge of per-expert predictions (original y units): with
+    /// equal weights `1/E`, merged precision is the average expert
+    /// precision and the mean is precision-weighted.
+    fn merge(&self, preds: &[Prediction]) -> Prediction {
+        let w = 1.0 / preds.len() as f64;
+        let mut prec = 0.0;
+        let mut wsum = 0.0;
+        for p in preds {
+            let pi = 1.0 / (p.std * p.std).max(VAR_FLOOR);
+            prec += w * pi;
+            wsum += w * pi * p.mean;
+        }
+        let var = 1.0 / prec;
+        Prediction {
+            mean: var * wsum,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Posterior prediction: every cell (and the core, when present)
+    /// predicts, the gPoE merge combines.
+    pub fn predict(&self, xstar: &[f64]) -> Prediction {
+        let mut preds: Vec<Prediction> = self.cells.iter().map(|c| c.gp.predict(xstar)).collect();
+        if let Some((lcm, task)) = &self.core {
+            preds.push(lcm.predict(*task, xstar));
+        }
+        self.merge(&preds)
+    }
+
+    /// Batch prediction with per-expert factorizations hoisted once:
+    /// each expert runs its own native `predict_batch` over the whole
+    /// batch, then the merge runs per point.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        let mut per_expert: Vec<Vec<Prediction>> =
+            self.cells.iter().map(|c| c.gp.predict_batch(xs)).collect();
+        if let Some((lcm, task)) = &self.core {
+            per_expert.push(lcm.predict_batch(*task, xs));
+        }
+        (0..xs.len())
+            .map(|i| {
+                let preds: Vec<Prediction> = per_expert.iter().map(|e| e[i]).collect();
+                self.merge(&preds)
+            })
+            .collect()
+    }
+
+    /// Number of fitted cells (excluding the core).
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when a cross-task LCM core participates in the merge.
+    pub fn has_core(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Cell centers, in center order.
+    pub fn centers(&self) -> Vec<&[f64]> {
+        self.cells.iter().map(|c| c.center.as_slice()).collect()
+    }
+
+    /// Observations the ensemble was fitted on.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when fitted on no observations (unreachable for a fitted
+    /// model; present for API symmetry with [`Gp`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective(x: &[f64]) -> f64 {
+        3.0 + 10.0 * (x[0] - 0.4) * (x[0] - 0.4) + (7.0 * x[0]).sin()
+    }
+
+    fn make_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>()]).collect();
+        let y: Vec<f64> = x.iter().map(|xi| objective(xi)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn thinning_caps_and_keeps_first() {
+        assert_eq!(thin_indices(5, 8), vec![0, 1, 2, 3, 4]);
+        let t = thin_indices(100, 10);
+        assert!(t.len() <= 10);
+        assert_eq!(t[0], 0);
+        assert_eq!(t, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn fits_and_tracks_truth() {
+        let (x, y) = make_data(160, 7);
+        let mut cfg = LocalExpertsConfig::continuous(1);
+        cfg.base.restarts = 1;
+        cfg.n_experts = 4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let experts = LocalExperts::fit(&x, &y, &cfg, &mut rng).unwrap();
+        assert!(experts.n_cells() >= 1 && experts.n_cells() <= 4);
+        let mut sse = 0.0;
+        for i in 0..40 {
+            let q = [i as f64 / 39.0];
+            let p = experts.predict(&q);
+            assert!(p.mean.is_finite() && p.std.is_finite() && p.std >= 0.0);
+            let e = p.mean - objective(&q);
+            sse += e * e;
+        }
+        let rmse = (sse / 40.0).sqrt();
+        assert!(
+            rmse < 0.5,
+            "gPoE ensemble should track the truth, rmse={rmse}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = make_data(120, 19);
+        let mut cfg = LocalExpertsConfig::continuous(1);
+        cfg.base.restarts = 1;
+        cfg.n_experts = 3;
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let a = LocalExperts::fit(&x, &y, &cfg, &mut rng1).unwrap();
+        let b = LocalExperts::fit(&x, &y, &cfg, &mut rng2).unwrap();
+        for q in [0.0, 0.33, 0.5, 0.71, 1.0] {
+            assert_eq!(a.predict(&[q]), b.predict(&[q]));
+        }
+    }
+
+    #[test]
+    fn cell_cap_thins_oversized_cells() {
+        let (x, y) = make_data(90, 29);
+        let mut cfg = LocalExpertsConfig::continuous(1);
+        cfg.base.restarts = 0;
+        cfg.n_experts = 1;
+        cfg.max_cell_points = 16;
+        let mut rng = StdRng::seed_from_u64(8);
+        let experts = LocalExperts::fit(&x, &y, &cfg, &mut rng).unwrap();
+        assert_eq!(experts.n_cells(), 1);
+        assert!(experts.cells[0].gp.len() <= 16);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (x, y) = make_data(100, 37);
+        let mut cfg = LocalExpertsConfig::continuous(1);
+        cfg.base.restarts = 1;
+        cfg.n_experts = 3;
+        let mut rng = StdRng::seed_from_u64(12);
+        let experts = LocalExperts::fit(&x, &y, &cfg, &mut rng).unwrap();
+        let qs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+        let batch = experts.predict_batch(&qs);
+        for (q, b) in qs.iter().zip(batch.iter()) {
+            assert_eq!(*b, experts.predict(q));
+        }
+    }
+
+    #[test]
+    fn core_joins_the_merge() {
+        let (x0, y0) = make_data(60, 43);
+        let (x1, mut y1) = make_data(60, 44);
+        for v in &mut y1 {
+            *v += 0.5; // correlated sibling task
+        }
+        let tasks = vec![TaskData { x: x0, y: y0 }, TaskData { x: x1, y: y1 }];
+        let mut cfg = LocalExpertsConfig::continuous(1);
+        cfg.base.restarts = 1;
+        cfg.n_experts = 2;
+        cfg.max_core_points = 20;
+        let mut rng = StdRng::seed_from_u64(21);
+        let experts = LocalExperts::fit_with_core(&tasks, 0, &cfg, &mut rng).unwrap();
+        assert!(experts.has_core());
+        let p = experts.predict(&[0.4]);
+        assert!(p.mean.is_finite() && p.std.is_finite());
+        let err = (p.mean - objective(&[0.4])).abs();
+        assert!(
+            err < 1.0,
+            "merged posterior should stay near truth, err={err}"
+        );
+    }
+}

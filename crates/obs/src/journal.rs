@@ -363,6 +363,21 @@ pub enum Event {
         /// telemetry), `null` before the first success.
         best: Option<f64>,
     },
+    /// The tuner escalated (or rebuilt) its surrogate tier: the exact GP
+    /// was swapped for a crowd-scale sparse surrogate once the history
+    /// crossed the configured size threshold.
+    TierSwitch {
+        /// Tier before the switch (`"exact"` or `"sparse"`).
+        from: String,
+        /// Tier after the switch (`"sparse"`).
+        to: String,
+        /// Observations held when the switch fired.
+        points: u64,
+        /// Size threshold that triggered the escalation.
+        threshold: u64,
+        /// Inducing points the sparse tier was built with.
+        inducing: u64,
+    },
     /// A tuning run finished.
     RunEnd {
         /// Iterations executed.
@@ -405,6 +420,7 @@ impl Event {
             Event::QualityScore { .. } => "qualityscore",
             Event::Quarantine { .. } => "quarantine",
             Event::Calibration { .. } => "calibration",
+            Event::TierSwitch { .. } => "tierswitch",
             Event::RunEnd { .. } => "runend",
         }
     }

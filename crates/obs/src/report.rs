@@ -150,6 +150,19 @@ pub struct JournalReport {
     /// NLL-per-point drift from the last `calibration` event carrying one.
     #[serde(default)]
     pub calibration_drift: Option<f64>,
+    /// Surrogate-tier escalations journaled (exact → sparse switches).
+    #[serde(default)]
+    pub tier_switches: u64,
+    /// Tier in force after the last `tierswitch` event, empty when the
+    /// journal carried none (the run stayed on the exact GP).
+    #[serde(default)]
+    pub tier_last: String,
+    /// Observation count at the last tier switch.
+    #[serde(default)]
+    pub tier_points: u64,
+    /// Inducing points of the sparse tier at the last switch.
+    #[serde(default)]
+    pub tier_inducing: u64,
 }
 
 /// Per-contributor slice of the data-quality rollup.
@@ -380,6 +393,17 @@ pub fn summarize(journal: &str, events: &[Event]) -> JournalReport {
                     r.calibration_drift = *drift;
                 }
             }
+            Event::TierSwitch {
+                to,
+                points,
+                inducing,
+                ..
+            } => {
+                r.tier_switches += 1;
+                r.tier_last = to.clone();
+                r.tier_points = *points;
+                r.tier_inducing = *inducing;
+            }
             Event::Profile { folded } => {
                 for (path, ns) in folded {
                     *r.profile.entry(path.clone()).or_insert(0) += ns;
@@ -456,6 +480,14 @@ pub fn render_report(r: &JournalReport) -> String {
         "  lbfgs iterations    {:>8}\n",
         r.lbfgs_iterations
     ));
+    if r.tier_switches > 0 {
+        out.push_str(&format!(
+            "  surrogate tier      {:>8} ({} switches, n={} m={})\n",
+            r.tier_last, r.tier_switches, r.tier_points, r.tier_inducing
+        ));
+    } else {
+        out.push_str("  surrogate tier         exact\n");
+    }
     out.push_str("\nnumerical recoveries\n");
     out.push_str(&format!(
         "  jitter escalations  {:>8}\n",

@@ -3,7 +3,7 @@
 //! fully disabled. The scraper thread only reads sharded atomics, so no
 //! RNG stream or float reduction order can shift.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crowdtune_apps::{Application, DemoFunction};
@@ -58,15 +58,26 @@ fn scraping_mid_tune_keeps_runs_bitwise_identical() {
     // Hammer the endpoint from another thread for the whole run.
     let done = Arc::new(AtomicBool::new(false));
     let done_flag = Arc::clone(&done);
+    let landed = Arc::new(AtomicUsize::new(0));
+    let landed_in_thread = Arc::clone(&landed);
     let scraper = std::thread::spawn(move || {
         let mut ok = 0usize;
         while !done_flag.load(Ordering::Relaxed) {
             if scrape(addr).is_ok() {
                 ok += 1;
+                landed_in_thread.store(ok, Ordering::Relaxed);
             }
         }
         ok
     });
+
+    // The release-mode run can finish in a few milliseconds — faster
+    // than thread spawn + first TCP connect on a loaded machine. Wait
+    // for the scraper to land its first request so the run is
+    // guaranteed to overlap live scraping.
+    while landed.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
 
     let instrumented = fingerprint(&run(91));
     done.store(true, Ordering::Relaxed);
