@@ -46,6 +46,9 @@ struct HotpathJson {
     /// Crowd-service load-generator detail, merged in by `crowd_load`.
     #[serde(default)]
     crowd: Option<CrowdJson>,
+    /// Overload-scenario detail, merged in by `crowd_load --overload`.
+    #[serde(default)]
+    overload: Option<OverloadJson>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -74,6 +77,18 @@ struct CrowdJson {
     /// with `--trace`.
     #[serde(default)]
     trace_overhead: Option<f64>,
+}
+
+/// The `overload` block `crowd_load --overload` merges into the hotpath
+/// file. Only the fields the gate tracks are parsed; the block carries
+/// more (verdict counts, fingerprint) for humans.
+#[derive(Debug, Deserialize)]
+struct OverloadJson {
+    name: String,
+    admitted: u64,
+    shed: u64,
+    p99_us: f64,
+    p99_bound_us: f64,
 }
 
 /// One tracked stat regressing past the noise band.
@@ -140,6 +155,26 @@ pub fn collect_stats(
             if overhead > 0.0 {
                 stats.insert(format!("trace.{}", crowd.name), overhead);
             }
+        }
+    }
+    if let Some(ov) = &hotpath.overload {
+        // Overload health under the canonical injected storm: both are
+        // dimensionless and higher-is-worse. A scheduler change that
+        // starts shedding a materially larger share of the storm, or
+        // lets the admitted tail creep toward the analytic bound, trips
+        // the same band as a latency regression.
+        let attempts = ov.admitted + ov.shed;
+        if attempts > 0 {
+            stats.insert(
+                format!("overload.shed_rate.{}", ov.name),
+                ov.shed as f64 / attempts as f64,
+            );
+        }
+        if ov.p99_bound_us > 0.0 {
+            stats.insert(
+                format!("overload.tail.{}", ov.name),
+                ov.p99_us / ov.p99_bound_us,
+            );
         }
     }
     let report = summarize("gate", journal_events);
@@ -364,6 +399,28 @@ mod tests {
         let (_, stats) = collect_stats(untraced, &[]).unwrap();
         assert!((stats["tail.crowd_query"] - 5.0).abs() < 1e-12);
         assert!(!stats.contains_key("trace.crowd_query"));
+    }
+
+    #[test]
+    fn overload_block_contributes_shed_rate_and_tail_stats() {
+        let hotpath = r#"{
+          "threads": 8,
+          "substrates": [
+            {"name": "crowd_query", "median_ns_before": 1, "median_ns_after": 1, "speedup": 1.0}
+          ],
+          "overload": {"name": "overload_storm_smoke", "seed": 42, "admitted": 300, "shed": 100,
+                       "deadline_writes": 20, "p99_us": 84000.0, "p99_bound_us": 336000.0,
+                       "recovered_healthy": true}
+        }"#;
+        let (threads, stats) = collect_stats(hotpath, &[]).unwrap();
+        assert_eq!(threads, 8);
+        assert!((stats["overload.shed_rate.overload_storm_smoke"] - 0.25).abs() < 1e-12);
+        assert!((stats["overload.tail.overload_storm_smoke"] - 0.25).abs() < 1e-12);
+        // Without the block, no overload stat appears.
+        let bare = r#"{"threads": 8, "substrates": [
+            {"name": "crowd_query", "median_ns_before": 1, "median_ns_after": 1, "speedup": 1.0}]}"#;
+        let (_, stats) = collect_stats(bare, &[]).unwrap();
+        assert!(!stats.keys().any(|k| k.starts_with("overload.")));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! - [`service`] — the concurrent sharded crowd service: parallel
 //!   problem-sharded reads, group-commit WAL writes, and an
 //!   epoch-invalidated query-result cache.
+//! - [`overload`] — overload resilience for the service: bounded
+//!   admission control with typed shedding, deadline propagation, a
+//!   per-shard Healthy → Degraded → Shedding ladder, capped seeded
+//!   backoff, and seed-deterministic service-level fault plans.
 //! - [`telemetry`] — the fleet-telemetry collection: cross-run records
 //!   distilled from per-run event journals, with the same per-record
 //!   access control as performance samples.
@@ -31,6 +35,7 @@
 pub mod access;
 pub mod document;
 pub mod env;
+pub mod overload;
 pub mod query;
 pub mod repo;
 pub mod service;
@@ -44,8 +49,15 @@ pub use document::{
     SoftwareConfig,
 };
 pub use env::{parse_slurm_env, parse_spack_spec, EnvError, TagRegistry};
+pub use overload::{
+    fingerprint_outcomes, seeded_unit, splitmix64, AdmitVerdict, Backoff, Episode, HealthState,
+    OverloadConfig, OverloadOutcome, OverloadState, ServiceFaultPlan, ShardHealth, ShardStall,
+};
 pub use query::{parse_query, FieldIndexes, Filter, ParseError};
-pub use repo::{ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec, SoftwareFilter};
+pub use repo::{
+    CircuitBreaker, ConfigurationQuery, DbError, HistoryDb, MachineFilter, QuerySpec,
+    SoftwareFilter,
+};
 pub use service::{CrowdService, ServiceConfig};
 pub use store::{DocumentStore, ScanStats, StoreError};
 pub use telemetry::{FleetQuery, RunRecord, TelemetryCollection};

@@ -10,6 +10,7 @@
 use crate::access::{AuthError, UserRegistry};
 use crate::document::{FunctionEvaluation, MachineConfig, Provenance, SoftwareConfig};
 use crate::env::TagRegistry;
+use crate::overload::Backoff;
 use crate::query::Filter;
 use crate::service::{CrowdService, ServiceConfig};
 use crate::store::{DocumentStore, ScanStats, StoreError};
@@ -220,7 +221,9 @@ impl QuerySpec {
 }
 
 /// Storage engine behind a [`HistoryDb`]: the single-lock embedded
-/// store, or the sharded concurrent crowd service.
+/// store, or the sharded concurrent crowd service. Exactly one backend
+/// exists per db, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Embedded(DocumentStore),
     Service(CrowdService),
@@ -258,6 +261,104 @@ fn client_hash(user: Option<&str>) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h.max(1)
+}
+
+/// Client-side circuit breaker for talking to an overloaded crowd
+/// service.
+///
+/// Closed (normal) traffic flows through; each `Overloaded` /
+/// `DeadlineExceeded` response increments a consecutive-failure count
+/// and pushes the reopen time out to `now + max(server retry_after,
+/// capped seeded backoff)`. Once `failure_threshold` consecutive
+/// failures accumulate the breaker is open: [`CircuitBreaker::allow`]
+/// refuses requests locally until the cooldown elapses, so a storm of
+/// clients cannot keep hammering a shedding service. A single success
+/// fully closes the breaker and resets the backoff ladder.
+///
+/// All times are caller-supplied microseconds, so the breaker works
+/// identically on the wall clock and on the overload simulator's
+/// virtual clock; with a fixed [`Backoff`] seed its decisions are
+/// bitwise-deterministic.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    backoff: Backoff,
+    failure_threshold: u32,
+    consecutive_failures: u32,
+    open_until_us: u64,
+    opens: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(Backoff::default(), 3)
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `failure_threshold` consecutive
+    /// overload failures, pacing retries with `backoff`.
+    pub fn new(backoff: Backoff, failure_threshold: u32) -> Self {
+        CircuitBreaker {
+            backoff,
+            failure_threshold: failure_threshold.max(1),
+            consecutive_failures: 0,
+            open_until_us: 0,
+            opens: 0,
+        }
+    }
+
+    /// May a request be sent at `now_us`?
+    pub fn allow(&self, now_us: u64) -> bool {
+        now_us >= self.open_until_us
+    }
+
+    /// Microseconds until the breaker re-closes (0 when requests are
+    /// already allowed).
+    pub fn remaining_us(&self, now_us: u64) -> u64 {
+        self.open_until_us.saturating_sub(now_us)
+    }
+
+    /// [`CircuitBreaker::remaining_us`] rounded up to whole milliseconds,
+    /// shaped like a server `retry_after` hint.
+    pub fn remaining_ms(&self, now_us: u64) -> u64 {
+        self.remaining_us(now_us).div_ceil(1_000)
+    }
+
+    /// Consecutive overload failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// How many times the breaker has opened over its lifetime.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Record a successful request: the breaker closes and the backoff
+    /// ladder resets.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until_us = 0;
+    }
+
+    /// Record an overload-class failure observed at `now_us`, honoring
+    /// the server's `retry_after_ms` hint (0 = none). Returns the wait in
+    /// microseconds before the breaker will allow the next request.
+    pub fn on_overload(&mut self, now_us: u64, retry_after_ms: u64) -> u64 {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let was_open = self.open_until_us > now_us;
+        let mut wait_ms = retry_after_ms;
+        if self.consecutive_failures >= self.failure_threshold {
+            let attempt = self.consecutive_failures - self.failure_threshold + 1;
+            wait_ms = wait_ms.max(self.backoff.delay_ms(attempt));
+            if !was_open {
+                self.opens += 1;
+            }
+        }
+        let until = now_us.saturating_add(wait_ms.saturating_mul(1_000));
+        self.open_until_us = self.open_until_us.max(until);
+        self.open_until_us.saturating_sub(now_us)
+    }
 }
 
 /// The shared crowd-tuning database.
@@ -461,9 +562,46 @@ impl HistoryDb {
             denied: stats.denied as u64,
             cache_hits: stats.cache_hits as u64,
             cache_misses: stats.cache_misses as u64,
+            stale_served: stats.stale_served as u64,
             duration_us: span.elapsed_ns() / 1_000,
         });
         kept
+    }
+
+    /// [`HistoryDb::submit`] behind a client-side [`CircuitBreaker`]:
+    /// when the breaker is open the submit is refused locally (typed
+    /// `Overloaded` carrying the remaining cooldown) without touching the
+    /// service; an `Overloaded`/`DeadlineExceeded` response trips the
+    /// breaker, which honors the server's `retry_after` hint and backs
+    /// off with capped deterministic jitter. `now_us` is the client's
+    /// clock — simulated microseconds under the overload simulator.
+    pub fn submit_guarded(
+        &self,
+        api_key: &str,
+        eval: FunctionEvaluation,
+        breaker: &mut CircuitBreaker,
+        now_us: u64,
+    ) -> Result<u64, DbError> {
+        if !breaker.allow(now_us) {
+            return Err(DbError::Store(StoreError::Overloaded {
+                retry_after_ms: breaker.remaining_ms(now_us),
+            }));
+        }
+        match self.submit(api_key, eval) {
+            Ok(id) => {
+                breaker.on_success();
+                Ok(id)
+            }
+            Err(DbError::Store(StoreError::Overloaded { retry_after_ms })) => {
+                breaker.on_overload(now_us, retry_after_ms);
+                Err(DbError::Store(StoreError::Overloaded { retry_after_ms }))
+            }
+            Err(DbError::Store(StoreError::DeadlineExceeded)) => {
+                breaker.on_overload(now_us, 0);
+                Err(DbError::Store(StoreError::DeadlineExceeded))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The `k` best (lowest-output) configurations matching a query —
@@ -802,5 +940,80 @@ mod tests {
         let spec = QuerySpec::all_of("PDGEQRF").with_filter(filter);
         let hits = db.query_public(&spec);
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_honors_retry_after() {
+        let mut b = CircuitBreaker::new(Backoff::default(), 3);
+        assert!(b.allow(0));
+        // Below the threshold the breaker still honors the server hint...
+        let wait = b.on_overload(0, 7);
+        assert_eq!(wait, 7_000);
+        assert!(!b.allow(6_999));
+        assert!(b.allow(7_000));
+        // ...but does not count as "open".
+        assert_eq!(b.opens(), 0);
+        b.on_overload(10_000, 0);
+        // Third consecutive failure trips it: backoff (capped, jittered,
+        // >= 0.75 * base of 5ms) beats the absent hint.
+        let wait = b.on_overload(20_000, 1);
+        assert_eq!(b.opens(), 1);
+        assert!(wait >= 3_000, "wait {wait}us should reflect base backoff");
+        assert!(!b.allow(20_000));
+        // Deterministic: a twin breaker makes identical decisions.
+        let mut twin = CircuitBreaker::new(Backoff::default(), 3);
+        twin.on_overload(0, 7);
+        twin.on_overload(10_000, 0);
+        assert_eq!(twin.on_overload(20_000, 1), wait);
+        // One success fully closes and resets.
+        b.on_success();
+        assert!(b.allow(20_001));
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_backoff_escalates_while_open_and_is_capped() {
+        let backoff = Backoff {
+            base_ms: 10,
+            multiplier: 2.0,
+            cap_ms: 40,
+            jitter: 0.0,
+            seed: 1,
+        };
+        let mut b = CircuitBreaker::new(backoff, 1);
+        let mut waits = Vec::new();
+        for _ in 0..5 {
+            waits.push(b.on_overload(0, 0) / 1_000);
+        }
+        assert_eq!(waits, vec![10, 20, 40, 40, 40]);
+        // Re-tripping while already open counts as one open, not five.
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn submit_guarded_refuses_locally_while_open() {
+        let (db, alice, _) = setup();
+        let mut b = CircuitBreaker::new(Backoff::default(), 1);
+        b.on_overload(0, 50);
+        let before = db.query_public(&QuerySpec::all_of("PDGEQRF")).len();
+        let err = db
+            .submit_guarded(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell"), &mut b, 10_000)
+            .unwrap_err();
+        match err {
+            DbError::Store(StoreError::Overloaded { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 40)
+            }
+            other => panic!("expected local Overloaded, got {other}"),
+        }
+        // The refused submit never reached the store.
+        assert_eq!(db.query_public(&QuerySpec::all_of("PDGEQRF")).len(), before);
+        // After the cooldown the request flows and the breaker closes.
+        db.submit_guarded(&alice, pdgeqrf_eval(1, 1.0, 8, "haswell"), &mut b, 50_000)
+            .unwrap();
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(
+            db.query_public(&QuerySpec::all_of("PDGEQRF")).len(),
+            before + 1
+        );
     }
 }

@@ -33,6 +33,7 @@
 //! store would produce.
 
 use crate::document::FunctionEvaluation;
+use crate::overload::{OverloadConfig, OverloadState};
 use crate::query::Filter;
 use crate::store::write_atomic;
 use crate::store::{DocumentStore, ScanStats, StoreError};
@@ -62,6 +63,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Durability knobs for the shared WAL (durable mode only).
     pub wal: WalConfig,
+    /// Overload control (admission, deadlines, degradation ladder,
+    /// service-level fault injection). `None` — the default — means no
+    /// admission control at all: the service behaves exactly as before.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +75,7 @@ impl Default for ServiceConfig {
             shards: 8,
             cache_capacity: 128,
             wal: WalConfig::default(),
+            overload: None,
         }
     }
 }
@@ -143,6 +149,7 @@ pub struct CrowdService {
     clock: AtomicU64,
     cache_capacity: usize,
     durable: Option<Durable>,
+    overload: Option<OverloadState>,
 }
 
 /// FNV-1a over a problem name — the shard router. Stable across runs so
@@ -183,7 +190,15 @@ impl CrowdService {
             clock: AtomicU64::new(0),
             cache_capacity: config.cache_capacity,
             durable: None,
+            overload: config.overload.map(|cfg| OverloadState::new(cfg, n)),
         }
+    }
+
+    /// The overload controller, when admission control is configured.
+    /// Load drivers use it to advance the simulated service clock, read
+    /// shard health, and fingerprint twin runs.
+    pub fn overload(&self) -> Option<&OverloadState> {
+        self.overload.as_ref()
     }
 
     /// Open (or create) a durable service rooted at `dir`, replaying
@@ -348,6 +363,11 @@ impl CrowdService {
     ) -> Result<u64, StoreError> {
         let op_start = ctx.begin();
         let sidx = self.shard_index(&doc.problem);
+        // Admission BEFORE any effect: a shed or expired upload never
+        // reaches memory or the WAL, so it can never be acked-then-lost.
+        if let Some(ov) = &self.overload {
+            ov.admit_write(sidx, &ctx)?;
+        }
         let shard = &self.shards[sidx];
         let (id, ticket) = {
             let _w = self.lock_shard_timed(shard, sidx, &ctx);
@@ -479,11 +499,32 @@ impl CrowdService {
         user: Option<&str>,
         ctx: RequestCtx,
     ) -> (Arc<Vec<FunctionEvaluation>>, ScanStats) {
+        let mut ctx = ctx;
+        ctx.deadline_us = 0; // infallible entry point: no deadline to miss
+        self.try_query_problem_shared_ctx(problem, filter, user, ctx)
+            .expect("deadline-free query cannot fail")
+    }
+
+    /// [`CrowdService::query_problem_shared_ctx`] honoring the context's
+    /// deadline: an already-expired request fails with a typed
+    /// [`StoreError::DeadlineExceeded`] *before* the cache is probed, so
+    /// an expired query can never populate or invalidate the cache (and
+    /// never counts toward cache-coherence accounting).
+    pub fn try_query_problem_shared_ctx(
+        &self,
+        problem: &str,
+        filter: &Filter,
+        user: Option<&str>,
+        ctx: RequestCtx,
+    ) -> Result<(Arc<Vec<FunctionEvaluation>>, ScanStats), StoreError> {
         let op_start = ctx.begin();
         let sidx = self.shard_index(problem);
+        if let Some(ov) = &self.overload {
+            ov.check_read_deadline(sidx, &ctx)?;
+        }
         let out = self.cached_query(sidx, Some(problem), filter, user, &ctx);
         ctx.record(TraceStage::Op, sidx as u16, op_start);
-        out
+        Ok(out)
     }
 
     /// Full-collection query: scans every shard (in parallel with any
@@ -556,11 +597,10 @@ impl CrowdService {
         {
             let cache = shard.cache.lock();
             if let Some(e) = cache.map.get(&key) {
-                if e.epoch == epoch
-                    && e.filter == *filter
+                let key_matches = e.filter == *filter
                     && e.user.as_deref() == user
-                    && e.problem.as_deref() == problem
-                {
+                    && e.problem.as_deref() == problem;
+                if key_matches && e.epoch == epoch {
                     shard.hits.fetch_add(1, Ordering::Relaxed);
                     let mut stats = ScanStats {
                         scanned: 0,
@@ -569,6 +609,7 @@ impl CrowdService {
                         cache_hits: 1,
                         cache_misses: 0,
                         cache_check_ns: 0,
+                        stale_served: 0,
                     };
                     let results = Arc::clone(&e.results);
                     drop(cache);
@@ -578,6 +619,38 @@ impl CrowdService {
                         obs::observe(obs::names::HIST_CACHE_HIT_NS, check_ns);
                         ctx.record_span(
                             TraceStage::CacheCheck,
+                            sidx as u16,
+                            check_start,
+                            check_ns,
+                            0,
+                        );
+                    }
+                    return (results, stats);
+                }
+                // Degraded shard, entry from an older epoch: serve it
+                // *stale*, explicitly stamped, instead of paying for a
+                // scan the shard can't afford. Never on healthy shards.
+                let degraded = self
+                    .overload
+                    .as_ref()
+                    .is_some_and(|ov| ov.serve_stale(sidx));
+                if key_matches && degraded {
+                    let stats = ScanStats {
+                        scanned: 0,
+                        pruned: 0,
+                        denied: e.stats.denied,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_check_ns: 0,
+                        stale_served: 1,
+                    };
+                    let results = Arc::clone(&e.results);
+                    drop(cache);
+                    obs::count(obs::names::CTR_DB_STALE_SERVED, 1);
+                    if timed {
+                        let check_ns = obs::now_ns().saturating_sub(check_start);
+                        ctx.record_span(
+                            TraceStage::StaleServe,
                             sidx as u16,
                             check_start,
                             check_ns,
@@ -690,6 +763,12 @@ impl CrowdService {
     /// Write a named blob durably (tuner checkpoints). No-op store in
     /// memory when the service is not durable.
     pub fn put_blob(&self, key: &str, value: &str) -> Result<(), StoreError> {
+        // Checkpoint blobs are essential writes: admission always admits
+        // them (they still occupy virtual queue capacity, so their cost
+        // is modeled).
+        if let Some(ov) = &self.overload {
+            ov.admit_write(0, &RequestCtx::disabled(OpKind::Blob))?;
+        }
         if let Some(d) = &self.durable {
             d.blobs.write().insert(key.to_string(), value.to_string());
             let framed = frame_record(&WalRecord::Blob {

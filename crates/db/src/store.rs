@@ -32,6 +32,17 @@ pub enum StoreError {
     /// A write-ahead log record failed its integrity check somewhere
     /// other than the tail (tail tears are recovered, not errored).
     Corrupt(String),
+    /// Admission control shed this request before any state was touched.
+    /// Nothing was applied, enqueued, or acked; the client should retry
+    /// after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before it could complete. Nothing
+    /// was acked on behalf of this request; write effects it observed
+    /// were never reported durable to the caller.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for StoreError {
@@ -46,6 +57,11 @@ impl std::fmt::Display for StoreError {
                 path.display()
             ),
             StoreError::Corrupt(why) => write!(f, "store corruption: {why}"),
+            StoreError::Overloaded { retry_after_ms } => write!(
+                f,
+                "service overloaded: request shed, retry after {retry_after_ms}ms"
+            ),
+            StoreError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -129,6 +145,10 @@ pub struct ScanStats {
     /// metrics nor tracing is enabled (timing is gated to keep the
     /// disabled path cheap).
     pub cache_check_ns: u64,
+    /// Results served from an epoch-stamped *stale* cache entry by a
+    /// degraded shard. Always 0 on healthy shards: stale answers are
+    /// only ever returned deliberately, and always marked.
+    pub stale_served: usize,
 }
 
 impl ScanStats {
@@ -140,6 +160,7 @@ impl ScanStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_check_ns += other.cache_check_ns;
+        self.stale_served += other.stale_served;
     }
 }
 

@@ -125,6 +125,14 @@ pub struct WalConfig {
     /// relies on the natural window: appends arriving while the previous
     /// fsync is in flight batch into the next one.
     pub group_window_us: u64,
+    /// Upper bound in microseconds on how long a group-commit follower
+    /// waits for the in-flight flush before giving up with a typed
+    /// [`StoreError::DeadlineExceeded`] (0 = wait forever, the default).
+    /// A stalled leader then cannot strand its followers. The follower's
+    /// record stays buffered — a later flush still commits it — but this
+    /// waiter reports failure, so the write is never acknowledged on the
+    /// strength of a flush that has not happened.
+    pub follower_wait_timeout_us: u64,
 }
 
 impl Default for WalConfig {
@@ -134,6 +142,7 @@ impl Default for WalConfig {
             compact_every: 1024,
             group_commit: true,
             group_window_us: 0,
+            follower_wait_timeout_us: 0,
         }
     }
 }
@@ -224,6 +233,7 @@ pub(crate) struct WalAppender {
     sync_every_append: bool,
     group_commit: bool,
     window: std::time::Duration,
+    follower_timeout: std::time::Duration,
 }
 
 /// std mutex lock that shrugs off poisoning (a panicking appender must
@@ -253,6 +263,7 @@ impl WalAppender {
             sync_every_append: config.sync_every_append,
             group_commit: config.group_commit,
             window: std::time::Duration::from_micros(config.group_window_us),
+            follower_timeout: std::time::Duration::from_micros(config.follower_wait_timeout_us),
         }
     }
 
@@ -320,6 +331,9 @@ impl WalAppender {
         let timed = obs::metrics_enabled() || trace != 0;
         let wait_start = if timed { obs::now_ns() } else { 0 };
         outcome.wait_start_ns = wait_start;
+        // Armed lazily on the first bounded follower wait, so leaders and
+        // already-resolved tickets never pay for an Instant.
+        let mut follower_deadline: Option<std::time::Instant> = None;
         let finish = |outcome: &mut CommitOutcome| {
             if timed {
                 outcome.wait_ns = obs::now_ns().saturating_sub(wait_start);
@@ -403,8 +417,28 @@ impl WalAppender {
                     Err(e) => g.poisoned = Some(e.to_string()),
                 }
                 self.cv.notify_all();
-            } else {
+            } else if self.follower_timeout.is_zero() {
                 g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            } else {
+                // Bounded follower wait: a leader stalled inside its
+                // write/fsync must not strand everyone behind it. On
+                // expiry the record stays buffered (a later flush still
+                // commits it) but this waiter reports a typed deadline
+                // failure instead of an ack it cannot back.
+                let deadline = *follower_deadline
+                    .get_or_insert_with(|| std::time::Instant::now() + self.follower_timeout);
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    drop(g);
+                    finish(&mut outcome);
+                    obs::count(obs::names::CTR_DB_DEADLINE_EXCEEDED, 1);
+                    return Err(StoreError::DeadlineExceeded);
+                }
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
             }
         }
     }
@@ -768,6 +802,46 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn stalled_leader_cannot_strand_a_bounded_follower() {
+        let dir = temp_dir("bounded_follower");
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("wal.log"))
+            .unwrap();
+        let config = WalConfig {
+            follower_wait_timeout_us: 20_000,
+            compact_every: 0,
+            ..WalConfig::default()
+        };
+        let appender = WalAppender::new(file, &config);
+        let framed = frame_record(&WalRecord::Blob {
+            key: "ckpt".into(),
+            value: "{}".into(),
+        })
+        .unwrap();
+        // Wedge a phantom leader mid-flush, so the waiter below is a
+        // follower with nobody ever going to wake it.
+        lock(&appender.group).flushing = true;
+        let ticket = appender.enqueue(&framed).unwrap();
+        let start = std::time::Instant::now();
+        let err = appender.wait_durable(ticket).unwrap_err();
+        assert!(
+            matches!(err, StoreError::DeadlineExceeded),
+            "expected DeadlineExceeded, got {err}"
+        );
+        assert!(start.elapsed() >= std::time::Duration::from_micros(20_000));
+        // Nothing was acknowledged and nothing reached disk yet...
+        assert_eq!(appender.fsync_count(), 0);
+        // ...but the record is still buffered: once the stall clears, the
+        // next waiter becomes leader and commits it.
+        lock(&appender.group).flushing = false;
+        appender.wait_durable(ticket).unwrap();
+        assert_eq!(appender.fsync_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

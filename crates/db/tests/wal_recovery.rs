@@ -7,8 +7,8 @@
 //! is discarded, and the [`RecoveryReport`] says so.
 
 use crowdtune_db::{
-    parse_query, DocumentStore, DurableStore, EvalOutcome, FunctionEvaluation, MachineConfig,
-    StoreError, WalConfig,
+    parse_query, CrowdService, DocumentStore, DurableStore, EvalOutcome, FunctionEvaluation,
+    MachineConfig, OverloadConfig, ServiceConfig, StoreError, WalConfig,
 };
 use std::path::PathBuf;
 
@@ -122,6 +122,84 @@ fn kill_point_matrix_recovers_exactly_the_acked_prefix() {
             );
         }
         drop(store);
+    }
+    std::fs::remove_dir_all(&src).ok();
+    std::fs::remove_dir_all(&work).ok();
+}
+
+/// Kill-point matrix with overload shedding *and* group commit active:
+/// the service sheds part of an upload storm while committing the rest
+/// through grouped fsyncs. A crash at every byte of the resulting log
+/// must recover with every acked write present and every shed write
+/// absent — shedding happens before the WAL by construction, so no cut
+/// position can resurrect a shed document.
+#[test]
+fn kill_points_with_shedding_keep_acked_writes_and_drop_shed_ones() {
+    let src = temp_dir("kill_shed_src");
+    let config = ServiceConfig {
+        shards: 1,
+        wal: WalConfig {
+            group_commit: true,
+            compact_every: 0,
+            ..WalConfig::default()
+        },
+        overload: Some(OverloadConfig {
+            queue_limit: 4,
+            base_service_us: 1_000,
+            retry_after_ms: 3,
+            simulated: true,
+            ..OverloadConfig::default()
+        }),
+        ..ServiceConfig::default()
+    };
+    let mut acked = Vec::new();
+    let mut shed = Vec::new();
+    {
+        let (svc, _) = CrowdService::open_durable(&src, config.clone()).unwrap();
+        let ov = svc.overload().unwrap();
+        // Two bursts against a 4-deep virtual queue: the tail of each is
+        // shed; draining the queue between bursts re-admits.
+        for (burst, base_us) in [(0i64, 1_000u64), (100, 60_000)] {
+            ov.set_now_us(base_us);
+            for k in 0..7 {
+                let m = burst + k;
+                match svc.insert(eval(m)) {
+                    Ok(id) => acked.push((id, m)),
+                    Err(StoreError::Overloaded { .. }) => shed.push(m),
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+        }
+    }
+    assert_eq!(acked.len(), 8, "4 admitted per burst");
+    assert_eq!(shed.len(), 6, "3 shed per burst");
+    let wal = std::fs::read(src.join("wal.log")).unwrap();
+    let bounds = record_boundaries(&wal);
+    assert_eq!(bounds.len(), acked.len(), "one WAL record per acked write");
+
+    let work = temp_dir("kill_shed_work");
+    for cut in 0..=wal.len() {
+        let complete = bounds.iter().filter(|&&b| b <= cut).count();
+        std::fs::write(work.join("wal.log"), &wal[..cut]).unwrap();
+        let (svc, report) = CrowdService::open_durable(&work, config.clone()).unwrap();
+        assert_eq!(report.wal_records, complete, "cut at byte {cut}");
+        assert_eq!(svc.len(), complete, "cut at byte {cut}: wrong doc count");
+        // Every acked write whose record completed before the cut is
+        // present, in ack order...
+        let recovered = svc.query_problem_counted("P", &parse_query("task.m >= 0").unwrap(), None);
+        let ms: std::collections::HashSet<i64> = recovered
+            .0
+            .iter()
+            .map(|d| d.task_parameters.get("m").and_then(|s| s.as_f64()).unwrap() as i64)
+            .collect();
+        for &(_, m) in acked.iter().take(complete) {
+            assert!(ms.contains(&m), "cut at byte {cut}: acked m={m} lost");
+        }
+        // ...and no shed write exists at any cut position.
+        for &m in &shed {
+            assert!(!ms.contains(&m), "cut at byte {cut}: shed m={m} revived");
+        }
+        drop(svc);
     }
     std::fs::remove_dir_all(&src).ok();
     std::fs::remove_dir_all(&work).ok();

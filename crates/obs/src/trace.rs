@@ -130,6 +130,12 @@ pub enum TraceStage {
     Scan,
     /// Snapshot + WAL truncation during compaction.
     Compact,
+    /// The overload-controller admission decision (queue-depth check,
+    /// deadline check, health gate) taken before any state is touched.
+    Admission,
+    /// A degraded shard answering a read from an epoch-stamped stale
+    /// cache entry instead of scanning.
+    StaleServe,
 }
 
 impl TraceStage {
@@ -145,6 +151,8 @@ impl TraceStage {
             TraceStage::CacheCheck => "cache_check",
             TraceStage::Scan => "scan",
             TraceStage::Compact => "compact",
+            TraceStage::Admission => "admission",
+            TraceStage::StaleServe => "stale_serve",
         }
     }
 
@@ -160,6 +168,8 @@ impl TraceStage {
             "cache_check" => TraceStage::CacheCheck,
             "scan" => TraceStage::Scan,
             "compact" => TraceStage::Compact,
+            "admission" => TraceStage::Admission,
+            "stale_serve" => TraceStage::StaleServe,
             _ => return None,
         })
     }
@@ -175,6 +185,8 @@ impl TraceStage {
             TraceStage::CacheCheck => 6,
             TraceStage::Scan => 7,
             TraceStage::Compact => 8,
+            TraceStage::Admission => 9,
+            TraceStage::StaleServe => 10,
         }
     }
 
@@ -188,7 +200,9 @@ impl TraceStage {
             5 => TraceStage::WalFollowerWait,
             6 => TraceStage::CacheCheck,
             7 => TraceStage::Scan,
-            _ => TraceStage::Compact,
+            8 => TraceStage::Compact,
+            9 => TraceStage::Admission,
+            _ => TraceStage::StaleServe,
         }
     }
 }
@@ -497,6 +511,12 @@ pub struct RequestCtx {
     pub client: u32,
     /// Operation kind.
     pub op: OpKind,
+    /// Absolute deadline on the service clock, in microseconds
+    /// (simulated microseconds under the overload simulator). 0 means
+    /// "no deadline". Propagated through shard acquisition, the
+    /// group-commit wait, and query scans; an expired request returns a
+    /// typed `DeadlineExceeded` instead of holding locks.
+    pub deadline_us: u64,
 }
 
 impl RequestCtx {
@@ -513,6 +533,7 @@ impl RequestCtx {
             trace_id,
             client,
             op,
+            deadline_us: 0,
         }
     }
 
@@ -523,7 +544,22 @@ impl RequestCtx {
             trace_id: 0,
             client: 0,
             op,
+            deadline_us: 0,
         }
+    }
+
+    /// Attach an absolute deadline (service-clock microseconds; 0 = none).
+    #[inline]
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Whether this request's deadline has passed at service time
+    /// `now_us`. A context without a deadline never expires.
+    #[inline]
+    pub fn expired_at(&self, now_us: u64) -> bool {
+        self.deadline_us != 0 && now_us >= self.deadline_us
     }
 
     /// Whether this request is being traced.
@@ -783,9 +819,22 @@ mod tests {
             TraceStage::CacheCheck,
             TraceStage::Scan,
             TraceStage::Compact,
+            TraceStage::Admission,
+            TraceStage::StaleServe,
         ] {
             assert_eq!(TraceStage::parse(stage.as_str()), Some(stage));
             assert_eq!(TraceStage::from_u8(stage.as_u8()), stage);
         }
+    }
+
+    #[test]
+    fn deadlines_propagate_and_expire_on_the_service_clock() {
+        let ctx = RequestCtx::disabled(OpKind::Upload);
+        assert_eq!(ctx.deadline_us, 0);
+        assert!(!ctx.expired_at(u64::MAX), "no deadline never expires");
+        let ctx = ctx.with_deadline_us(500);
+        assert!(!ctx.expired_at(499));
+        assert!(ctx.expired_at(500));
+        assert!(ctx.expired_at(501));
     }
 }

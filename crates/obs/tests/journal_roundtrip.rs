@@ -78,6 +78,7 @@ fn all_variants() -> Vec<Event> {
             denied: 3,
             cache_hits: 1,
             cache_misses: 2,
+            stale_served: 1,
             duration_us: 55,
         },
         Event::Upload {
@@ -193,6 +194,19 @@ fn all_variants() -> Vec<Event> {
             torn: false,
             resumed_iter: Some(10),
         },
+        Event::Shed {
+            op: "upload".into(),
+            shard: 3,
+            reason: "queue_full".into(),
+            retry_after_ms: 5,
+            queue_depth: 8,
+        },
+        Event::Health {
+            shard: 3,
+            from: "healthy".into(),
+            to: "degraded".into(),
+            queue_depth: 6,
+        },
         Event::RunEnd {
             iterations: 20,
             failures: 2,
@@ -222,11 +236,11 @@ fn every_variant_round_trips_bitwise() {
     }
     let back = read_journal(&path).unwrap();
     assert_eq!(back, events);
-    // All 25 kinds distinct.
+    // All 27 kinds distinct.
     let mut kinds: Vec<&str> = back.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 25);
+    assert_eq!(kinds.len(), 27);
     std::fs::remove_file(&path).ok();
 }
 
